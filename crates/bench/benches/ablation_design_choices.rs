@@ -1,0 +1,6 @@
+//! Ablation benches: dynamic threshold vs fixed block sizes, and the
+//! interference monitor (oracle / trained proxy / oblivious).
+
+fn main() {
+    veltair_bench::run_experiment("Ablations", veltair_core::experiments::ablations::run);
+}

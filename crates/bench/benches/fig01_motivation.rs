@@ -1,0 +1,6 @@
+//! Regenerates Figure 1: per-model latency vs cores and naive co-location
+//! slowdown.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 1", veltair_core::experiments::fig01::run);
+}

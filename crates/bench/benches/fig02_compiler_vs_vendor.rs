@@ -1,0 +1,5 @@
+//! Regenerates Figure 2: auto-scheduled code vs the vendor library.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 2", veltair_core::experiments::fig02::run);
+}

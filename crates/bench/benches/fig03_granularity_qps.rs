@@ -1,0 +1,6 @@
+//! Regenerates Figure 3: QoS satisfaction and latency vs arrival rate per
+//! scheduling granularity.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 3", veltair_core::experiments::fig03::run);
+}

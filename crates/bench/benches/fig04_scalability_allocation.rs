@@ -1,0 +1,6 @@
+//! Regenerates Figure 4: layer scalability and allocation-over-time
+//! profiles.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 4", veltair_core::experiments::fig04::run);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: conflict rates per granularity and the per-layer
+//! conflict overhead distribution.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 5", |ctx| {
+        veltair_core::experiments::fig05::run(ctx, None)
+    });
+}

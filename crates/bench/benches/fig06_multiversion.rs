@@ -1,0 +1,5 @@
+//! Regenerates Figure 6: code-version performance under interference.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 6", veltair_core::experiments::fig06::run);
+}

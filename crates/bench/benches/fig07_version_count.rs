@@ -1,0 +1,5 @@
+//! Regenerates Figure 7: performance loss vs retained version count.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 7", veltair_core::experiments::fig07::run);
+}

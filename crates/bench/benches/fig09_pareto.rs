@@ -1,0 +1,5 @@
+//! Regenerates Figure 9: the parallelism/locality Pareto extraction.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 9", veltair_core::experiments::fig09::run);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 10: layer-block formation and CPU usage per
+//! granularity.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 10", veltair_core::experiments::fig10::run);
+}

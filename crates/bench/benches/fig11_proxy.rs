@@ -1,0 +1,6 @@
+//! Regenerates Figure 11: PCA counter study and the linear interference
+//! proxy validation.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 11", veltair_core::experiments::fig11::run);
+}

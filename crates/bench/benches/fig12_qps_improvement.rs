@@ -1,0 +1,19 @@
+//! Regenerates Figure 12: the headline normalized max-QPS comparison of
+//! Planaria / PREMA / VELTAIR-AS / -AC / -FULL.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 12", |ctx| {
+        let fig = veltair_core::experiments::fig12::run(ctx);
+        let light = ["efficientnet_b0", "mobilenet_v2", "tiny_yolo_v2"];
+        let medium = ["resnet50", "googlenet"];
+        let heavy = ["ssd_resnet34", "bert_large"];
+        println!(
+            "FULL improvement vs Planaria: light {:+.0}%, medium {:+.0}%, heavy {:+.0}%, mix {:+.0}%",
+            fig.mean_improvement("Veltair-FULL", &light) * 100.0,
+            fig.mean_improvement("Veltair-FULL", &medium) * 100.0,
+            fig.mean_improvement("Veltair-FULL", &heavy) * 100.0,
+            fig.mean_improvement("Veltair-FULL", &["Mix"]) * 100.0,
+        );
+        fig
+    });
+}

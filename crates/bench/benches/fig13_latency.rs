@@ -1,0 +1,7 @@
+//! Regenerates Figure 13: latency at max QPS vs isolated execution.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 13", |ctx| {
+        veltair_core::experiments::fig13::run(ctx, None)
+    });
+}

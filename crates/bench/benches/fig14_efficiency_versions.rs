@@ -1,0 +1,6 @@
+//! Regenerates Figure 14: CPU-efficiency gaps, version-budget sweep, and
+//! the version-count distribution.
+
+fn main() {
+    veltair_bench::run_experiment("Figure 14", veltair_core::experiments::fig14::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: the multi-tenant serving design space.
+
+fn main() {
+    println!("{}", veltair_core::experiments::tables::table1());
+}

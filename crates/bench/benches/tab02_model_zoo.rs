@@ -1,0 +1,8 @@
+//! Regenerates Table 2: the evaluated models with compiled statistics.
+
+fn main() {
+    veltair_bench::run_experiment("Table 2", |ctx| {
+        let rows = veltair_core::experiments::tables::table2(ctx);
+        veltair_core::experiments::tables::format_table2(&rows)
+    });
+}

@@ -1,0 +1,275 @@
+//! Algorithm 1: single-pass static multi-version selection.
+//!
+//! Given the auto-scheduler's sample population for one layer:
+//!
+//! 1. drop candidates whose solo performance cannot meet the layer's QoS
+//!    share (the minimal-FLOPS filter of Alg. 1 line 5, Fig. 9c);
+//! 2. extract the *dominant implementations*: the Pareto frontier in the
+//!    (parallelism, locality) plane (Alg. 1 line 6, Fig. 9d);
+//! 3. pick `V` versions uniformly along the frontier ordered by blocking
+//!    size (Alg. 1 lines 7-10);
+//! 4. prune versions whose removal keeps the latency envelope across
+//!    interference levels within the tolerance (the "within 90 % of the
+//!    full five versions" storage optimization of §4.1).
+
+use veltair_sim::{execute, Interference, MachineConfig};
+
+use crate::compiled::CompiledVersion;
+use crate::options::{interference_bins, CompilerOptions};
+use crate::search::Sample;
+
+/// Extracts the dominant implementations: samples not dominated in the
+/// maximize-(parallelism, locality) sense. These form the Pareto frontier
+/// of the tradeoff space (red markers of Fig. 9d).
+#[must_use]
+pub fn extract_dominant(samples: &[Sample]) -> Vec<Sample> {
+    let mut frontier: Vec<Sample> = Vec::new();
+    for s in samples {
+        let dominated = samples.iter().any(|o| {
+            (o.parallelism >= s.parallelism && o.locality_bytes > s.locality_bytes)
+                || (o.parallelism > s.parallelism && o.locality_bytes >= s.locality_bytes)
+        });
+        if !dominated {
+            frontier.push(s.clone());
+        }
+    }
+    // Order by blocking size, most local first (v0 = low-interference
+    // version), dropping metric duplicates.
+    frontier.sort_by(|a, b| {
+        b.locality_bytes
+            .total_cmp(&a.locality_bytes)
+            .then(b.parallelism.total_cmp(&a.parallelism))
+    });
+    frontier.dedup_by(|a, b| {
+        a.locality_bytes == b.locality_bytes && a.parallelism == b.parallelism
+    });
+    frontier
+}
+
+/// Runs the full Algorithm 1 selection for one layer, returning 1..=V
+/// compiled versions ordered from most-local (best in isolation) to
+/// most-parallel (best under heavy interference).
+///
+/// `qos_share_s` is the layer's slice of the model's QoS budget. If no
+/// sample meets it, the fastest sample is retained (the layer is flagged
+/// QoS-infeasible by the caller).
+#[must_use]
+pub fn select_versions(
+    samples: &[Sample],
+    qos_share_s: f64,
+    machine: &MachineConfig,
+    opts: &CompilerOptions,
+) -> Vec<CompiledVersion> {
+    assert!(!samples.is_empty(), "cannot select versions from an empty population");
+
+    // Step 2: QoS-share filter.
+    let mut qualified: Vec<Sample> =
+        samples.iter().filter(|s| s.solo_latency_s <= qos_share_s).cloned().collect();
+    if qualified.is_empty() {
+        let fastest = samples
+            .iter()
+            .min_by(|a, b| a.solo_latency_s.total_cmp(&b.solo_latency_s))
+            .expect("non-empty population")
+            .clone();
+        qualified.push(fastest);
+    }
+
+    // Step 3: dominant implementations (Pareto frontier).
+    let frontier = extract_dominant(&qualified);
+
+    // Step 4: uniform pick of V versions along the frontier. The
+    // solo-fastest qualified sample (the auto-scheduler's default winner,
+    // the paper's "impl. 1") is always part of the set.
+    let solo_best = qualified
+        .iter()
+        .min_by(|a, b| a.solo_latency_s.total_cmp(&b.solo_latency_s))
+        .expect("non-empty qualified set")
+        .clone();
+    let v = opts.max_versions.min(frontier.len() + 1).max(1);
+    let mut picked: Vec<Sample> = vec![solo_best.clone()];
+    for i in 0..v.min(frontier.len()) {
+        let idx = if v == 1 { 0 } else { i * (frontier.len() - 1) / (v - 1).max(1) };
+        picked.push(frontier[idx].clone());
+    }
+    picked.sort_by(|a, b| {
+        b.locality_bytes.total_cmp(&a.locality_bytes).then(b.parallelism.total_cmp(&a.parallelism))
+    });
+    picked.dedup_by(|a, b| a.schedule == b.schedule);
+    // Respect the budget: drop the non-solo-best pick whose locality is
+    // closest to the solo-best's (the most redundant neighbour).
+    while picked.len() > opts.max_versions {
+        let (drop_idx, _) = picked
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.schedule != solo_best.schedule)
+            .map(|(i, s)| (i, (s.locality_bytes - solo_best.locality_bytes).abs()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("more picks than budget implies a non-best pick");
+        picked.remove(drop_idx);
+    }
+
+    // Step 5: prune versions whose absence keeps the envelope within
+    // tolerance across interference levels.
+    let pruned = prune_redundant(picked, machine, opts);
+
+    pruned.into_iter().map(CompiledVersion::from_sample).collect()
+}
+
+/// Latency of one sample at the reference core count under a given level.
+fn latency_at(s: &Sample, level: f64, machine: &MachineConfig, opts: &CompilerOptions) -> f64 {
+    execute(&s.profile, opts.reference_cores, Interference::level(level), machine).latency_s
+}
+
+/// Greedily removes versions while the remaining min-latency envelope stays
+/// within `opts.prune_tolerance` of the full set at every interference bin.
+fn prune_redundant(
+    mut picked: Vec<Sample>,
+    machine: &MachineConfig,
+    opts: &CompilerOptions,
+) -> Vec<Sample> {
+    let bins = interference_bins();
+    let lat = |set: &[Sample], level: f64| -> f64 {
+        set.iter()
+            .map(|s| latency_at(s, level, machine, opts))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let full_envelope: Vec<f64> = bins.iter().map(|&b| lat(&picked, b)).collect();
+
+    loop {
+        if picked.len() <= 1 {
+            break;
+        }
+        // Find the removable version with the smallest worst-case impact.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..picked.len() {
+            let mut rest = picked.clone();
+            rest.remove(i);
+            let worst = bins
+                .iter()
+                .enumerate()
+                .map(|(bi, &b)| lat(&rest, b) / full_envelope[bi])
+                .fold(0.0, f64::max);
+            if best.is_none_or(|(_, w)| worst < w) {
+                best = Some((i, worst));
+            }
+        }
+        match best {
+            Some((i, worst)) if worst <= opts.prune_tolerance => {
+                picked.remove(i);
+            }
+            _ => break,
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::search;
+    use veltair_tensor::{FeatureMap, FusedUnit, GemmView, Layer};
+
+    fn population() -> (Vec<Sample>, MachineConfig, CompilerOptions) {
+        let l = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+        let g = GemmView::of(&l).unwrap();
+        let u = FusedUnit::solo(l);
+        let machine = MachineConfig::threadripper_3990x();
+        let opts = CompilerOptions::fast();
+        let samples = search(&u, &g, &machine, &opts, 42);
+        (samples, machine, opts)
+    }
+
+    #[test]
+    fn frontier_has_no_dominated_point() {
+        let (samples, ..) = population();
+        let frontier = extract_dominant(&samples);
+        assert!(!frontier.is_empty());
+        for f in &frontier {
+            let dominated = samples.iter().any(|o| {
+                (o.parallelism >= f.parallelism && o.locality_bytes > f.locality_bytes)
+                    || (o.parallelism > f.parallelism && o.locality_bytes >= f.locality_bytes)
+            });
+            assert!(!dominated);
+        }
+    }
+
+    #[test]
+    fn every_excluded_sample_is_dominated() {
+        let (samples, ..) = population();
+        let frontier = extract_dominant(&samples);
+        for s in &samples {
+            let on_frontier = frontier
+                .iter()
+                .any(|f| f.parallelism == s.parallelism && f.locality_bytes == s.locality_bytes);
+            if !on_frontier {
+                let dominated = frontier.iter().any(|o| {
+                    (o.parallelism >= s.parallelism && o.locality_bytes > s.locality_bytes)
+                        || (o.parallelism > s.parallelism && o.locality_bytes >= s.locality_bytes)
+                });
+                assert!(dominated, "excluded sample must be dominated");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_sorted_most_local_first() {
+        let (samples, ..) = population();
+        let frontier = extract_dominant(&samples);
+        assert!(frontier.windows(2).all(|w| w[0].locality_bytes >= w[1].locality_bytes));
+        // Along a Pareto frontier, parallelism rises as locality falls.
+        assert!(frontier.windows(2).all(|w| w[0].parallelism <= w[1].parallelism));
+    }
+
+    #[test]
+    fn selection_respects_version_budget() {
+        let (samples, machine, opts) = population();
+        for v in 1..=5 {
+            let versions =
+                select_versions(&samples, 1.0, &machine, &opts.clone().with_max_versions(v));
+            assert!((1..=v).contains(&versions.len()));
+        }
+    }
+
+    #[test]
+    fn versions_span_isolation_to_contention() {
+        let (samples, machine, opts) = population();
+        let versions = select_versions(&samples, 1.0, &machine, &opts);
+        assert!(versions.len() >= 2, "this layer needs multiple versions");
+        let first = &versions[0];
+        let last = &versions[versions.len() - 1];
+        assert!(first.locality_bytes > last.locality_bytes);
+        assert!(first.parallelism < last.parallelism);
+    }
+
+    #[test]
+    fn infeasible_qos_keeps_fastest_sample() {
+        let (samples, machine, opts) = population();
+        let versions = select_versions(&samples, 1e-9, &machine, &opts);
+        assert_eq!(versions.len(), 1);
+        let fastest = samples
+            .iter()
+            .min_by(|a, b| a.solo_latency_s.total_cmp(&b.solo_latency_s))
+            .unwrap();
+        assert_eq!(versions[0].schedule, Some(fastest.schedule));
+    }
+
+    #[test]
+    fn pruning_preserves_envelope_within_tolerance() {
+        let (samples, machine, opts) = population();
+        let loose = CompilerOptions { prune_tolerance: 1.10, ..opts.clone() };
+        let versions = select_versions(&samples, 1.0, &machine, &loose);
+        // Rebuild the unpruned pick and compare envelopes.
+        let unpruned = CompilerOptions { prune_tolerance: 1.0, ..opts };
+        let full = select_versions(&samples, 1.0, &machine, &unpruned);
+        for &b in &interference_bins() {
+            let env = |set: &[CompiledVersion]| {
+                set.iter()
+                    .map(|v| {
+                        execute(&v.profile, 16, Interference::level(b), &machine).latency_s
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            };
+            assert!(env(&versions) <= env(&full) * 1.101);
+        }
+    }
+}

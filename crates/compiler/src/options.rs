@@ -1,0 +1,129 @@
+//! Compiler configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of discretized interference levels used for version pruning and
+/// the runtime's version/core-requirement lookup tables (0.0, 0.1, ... 1.0).
+pub const NUM_INTERFERENCE_BINS: usize = 11;
+
+/// Fraction of a QoS budget that core-requirement planning targets. All
+/// policies plan to finish inside 90 % of the deadline, leaving the
+/// remaining 10 % to absorb Poisson arrival jitter and monitoring lag —
+/// the slack any production serving system burns into its SLO. Planning
+/// to the exact deadline would make every granularity miss QoS on the
+/// first queued microsecond.
+pub const QOS_PLAN_MARGIN: f64 = 0.9;
+
+/// The discretized interference levels.
+#[must_use]
+pub fn interference_bins() -> [f64; NUM_INTERFERENCE_BINS] {
+    let mut bins = [0.0; NUM_INTERFERENCE_BINS];
+    for (i, b) in bins.iter_mut().enumerate() {
+        *b = i as f64 / (NUM_INTERFERENCE_BINS - 1) as f64;
+    }
+    bins
+}
+
+/// Options controlling the auto-scheduler and the multi-version selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompilerOptions {
+    /// Auto-scheduler trials per layer (the paper uses 1024 Ansor
+    /// iterations).
+    pub search_iterations: usize,
+    /// Maximum retained code versions per layer (`V`, paper uses 5).
+    pub max_versions: usize,
+    /// Versions are pruned while the remaining latency envelope stays
+    /// within this factor of the full set (paper: within 10 %, i.e. 1.10).
+    pub prune_tolerance: f64,
+    /// Core count at which candidates are measured during search.
+    pub reference_cores: u32,
+    /// RNG seed for the schedule sampler.
+    pub seed: u64,
+}
+
+impl CompilerOptions {
+    /// Paper-fidelity search effort (1024 trials per layer).
+    #[must_use]
+    pub fn thorough() -> Self {
+        Self {
+            search_iterations: 1024,
+            max_versions: 5,
+            prune_tolerance: 1.10,
+            reference_cores: 16,
+            seed: 0x7E17_A1B2,
+        }
+    }
+
+    /// Reduced effort for tests and quick experiments; the schedule space
+    /// sampler still covers the full tile ladder so the Pareto frontier is
+    /// representative.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self { search_iterations: 192, ..Self::thorough() }
+    }
+
+    /// Restricts the compiler to a single (solo-optimal) version, which is
+    /// exactly the static-compilation baseline (Planaria / PREMA rows of
+    /// Table 1).
+    #[must_use]
+    pub fn single_version() -> Self {
+        Self { max_versions: 1, ..Self::thorough() }
+    }
+
+    /// Same options with a different version budget (Fig. 14b sweep).
+    #[must_use]
+    pub fn with_max_versions(mut self, v: usize) -> Self {
+        assert!(v >= 1, "at least one version is required");
+        self.max_versions = v;
+        self
+    }
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        Self::thorough()
+    }
+}
+
+/// Maps a scalar interference level to the nearest bin index.
+#[must_use]
+pub fn bin_for_level(level: f64) -> usize {
+    let l = level.clamp(0.0, 1.0);
+    (l * (NUM_INTERFERENCE_BINS - 1) as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_span_unit_interval() {
+        let b = interference_bins();
+        assert_eq!(b[0], 0.0);
+        assert_eq!(b[NUM_INTERFERENCE_BINS - 1], 1.0);
+        assert!(b.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn bin_lookup_rounds_to_nearest() {
+        assert_eq!(bin_for_level(0.0), 0);
+        assert_eq!(bin_for_level(0.04), 0);
+        assert_eq!(bin_for_level(0.06), 1);
+        assert_eq!(bin_for_level(1.0), NUM_INTERFERENCE_BINS - 1);
+        assert_eq!(bin_for_level(2.5), NUM_INTERFERENCE_BINS - 1);
+        assert_eq!(bin_for_level(-1.0), 0);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        assert!(CompilerOptions::thorough().search_iterations >= 1024);
+        assert_eq!(CompilerOptions::single_version().max_versions, 1);
+        assert_eq!(CompilerOptions::fast().max_versions, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one version")]
+    fn zero_versions_panics() {
+        let _ = CompilerOptions::fast().with_max_versions(0);
+    }
+}

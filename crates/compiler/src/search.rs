@@ -1,0 +1,226 @@
+//! The Ansor-style auto-scheduler: schedule-space sampling plus
+//! evolutionary refinement, "measured" on the analytic machine model.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use veltair_sim::{execute, Interference, KernelProfile, MachineConfig};
+use veltair_tensor::{FusedUnit, GemmView};
+
+use crate::lower::lower_gemm;
+use crate::options::CompilerOptions;
+use crate::schedule::{tile_ladder, Schedule};
+
+/// One evaluated point of the schedule space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Its lowered execution profile.
+    pub profile: KernelProfile,
+    /// The paper's parallelism metric (chunks x unroll).
+    pub parallelism: f64,
+    /// The paper's locality metric (blocking size in bytes).
+    pub locality_bytes: f64,
+    /// Measured solo latency at the search's reference core count.
+    pub solo_latency_s: f64,
+}
+
+/// Unroll factors explored by the sampler.
+const UNROLLS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Samples the schedule space of one GEMM-family unit and returns every
+/// distinct evaluated implementation (the paper records "as many samples as
+/// possible" rather than only the best one — Algorithm 1, step 1).
+///
+/// The search runs half its budget as uniform random sampling and half as
+/// evolutionary mutation of the current best schedules, mirroring Ansor's
+/// sketch-then-evolve structure. If the whole space is smaller than the
+/// budget it is enumerated exhaustively.
+#[must_use]
+pub fn search(
+    unit: &FusedUnit,
+    g: &GemmView,
+    machine: &MachineConfig,
+    opts: &CompilerOptions,
+    seed: u64,
+) -> Vec<Sample> {
+    let lm = tile_ladder(g.m);
+    let ln = tile_ladder(g.n);
+    let lk = tile_ladder(g.k);
+    let mut rng = StdRng::seed_from_u64(seed ^ opts.seed);
+
+    let space = lm.len() * ln.len() * lk.len() * UNROLLS.len();
+    let mut seen: HashSet<Schedule> = HashSet::new();
+    let mut samples: Vec<Sample> = Vec::new();
+
+    let evaluate = |s: Schedule, seen: &mut HashSet<Schedule>, out: &mut Vec<Sample>| {
+        if !seen.insert(s) {
+            return;
+        }
+        let profile = lower_gemm(unit, g, &s);
+        let exec = execute(&profile, opts.reference_cores, Interference::NONE, machine);
+        out.push(Sample {
+            schedule: s,
+            parallelism: s.parallelism(g),
+            locality_bytes: s.locality_bytes(g),
+            solo_latency_s: exec.latency_s + machine.dispatch_overhead_s,
+            profile,
+        });
+    };
+
+    if space <= opts.search_iterations {
+        // Exhaustive enumeration.
+        for &tm in &lm {
+            for &tn in &ln {
+                for &tk in &lk {
+                    for &u in &UNROLLS {
+                        evaluate(Schedule::new(g, tm, tn, tk, u), &mut seen, &mut samples);
+                    }
+                }
+            }
+        }
+        return samples;
+    }
+
+    // Phase 1: uniform random sampling.
+    let random_budget = opts.search_iterations / 2;
+    while samples.len() < random_budget {
+        let s = Schedule::new(
+            g,
+            *lm.choose(&mut rng).expect("ladder never empty"),
+            *ln.choose(&mut rng).expect("ladder never empty"),
+            *lk.choose(&mut rng).expect("ladder never empty"),
+            UNROLLS[rng.gen_range(0..UNROLLS.len())],
+        );
+        evaluate(s, &mut seen, &mut samples);
+    }
+
+    // Phase 2: evolutionary mutation of the current elite.
+    while samples.len() < opts.search_iterations {
+        samples.sort_by(|a, b| a.solo_latency_s.total_cmp(&b.solo_latency_s));
+        let elite = samples.len().min(16);
+        let parent = samples[rng.gen_range(0..elite)].schedule;
+        let s = mutate(parent, g, &lm, &ln, &lk, &mut rng);
+        let before = samples.len();
+        evaluate(s, &mut seen, &mut samples);
+        if samples.len() == before {
+            // Duplicate; take a random step instead to keep making progress.
+            let s = Schedule::new(
+                g,
+                *lm.choose(&mut rng).expect("ladder never empty"),
+                *ln.choose(&mut rng).expect("ladder never empty"),
+                *lk.choose(&mut rng).expect("ladder never empty"),
+                UNROLLS[rng.gen_range(0..UNROLLS.len())],
+            );
+            evaluate(s, &mut seen, &mut samples);
+            if samples.len() == before && seen.len() >= space {
+                break;
+            }
+        }
+    }
+    samples
+}
+
+/// Moves one schedule parameter a step along its ladder.
+fn mutate(
+    parent: Schedule,
+    g: &GemmView,
+    lm: &[usize],
+    ln: &[usize],
+    lk: &[usize],
+    rng: &mut StdRng,
+) -> Schedule {
+    let step = |ladder: &[usize], cur: usize, rng: &mut StdRng| -> usize {
+        let idx = ladder.iter().position(|&t| t >= cur).unwrap_or(0);
+        let next = if rng.gen_bool(0.5) { idx.saturating_sub(1) } else { (idx + 1).min(ladder.len() - 1) };
+        ladder[next]
+    };
+    match rng.gen_range(0..4) {
+        0 => Schedule::new(g, step(lm, parent.tm, rng), parent.tn, parent.tk, parent.unroll),
+        1 => Schedule::new(g, parent.tm, step(ln, parent.tn, rng), parent.tk, parent.unroll),
+        2 => Schedule::new(g, parent.tm, parent.tn, step(lk, parent.tk, rng), parent.unroll),
+        _ => {
+            let u = UNROLLS[rng.gen_range(0..UNROLLS.len())];
+            Schedule::new(g, parent.tm, parent.tn, parent.tk, u)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veltair_tensor::{FeatureMap, Layer};
+
+    fn unit() -> (FusedUnit, GemmView) {
+        let l = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+        let g = GemmView::of(&l).unwrap();
+        (FusedUnit::solo(l), g)
+    }
+
+    #[test]
+    fn search_returns_distinct_valid_samples() {
+        let (u, g) = unit();
+        let machine = MachineConfig::threadripper_3990x();
+        let samples = search(&u, &g, &machine, &CompilerOptions::fast(), 1);
+        assert!(samples.len() >= 64, "got only {} samples", samples.len());
+        let mut seen = HashSet::new();
+        for s in &samples {
+            assert!(seen.insert(s.schedule), "duplicate schedule {}", s.schedule);
+            assert!(s.profile.validate().is_ok());
+            assert!(s.solo_latency_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let (u, g) = unit();
+        let machine = MachineConfig::threadripper_3990x();
+        let a = search(&u, &g, &machine, &CompilerOptions::fast(), 7);
+        let b = search(&u, &g, &machine, &CompilerOptions::fast(), 7);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.schedule == y.schedule));
+    }
+
+    #[test]
+    fn small_spaces_are_enumerated() {
+        // A depthwise conv has a tiny GEMM view -> exhaustive enumeration.
+        let l = Layer::dwconv2d("dw", FeatureMap::nchw(1, 32, 14, 14), (3, 3), (1, 1), (1, 1));
+        let g = GemmView::of(&l).unwrap();
+        let u = FusedUnit::solo(l);
+        let machine = MachineConfig::threadripper_3990x();
+        let samples = search(&u, &g, &machine, &CompilerOptions::fast(), 3);
+        let lm = tile_ladder(g.m).len();
+        let ln = tile_ladder(g.n).len();
+        let lk = tile_ladder(g.k).len();
+        // Clamping can alias ladder points; we only require full coverage.
+        assert!(samples.len() <= lm * ln * lk * UNROLLS.len());
+        assert!(samples.len() > lm.max(lk));
+    }
+
+    #[test]
+    fn evolution_finds_a_good_schedule() {
+        let (u, g) = unit();
+        let machine = MachineConfig::threadripper_3990x();
+        let samples = search(&u, &g, &machine, &CompilerOptions::fast(), 11);
+        let best = samples.iter().map(|s| s.solo_latency_s).fold(f64::INFINITY, f64::min);
+        // Roofline bound at the reference 16 cores and peak efficiency 0.95.
+        let bound = g.flops() / (16.0 * machine.peak_flops_per_core() * 0.95);
+        assert!(best < 3.0 * bound, "best {best} vs bound {bound}");
+    }
+
+    #[test]
+    fn samples_span_the_tradeoff_space() {
+        let (u, g) = unit();
+        let machine = MachineConfig::threadripper_3990x();
+        let samples = search(&u, &g, &machine, &CompilerOptions::fast(), 5);
+        let min_loc = samples.iter().map(|s| s.locality_bytes).fold(f64::INFINITY, f64::min);
+        let max_loc = samples.iter().map(|s| s.locality_bytes).fold(0.0, f64::max);
+        assert!(max_loc > 16.0 * min_loc, "locality range too narrow");
+        let min_par = samples.iter().map(|s| s.parallelism).fold(f64::INFINITY, f64::min);
+        let max_par = samples.iter().map(|s| s.parallelism).fold(0.0, f64::max);
+        assert!(max_par > 16.0 * min_par, "parallelism range too narrow");
+    }
+}

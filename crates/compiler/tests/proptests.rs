@@ -1,0 +1,101 @@
+//! Property-based invariants of the schedule space and Algorithm 1.
+
+use proptest::prelude::*;
+use veltair_compiler::{
+    select_versions, tile_ladder, CompilerOptions, Sample, Schedule,
+};
+use veltair_sim::MachineConfig;
+use veltair_tensor::{FeatureMap, FusedUnit, GemmView, Layer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tile_ladder_is_sorted_and_complete(extent in 1usize..100_000) {
+        let ladder = tile_ladder(extent);
+        prop_assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(*ladder.first().unwrap(), 1);
+        prop_assert_eq!(*ladder.last().unwrap(), extent);
+        // All interior entries are powers of two.
+        for &t in &ladder[..ladder.len() - 1] {
+            prop_assert!(t.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn schedules_clamp_and_count_chunks(
+        cin in 1usize..512,
+        cout in 1usize..512,
+        hw in 7usize..56,
+        tm in 1usize..10_000,
+        tn in 1usize..10_000,
+        tk in 1usize..10_000,
+    ) {
+        let conv = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, cin, hw, hw),
+            cout,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+        );
+        let g = GemmView::of(&conv).unwrap();
+        let s = Schedule::new(&g, tm, tn, tk, 8);
+        prop_assert!(s.tm <= g.m && s.tn <= g.n && s.tk <= g.k);
+        let chunks = s.parallel_chunks(&g) as usize;
+        prop_assert!(chunks >= 1);
+        prop_assert!(chunks <= g.m * g.n);
+        let eff = s.compute_efficiency(&g);
+        prop_assert!((0.02..=0.95).contains(&eff));
+        prop_assert!(s.locality_bytes(&g) > 0.0);
+    }
+}
+
+/// Algorithm 1 respects the version budget and keeps latency-sound picks
+/// regardless of the QoS share.
+#[test]
+fn selection_budget_holds_for_any_share() {
+    let machine = MachineConfig::threadripper_3990x();
+    let conv = Layer::conv2d("c", FeatureMap::nchw(1, 128, 14, 14), 128, (3, 3), (1, 1), (1, 1));
+    let g = GemmView::of(&conv).unwrap();
+    let unit = FusedUnit::solo(conv);
+    let opts = CompilerOptions::fast();
+    let samples = veltair_compiler::search(&unit, &g, &machine, &opts, 7);
+
+    for share in [1e-9, 1e-5, 1e-4, 1e-3, 1.0, f64::INFINITY] {
+        for v in 1..=5usize {
+            let o = opts.clone().with_max_versions(v);
+            let versions = select_versions(&samples, share, &machine, &o);
+            assert!((1..=v).contains(&versions.len()), "share {share} budget {v}");
+            // Ordered most-local first.
+            for w in versions.windows(2) {
+                assert!(w[0].locality_bytes >= w[1].locality_bytes);
+            }
+        }
+    }
+}
+
+/// The fastest qualified sample is never dropped by the frontier+pick
+/// pipeline's envelope at level zero by more than the prune tolerance.
+#[test]
+fn envelope_at_zero_stays_near_best_sample() {
+    use veltair_sim::{execute, Interference};
+    let machine = MachineConfig::threadripper_3990x();
+    let conv = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+    let g = GemmView::of(&conv).unwrap();
+    let unit = FusedUnit::solo(conv);
+    let opts = CompilerOptions::fast();
+    let samples: Vec<Sample> = veltair_compiler::search(&unit, &g, &machine, &opts, 3);
+    let versions = select_versions(&samples, f64::INFINITY, &machine, &opts);
+    let best = samples.iter().map(|s| s.solo_latency_s).fold(f64::INFINITY, f64::min);
+    let env = versions
+        .iter()
+        .map(|v| {
+            execute(&v.profile, opts.reference_cores, Interference::NONE, &machine).latency_s
+                + machine.dispatch_overhead_s
+        })
+        .fold(f64::INFINITY, f64::min);
+    // The solo-best sample is always retained, so the envelope matches it
+    // up to pruning tolerance.
+    assert!(env <= best * 1.101, "envelope {env} vs best sample {best}");
+}

@@ -1,0 +1,108 @@
+//! The serving engine facade.
+
+use veltair_compiler::CompiledModel;
+use veltair_proxy::InterferenceProxy;
+use veltair_sched::{simulate, Policy, ServingReport, SimConfig, WorkloadSpec};
+use veltair_sim::MachineConfig;
+
+/// Compile-once, serve-many facade: holds the machine, the policy, the
+/// compiled model registry, and (optionally) a trained interference proxy.
+#[derive(Debug, Clone)]
+pub struct ServingEngine {
+    machine: MachineConfig,
+    policy: Policy,
+    models: Vec<CompiledModel>,
+    proxy: Option<InterferenceProxy>,
+}
+
+impl ServingEngine {
+    /// Creates an engine for a machine and scheduling policy.
+    #[must_use]
+    pub fn new(machine: MachineConfig, policy: Policy) -> Self {
+        Self { machine, policy, models: Vec::new(), proxy: None }
+    }
+
+    /// Registers a compiled model, replacing any previous model of the
+    /// same name.
+    pub fn register(&mut self, model: CompiledModel) {
+        self.models.retain(|m| m.name != model.name);
+        self.models.push(model);
+    }
+
+    /// Installs a trained interference proxy (otherwise the engine
+    /// monitors with the oracle pressure).
+    pub fn set_proxy(&mut self, proxy: InterferenceProxy) {
+        self.proxy = Some(proxy);
+    }
+
+    /// Changes the serving policy (models stay registered).
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.policy = policy;
+    }
+
+    /// The registered models.
+    #[must_use]
+    pub fn models(&self) -> &[CompiledModel] {
+        &self.models
+    }
+
+    /// The machine this engine serves on.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Serves a workload's query stream and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload references unregistered models.
+    #[must_use]
+    pub fn run(&self, workload: &WorkloadSpec, seed: u64) -> ServingReport {
+        let queries = workload.generate(seed);
+        let mut cfg = SimConfig::new(self.machine.clone(), self.policy);
+        if let Some(p) = &self.proxy {
+            cfg = cfg.with_proxy(p.clone());
+        }
+        simulate(&self.models, &queries, &cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veltair_compiler::{compile_model, CompilerOptions};
+
+    fn engine() -> ServingEngine {
+        let machine = MachineConfig::threadripper_3990x();
+        let mut e = ServingEngine::new(machine.clone(), Policy::VeltairFull);
+        e.register(compile_model(&veltair_models::tiny_yolo_v2(), &machine, &CompilerOptions::fast()));
+        e
+    }
+
+    #[test]
+    fn engine_round_trip() {
+        let e = engine();
+        let r = e.run(&WorkloadSpec::single("tiny_yolo_v2", 30.0, 40), 1);
+        assert_eq!(r.total_queries(), 40);
+        assert!(r.qos_satisfaction("tiny_yolo_v2") > 0.8);
+    }
+
+    #[test]
+    fn register_replaces_same_name() {
+        let mut e = engine();
+        let n = e.models().len();
+        let machine = e.machine().clone();
+        e.register(compile_model(&veltair_models::tiny_yolo_v2(), &machine, &CompilerOptions::fast()));
+        assert_eq!(e.models().len(), n);
+    }
+
+    #[test]
+    fn policy_swap_changes_behaviour() {
+        let mut e = engine();
+        let full = e.run(&WorkloadSpec::single("tiny_yolo_v2", 400.0, 60), 2);
+        e.set_policy(Policy::Prema);
+        let prema = e.run(&WorkloadSpec::single("tiny_yolo_v2", 400.0, 60), 2);
+        assert_ne!(full, prema);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 2: auto-scheduled (TVM-class) code vs the vendor library
+//! (MKL-DNN-class) on the four vision models.
+
+use veltair_compiler::vendor_profile;
+use veltair_sim::{execute, Interference};
+
+use super::ExpContext;
+
+/// Cores used for the single-model comparison.
+const CORES: u32 = 16;
+
+/// Figure 2 data: per model, end-to-end solo latency (ms) under both
+/// compilation paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig02 {
+    /// (model, tvm ms, vendor ms).
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Runs the Figure 2 comparison.
+#[must_use]
+pub fn run(ctx: &ExpContext) -> Fig02 {
+    let models = ["resnet50", "googlenet", "mobilenet_v2", "efficientnet_b0"];
+    let mut rows = Vec::new();
+    for name in models {
+        let compiled = ctx.model(name);
+        let tvm_ms = compiled.flat_latency_s(CORES, 0.0, &ctx.machine) * 1e3;
+
+        let spec = veltair_models::by_name(name).expect("zoo model");
+        let vendor_ms: f64 = spec
+            .graph
+            .fused_units()
+            .iter()
+            .map(|u| {
+                execute(&vendor_profile(u), CORES, Interference::NONE, &ctx.machine).latency_s
+                    + ctx.machine.dispatch_overhead_s
+            })
+            .sum::<f64>()
+            * 1e3;
+        rows.push((name.to_string(), tvm_ms, vendor_ms));
+    }
+    Fig02 { rows }
+}
+
+impl std::fmt::Display for Fig02 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 2: TVM-class auto-scheduling vs vendor library (ms, {CORES} cores)")?;
+        for (m, tvm, vendor) in &self.rows {
+            writeln!(f, "  {m:<16} tvm {tvm:>7.2}  vendor {vendor:>7.2}  speedup {:.2}x", vendor / tvm)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tvm_generally_outperforms_vendor() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx);
+        assert_eq!(fig.rows.len(), 4);
+        let wins = fig.rows.iter().filter(|(_, tvm, vendor)| tvm < vendor).count();
+        assert!(wins >= 3, "tvm won only {wins}/4 models");
+        // And never catastrophically loses.
+        for (m, tvm, vendor) in &fig.rows {
+            assert!(tvm < &(1.2 * vendor), "{m}: tvm {tvm} vendor {vendor}");
+        }
+    }
+}

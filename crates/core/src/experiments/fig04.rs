@@ -1,0 +1,161 @@
+//! Figure 4: (a) speedup of representative ResNet-50 conv layers with
+//! growing core counts; (b) the core-allocation-over-time profile of one
+//! ResNet-50 inference under each scheduling granularity.
+
+use veltair_sched::layer_block::{form_blocks, versions_at_level};
+use veltair_sim::{execute, Interference};
+
+use super::ExpContext;
+
+/// Figure 4 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig04 {
+    /// (layer label, [(cores, speedup vs 8 cores)]) — panel (a).
+    pub speedup: Vec<(String, Vec<(u32, f64)>)>,
+    /// (granularity label, [(time ms, allocated cores)]) — panel (b) step
+    /// series over one inference.
+    pub allocation: Vec<(String, Vec<(f64, u32)>)>,
+}
+
+/// Runs the Figure 4 experiments.
+#[must_use]
+pub fn run(ctx: &ExpContext) -> Fig04 {
+    let model = ctx.model("resnet50");
+    let machine = &ctx.machine;
+
+    // (a) The paper's four exemplar layers: 56^2 1x1, the 224^2 7x7 stem,
+    // a 7^2 1x1, and a 56^2 3x3.
+    let picks = [
+        ("conv1", "224x224 C(3,64) K7"),
+        ("res2a_2a", "56x56 C(64,64) K1"),
+        ("res2a_2b", "56x56 C(64,64) K3"),
+        ("res5a_2c", "7x7 C(512,2048) K1"),
+    ];
+    let mut speedup = Vec::new();
+    for (name, label) in picks {
+        let layer = model
+            .layers
+            .iter()
+            .find(|l| l.name.starts_with(name))
+            .unwrap_or_else(|| panic!("layer {name} missing"));
+        let v = layer.version_for_level(0.0);
+        let profile = layer.versions[v].profile;
+        let base = execute(&profile, 8, Interference::NONE, machine).latency_s;
+        let series: Vec<(u32, f64)> = (1..=7)
+            .map(|i| {
+                let p = 8 * i;
+                let l = execute(&profile, p, Interference::NONE, machine).latency_s;
+                (p, base / l)
+            })
+            .collect();
+        speedup.push((label.to_string(), series));
+    }
+
+    // (b) Allocation-over-time profiles for one query.
+    let mut allocation = Vec::new();
+    // Model-wise: a flat allocation for the whole inference.
+    let flat = model.model_core_requirement(0.0);
+    let total_ms = model.flat_latency_s(flat, 0.0, machine) * 1e3;
+    allocation.push(("Model".to_string(), vec![(0.0, flat), (total_ms, flat)]));
+    // Layer-wise: each unit at its own minimum.
+    let versions = versions_at_level(&model, 0.0, false);
+    let mut t = 0.0;
+    let mut layer_series = Vec::new();
+    for (i, layer) in model.layers.iter().enumerate() {
+        let req = layer.core_requirement(versions[i], 0.0);
+        layer_series.push((t, req));
+        t += layer.latency_s(versions[i], req, Interference::NONE, machine) * 1e3;
+    }
+    layer_series.push((t, 0));
+    allocation.push(("Layer".to_string(), layer_series));
+    // Fixed blocks of 6 and 11: emulate with the block planner by slicing.
+    for k in [6usize, 11] {
+        let mut series = Vec::new();
+        let mut t = 0.0;
+        let n = model.layers.len();
+        let mut begin = 0;
+        while begin < n {
+            let end = (begin + k).min(n);
+            let cores = veltair_sched::block_core_requirement(
+                &model, begin, end, &versions, Interference::NONE, machine,
+            );
+            series.push((t, cores));
+            for i in begin..end {
+                t += model.layers[i].latency_s(versions[i], cores, Interference::NONE, machine)
+                    * 1e3;
+            }
+            begin = end;
+        }
+        series.push((t, 0));
+        allocation.push((format!("Block({k})"), series));
+    }
+    // Dynamic blocks at a moderate threshold, for reference.
+    let blocks = form_blocks(&model, 0.0, false, 8, machine);
+    let mut series = Vec::new();
+    let mut t = 0.0;
+    for b in &blocks {
+        series.push((t, b.cores));
+        for i in b.start..b.end {
+            t += model.layers[i].latency_s(b.versions[i - b.start], b.cores, Interference::NONE, machine)
+                * 1e3;
+        }
+    }
+    series.push((t, 0));
+    allocation.push(("Block(Dyn)".to_string(), series));
+
+    Fig04 { speedup, allocation }
+}
+
+impl std::fmt::Display for Fig04 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 4a: speedup vs cores (relative to 8 cores)")?;
+        for (label, series) in &self.speedup {
+            write!(f, "  {label:<22}")?;
+            for (p, s) in series {
+                write!(f, " {p:>2}c:{s:>5.2}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "Figure 4b: core allocation over one ResNet-50 inference")?;
+        for (label, series) in &self.allocation {
+            let peak = series.iter().map(|&(_, c)| c).max().unwrap_or(0);
+            let end = series.last().map_or(0.0, |&(t, _)| t);
+            writeln!(f, "  {label:<12} steps {:>3}  peak {peak:>2} cores  span {end:>7.2} ms", series.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig04_shapes_match_paper() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx);
+        // (a) Every layer speeds up monotonically but they saturate at
+        // different points: the small 7x7 layer scales worst.
+        for (label, series) in &fig.speedup {
+            assert!(
+                series.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9),
+                "{label} speedup not monotone"
+            );
+        }
+        let last = |label: &str| {
+            fig.speedup
+                .iter()
+                .find(|(l, _)| l.contains(label))
+                .map(|(_, s)| s.last().unwrap().1)
+                .unwrap()
+        };
+        assert!(last("7x7") < last("56x56 C(64,64) K3"), "small layer should scale worst");
+        // (b) Layer-wise has more allocation steps than blocks, which have
+        // more than model-wise; model-wise holds the peak flat.
+        let steps = |label: &str| {
+            fig.allocation.iter().find(|(l, _)| l == label).map(|(_, s)| s.len()).unwrap()
+        };
+        assert!(steps("Layer") > steps("Block(6)"));
+        assert!(steps("Block(6)") > steps("Model"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 5: (a) scheduling conflict rate per granularity and arrival
+//! rate; (b) the per-layer conflict (thread-team expansion) overhead.
+
+use veltair_sched::layer_block::versions_at_level;
+use veltair_sim::{execute, Interference};
+
+use super::fig03::{self, Fig03};
+use super::ExpContext;
+
+/// Figure 5 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig05 {
+    /// (policy, [(qps, conflict rate)]) — panel (a).
+    pub conflict_rates: Vec<(String, Vec<(f64, f64)>)>,
+    /// (policy, [(qps, conflicts per query)]) — panel (a)'s robust
+    /// companion metric (comparable across dispatch granularities).
+    pub conflicts_per_query: Vec<(String, Vec<(f64, f64)>)>,
+    /// Per-layer conflict overhead in microseconds — panel (b).
+    pub overhead_us: Vec<(String, f64)>,
+    /// Mean of panel (b).
+    pub mean_us: f64,
+    /// Median of panel (b).
+    pub median_us: f64,
+}
+
+/// Work fraction executed before the expansion arrives in the conflict
+/// replay (a conflicted layer starts short and grows mid-flight).
+const PRE_EXPANSION_FRAC: f64 = 0.3;
+
+/// Runs the Figure 5 experiments. Reuses the Figure 3 sweep when given.
+#[must_use]
+pub fn run(ctx: &ExpContext, fig03: Option<&Fig03>) -> Fig05 {
+    let owned;
+    let sweep = match fig03 {
+        Some(f) => f,
+        None => {
+            owned = fig03::run(ctx);
+            &owned
+        }
+    };
+    let conflict_rates = sweep
+        .series
+        .iter()
+        .map(|(name, pts)| {
+            (name.clone(), pts.iter().map(|p| (p.qps, p.conflict_rate)).collect())
+        })
+        .collect();
+    let conflicts_per_query = sweep
+        .series
+        .iter()
+        .map(|(name, pts)| {
+            (name.clone(), pts.iter().map(|p| (p.qps, p.conflicts_per_query)).collect())
+        })
+        .collect();
+
+    // (b) Replay each ResNet-50 layer through a conflicted dispatch:
+    // granted half its requirement, expanded after PRE_EXPANSION_FRAC of
+    // the work, paying the team-growth overhead.
+    let model = ctx.model("resnet50");
+    let machine = &ctx.machine;
+    let versions = versions_at_level(&model, 0.0, false);
+    let mut overhead_us = Vec::new();
+    for (i, layer) in model.layers.iter().enumerate() {
+        let profile = layer.versions[versions[i]].profile;
+        let req = layer.core_requirement(versions[i], 0.0).max(2);
+        let short = (req / 2).max(1);
+        let clean = execute(&profile, req, Interference::NONE, machine).latency_s;
+        let slow = execute(&profile, short, Interference::NONE, machine).latency_s;
+        let conflicted = PRE_EXPANSION_FRAC * slow
+            + machine.expansion_overhead_s(req - short)
+            + (1.0 - PRE_EXPANSION_FRAC) * clean;
+        overhead_us.push((layer.name.clone(), (conflicted - clean) * 1e6));
+    }
+    let mut sorted: Vec<f64> = overhead_us.iter().map(|o| o.1).collect();
+    sorted.sort_by(f64::total_cmp);
+    let mean_us = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let median_us = sorted[sorted.len() / 2];
+
+    Fig05 { conflict_rates, conflicts_per_query, overhead_us, mean_us, median_us }
+}
+
+impl std::fmt::Display for Fig05 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 5a: scheduling conflict rate vs QPS")?;
+        for (name, pts) in &self.conflict_rates {
+            write!(f, "  {name:<10}")?;
+            for (q, c) in pts {
+                write!(f, " {q:>3.0}qps:{:>5.1}%", c * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "Figure 5b: per-layer conflict overhead over {} layers — mean {:.0} us, median {:.0} us",
+            self.overhead_us.len(),
+            self.mean_us,
+            self.median_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_overhead_matches_paper_scale() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx, None);
+        // Paper Fig. 5b: mean 220 us, median 100 us. Same order here.
+        assert!(
+            fig.mean_us > 30.0 && fig.mean_us < 1000.0,
+            "mean overhead {} us",
+            fig.mean_us
+        );
+        assert!(
+            fig.median_us > 20.0 && fig.median_us < 500.0,
+            "median overhead {} us",
+            fig.median_us
+        );
+        assert!(fig.mean_us > fig.median_us, "overhead distribution should be right-skewed");
+    }
+
+    #[test]
+    fn layer_wise_conflicts_dominate_at_high_load() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx, None);
+        let at_max = |name: &str| {
+            fig.conflicts_per_query
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, pts)| pts.last().unwrap().1)
+                .unwrap()
+        };
+        // Fig. 5a: a layer-wise query accumulates far more conflicts than
+        // a model-wise query at the top of the sweep (one conflict
+        // opportunity per layer vs one per query).
+        assert!(
+            at_max("Layer") >= 2.0 * at_max("Model"),
+            "layer {} vs model {}",
+            at_max("Layer"),
+            at_max("Model")
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Figure 6: multiple code versions of one conv layer under different
+//! interference levels. (a) four versions at four levels; (b) the full
+//! pressure sweep with the best-of-all envelope.
+
+use veltair_compiler::{search, CompilerOptions, Sample};
+use veltair_sim::{execute, Interference};
+use veltair_tensor::{FeatureMap, FusedUnit, GemmView, Layer};
+
+use super::ExpContext;
+
+/// Cores the layer is granted in the study.
+const CORES: u32 = 16;
+
+/// Figure 6 data. "Performance" is normalized throughput (1 / latency,
+/// scaled so impl. 1 in isolation = 1000, echoing the paper's axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig06 {
+    /// Schedules of the four versions (impl. 1 = isolation-optimal).
+    pub impls: Vec<String>,
+    /// (level label, per-impl performance) — panel (a).
+    pub panel_a: Vec<(String, Vec<f64>)>,
+    /// (pressure, per-impl performance + envelope last) — panel (b).
+    pub panel_b: Vec<(f64, Vec<f64>)>,
+}
+
+/// The paper's exemplar layer: 14x14 feature map, 256 -> 256 channels,
+/// 3x3 kernel (§3.3).
+#[must_use]
+pub fn exemplar_unit() -> (FusedUnit, GemmView) {
+    let l = Layer::conv2d("fig6_conv", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+    let g = GemmView::of(&l).expect("conv has a GEMM view");
+    (FusedUnit::solo(l), g)
+}
+
+/// Runs the Figure 6 study: the "naive extension" of the auto-scheduler
+/// that searches the best implementation at each of four interference
+/// levels (zero / low / medium / high).
+#[must_use]
+pub fn run(ctx: &ExpContext) -> Fig06 {
+    let (unit, gemm) = exemplar_unit();
+    let opts = CompilerOptions { search_iterations: 512, ..CompilerOptions::fast() };
+    let population = search(&unit, &gemm, &ctx.machine, &opts, 0xF16_6);
+
+    // Best sample at each target level, deduplicated.
+    let levels = [0.0, 0.45, 0.7, 0.95];
+    let mut chosen: Vec<Sample> = Vec::new();
+    for &lvl in &levels {
+        let mut ranked: Vec<&Sample> = population.iter().collect();
+        ranked.sort_by(|a, b| {
+            let la = execute(&a.profile, CORES, Interference::level(lvl), &ctx.machine).latency_s;
+            let lb = execute(&b.profile, CORES, Interference::level(lvl), &ctx.machine).latency_s;
+            la.total_cmp(&lb)
+        });
+        let pick = ranked
+            .iter()
+            .find(|s| !chosen.iter().any(|c| c.schedule == s.schedule))
+            .unwrap_or(&ranked[0]);
+        chosen.push((*pick).clone());
+    }
+
+    let perf = |s: &Sample, lvl: f64| {
+        1.0 / execute(&s.profile, CORES, Interference::level(lvl), &ctx.machine).latency_s
+    };
+    let norm = perf(&chosen[0], 0.0) / 1000.0;
+
+    let panel_a = [("Isolated", 0.0), ("Low", 0.45), ("Med", 0.7), ("High", 0.95)]
+        .iter()
+        .map(|(label, lvl)| {
+            ((*label).to_string(), chosen.iter().map(|s| perf(s, *lvl) / norm).collect())
+        })
+        .collect();
+
+    let panel_b = (0..=10)
+        .map(|i| {
+            let lvl = f64::from(i) / 10.0;
+            let mut row: Vec<f64> = chosen.iter().map(|s| perf(s, lvl) / norm).collect();
+            let envelope = row.iter().copied().fold(0.0, f64::max);
+            row.push(envelope);
+            (lvl, row)
+        })
+        .collect();
+
+    Fig06 { impls: chosen.iter().map(|s| s.schedule.to_string()).collect(), panel_a, panel_b }
+}
+
+impl std::fmt::Display for Fig06 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 6: versions of conv 14x14 C(256,256) K3 under interference")?;
+        for (i, s) in self.impls.iter().enumerate() {
+            writeln!(f, "  impl.{} = {s}", i + 1)?;
+        }
+        writeln!(f, "Figure 6a: performance (impl.1 isolated = 1000)")?;
+        for (label, row) in &self.panel_a {
+            write!(f, "  {label:<9}")?;
+            for v in row {
+                write!(f, " {v:>7.0}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "Figure 6b: performance vs pressure (last column = best envelope)")?;
+        for (lvl, row) in &self.panel_b {
+            write!(f, "  {:>4.0}%", lvl * 100.0)?;
+            for v in row {
+                write!(f, " {v:>7.0}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig06_reproduces_crossover_and_cliff() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx);
+        assert_eq!(fig.impls.len(), 4);
+        let iso = &fig.panel_a[0].1;
+        let high = &fig.panel_a[3].1;
+        // impl.1 wins in isolation; it is not the winner under high
+        // pressure, where a later (more parallel) version takes over.
+        let best_iso = iso.iter().copied().fold(0.0, f64::max);
+        assert!((iso[0] - best_iso).abs() < 1e-9, "impl.1 must be isolation-best");
+        let best_high = high.iter().copied().fold(0.0, f64::max);
+        assert!(high[0] < best_high, "impl.1 must lose under high pressure");
+        // The paper reports up to ~7x degradation for impl.1.
+        let degradation = iso[0] / high[0];
+        assert!(degradation > 2.0, "impl.1 degraded only {degradation:.2}x");
+        // The envelope dominates every version at every level.
+        for (_, row) in &fig.panel_b {
+            let envelope = row[row.len() - 1];
+            for v in &row[..row.len() - 1] {
+                assert!(envelope >= v - 1e-9);
+            }
+        }
+    }
+}

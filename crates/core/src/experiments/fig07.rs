@@ -1,0 +1,224 @@
+//! Figure 7: how many code versions a layer needs. (a) performance loss of
+//! retaining 1-5 versions against the all-versions oracle across
+//! interference levels; (b) the distribution of version counts required to
+//! stay within a given loss budget.
+//!
+//! This is the paper's §3.3 *motivation* study, which predates the
+//! single-pass compiler: the "ten versions" per layer are the per-level
+//! optima found by the multi-pass extended auto-scheduler (one search per
+//! interference level), and retention keeps a nested subset of them. The
+//! single-pass approximation of Algorithm 1 is evaluated separately
+//! (Fig. 9 and Fig. 14c).
+
+use veltair_compiler::{search, CompilerOptions, Sample};
+use veltair_sim::{execute, Interference};
+use veltair_tensor::GemmView;
+
+use super::ExpContext;
+
+/// Cores used for all measurements.
+const CORES: u32 = 16;
+
+/// Interference levels probed (the paper uses ten).
+const LEVELS: usize = 10;
+
+/// Figure 7 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig07 {
+    /// Per version budget k (1..=5): [(level, mean loss fraction)].
+    pub loss_curves: Vec<Vec<(f64, f64)>>,
+    /// Per loss budget: (budget, fraction of operators fine with k
+    /// versions, cumulative for k = 1..=5).
+    pub version_cdf: Vec<(f64, [f64; 5])>,
+}
+
+/// Latency matrix of the per-level optimal versions: `optima[v][li]` is
+/// version `v`'s latency at level `li`, where version `v` is the
+/// population's best implementation at level `v` (the paper's "ten
+/// versions" from one auto-scheduler pass per interference level).
+fn per_level_optima(
+    population: &[Sample],
+    levels: &[f64],
+    machine: &veltair_sim::MachineConfig,
+) -> Vec<Vec<f64>> {
+    let lat = |s: &Sample, lvl: f64| {
+        execute(&s.profile, CORES, Interference::level(lvl), machine).latency_s
+    };
+    levels
+        .iter()
+        .map(|&opt_level| {
+            let best = population
+                .iter()
+                .min_by(|a, b| lat(a, opt_level).total_cmp(&lat(b, opt_level)))
+                .expect("population is never empty");
+            levels.iter().map(|&l| lat(best, l)).collect()
+        })
+        .collect()
+}
+
+/// Greedy nested retention: starting from the isolation-optimal version
+/// (TVM's default choice, the paper's "Version Num=1"), repeatedly add the
+/// version that most reduces the summed loss across levels. Returns, for
+/// k = 1..=5, the loss-per-level of the best nested k-subset.
+fn retention_losses(optima: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n_levels = optima[0].len();
+    let oracle: Vec<f64> = (0..n_levels)
+        .map(|li| optima.iter().map(|v| v[li]).fold(f64::INFINITY, f64::min))
+        .collect();
+    let env_loss = |kept: &[usize]| -> Vec<f64> {
+        (0..n_levels)
+            .map(|li| {
+                let env = kept.iter().map(|&v| optima[v][li]).fold(f64::INFINITY, f64::min);
+                (env / oracle[li] - 1.0).max(0.0)
+            })
+            .collect()
+    };
+
+    let mut kept: Vec<usize> = vec![0];
+    let mut losses = vec![env_loss(&kept)];
+    for _ in 1..5usize {
+        let candidate = (0..optima.len())
+            .filter(|v| !kept.contains(v))
+            .min_by(|&a, &b| {
+                let with = |v: usize| {
+                    let mut k = kept.clone();
+                    k.push(v);
+                    env_loss(&k).iter().sum::<f64>()
+                };
+                with(a).total_cmp(&with(b))
+            });
+        match candidate {
+            Some(v) => kept.push(v),
+            None => break,
+        }
+        losses.push(env_loss(&kept));
+    }
+    while losses.len() < 5 {
+        losses.push(losses.last().expect("at least one subset").clone());
+    }
+    losses
+}
+
+/// Runs the Figure 7 study over all ResNet-50 compute layers.
+#[must_use]
+pub fn run(ctx: &ExpContext) -> Fig07 {
+    let spec = veltair_models::resnet50();
+    let units = spec.graph.fused_units();
+    let opts = CompilerOptions { search_iterations: 256, ..CompilerOptions::fast() };
+    let machine = &ctx.machine;
+
+    let levels: Vec<f64> = (0..LEVELS).map(|i| i as f64 / (LEVELS - 1) as f64).collect();
+
+    // Per unit: the per-level optima and the nested retention losses.
+    let mut per_unit_losses: Vec<Vec<Vec<f64>>> = Vec::new(); // [unit][k][level]
+    for (i, unit) in units.iter().enumerate() {
+        let Some(g) = GemmView::of(&unit.base) else { continue };
+        let population = search(unit, &g, machine, &opts, i as u64);
+        let optima = per_level_optima(&population, &levels, machine);
+        per_unit_losses.push(retention_losses(&optima));
+    }
+
+    let n_units = per_unit_losses.len() as f64;
+    let loss_curves: Vec<Vec<(f64, f64)>> = (0..5)
+        .map(|k| {
+            levels
+                .iter()
+                .enumerate()
+                .map(|(li, &l)| {
+                    let mean =
+                        per_unit_losses.iter().map(|u| u[k][li]).sum::<f64>() / n_units;
+                    (l, mean)
+                })
+                .collect()
+        })
+        .collect();
+
+    // (b) For each loss budget, the fraction of operators whose worst-case
+    // loss with k versions stays under budget.
+    let budgets = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+    let version_cdf = budgets
+        .iter()
+        .map(|&b| {
+            let mut fracs = [0.0f64; 5];
+            for (k, frac) in fracs.iter_mut().enumerate() {
+                let ok = per_unit_losses
+                    .iter()
+                    .filter(|u| u[k].iter().copied().fold(0.0, f64::max) <= b)
+                    .count();
+                *frac = ok as f64 / n_units;
+            }
+            (b, fracs)
+        })
+        .collect();
+
+    Fig07 { loss_curves, version_cdf }
+}
+
+impl std::fmt::Display for Fig07 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 7a: mean performance loss vs interference level")?;
+        for (k, curve) in self.loss_curves.iter().enumerate() {
+            write!(f, "  {} version(s)", k + 1)?;
+            for (l, loss) in curve {
+                write!(f, " {:>3.0}%:{:>5.1}%", l * 100.0, loss * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "Figure 7b: operators within loss budget (cumulative by version count)")?;
+        for (b, fracs) in &self.version_cdf {
+            write!(f, "  loss<={:>3.0}%", b * 100.0)?;
+            for (k, fr) in fracs.iter().enumerate() {
+                write!(f, "  {}v:{:>5.1}%", k + 1, fr * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_versions_never_lose_more() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx);
+        // At every level, the mean loss is non-increasing in the version
+        // budget, and 5 versions keep the loss within ~10 % (paper §3.3).
+        for li in 0..LEVELS {
+            for k in 1..5 {
+                assert!(
+                    fig.loss_curves[k][li].1 <= fig.loss_curves[k - 1][li].1 + 1e-9,
+                    "loss rose from {} to {} versions",
+                    k,
+                    k + 1
+                );
+            }
+        }
+        let worst_5v = fig
+            .loss_curves[4]
+            .iter()
+            .map(|(_, l)| *l)
+            .fold(0.0, f64::max);
+        assert!(worst_5v < 0.15, "5-version mean loss {worst_5v}");
+        // One version loses increasingly much as interference rises.
+        let one = &fig.loss_curves[0];
+        assert!(one.last().unwrap().1 > one.first().unwrap().1);
+    }
+
+    #[test]
+    fn version_cdf_is_monotone() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx);
+        for (_, fracs) in &fig.version_cdf {
+            for k in 1..5 {
+                assert!(fracs[k] >= fracs[k - 1] - 1e-9);
+            }
+        }
+        // With a 10 % budget, most operators need at most 3 versions
+        // (paper: >80 %).
+        let (_, at10) = fig.version_cdf[0];
+        assert!(at10[2] > 0.5, "only {:.0}% of ops fine with 3 versions", at10[2] * 100.0);
+    }
+}

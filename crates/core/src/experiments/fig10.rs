@@ -1,0 +1,113 @@
+//! Figure 10: (a) threshold-based layer-block formation on ResNet-50;
+//! (b) average and maximum CPU usage per scheduling granularity when
+//! co-locating two ResNet-50 streams.
+
+use veltair_sched::layer_block::{form_blocks, versions_at_level};
+use veltair_sched::{Policy, WorkloadSpec};
+
+use super::ExpContext;
+
+/// Figure 10 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10 {
+    /// Per-layer core requirement (panel a, red area).
+    pub layer_requirements: Vec<u32>,
+    /// Model-granularity flat requirement (panel a, black line).
+    pub model_cores: u32,
+    /// The threshold used in the walk-through.
+    pub threshold: u32,
+    /// Formed blocks as (start, end, cores) (panel a, arrows + yellow).
+    pub blocks: Vec<(usize, usize, u32)>,
+    /// (granularity, avg cores, max cores) under 2-way co-location
+    /// (panel b).
+    pub usage: Vec<(String, f64, u32)>,
+}
+
+/// Runs the Figure 10 experiments.
+#[must_use]
+pub fn run(ctx: &ExpContext) -> Fig10 {
+    let model = ctx.model("resnet50");
+    let machine = &ctx.machine;
+
+    let versions = versions_at_level(&model, 0.0, false);
+    let layer_requirements: Vec<u32> = model
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l.core_requirement(versions[i], 0.0))
+        .collect();
+    let model_cores = model.model_core_requirement(0.0);
+    let threshold = 6;
+    let blocks: Vec<(usize, usize, u32)> = form_blocks(&model, 0.0, false, threshold, machine)
+        .iter()
+        .map(|b| (b.start, b.end, b.cores))
+        .collect();
+
+    // (b) Two concurrent ResNet-50 streams served at a moderate joint rate.
+    let policies: Vec<(String, Policy)> = vec![
+        ("Model".into(), Policy::ModelFcfs),
+        ("Layer".into(), Policy::Planaria),
+        ("LBs(6)".into(), Policy::FixedBlock(6)),
+        ("LBs(11)".into(), Policy::FixedBlock(11)),
+        ("LBs(Dyn)".into(), Policy::VeltairAs),
+    ];
+    let budget = ctx.query_budget().min(200);
+    let mut usage = Vec::new();
+    for (label, policy) in policies {
+        let engine = ctx.engine(policy, &["resnet50"]);
+        let report = engine.run(&WorkloadSpec::single("resnet50", 150.0, budget), 1);
+        usage.push((label, report.avg_cores, report.peak_cores));
+    }
+
+    Fig10 { layer_requirements, model_cores, threshold, blocks, usage }
+}
+
+impl std::fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 10a: block formation (thres = {})", self.threshold)?;
+        writeln!(
+            f,
+            "  model-granularity cores {}, layer peak {}, {} blocks",
+            self.model_cores,
+            self.layer_requirements.iter().max().unwrap(),
+            self.blocks.len()
+        )?;
+        for (s, e, c) in &self.blocks {
+            writeln!(f, "    block [{s:>2}..{e:>2}) -> {c:>2} cores")?;
+        }
+        writeln!(f, "Figure 10b: CPU usage under 2-way ResNet-50 co-location")?;
+        for (label, avg, max) in &self.usage {
+            writeln!(f, "  {label:<8} avg {avg:>5.1}  max {max:>2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_formation_flattens_peaks() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx);
+        let layer_peak = *fig.layer_requirements.iter().max().unwrap();
+        let block_peak = fig.blocks.iter().map(|b| b.2).max().unwrap();
+        assert!(block_peak <= layer_peak);
+        // Blocks cover the whole model contiguously.
+        assert_eq!(fig.blocks.first().unwrap().0, 0);
+        assert_eq!(fig.blocks.last().unwrap().1, fig.layer_requirements.len());
+    }
+
+    #[test]
+    fn dynamic_blocks_balance_avg_and_peak() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx);
+        let get = |label: &str| fig.usage.iter().find(|(l, ..)| l == label).unwrap().clone();
+        let (_, _, model_max) = get("Model");
+        let (_, _, dyn_max) = get("LBs(Dyn)");
+        // Fig. 10b: dynamic blocks keep the maximum usage no worse than
+        // the model granularity's.
+        assert!(dyn_max <= model_max.max(64));
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 11: the interference proxy. (a) PCA importance of the candidate
+//! performance counters; (b) predicted vs measured pressure level of the
+//! fitted linear model.
+
+use veltair_proxy::{InterferenceProxy, Pca};
+
+use super::ExpContext;
+use crate::dataset::co_location_dataset;
+
+/// Figure 11 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11 {
+    /// (counter name, variance share) — panel (a).
+    pub importance: Vec<(String, f64)>,
+    /// Sampled (measured, predicted) pairs — panel (b).
+    pub scatter: Vec<(f64, f64)>,
+    /// Held-out R² of the linear proxy.
+    pub r2: f64,
+    /// Held-out mean absolute error.
+    pub mae: f64,
+}
+
+/// Runs the Figure 11 study across the full model zoo.
+#[must_use]
+pub fn run(ctx: &ExpContext) -> Fig11 {
+    let models: Vec<_> = ["resnet50", "googlenet", "mobilenet_v2", "bert_large"]
+        .iter()
+        .map(|n| ctx.model(n))
+        .collect();
+    let (train_w, train_l) = co_location_dataset(&models, &ctx.machine, 512, 0x11A);
+    let (test_w, test_l) = co_location_dataset(&models, &ctx.machine, 192, 0x11B);
+
+    // (a) PCA on the 4-counter feature matrix, coefficient-of-variation
+    // scaled so the question is "which counter *moves* with pressure".
+    let raw: Vec<[f64; 4]> = train_w.iter().map(|w| w.feature_vector()).collect();
+    let mut means = [0.0f64; 4];
+    for r in &raw {
+        for (m, v) in means.iter_mut().zip(r) {
+            *m += v / raw.len() as f64;
+        }
+    }
+    let scaled: Vec<Vec<f64>> = raw
+        .iter()
+        .map(|r| r.iter().zip(&means).map(|(v, m)| if *m > 0.0 { v / m } else { 0.0 }).collect())
+        .collect();
+    let pca = Pca::fit(&scaled);
+    let names = ["L3 Miss Rate", "L3 Access", "IPC", "FP OP"];
+    let importance = names
+        .iter()
+        .zip(pca.feature_importance())
+        .map(|(n, i)| ((*n).to_string(), i))
+        .collect();
+
+    // (b) Fit on the training half, evaluate on held-out episodes.
+    let proxy = InterferenceProxy::fit(&train_w, &train_l);
+    let preds: Vec<f64> = test_w.iter().map(|w| proxy.predict(w)).collect();
+    let mae =
+        preds.iter().zip(&test_l).map(|(p, m)| (p - m).abs()).sum::<f64>() / preds.len() as f64;
+    let mean = test_l.iter().sum::<f64>() / test_l.len() as f64;
+    let ss_res: f64 = preds.iter().zip(&test_l).map(|(p, m)| (p - m) * (p - m)).sum();
+    let ss_tot: f64 = test_l.iter().map(|m| (m - mean) * (m - mean)).sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let scatter: Vec<(f64, f64)> =
+        test_l.iter().copied().zip(preds.iter().copied()).take(64).collect();
+
+    Fig11 { importance, scatter, r2, mae }
+}
+
+impl std::fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 11a: per-counter variance share (CV-scaled PCA)")?;
+        for (n, i) in &self.importance {
+            writeln!(f, "  {n:<14} {:>6.2}%", i * 100.0)?;
+        }
+        writeln!(
+            f,
+            "Figure 11b: linear L3 proxy — held-out R2 {:.3}, MAE {:.3} ({} scatter points)",
+            self.r2,
+            self.mae,
+            self.scatter.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l3_counters_dominate_and_proxy_fits() {
+        let ctx = ExpContext::new();
+        let fig = run(&ctx);
+        let share = |name: &str| {
+            fig.importance.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap()
+        };
+        // Fig. 11a: the L3 counters carry (most of) the variance.
+        let l3 = share("L3 Miss Rate") + share("L3 Access");
+        assert!(l3 > 0.5, "L3 share only {:.2}", l3);
+        // Fig. 11b: the proxy tracks the measured level.
+        assert!(fig.r2 > 0.5, "held-out r2 {}", fig.r2);
+        assert!(fig.mae < 0.2, "held-out mae {}", fig.mae);
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 13: average query latency at each model's max-QPS point,
+//! normalized to the isolated solo-run latency.
+
+use super::fig12::{self, Fig12};
+use super::ExpContext;
+
+/// Figure 13 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13 {
+    /// (model, isolated ms, per-policy normalized latency in Fig. 12's
+    /// policy order AS/AC/FULL).
+    pub rows: Vec<(String, f64, [f64; 3])>,
+    /// Average normalized latency per policy.
+    pub averages: [f64; 3],
+}
+
+/// Runs Figure 13, reusing the Figure 12 sweep when provided.
+#[must_use]
+pub fn run(ctx: &ExpContext, fig12: Option<&Fig12>) -> Fig13 {
+    let owned;
+    let data = match fig12 {
+        Some(d) => d,
+        None => {
+            owned = fig12::run(ctx);
+            &owned
+        }
+    };
+    let models = [
+        "efficientnet_b0",
+        "mobilenet_v2",
+        "tiny_yolo_v2",
+        "resnet50",
+        "googlenet",
+        "ssd_resnet34",
+        "bert_large",
+    ];
+    let policies = ["Veltair-AS", "Veltair-AC", "Veltair-FULL"];
+    let mut rows = Vec::new();
+    for name in models {
+        let compiled = ctx.model(name);
+        // The shortest latency the model can achieve on this machine.
+        let isolated_s = compiled.flat_latency_s(ctx.machine.cores, 0.0, &ctx.machine);
+        let col = data.columns.iter().find(|c| c.label == name).expect("column exists");
+        let mut norm = [0.0f64; 3];
+        for (i, p) in policies.iter().enumerate() {
+            norm[i] = col.latency_s[*p] / isolated_s;
+        }
+        rows.push((name.to_string(), isolated_s * 1e3, norm));
+    }
+    let mut averages = [0.0f64; 3];
+    for (i, avg) in averages.iter_mut().enumerate() {
+        *avg = rows.iter().map(|r| r.2[i]).sum::<f64>() / rows.len() as f64;
+    }
+    Fig13 { rows, averages }
+}
+
+impl std::fmt::Display for Fig13 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 13: latency at max QPS, normalized to isolated execution")?;
+        writeln!(f, "  {:<16} {:>9} {:>9} {:>9} {:>9}", "model", "iso(ms)", "AS", "AC", "FULL")?;
+        for (m, iso, n) in &self.rows {
+            writeln!(f, "  {m:<16} {iso:>9.2} {:>9.2} {:>9.2} {:>9.2}", n[0], n[1], n[2])?;
+        }
+        writeln!(
+            f,
+            "  {:<16} {:>9} {:>9.2} {:>9.2} {:>9.2}",
+            "average", "", self.averages[0], self.averages[1], self.averages[2]
+        )
+    }
+}

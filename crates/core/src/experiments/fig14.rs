@@ -1,0 +1,130 @@
+//! Figure 14: (a) core-usage gap against the layer-wise optimum under two
+//! system loads; (b) QPS improvement against the retained version budget;
+//! (c) the distribution of version counts layers actually keep.
+
+use veltair_compiler::{compile_model, CompilerOptions};
+use veltair_sched::{Policy, WorkloadSpec};
+
+use super::ExpContext;
+use crate::engine::ServingEngine;
+use crate::metrics::{max_qps_at_qos, QpsSearchConfig};
+
+/// Figure 14 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14 {
+    /// (model class, load fraction, policy, core-usage gap vs layer-wise).
+    pub usage_gap: Vec<(String, f64, String, f64)>,
+    /// (max versions V, normalized max QPS vs V = 1) — panel (b).
+    pub version_sweep: Vec<(usize, f64)>,
+    /// Fraction of layers keeping exactly 1..=5 versions — panel (c).
+    pub version_distribution: [f64; 5],
+}
+
+/// Runs the Figure 14 experiments.
+#[must_use]
+pub fn run(ctx: &ExpContext) -> Fig14 {
+    let budget = ctx.query_budget().min(200);
+    let cfg = QpsSearchConfig { queries: budget, ..QpsSearchConfig::standard() };
+
+    // (a) Core-usage gap vs the layer-wise minimum at 25 % / 75 % load.
+    let mut usage_gap = Vec::new();
+    for (class, model) in
+        [("Light", "mobilenet_v2"), ("Medium", "resnet50"), ("Heavy", "bert_large")]
+    {
+        let workload = WorkloadSpec::single(model, 10.0, budget);
+        let full = ctx.engine(Policy::VeltairFull, &[model]);
+        let max = max_qps_at_qos(&full, &workload, &cfg).qps;
+        for load in [0.25, 0.75] {
+            let mut w = workload.scaled_to(max * load);
+            w.total_queries = budget;
+            let layer = ctx.engine(Policy::Planaria, &[model]).run(&w, 7).core_seconds;
+            for (label, policy) in [("Model", Policy::ModelFcfs), ("Block", Policy::VeltairAs)] {
+                let used = ctx.engine(policy, &[model]).run(&w, 7).core_seconds;
+                let gap = (used - layer) / layer;
+                usage_gap.push((class.to_string(), load, label.to_string(), gap));
+            }
+        }
+    }
+
+    // (b) Version-budget sweep on a light mix (recompiling per V).
+    let names = ["mobilenet_v2", "tiny_yolo_v2", "resnet50"];
+    let specs: Vec<_> = names.iter().map(|n| veltair_models::by_name(n).unwrap()).collect();
+    let streams: Vec<(&str, f64)> =
+        specs.iter().map(|s| (s.graph.name.as_str(), 1.0 / s.qos_ms)).collect();
+    let workload = WorkloadSpec::mix(&streams, budget);
+    let mut version_sweep = Vec::new();
+    let mut base = 0.0;
+    for v in 1..=5usize {
+        let opts =
+            CompilerOptions { prune_tolerance: 1.0, ..ctx.opts.clone() }.with_max_versions(v);
+        let mut engine = ServingEngine::new(ctx.machine.clone(), Policy::VeltairFull);
+        for spec in &specs {
+            engine.register(compile_model(spec, &ctx.machine, &opts));
+        }
+        let qps = max_qps_at_qos(&engine, &workload, &cfg).qps;
+        if v == 1 {
+            base = qps;
+        }
+        version_sweep.push((v, qps / base));
+    }
+
+    // (c) Version-count distribution over the whole zoo.
+    let mut hist = [0usize; 5];
+    let mut total = 0usize;
+    for m in veltair_models::all_models() {
+        let compiled = ctx.model(&m.graph.name);
+        for l in &compiled.layers {
+            hist[(l.versions.len() - 1).min(4)] += 1;
+            total += 1;
+        }
+    }
+    let mut version_distribution = [0.0f64; 5];
+    for (d, h) in version_distribution.iter_mut().zip(hist) {
+        *d = h as f64 / total as f64;
+    }
+
+    Fig14 { usage_gap, version_sweep, version_distribution }
+}
+
+impl std::fmt::Display for Fig14 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 14a: core-usage gap vs layer-wise minimum")?;
+        for (class, load, policy, gap) in &self.usage_gap {
+            writeln!(f, "  {class:<7} load {:>2.0}% {policy:<6} {:>6.1}%", load * 100.0, gap * 100.0)?;
+        }
+        writeln!(f, "Figure 14b: normalized max QPS vs version budget")?;
+        for (v, q) in &self.version_sweep {
+            writeln!(f, "  V={v}: {q:.3}")?;
+        }
+        writeln!(f, "Figure 14c: layers keeping k versions")?;
+        for (k, d) in self.version_distribution.iter().enumerate() {
+            writeln!(f, "  {} ver: {:>5.1}%", k + 1, d * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_distribution_covers_all_layers() {
+        let ctx = ExpContext::new();
+        // Panel (c) only — cheap enough for a unit test.
+        let mut hist = [0usize; 5];
+        let mut total = 0usize;
+        for name in ["mobilenet_v2", "tiny_yolo_v2"] {
+            let compiled = ctx.model(name);
+            for l in &compiled.layers {
+                hist[(l.versions.len() - 1).min(4)] += 1;
+                total += 1;
+            }
+        }
+        assert!(total > 0);
+        assert_eq!(hist.iter().sum::<usize>(), total);
+        // Most layers need few versions (paper Fig. 14c: >80 % need <= 3).
+        let few = hist[0] + hist[1] + hist[2];
+        assert!(few * 2 > total, "{few}/{total} layers with <=3 versions");
+    }
+}

@@ -1,0 +1,108 @@
+//! Tables 1 and 2 of the paper.
+
+use super::ExpContext;
+
+/// Table 1: the design space of prior multi-tenant DNN serving systems —
+/// static reference data, printed for completeness.
+#[must_use]
+pub fn table1() -> String {
+    let rows = [
+        ("PREMA", "Temporal", "Static (Model)", "Static"),
+        ("AI-MT", "Temporal", "Static (Layer)", "Static"),
+        ("Planaria", "Spatial", "Static (Model)", "Static"),
+        ("Parties", "Spatial", "Static (Model/Layer)", "Static"),
+        ("Protean", "Spatial", "Static (Model/Layer)", "Adaptive"),
+        ("VELTAIR (ours)", "Spatial", "Adaptive (Layer Block)", "Adaptive"),
+    ];
+    let mut s = String::from("Table 1: optimization strategies in VELTAIR and prior works\n");
+    s.push_str(&format!(
+        "  {:<16} {:<10} {:<24} {:<10}\n",
+        "Work", "Multiplex", "Granularity", "Compilation"
+    ));
+    for (w, m, g, c) in rows {
+        s.push_str(&format!("  {w:<16} {m:<10} {g:<24} {c:<10}\n"));
+    }
+    s
+}
+
+/// One Table 2 row, extended with the compiled statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Model name.
+    pub name: String,
+    /// Workload class.
+    pub class: String,
+    /// QoS target (ms).
+    pub qos_ms: f64,
+    /// Total GFLOPs.
+    pub gflops: f64,
+    /// Scheduling units after fusion.
+    pub units: usize,
+    /// Total retained code versions.
+    pub versions: usize,
+    /// Model-granularity core requirement in isolation.
+    pub model_cores: u32,
+}
+
+/// Builds Table 2 (evaluated models) with compiled statistics appended.
+#[must_use]
+pub fn table2(ctx: &ExpContext) -> Vec<Table2Row> {
+    veltair_models::all_models()
+        .into_iter()
+        .map(|spec| {
+            let compiled = ctx.model(&spec.graph.name);
+            Table2Row {
+                name: spec.graph.name.clone(),
+                class: spec.class.to_string(),
+                qos_ms: spec.qos_ms,
+                gflops: spec.graph.total_flops() / 1e9,
+                units: compiled.layers.len(),
+                versions: compiled.total_versions(),
+                model_cores: compiled.model_core_requirement(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table 2 rows.
+#[must_use]
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::from("Table 2: evaluated multi-tenant DL models\n");
+    s.push_str(&format!(
+        "  {:<16} {:<7} {:>8} {:>9} {:>6} {:>9} {:>11}\n",
+        "Model", "Class", "QoS(ms)", "GFLOPs", "Units", "Versions", "ModelCores"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "  {:<16} {:<7} {:>8.0} {:>9.2} {:>6} {:>9} {:>11}\n",
+            r.name, r.class, r.qos_ms, r.gflops, r.units, r.versions, r.model_cores
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_prior_work() {
+        let t = table1();
+        for name in ["PREMA", "AI-MT", "Planaria", "Parties", "Protean", "VELTAIR"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn table2_matches_the_zoo() {
+        let ctx = ExpContext::new();
+        let rows = table2(&ctx);
+        assert_eq!(rows.len(), 7);
+        let bert = rows.iter().find(|r| r.name == "bert_large").unwrap();
+        assert_eq!(bert.qos_ms, 130.0);
+        assert_eq!(bert.class, "Heavy");
+        assert!(bert.gflops > 100.0);
+        let fmt = format_table2(&rows);
+        assert!(fmt.contains("bert_large"));
+    }
+}

@@ -1,0 +1,43 @@
+//! VELTAIR's serving engine, evaluation metrics, and experiment harness.
+//!
+//! This crate ties the whole reproduction together:
+//!
+//! * [`engine`] — [`ServingEngine`]: compile-once, serve-many facade over
+//!   the compiler, proxy, and scheduler crates;
+//! * [`dataset`] — co-location episode generation used to train the
+//!   interference proxy exactly the way the deployed monitor observes the
+//!   system;
+//! * [`metrics`] — the paper's evaluation metrics (§5.1): maximum QPS at
+//!   95 % QoS satisfaction (bisection search), average latency, and CPU
+//!   usage efficiency;
+//! * [`experiments`] — one function per figure/table of the paper,
+//!   returning typed rows that the bench harness prints.
+//!
+//! # Example
+//!
+//! ```
+//! use veltair_core::{Policy, ServingEngine, WorkloadSpec};
+//! use veltair_compiler::{compile_model, CompilerOptions};
+//! use veltair_sim::MachineConfig;
+//!
+//! let machine = MachineConfig::threadripper_3990x();
+//! let mut engine = ServingEngine::new(machine.clone(), Policy::VeltairFull);
+//! engine.register(compile_model(
+//!     &veltair_models::mobilenet_v2(),
+//!     &machine,
+//!     &CompilerOptions::fast(),
+//! ));
+//! let report = engine.run(&WorkloadSpec::single("mobilenet_v2", 40.0, 60), 7);
+//! assert_eq!(report.total_queries(), 60);
+//! ```
+
+pub mod dataset;
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+
+pub use dataset::{co_location_dataset, train_proxy};
+pub use engine::ServingEngine;
+pub use metrics::{max_qps_at_qos, QpsResult, QpsSearchConfig};
+// Re-export the user-facing vocabulary so downstream users need one import.
+pub use veltair_sched::{Policy, ServingReport, WorkloadSpec};

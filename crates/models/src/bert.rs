@@ -1,0 +1,126 @@
+//! BERT-Large (Devlin et al., 2019) encoder at sequence length 384 (the
+//! MLPerf SQuAD configuration).
+
+use veltair_tensor::{ActKind, FeatureMap, Layer, ModelGraph, OpKind};
+
+use crate::catalog::{ModelSpec, WorkloadClass};
+
+/// Hidden width of BERT-Large.
+const HIDDEN: usize = 1024;
+/// Attention heads.
+const HEADS: usize = 16;
+/// Per-head dimension.
+const HEAD_DIM: usize = HIDDEN / HEADS;
+/// Feed-forward inner width.
+const FFN: usize = 4096;
+/// Encoder layer count.
+const LAYERS: usize = 24;
+/// MLPerf SQuAD sequence length.
+const SEQ: usize = 384;
+
+/// Appends one transformer encoder layer.
+fn encoder_layer(layers: &mut Vec<Layer>, idx: usize) {
+    let x = FeatureMap::seq(SEQ, HIDDEN);
+    let n = |s: &str| format!("l{idx}_{s}");
+
+    // Self-attention projections.
+    layers.push(Layer::dense(n("q"), x, HIDDEN));
+    layers.push(Layer::dense(n("k"), x, HIDDEN));
+    layers.push(Layer::dense(n("v"), x, HIDDEN));
+    // Scores: per-head (SEQ x HEAD_DIM) x (HEAD_DIM x SEQ).
+    let scores = Layer::new(
+        n("scores"),
+        OpKind::BatchedMatMul { batch: HEADS, m: SEQ, k: HEAD_DIM, n: SEQ },
+        x,
+    );
+    let scores_out = scores.output();
+    layers.push(scores);
+    layers.push(Layer::new(n("softmax"), OpKind::Softmax, scores_out));
+    // Context: per-head (SEQ x SEQ) x (SEQ x HEAD_DIM).
+    layers.push(Layer::new(
+        n("context"),
+        OpKind::BatchedMatMul { batch: HEADS, m: SEQ, k: SEQ, n: HEAD_DIM },
+        scores_out,
+    ));
+    // Output projection + residual + layer norm.
+    layers.push(Layer::dense(n("attn_out"), x, HIDDEN));
+    layers.push(Layer::new(n("attn_add"), OpKind::EltwiseAdd, x));
+    layers.push(Layer::new(n("attn_ln"), OpKind::LayerNorm, x));
+
+    // Feed-forward network.
+    let ffn_mid = Layer::dense(n("ffn1"), x, FFN);
+    let mid = ffn_mid.output();
+    layers.push(ffn_mid);
+    layers.push(Layer::activation(n("gelu"), mid, ActKind::Gelu));
+    layers.push(Layer::dense(n("ffn2"), mid, HIDDEN));
+    layers.push(Layer::new(n("ffn_add"), OpKind::EltwiseAdd, x));
+    layers.push(Layer::new(n("ffn_ln"), OpKind::LayerNorm, x));
+}
+
+/// Builds the BERT-Large encoder stack plus the SQuAD span head.
+#[must_use]
+pub fn bert_large() -> ModelSpec {
+    let mut layers = Vec::new();
+    for i in 0..LAYERS {
+        encoder_layer(&mut layers, i);
+    }
+    // SQuAD head: start/end logits per token.
+    layers.push(Layer::dense("squad_head", FeatureMap::seq(SEQ, HIDDEN), 2));
+
+    ModelSpec {
+        graph: ModelGraph::new("bert_large", layers),
+        qos_ms: 130.0,
+        class: WorkloadClass::Heavy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_flops_near_published() {
+        // Published: ~250 GFLOPs for BERT-Large at sequence length 384.
+        let g = bert_large().graph.total_flops() / 1e9;
+        assert!((180.0..=320.0).contains(&g), "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn weights_near_published() {
+        // Encoder stack holds ~300 M of BERT-Large's 340 M parameters.
+        let mb = bert_large().graph.total_weight_bytes() / 1e6;
+        assert!((1000.0..=1400.0).contains(&mb), "got {mb} MB fp32");
+    }
+
+    #[test]
+    fn gemm_structure_per_layer() {
+        let m = bert_large();
+        let dense = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Dense { .. }))
+            .count();
+        // 6 dense per encoder layer + the SQuAD head.
+        assert_eq!(dense, LAYERS * 6 + 1);
+        let bmm = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::BatchedMatMul { .. }))
+            .count();
+        assert_eq!(bmm, LAYERS * 2);
+    }
+
+    #[test]
+    fn attention_flops_scale_quadratically_with_seq() {
+        let m = bert_large();
+        let scores = m
+            .graph
+            .layers
+            .iter()
+            .find(|l| l.name == "l0_scores")
+            .unwrap();
+        assert_eq!(scores.flops(), 2.0 * HEADS as f64 * (SEQ * SEQ * HEAD_DIM) as f64);
+    }
+}

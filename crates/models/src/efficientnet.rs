@@ -1,0 +1,160 @@
+//! EfficientNet-B0 (Tan & Le, ICML 2019) at 224x224.
+
+use veltair_tensor::{ActKind, FeatureMap, Layer, ModelGraph, OpKind, PoolKind};
+
+use crate::catalog::{ModelSpec, WorkloadClass};
+
+fn conv_bn_swish(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    act: bool,
+) -> FeatureMap {
+    let pad = kernel / 2;
+    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let out = conv.output();
+    layers.push(conv);
+    layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
+    if act {
+        layers.push(Layer::activation(format!("{name}_swish"), out, ActKind::Swish));
+    }
+    out
+}
+
+/// Squeeze-and-excitation bottleneck: GAP + two tiny dense layers. The
+/// per-channel rescale is folded into the following activation (its FLOPs
+/// are negligible at < 0.1 % of the block).
+fn squeeze_excite(layers: &mut Vec<Layer>, name: &str, input: FeatureMap, se_ch: usize) {
+    let gap = Layer::new(
+        format!("{name}_se_gap"),
+        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        input,
+    );
+    let squeezed = gap.output();
+    layers.push(gap);
+    let reduce = Layer::dense(format!("{name}_se_fc1"), squeezed, se_ch);
+    let reduced = reduce.output();
+    layers.push(reduce);
+    layers.push(Layer::dense(format!("{name}_se_fc2"), reduced, input.c));
+}
+
+/// Appends one MBConv block and returns its output map.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    expand: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+) -> FeatureMap {
+    let mid = input.c * expand;
+    let mut x = input;
+    if expand != 1 {
+        x = conv_bn_swish(layers, &format!("{name}_exp"), x, mid, 1, 1, true);
+    }
+    let pad = kernel / 2;
+    let dw = Layer::dwconv2d(
+        format!("{name}_dw"),
+        x,
+        (kernel, kernel),
+        (stride, stride),
+        (pad, pad),
+    );
+    let dw_out = dw.output();
+    layers.push(dw);
+    layers.push(Layer::new(format!("{name}_dw_bn"), OpKind::BatchNorm, dw_out));
+    layers.push(Layer::activation(format!("{name}_dw_swish"), dw_out, ActKind::Swish));
+    squeeze_excite(layers, name, dw_out, (input.c / 4).max(1));
+    let out = conv_bn_swish(layers, &format!("{name}_proj"), dw_out, out_ch, 1, 1, false);
+    if stride == 1 && input.c == out_ch {
+        layers.push(Layer::new(format!("{name}_add"), OpKind::EltwiseAdd, out));
+    }
+    out
+}
+
+/// Builds EfficientNet-B0 with the standard block table.
+#[must_use]
+pub fn efficientnet_b0() -> ModelSpec {
+    let mut layers = Vec::new();
+    let input = FeatureMap::nchw(1, 3, 224, 224);
+    let mut x = conv_bn_swish(&mut layers, "stem", input, 32, 3, 2, true);
+
+    // (expansion, out channels, repeats, first stride, kernel)
+    let table: [(usize, usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    for (bi, (t, c, n, s, k)) in table.into_iter().enumerate() {
+        for r in 0..n {
+            let stride = if r == 0 { s } else { 1 };
+            x = mbconv(&mut layers, &format!("mb{bi}_{r}"), x, t, c, k, stride);
+        }
+    }
+
+    let x = conv_bn_swish(&mut layers, "head", x, 1280, 1, 1, true);
+    let gap = Layer::new(
+        "gap",
+        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        x,
+    );
+    let gap_out = gap.output();
+    layers.push(gap);
+    layers.push(Layer::dense("fc1000", gap_out, 1000));
+
+    ModelSpec {
+        graph: ModelGraph::new("efficientnet_b0", layers),
+        qos_ms: 10.0,
+        class: WorkloadClass::Light,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_flops_near_published() {
+        // Published: ~0.78 GFLOPs (390 MMACs x 2).
+        let g = efficientnet_b0().graph.total_flops() / 1e9;
+        assert!((0.5..=1.2).contains(&g), "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn block_count_matches_table() {
+        let m = efficientnet_b0();
+        let dw = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Conv2d { groups, .. } if groups > 1))
+            .count();
+        assert_eq!(dw, 1 + 2 + 2 + 3 + 3 + 4 + 1);
+    }
+
+    #[test]
+    fn squeeze_excite_layers_present() {
+        let m = efficientnet_b0();
+        let se = m.graph.layers.iter().filter(|l| l.name.contains("_se_fc")).count();
+        assert_eq!(se, 2 * 16, "two dense layers per MBConv block");
+    }
+
+    #[test]
+    fn five_by_five_kernels_present() {
+        let m = efficientnet_b0();
+        assert!(m
+            .graph
+            .layers
+            .iter()
+            .any(|l| matches!(l.op, OpKind::Conv2d { kernel: (5, 5), .. })));
+    }
+}

@@ -1,0 +1,160 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015) at 224x224.
+
+use veltair_tensor::{ActKind, FeatureMap, Layer, ModelGraph, OpKind, PoolKind};
+
+use crate::catalog::{ModelSpec, WorkloadClass};
+
+fn conv_relu(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+) -> FeatureMap {
+    let pad = kernel / 2;
+    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let out = conv.output();
+    layers.push(conv);
+    layers.push(Layer::activation(format!("{name}_relu"), out, ActKind::Relu));
+    out
+}
+
+fn max_pool(layers: &mut Vec<Layer>, name: &str, input: FeatureMap, kernel: usize, stride: usize) -> FeatureMap {
+    let pool = Layer::new(
+        name,
+        OpKind::Pool { kind: PoolKind::Max, kernel: (kernel, kernel), stride: (stride, stride) },
+        input,
+    );
+    let out = pool.output();
+    layers.push(pool);
+    out
+}
+
+/// Channel plan of one inception cell:
+/// `(#1x1, #3x3 reduce, #3x3, #5x5 reduce, #5x5, pool proj)`.
+type InceptionPlan = (usize, usize, usize, usize, usize, usize);
+
+/// Appends one inception module (branches linearized in execution order)
+/// and returns the concatenated output map.
+fn inception(layers: &mut Vec<Layer>, name: &str, input: FeatureMap, plan: InceptionPlan) -> FeatureMap {
+    let (b1, r3, b3, r5, b5, bp) = plan;
+    // Branch 1: 1x1.
+    conv_relu(layers, &format!("{name}_1x1"), input, b1, 1, 1);
+    // Branch 2: 1x1 reduce -> 3x3.
+    let t = conv_relu(layers, &format!("{name}_3x3r"), input, r3, 1, 1);
+    conv_relu(layers, &format!("{name}_3x3"), t, b3, 3, 1);
+    // Branch 3: 1x1 reduce -> 5x5.
+    let t = conv_relu(layers, &format!("{name}_5x5r"), input, r5, 1, 1);
+    conv_relu(layers, &format!("{name}_5x5"), t, b5, 5, 1);
+    // Branch 4: 3x3 max pool -> 1x1 projection.
+    let p = Layer::new(
+        format!("{name}_poolb"),
+        OpKind::Pool { kind: PoolKind::Max, kernel: (3, 3), stride: (1, 1) },
+        input,
+    );
+    // 3x3/1 pool with implicit same-padding keeps the spatial extent; our
+    // pool has no padding so we reuse the input extent for the projection.
+    layers.push(p);
+    conv_relu(
+        layers,
+        &format!("{name}_poolp"),
+        FeatureMap::nchw(input.n, input.c, input.h, input.w),
+        bp,
+        1,
+        1,
+    );
+    FeatureMap::nchw(input.n, b1 + b3 + b5 + bp, input.h, input.w)
+}
+
+/// Builds GoogLeNet: stem, nine inception cells, classifier.
+#[must_use]
+pub fn googlenet() -> ModelSpec {
+    let mut layers = Vec::new();
+    let input = FeatureMap::nchw(1, 3, 224, 224);
+    let x = conv_relu(&mut layers, "conv1", input, 64, 7, 2);
+    let x = max_pool(&mut layers, "pool1", x, 3, 2);
+    let x = conv_relu(&mut layers, "conv2r", x, 64, 1, 1);
+    let x = conv_relu(&mut layers, "conv2", x, 192, 3, 1);
+    let x = max_pool(&mut layers, "pool2", x, 3, 2);
+    // Normalize to the canonical 28x28 grid (pooling rounding).
+    let x = FeatureMap::nchw(1, x.c, 28, 28);
+
+    let x = inception(&mut layers, "3a", x, (64, 96, 128, 16, 32, 32));
+    let x = inception(&mut layers, "3b", x, (128, 128, 192, 32, 96, 64));
+    let x = max_pool(&mut layers, "pool3", x, 3, 2);
+    let x = FeatureMap::nchw(1, x.c, 14, 14);
+
+    let x = inception(&mut layers, "4a", x, (192, 96, 208, 16, 48, 64));
+    let x = inception(&mut layers, "4b", x, (160, 112, 224, 24, 64, 64));
+    let x = inception(&mut layers, "4c", x, (128, 128, 256, 24, 64, 64));
+    let x = inception(&mut layers, "4d", x, (112, 144, 288, 32, 64, 64));
+    let x = inception(&mut layers, "4e", x, (256, 160, 320, 32, 128, 128));
+    let x = max_pool(&mut layers, "pool4", x, 3, 2);
+    let x = FeatureMap::nchw(1, x.c, 7, 7);
+
+    let x = inception(&mut layers, "5a", x, (256, 160, 320, 32, 128, 128));
+    let x = inception(&mut layers, "5b", x, (384, 192, 384, 48, 128, 128));
+
+    let gap = Layer::new(
+        "gap",
+        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        x,
+    );
+    let gap_out = gap.output();
+    layers.push(gap);
+    layers.push(Layer::dense("fc1000", gap_out, 1000));
+
+    ModelSpec {
+        graph: ModelGraph::new("googlenet", layers),
+        qos_ms: 15.0,
+        class: WorkloadClass::Medium,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_count_matches_architecture() {
+        let m = googlenet();
+        let convs = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Conv2d { .. }))
+            .count();
+        // Stem: 3 convs; each of 9 inception cells: 6 convs.
+        assert_eq!(convs, 3 + 9 * 6);
+    }
+
+    #[test]
+    fn total_flops_near_published() {
+        // Published: ~3 GFLOPs (1.5 GMACs).
+        let g = googlenet().graph.total_flops() / 1e9;
+        assert!((2.0..=4.5).contains(&g), "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn concatenated_channels_are_correct() {
+        // Inception 5b output must be 1024 channels (the classifier input).
+        let m = googlenet();
+        let fc = m.graph.layers.last().unwrap();
+        assert_eq!(fc.input.c, 1024);
+    }
+
+    #[test]
+    fn contains_fig9_example_layer() {
+        // The paper's Fig. 9 walks through conv Hin=Win=7, Cin=832,
+        // Cout=384, 1x1 — inception 5b's first branch.
+        let m = googlenet();
+        let found = m.graph.layers.iter().any(|l| {
+            matches!(
+                l.op,
+                OpKind::Conv2d { in_ch: 832, out_ch: 384, kernel: (1, 1), .. }
+            ) && l.input.h == 7
+        });
+        assert!(found, "Fig. 9 exemplar layer missing from GoogLeNet");
+    }
+}

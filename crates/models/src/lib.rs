@@ -1,0 +1,48 @@
+//! MLPerf-style DNN model zoo for the VELTAIR reproduction.
+//!
+//! Builds architecturally faithful layer sequences for the seven networks of
+//! the paper's Table 2, each tagged with its MLPerf-guided QoS target and
+//! workload class:
+//!
+//! | Category | Class | Model | QoS (ms) |
+//! |---|---|---|---|
+//! | Image classification | Medium | ResNet-50 | 15 |
+//! | Image classification | Medium | GoogLeNet | 15 |
+//! | Image classification | Light | EfficientNet-B0 | 10 |
+//! | Image classification | Light | MobileNet-V2 | 10 |
+//! | Object detection | Heavy | SSD (ResNet-34, 1200^2) | 100 |
+//! | Object detection | Light | Tiny-YOLOv2 | 10 |
+//! | NMT | Heavy | BERT-Large (seq 384) | 130 |
+//!
+//! The graphs include the batch-norm / activation / residual epilogues so
+//! that the compiler's fusion patterns (`conv-bn-relu`, ...) fire exactly as
+//! they do in TVM. EfficientNet's squeeze-excite blocks are represented by
+//! their two bottleneck dense layers (the per-channel rescale is folded into
+//! the following activation; its FLOP contribution is < 0.1 %).
+//!
+//! # Example
+//!
+//! ```
+//! let resnet = veltair_models::resnet50();
+//! assert_eq!(resnet.graph.name, "resnet50");
+//! // 53 convolutions + the classifier GEMM.
+//! assert_eq!(resnet.graph.compute_layer_count(), 54);
+//! ```
+
+pub mod bert;
+pub mod catalog;
+pub mod efficientnet;
+pub mod googlenet;
+pub mod mobilenet;
+pub mod resnet;
+pub mod ssd;
+pub mod yolo;
+
+pub use bert::bert_large;
+pub use catalog::{all_models, by_name, ModelSpec, WorkloadClass};
+pub use efficientnet::efficientnet_b0;
+pub use googlenet::googlenet;
+pub use mobilenet::mobilenet_v2;
+pub use resnet::resnet50;
+pub use ssd::ssd_resnet34;
+pub use yolo::tiny_yolo_v2;

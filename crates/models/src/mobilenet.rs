@@ -1,0 +1,148 @@
+//! MobileNet-V2 (Sandler et al., CVPR 2018) at 224x224.
+
+use veltair_tensor::{ActKind, FeatureMap, Layer, ModelGraph, OpKind, PoolKind};
+
+use crate::catalog::{ModelSpec, WorkloadClass};
+
+fn conv_bn_act(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    act: Option<ActKind>,
+) -> FeatureMap {
+    let pad = kernel / 2;
+    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let out = conv.output();
+    layers.push(conv);
+    layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
+    if let Some(a) = act {
+        layers.push(Layer::activation(format!("{name}_act"), out, a));
+    }
+    out
+}
+
+fn dwconv_bn_act(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    kernel: usize,
+    stride: usize,
+) -> FeatureMap {
+    let pad = kernel / 2;
+    let conv = Layer::dwconv2d(name, input, (kernel, kernel), (stride, stride), (pad, pad));
+    let out = conv.output();
+    layers.push(conv);
+    layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
+    layers.push(Layer::activation(format!("{name}_act"), out, ActKind::Relu6));
+    out
+}
+
+/// Appends one inverted-residual block and returns its output map.
+fn inverted_residual(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    expand: usize,
+    out_ch: usize,
+    stride: usize,
+) -> FeatureMap {
+    let mid = input.c * expand;
+    let mut x = input;
+    if expand != 1 {
+        x = conv_bn_act(layers, &format!("{name}_exp"), x, mid, 1, 1, Some(ActKind::Relu6));
+    }
+    let x = dwconv_bn_act(layers, &format!("{name}_dw"), x, 3, stride);
+    let out = conv_bn_act(layers, &format!("{name}_proj"), x, out_ch, 1, 1, None);
+    if stride == 1 && input.c == out_ch {
+        layers.push(Layer::new(format!("{name}_add"), OpKind::EltwiseAdd, out));
+    }
+    out
+}
+
+/// Builds MobileNet-V2 with the standard `(t, c, n, s)` block table.
+#[must_use]
+pub fn mobilenet_v2() -> ModelSpec {
+    let mut layers = Vec::new();
+    let input = FeatureMap::nchw(1, 3, 224, 224);
+    let mut x = conv_bn_act(&mut layers, "stem", input, 32, 3, 2, Some(ActKind::Relu6));
+
+    // (expansion, out channels, repeats, first stride)
+    let table: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (bi, (t, c, n, s)) in table.into_iter().enumerate() {
+        for r in 0..n {
+            let stride = if r == 0 { s } else { 1 };
+            x = inverted_residual(&mut layers, &format!("b{bi}_{r}"), x, t, c, stride);
+        }
+    }
+
+    let x = conv_bn_act(&mut layers, "head", x, 1280, 1, 1, Some(ActKind::Relu6));
+    let gap = Layer::new(
+        "gap",
+        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        x,
+    );
+    let gap_out = gap.output();
+    layers.push(gap);
+    layers.push(Layer::dense("fc1000", gap_out, 1000));
+
+    ModelSpec {
+        graph: ModelGraph::new("mobilenet_v2", layers),
+        qos_ms: 10.0,
+        class: WorkloadClass::Light,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_flops_near_published() {
+        // Published: ~0.6 GFLOPs (300 MMACs x 2).
+        let g = mobilenet_v2().graph.total_flops() / 1e9;
+        assert!((0.4..=0.9).contains(&g), "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn depthwise_layers_present() {
+        let m = mobilenet_v2();
+        let dw = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Conv2d { groups, .. } if groups > 1))
+            .count();
+        // One depthwise conv per inverted-residual block: 1+2+3+4+3+3+1.
+        assert_eq!(dw, 17);
+    }
+
+    #[test]
+    fn final_features_are_1280() {
+        let m = mobilenet_v2();
+        assert_eq!(m.graph.layers.last().unwrap().input.c, 1280);
+    }
+
+    #[test]
+    fn residual_adds_only_on_matching_blocks() {
+        let m = mobilenet_v2();
+        let adds = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::EltwiseAdd))
+            .count();
+        // Repeat blocks with stride 1 and equal channels: (2-1)+(3-1)+(4-1)+(3-1)+(3-1)+(1-1)... per table.
+        assert_eq!(adds, 1 + 2 + 3 + 2 + 2, "inverted residual skip count");
+    }
+}

@@ -1,0 +1,151 @@
+//! ResNet-50 (He et al., CVPR 2016) at 224x224.
+
+use veltair_tensor::{ActKind, FeatureMap, Layer, ModelGraph, OpKind, PoolKind};
+
+use crate::catalog::{ModelSpec, WorkloadClass};
+
+/// Appends `conv + bn + relu` and returns the conv's output map.
+fn conv_bn_relu(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    relu: bool,
+) -> FeatureMap {
+    let pad = kernel / 2;
+    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let out = conv.output();
+    layers.push(conv);
+    layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
+    if relu {
+        layers.push(Layer::activation(format!("{name}_relu"), out, ActKind::Relu));
+    }
+    out
+}
+
+/// Appends one bottleneck block (1x1 reduce, 3x3, 1x1 expand, residual add).
+fn bottleneck(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    mid_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    downsample: bool,
+) -> FeatureMap {
+    let a = conv_bn_relu(layers, &format!("{name}_2a"), input, mid_ch, 1, stride, true);
+    let b = conv_bn_relu(layers, &format!("{name}_2b"), a, mid_ch, 3, 1, true);
+    let c = conv_bn_relu(layers, &format!("{name}_2c"), b, out_ch, 1, 1, false);
+    if downsample {
+        conv_bn_relu(layers, &format!("{name}_1"), input, out_ch, 1, stride, false);
+    }
+    layers.push(Layer::new(format!("{name}_add"), OpKind::EltwiseAdd, c));
+    layers.push(Layer::activation(format!("{name}_relu"), c, ActKind::Relu));
+    c
+}
+
+/// Builds ResNet-50: 53 convolutions plus the classifier GEMM, with all
+/// batch-norm / ReLU / residual epilogues present for fusion.
+#[must_use]
+pub fn resnet50() -> ModelSpec {
+    let mut layers = Vec::new();
+    let input = FeatureMap::nchw(1, 3, 224, 224);
+    // Stem: 7x7/2 conv + 3x3/2 max pool.
+    let stem = conv_bn_relu(&mut layers, "conv1", input, 64, 7, 2, true);
+    let pool = Layer::new(
+        "pool1",
+        OpKind::Pool { kind: PoolKind::Max, kernel: (3, 3), stride: (2, 2) },
+        stem,
+    );
+    let mut x = pool.output();
+    layers.push(pool);
+
+    let stages: [(usize, usize, usize, usize); 4] = [
+        // (blocks, mid channels, out channels, first stride)
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    for (si, (blocks, mid, out, stride)) in stages.into_iter().enumerate() {
+        for b in 0..blocks {
+            let name = format!("res{}{}", si + 2, (b'a' + b as u8) as char);
+            let s = if b == 0 { stride } else { 1 };
+            x = bottleneck(&mut layers, &name, x, mid, out, s, b == 0);
+        }
+    }
+
+    // Head: global average pool + fully connected classifier.
+    let gap = Layer::new(
+        "gap",
+        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        x,
+    );
+    let gap_out = gap.output();
+    layers.push(gap);
+    layers.push(Layer::dense("fc1000", gap_out, 1000));
+
+    ModelSpec {
+        graph: ModelGraph::new("resnet50", layers),
+        qos_ms: 15.0,
+        class: WorkloadClass::Medium,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_count_matches_architecture() {
+        let m = resnet50();
+        let convs = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Conv2d { .. }))
+            .count();
+        // 1 stem + 16 blocks x 3 + 4 downsample projections = 53.
+        assert_eq!(convs, 53);
+        assert_eq!(m.graph.compute_layer_count(), 54);
+    }
+
+    #[test]
+    fn total_flops_near_published() {
+        // Published: ~8.2 GFLOPs (4.1 GMACs) for 224x224 inference.
+        let g = resnet50().graph.total_flops() / 1e9;
+        assert!((6.0..=10.0).contains(&g), "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn weights_near_published() {
+        // Published: ~25.6 M parameters -> ~102 MB in FP32.
+        let mb = resnet50().graph.total_weight_bytes() / 1e6;
+        assert!((90.0..=115.0).contains(&mb), "got {mb} MB");
+    }
+
+    #[test]
+    fn spatial_pyramid_is_correct() {
+        let m = resnet50();
+        // Last conv operates on a 7x7 map with 2048 output channels.
+        let last_conv = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Conv2d { .. }))
+            .next_back()
+            .unwrap();
+        assert_eq!(last_conv.output().h, 7);
+        assert_eq!(last_conv.output().c, 2048);
+    }
+
+    #[test]
+    fn fusion_collapses_epilogues() {
+        let m = resnet50();
+        let units = m.graph.fused_units();
+        // 53 convs + pool + gap + fc = 56 scheduling units.
+        assert_eq!(units.len(), 56);
+    }
+}

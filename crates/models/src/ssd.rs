@@ -1,0 +1,137 @@
+//! SSD with a ResNet-34 backbone at 1200x1200 (the MLPerf "SSD-Large"
+//! heavy object-detection workload).
+
+use veltair_tensor::{ActKind, FeatureMap, Layer, ModelGraph, OpKind, PoolKind};
+
+use crate::catalog::{ModelSpec, WorkloadClass};
+
+fn conv_bn_relu(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+) -> FeatureMap {
+    let pad = kernel / 2;
+    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let out = conv.output();
+    layers.push(conv);
+    layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
+    layers.push(Layer::activation(format!("{name}_relu"), out, ActKind::Relu));
+    out
+}
+
+/// One ResNet basic block: two 3x3 convs plus the residual add.
+fn basic_block(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    out_ch: usize,
+    stride: usize,
+) -> FeatureMap {
+    let a = conv_bn_relu(layers, &format!("{name}_a"), input, out_ch, 3, stride);
+    let b = conv_bn_relu(layers, &format!("{name}_b"), a, out_ch, 3, 1);
+    if stride != 1 || input.c != out_ch {
+        conv_bn_relu(layers, &format!("{name}_proj"), input, out_ch, 1, stride);
+    }
+    layers.push(Layer::new(format!("{name}_add"), OpKind::EltwiseAdd, b));
+    b
+}
+
+/// Builds SSD-ResNet34: the truncated ResNet-34 backbone, SSD extra feature
+/// layers, and per-scale detection heads.
+#[must_use]
+pub fn ssd_resnet34() -> ModelSpec {
+    let mut layers = Vec::new();
+    let input = FeatureMap::nchw(1, 3, 1200, 1200);
+    // Stem.
+    let stem = conv_bn_relu(&mut layers, "conv1", input, 64, 7, 2);
+    let pool = Layer::new(
+        "pool1",
+        OpKind::Pool { kind: PoolKind::Max, kernel: (3, 3), stride: (2, 2) },
+        stem,
+    );
+    let mut x = pool.output();
+    layers.push(pool);
+    x = FeatureMap::nchw(1, x.c, 300, 300);
+
+    // ResNet-34 stages; MLPerf SSD truncates after stage 3 and keeps the
+    // stage-3 stride at 1 to preserve a 75x75 detection grid... we follow
+    // the published [3, 4, 6] block plan with strides [1, 2, 2] -> 75^2.
+    let plan: [(usize, usize, usize); 3] = [(3, 64, 1), (4, 128, 2), (6, 256, 2)];
+    for (si, (blocks, ch, stride)) in plan.into_iter().enumerate() {
+        for b in 0..blocks {
+            let s = if b == 0 { stride } else { 1 };
+            x = basic_block(&mut layers, &format!("s{}b{}", si + 2, b), x, ch, s);
+        }
+    }
+
+    // SSD extra feature pyramid: five downsampling 1x1 -> 3x3/2 pairs.
+    let extra_plan: [(usize, usize); 5] = [(256, 512), (256, 512), (128, 256), (128, 256), (128, 256)];
+    for (i, (mid, out)) in extra_plan.into_iter().enumerate() {
+        let t = conv_bn_relu(&mut layers, &format!("extra{i}_1"), x, mid, 1, 1);
+        x = conv_bn_relu(&mut layers, &format!("extra{i}_2"), t, out, 3, 2);
+    }
+
+    // Detection heads: one localization (4 coords) and one classification
+    // (81 classes) 3x3 conv per pyramid scale, 6 anchors each. We attach
+    // them to the stage-3 map and the five extra maps.
+    let head_inputs = [
+        FeatureMap::nchw(1, 256, 75, 75),
+        FeatureMap::nchw(1, 512, 38, 38),
+        FeatureMap::nchw(1, 512, 19, 19),
+        FeatureMap::nchw(1, 256, 10, 10),
+        FeatureMap::nchw(1, 256, 5, 5),
+        FeatureMap::nchw(1, 256, 3, 3),
+    ];
+    for (i, fm) in head_inputs.into_iter().enumerate() {
+        let loc = Layer::conv2d(format!("head{i}_loc"), fm, 6 * 4, (3, 3), (1, 1), (1, 1));
+        layers.push(loc);
+        let cls = Layer::conv2d(format!("head{i}_cls"), fm, 6 * 81, (3, 3), (1, 1), (1, 1));
+        let cls_out = cls.output();
+        layers.push(cls);
+        if i == head_inputs.len() - 1 {
+            layers.push(Layer::new("softmax", OpKind::Softmax, cls_out));
+        }
+    }
+
+    ModelSpec {
+        graph: ModelGraph::new("ssd_resnet34", layers),
+        qos_ms: 100.0,
+        class: WorkloadClass::Heavy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_heavy_workload() {
+        // MLPerf SSD-Large is ~200-450 GFLOPs depending on the head config.
+        let g = ssd_resnet34().graph.total_flops() / 1e9;
+        assert!((100.0..=500.0).contains(&g), "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn backbone_block_structure() {
+        let m = ssd_resnet34();
+        let adds = m.graph.layers.iter().filter(|l| matches!(l.op, OpKind::EltwiseAdd)).count();
+        assert_eq!(adds, 3 + 4 + 6);
+    }
+
+    #[test]
+    fn detection_heads_cover_six_scales() {
+        let m = ssd_resnet34();
+        let heads = m.graph.layers.iter().filter(|l| l.name.starts_with("head")).count();
+        assert_eq!(heads, 12);
+    }
+
+    #[test]
+    fn dominates_light_models() {
+        let ssd = ssd_resnet34().graph.total_flops();
+        let yolo = crate::yolo::tiny_yolo_v2().graph.total_flops();
+        assert!(ssd > 20.0 * yolo);
+    }
+}

@@ -1,0 +1,93 @@
+//! Tiny-YOLOv2 (Redmon & Farhadi, CVPR 2017) at 416x416.
+
+use veltair_tensor::{ActKind, FeatureMap, Layer, ModelGraph, OpKind, PoolKind};
+
+use crate::catalog::{ModelSpec, WorkloadClass};
+
+fn conv_bn_leaky(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    out_ch: usize,
+    kernel: usize,
+) -> FeatureMap {
+    let pad = kernel / 2;
+    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (1, 1), (pad, pad));
+    let out = conv.output();
+    layers.push(conv);
+    layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
+    // Leaky ReLU costs the same as ReLU6 in our accounting.
+    layers.push(Layer::activation(format!("{name}_act"), out, ActKind::Relu6));
+    out
+}
+
+fn max_pool2(layers: &mut Vec<Layer>, name: &str, input: FeatureMap) -> FeatureMap {
+    let pool = Layer::new(
+        name,
+        OpKind::Pool { kind: PoolKind::Max, kernel: (2, 2), stride: (2, 2) },
+        input,
+    );
+    let out = pool.output();
+    layers.push(pool);
+    out
+}
+
+/// Builds Tiny-YOLOv2: nine convolutions with interleaved 2x2 max pools.
+#[must_use]
+pub fn tiny_yolo_v2() -> ModelSpec {
+    let mut layers = Vec::new();
+    let mut x = FeatureMap::nchw(1, 3, 416, 416);
+    let channels = [16, 32, 64, 128, 256, 512];
+    for (i, c) in channels.into_iter().enumerate() {
+        x = conv_bn_leaky(&mut layers, &format!("conv{}", i + 1), x, c, 3);
+        if i < 5 {
+            x = max_pool2(&mut layers, &format!("pool{}", i + 1), x);
+        }
+    }
+    // Conv 6's pool is stride-1 in the reference net; approximate by
+    // keeping the 13x13 grid from here on.
+    let x = FeatureMap::nchw(1, x.c, 13, 13);
+    let x = conv_bn_leaky(&mut layers, "conv7", x, 1024, 3);
+    let x = conv_bn_leaky(&mut layers, "conv8", x, 1024, 3);
+    // Detection head: 1x1 conv to 125 channels (5 anchors x 25).
+    let head = Layer::conv2d("conv9_det", x, 125, (1, 1), (1, 1), (0, 0));
+    layers.push(head);
+
+    ModelSpec {
+        graph: ModelGraph::new("tiny_yolo_v2", layers),
+        qos_ms: 10.0,
+        class: WorkloadClass::Light,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_count_is_nine() {
+        let m = tiny_yolo_v2();
+        let convs = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 9);
+    }
+
+    #[test]
+    fn total_flops_near_published() {
+        // Published: ~7 GFLOPs (3.5 GMACs) at 416x416.
+        let g = tiny_yolo_v2().graph.total_flops() / 1e9;
+        assert!((4.0..=9.0).contains(&g), "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn detection_grid_is_13x13() {
+        let m = tiny_yolo_v2();
+        let head = m.graph.layers.last().unwrap();
+        assert_eq!(head.output().h, 13);
+        assert_eq!(head.output().c, 125);
+    }
+}

@@ -1,0 +1,262 @@
+//! Minimal dense linear algebra: symmetric eigendecomposition (cyclic
+//! Jacobi) and Gaussian elimination. Small fixed problem sizes only — the
+//! proxy works with 4 counters and 3 regression unknowns.
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// Creates an `n x n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Element mutator.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] = v;
+    }
+
+    /// Identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// eigenvector `k` is the `k`-th row of the returned matrix.
+///
+/// # Panics
+///
+/// Panics if the matrix is not (numerically) symmetric.
+#[must_use]
+pub fn symmetric_eigen(m: &SquareMatrix) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = m.n();
+    for r in 0..n {
+        for c in (r + 1)..n {
+            assert!(
+                (m.get(r, c) - m.get(c, r)).abs() <= 1e-9 * (1.0 + m.get(r, c).abs()),
+                "matrix must be symmetric"
+            );
+        }
+    }
+
+    let mut a = m.clone();
+    let mut v = SquareMatrix::identity(n);
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += a.get(r, c) * a.get(r, c);
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a.get(p, q);
+                if apq.abs() < 1e-30 {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation to A and accumulate into V.
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(p, k);
+                    let vkq = v.get(q, k);
+                    v.set(p, k, c * vkp - s * vkq);
+                    v.set(q, k, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, Vec<f64>)> =
+        (0..n).map(|i| (a.get(i, i), (0..n).map(|k| v.get(i, k)).collect())).collect();
+    pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
+    let eigenvalues = pairs.iter().map(|p| p.0).collect();
+    let eigenvectors = pairs.into_iter().map(|p| p.1).collect();
+    (eigenvalues, eigenvectors)
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or the system is numerically singular.
+#[must_use]
+pub fn solve(a: &SquareMatrix, b: &[f64]) -> Vec<f64> {
+    let n = a.n();
+    assert_eq!(b.len(), n, "dimension mismatch");
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| m.get(r1, col).abs().total_cmp(&m.get(r2, col).abs()))
+            .expect("non-empty range");
+        assert!(m.get(pivot, col).abs() > 1e-12, "singular system");
+        if pivot != col {
+            for k in 0..n {
+                let tmp = m.get(col, k);
+                m.set(col, k, m.get(pivot, k));
+                m.set(pivot, k, tmp);
+            }
+            rhs.swap(col, pivot);
+        }
+        for row in (col + 1)..n {
+            let f = m.get(row, col) / m.get(col, col);
+            for k in col..n {
+                m.set(row, k, m.get(row, k) - f * m.get(col, k));
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m.get(row, k) * x[k];
+        }
+        x[row] = acc / m.get(row, row);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&[f64]]) -> SquareMatrix {
+        let n = rows.len();
+        let mut m = SquareMatrix::zeros(n);
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn eigen_of_diagonal_is_trivial() {
+        let m = from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let (vals, vecs) = symmetric_eigen(&m);
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+        assert!(vecs[0][0].abs() > 0.99);
+    }
+
+    #[test]
+    fn eigen_of_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (vals, vecs) = symmetric_eigen(&m);
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+        // Eigenvector for 3 is (1,1)/sqrt(2).
+        let v = &vecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        assert!((v[0] - v[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = from_rows(&[
+            &[4.0, 1.0, 0.5, 0.0],
+            &[1.0, 3.0, 0.2, 0.1],
+            &[0.5, 0.2, 2.0, 0.3],
+            &[0.0, 0.1, 0.3, 1.0],
+        ]);
+        let (_, vecs) = symmetric_eigen(&m);
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = (0..4).map(|k| vecs[i][k] * vecs[j][k]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-8, "v{i}.v{j} = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace() {
+        let m = from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]);
+        let (vals, _) = symmetric_eigen(&m);
+        let trace = 4.0 + 3.0 + 2.0;
+        assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let x_true = [1.0, -2.0, 0.5];
+        let b: Vec<f64> = (0..3)
+            .map(|r| (0..3).map(|c| a.get(r, c) * x_true[c]).sum())
+            .collect();
+        let x = solve(&a, &b);
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_system_panics() {
+        let a = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let _ = solve(&a, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_eigen_panics() {
+        let a = from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let _ = symmetric_eigen(&a);
+    }
+}

@@ -1,0 +1,315 @@
+//! Algorithm 2: dynamic-threshold layer-block formation.
+//!
+//! Conflict-prone layers — those whose core requirement exceeds the model's
+//! flat (model-granularity) requirement by more than the runtime threshold
+//! — become *splitting pivots* that begin a new block. Each block is then
+//! sized to meet the summed QoS share of its layers, which lets cheap
+//! layers donate slack to the expensive pivot and flattens the allocation
+//! profile (paper Fig. 10a).
+
+use veltair_compiler::CompiledModel;
+use veltair_sim::{execute, Interference, MachineConfig};
+
+/// A formed layer block: the unit range, the per-unit code versions, and
+/// the core allocation that meets the block's summed QoS share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPlan {
+    /// Unit index range `[start, end)` into the compiled model.
+    pub start: usize,
+    /// Exclusive end unit index.
+    pub end: usize,
+    /// Chosen version per unit in the range.
+    pub versions: Vec<usize>,
+    /// Core allocation for the block.
+    pub cores: u32,
+}
+
+impl BlockPlan {
+    /// Number of units in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never true for formed blocks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// `Finding1stPivot` of Algorithm 2: the first unit index after `begin`
+/// whose core requirement (at its chosen version and the current
+/// interference level) is at least `avg_c + thres`. Returns `None` when no
+/// later unit is conflict-prone.
+#[must_use]
+pub fn find_first_pivot(
+    model: &CompiledModel,
+    begin: usize,
+    versions: &[usize],
+    level: f64,
+    avg_c: u32,
+    thres: u32,
+) -> Option<usize> {
+    let limit = u64::from(avg_c) + u64::from(thres);
+    ((begin + 1)..model.layers.len()).find(|&i| {
+        u64::from(model.layers[i].core_requirement(versions[i], level)) >= limit
+    })
+}
+
+/// Minimum cores under which the units `[start, end)` finish within their
+/// summed QoS share under the given ambient pressure (saturating at the
+/// machine size).
+///
+/// Planning takes the full cache/bandwidth pressure pair rather than a
+/// collapsed scalar: a system can hold the whole L3 hostage while using
+/// half the DRAM bandwidth, and sizing blocks as if both were equally
+/// loaded would overestimate the requirement roughly twofold.
+#[must_use]
+pub fn block_core_requirement(
+    model: &CompiledModel,
+    start: usize,
+    end: usize,
+    versions: &[usize],
+    pressure: Interference,
+    machine: &MachineConfig,
+) -> u32 {
+    assert!(start < end && end <= model.layers.len(), "invalid block range");
+    let budget: f64 = model.layers[start..end].iter().map(|l| l.qos_share_s).sum::<f64>()
+        * veltair_compiler::QOS_PLAN_MARGIN;
+    for p in 1..=machine.cores {
+        let total: f64 = (start..end)
+            .map(|i| {
+                execute(&model.layers[i].versions[versions[i]].profile, p, pressure, machine)
+                    .latency_s
+                    + machine.dispatch_overhead_s
+            })
+            .sum();
+        if total <= budget {
+            return p;
+        }
+    }
+    machine.cores
+}
+
+/// Flat latency of the units `[start, end)` on `cores` cores under the
+/// given ambient pressure, including per-unit dispatch overhead.
+#[must_use]
+pub fn block_flat_latency_s(
+    model: &CompiledModel,
+    start: usize,
+    end: usize,
+    versions: &[usize],
+    pressure: Interference,
+    cores: u32,
+    machine: &MachineConfig,
+) -> f64 {
+    assert!(start < end && end <= model.layers.len(), "invalid block range");
+    (start..end)
+        .map(|i| {
+            execute(&model.layers[i].versions[versions[i]].profile, cores, pressure, machine)
+                .latency_s
+                + machine.dispatch_overhead_s
+        })
+        .sum()
+}
+
+/// Relative latency slack accepted when boosting: the smallest allocation
+/// within 5 % of the best achievable latency in the boost range wins.
+const BOOST_SLACK: f64 = 0.05;
+
+/// Raises a block's allocation above its QoS minimum toward `cap`,
+/// implementing §4.2's rule that a lightly loaded system should let each
+/// block "use as many cores as possible" — but only while the cores still
+/// buy latency. Among allocations in `[min_cores, cap]` the smallest one
+/// within [`BOOST_SLACK`] of the best achievable latency is chosen, which
+/// looks *through* wave-quantization plateaus instead of stopping at the
+/// first flat step.
+#[must_use]
+pub fn boosted_block_cores(
+    model: &CompiledModel,
+    start: usize,
+    end: usize,
+    versions: &[usize],
+    pressure: Interference,
+    min_cores: u32,
+    cap: u32,
+    machine: &MachineConfig,
+) -> u32 {
+    let cap = cap.min(machine.cores);
+    if cap <= min_cores {
+        return min_cores;
+    }
+    let latencies: Vec<(u32, f64)> = (min_cores..=cap)
+        .map(|p| (p, block_flat_latency_s(model, start, end, versions, pressure, p, machine)))
+        .collect();
+    let best = latencies.iter().map(|&(_, l)| l).fold(f64::INFINITY, f64::min);
+    latencies
+        .iter()
+        .find(|&&(_, l)| l <= best * (1.0 + BOOST_SLACK))
+        .map_or(min_cores, |&(p, _)| p)
+}
+
+/// Chooses the code version for every unit of the model at an interference
+/// level (`adaptive = false` pins the solo-optimal version, i.e. static
+/// compilation).
+///
+/// Adaptive selection is judged at the model's flat core requirement for
+/// the level — the allocation a block will actually receive — because the
+/// winning version differs between a 2-core grant and a 16-core grant.
+#[must_use]
+pub fn versions_at_level(model: &CompiledModel, level: f64, adaptive: bool) -> Vec<usize> {
+    if !adaptive {
+        return model.layers.iter().map(|layer| layer.version_for_level(0.0)).collect();
+    }
+    let expected_cores = model.model_core_requirement(level).max(1);
+    model.layers.iter().map(|layer| layer.version_for(level, expected_cores)).collect()
+}
+
+/// Chooses the code version for every unit of the model against the *live*
+/// ambient pressure pair at the expected allocation.
+///
+/// The compiled per-bin tables assume symmetric cache/bandwidth pressure
+/// (that is how the offline profiling ran); a real co-location can pin the
+/// whole L3 while using half the bandwidth, and collapsing that to a
+/// scalar mis-ranks versions near the crossover. The runtime therefore
+/// re-ranks the handful of retained versions under the monitored pair —
+/// a few dozen closed-form evaluations per plan.
+#[must_use]
+pub fn versions_for_pressure(
+    model: &CompiledModel,
+    pressure: Interference,
+    expected_cores: u32,
+    machine: &MachineConfig,
+) -> Vec<usize> {
+    let cores = expected_cores.max(1);
+    model
+        .layers
+        .iter()
+        .map(|layer| {
+            (0..layer.versions.len())
+                .min_by(|&a, &b| {
+                    let la = execute(&layer.versions[a].profile, cores, pressure, machine)
+                        .latency_s;
+                    let lb = execute(&layer.versions[b].profile, cores, pressure, machine)
+                        .latency_s;
+                    la.total_cmp(&lb)
+                })
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Forms the complete block partition of a model for analysis and for the
+/// Fig. 10a walk-through: every conflict-prone unit starts a new block.
+#[must_use]
+pub fn form_blocks(
+    model: &CompiledModel,
+    level: f64,
+    adaptive: bool,
+    thres: u32,
+    machine: &MachineConfig,
+) -> Vec<BlockPlan> {
+    let versions = versions_at_level(model, level, adaptive);
+    let avg_c = model.model_core_requirement(if adaptive { level } else { 0.0 });
+    let pressure = Interference::level(level);
+    let mut blocks = Vec::new();
+    let mut begin = 0;
+    while begin < model.layers.len() {
+        let end = find_first_pivot(model, begin, &versions, level, avg_c, thres)
+            .unwrap_or(model.layers.len());
+        let cores = block_core_requirement(model, begin, end, &versions, pressure, machine);
+        blocks.push(BlockPlan {
+            start: begin,
+            end,
+            versions: versions[begin..end].to_vec(),
+            cores,
+        });
+        begin = end;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veltair_compiler::{compile_model, CompilerOptions};
+
+    fn compiled() -> (CompiledModel, MachineConfig) {
+        let machine = MachineConfig::threadripper_3990x();
+        let spec = veltair_models::resnet50();
+        (compile_model(&spec, &machine, &CompilerOptions::fast()), machine)
+    }
+
+    #[test]
+    fn blocks_partition_all_layers_exactly_once() {
+        let (m, machine) = compiled();
+        for thres in [0u32, 2, 8, 32] {
+            let blocks = form_blocks(&m, 0.0, true, thres, &machine);
+            assert_eq!(blocks[0].start, 0);
+            assert_eq!(blocks.last().unwrap().end, m.layers.len());
+            for pair in blocks.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "blocks must be contiguous");
+            }
+            assert!(blocks.iter().all(|b| !b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn lower_threshold_forms_more_blocks() {
+        let (m, machine) = compiled();
+        let few = form_blocks(&m, 0.0, true, 48, &machine).len();
+        let many = form_blocks(&m, 0.0, true, 0, &machine).len();
+        assert!(many >= few, "thres 0 gave {many}, thres 48 gave {few}");
+        assert!(many > 1, "zero threshold must split ResNet-50");
+    }
+
+    #[test]
+    fn block_core_requirement_is_within_machine() {
+        let (m, machine) = compiled();
+        let blocks = form_blocks(&m, 0.3, true, 4, &machine);
+        for b in &blocks {
+            assert!((1..=machine.cores).contains(&b.cores));
+        }
+    }
+
+    #[test]
+    fn block_allocation_is_smoother_than_layerwise_peak() {
+        // Fig. 10a/10b: block formation cuts the maximum core demand.
+        let (m, machine) = compiled();
+        let versions = versions_at_level(&m, 0.0, true);
+        let layer_peak = (0..m.layers.len())
+            .map(|i| m.layers[i].core_requirement(versions[i], 0.0))
+            .max()
+            .unwrap();
+        let blocks = form_blocks(&m, 0.0, true, 4, &machine);
+        let block_peak = blocks.iter().map(|b| b.cores).max().unwrap();
+        assert!(
+            block_peak <= layer_peak,
+            "block peak {block_peak} vs layer peak {layer_peak}"
+        );
+    }
+
+    #[test]
+    fn pivot_is_first_conflict_prone_layer() {
+        let (m, machine) = compiled();
+        let _ = &machine;
+        let versions = versions_at_level(&m, 0.0, true);
+        let avg_c = m.model_core_requirement(0.0);
+        if let Some(p) = find_first_pivot(&m, 0, &versions, 0.0, avg_c, 0) {
+            assert!(m.layers[p].core_requirement(versions[p], 0.0) >= avg_c);
+            for i in 1..p {
+                assert!(m.layers[i].core_requirement(versions[i], 0.0) < avg_c);
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_threshold_yields_single_block() {
+        let (m, machine) = compiled();
+        let blocks = form_blocks(&m, 0.0, true, machine.cores, &machine);
+        // avg_c + cores exceeds any per-layer requirement.
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len(), m.layers.len());
+    }
+}

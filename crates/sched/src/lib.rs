@@ -1,0 +1,47 @@
+//! Multi-tenant serving schedulers for VELTAIR.
+//!
+//! This crate hosts the online half of the paper:
+//!
+//! * [`workload`] — MLPerf-server-style query generation (Poisson arrivals,
+//!   class mixes with inverse-QoS frequencies, uniform streams for the
+//!   granularity study);
+//! * [`policy`] — the evaluated scheduling policies: the paper's
+//!   VELTAIR-AS/-AC/-FULL plus the Planaria, PREMA, model-wise-FCFS and
+//!   fixed-layer-block baselines (Table 1's design space);
+//! * [`layer_block`] — Algorithm 2: dynamic-threshold layer-block
+//!   formation and block core-requirement calculation;
+//! * [`simulator`] — the progress-based discrete-event serving simulator
+//!   implementing Algorithm 3 (dispatch, conflict handling with thread-team
+//!   expansion, interference monitoring, version selection);
+//! * [`report`] — per-model QoS satisfaction, latency, conflict and CPU
+//!   usage statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use veltair_compiler::{compile_model, CompilerOptions};
+//! use veltair_sched::{simulate, Policy, SimConfig, WorkloadSpec};
+//! use veltair_sim::MachineConfig;
+//!
+//! let machine = MachineConfig::threadripper_3990x();
+//! let compiled = vec![compile_model(
+//!     &veltair_models::mobilenet_v2(),
+//!     &machine,
+//!     &CompilerOptions::fast(),
+//! )];
+//! let queries = WorkloadSpec::single("mobilenet_v2", 50.0, 100).generate(7);
+//! let report = simulate(&compiled, &queries, &SimConfig::new(machine, Policy::VeltairFull));
+//! assert_eq!(report.total_queries(), 100);
+//! ```
+
+pub mod layer_block;
+pub mod policy;
+pub mod report;
+pub mod simulator;
+pub mod workload;
+
+pub use layer_block::{block_core_requirement, find_first_pivot, form_blocks, BlockPlan};
+pub use policy::{Granularity, Policy};
+pub use report::{ModelStats, ServingReport};
+pub use simulator::{simulate, SimConfig};
+pub use workload::{QuerySpec, WorkloadSpec};

@@ -1,0 +1,67 @@
+//! Machine-model variants: the SMT and DVFS sensitivity toggles that the
+//! paper's testbed disables (§5.1).
+
+use veltair_sim::{execute, Interference, KernelProfile, MachineConfig};
+
+fn kernel() -> KernelProfile {
+    KernelProfile {
+        flops: 1.0e9,
+        compute_efficiency: 0.7,
+        parallel_chunks: 4096,
+        footprint_base_bytes: 1.0e6,
+        footprint_per_core_bytes: 100.0e3,
+        min_traffic_bytes: 5.0e6,
+        spill_traffic_bytes: 50.0e6,
+    }
+}
+
+#[test]
+fn smt_doubles_logical_cores_but_not_throughput() {
+    let base = MachineConfig::threadripper_3990x();
+    let smt = base.clone().with_smt();
+    assert_eq!(smt.cores, 2 * base.cores);
+    // Aggregate peak grows only ~10 %, not 2x.
+    let ratio = smt.peak_flops() / base.peak_flops();
+    assert!(ratio > 1.0 && ratio < 1.3, "smt peak ratio {ratio}");
+}
+
+#[test]
+fn smt_helps_highly_parallel_kernels_at_full_machine() {
+    let base = MachineConfig::threadripper_3990x();
+    let smt = base.clone().with_smt();
+    let l_base = execute(&kernel(), base.cores, Interference::NONE, &base).latency_s;
+    let l_smt = execute(&kernel(), smt.cores, Interference::NONE, &smt).latency_s;
+    // With abundant chunks, SMT's extra logical parallelism wins a little.
+    assert!(l_smt < l_base, "smt {l_smt} vs base {l_base}");
+    assert!(l_smt > 0.6 * l_base, "smt gain implausibly large");
+}
+
+#[test]
+fn dvfs_droop_slows_wide_allocations_only() {
+    let base = MachineConfig::threadripper_3990x();
+    let dvfs = base.clone().with_dvfs(0.2);
+    let one_base = execute(&kernel(), 1, Interference::NONE, &base).latency_s;
+    let one_dvfs = execute(&kernel(), 1, Interference::NONE, &dvfs).latency_s;
+    assert!((one_base - one_dvfs).abs() < 1e-12, "single core must be unaffected");
+    let full_base = execute(&kernel(), 64, Interference::NONE, &base).latency_s;
+    let full_dvfs = execute(&kernel(), 64, Interference::NONE, &dvfs).latency_s;
+    assert!(full_dvfs > full_base, "droop must slow the full machine");
+    assert!(full_dvfs < 1.5 * full_base, "20% droop cannot cost 50%");
+}
+
+#[test]
+fn effective_frequency_interpolates_linearly() {
+    let m = MachineConfig::threadripper_3990x().with_dvfs(0.3);
+    let f1 = m.effective_flops_per_core(1);
+    let f64c = m.effective_flops_per_core(64);
+    assert!((f1 - m.peak_flops_per_core()).abs() < 1e-6);
+    assert!((f64c - 0.7 * m.peak_flops_per_core()).abs() < 1e-3 * f1);
+    let mid = m.effective_flops_per_core(32);
+    assert!(mid < f1 && mid > f64c);
+}
+
+#[test]
+#[should_panic(expected = "droop must be in")]
+fn absurd_droop_rejected() {
+    let _ = MachineConfig::threadripper_3990x().with_dvfs(0.9);
+}

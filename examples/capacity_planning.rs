@@ -1,0 +1,62 @@
+//! Capacity planning: how many queries per second can a tenant mix
+//! sustain at 95 % QoS, and what does each scheduling policy cost you?
+//!
+//! A serving operator's core question before admitting a new tenant mix.
+//! This example compiles three tenant mixes (light, medium, and the
+//! paper's inverse-QoS mix), bisects the maximum QPS at the 95 % target
+//! for each policy, and prints a capacity table.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use veltair::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::threadripper_3990x();
+    let mixes: Vec<(&str, Vec<(&str, f64)>)> = vec![
+        ("light", vec![("mobilenet_v2", 1.0), ("efficientnet_b0", 1.0)]),
+        ("medium", vec![("resnet50", 1.0), ("googlenet", 1.0)]),
+        (
+            "paper-mix",
+            vec![
+                ("mobilenet_v2", 1.0 / 10.0),
+                ("tiny_yolo_v2", 1.0 / 10.0),
+                ("resnet50", 1.0 / 15.0),
+                ("bert_large", 1.0 / 130.0),
+            ],
+        ),
+    ];
+    let policies =
+        [Policy::Planaria, Policy::Prema, Policy::VeltairAs, Policy::VeltairFull];
+    let cfg = QpsSearchConfig { queries: 200, seed: 7, iterations: 6, satisfaction_target: 0.95 };
+
+    println!("{:<10} {:>14} {:>12} {:>14}", "mix", "policy", "max QPS", "latency (ms)");
+    for (label, streams) in &mixes {
+        // Compile every model of the mix once.
+        let names: Vec<&str> = streams.iter().map(|(n, _)| *n).collect();
+        let mut engines: Vec<(Policy, ServingEngine)> = Vec::new();
+        for policy in policies {
+            let mut e = ServingEngine::new(machine.clone(), policy);
+            for n in &names {
+                e.register(compile_model(
+                    &by_name(n).expect("zoo model"),
+                    &machine,
+                    &CompilerOptions::fast(),
+                ));
+            }
+            engines.push((policy, e));
+        }
+        let workload = WorkloadSpec::mix(streams, cfg.queries);
+        for (policy, engine) in &engines {
+            let result = max_qps_at_qos(engine, &workload, &cfg);
+            println!(
+                "{label:<10} {:>14} {:>12.0} {:>14.2}",
+                policy.name(),
+                result.qps,
+                result.avg_latency_s * 1e3
+            );
+        }
+        println!();
+    }
+}

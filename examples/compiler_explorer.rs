@@ -1,0 +1,62 @@
+//! Compiler explorer: watch Algorithm 1 work on a single convolution —
+//! the sampled schedule space, the QoS filter, the Pareto frontier in the
+//! parallelism/locality plane, and how each retained version behaves as
+//! interference rises.
+//!
+//! ```text
+//! cargo run --release --example compiler_explorer
+//! ```
+
+use veltair::compiler::{
+    extract_dominant, search, select_versions, CompilerOptions, Schedule,
+};
+use veltair::prelude::*;
+use veltair::sim::execute;
+use veltair::tensor::{FeatureMap, FusedUnit, GemmView, Layer};
+
+fn main() {
+    let machine = MachineConfig::threadripper_3990x();
+    // The paper's Fig. 6 exemplar: conv 14x14, 256 -> 256 channels, 3x3.
+    let layer =
+        Layer::conv2d("conv", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+    let gemm = GemmView::of(&layer).expect("conv has a GEMM view");
+    let unit = FusedUnit::solo(layer);
+
+    let opts = CompilerOptions { search_iterations: 512, ..CompilerOptions::fast() };
+    let population = search(&unit, &gemm, &machine, &opts, 0);
+    println!("sampled {} distinct schedules", population.len());
+
+    let frontier = extract_dominant(&population);
+    println!("dominant implementations (Pareto frontier): {}", frontier.len());
+
+    let qos_share = 0.5e-3; // a 0.5 ms slice of the model budget
+    let versions = select_versions(&population, qos_share, &machine, &opts);
+    println!("retained versions: {}\n", versions.len());
+
+    println!("{:<22} {:>12} {:>12}", "schedule", "parallelism", "block(KB)");
+    for v in &versions {
+        let s: Schedule = v.schedule.expect("searched versions have schedules");
+        println!("{:<22} {:>12.0} {:>12.1}", s.to_string(), v.parallelism, v.locality_bytes / 1e3);
+    }
+
+    println!("\nlatency (us) on 16 cores as interference pressure rises:");
+    print!("{:<10}", "pressure");
+    for i in 0..versions.len() {
+        print!(" {:>9}", format!("v{i}"));
+    }
+    println!(" {:>9}", "best");
+    for level in [0.0, 0.2, 0.4, 0.6, 0.8, 0.95] {
+        print!("{:<10}", format!("{:.0}%", level * 100.0));
+        let mut best = f64::INFINITY;
+        let mut cells = Vec::new();
+        for v in &versions {
+            let l = execute(&v.profile, 16, Interference::level(level), &machine).latency_s * 1e6;
+            best = best.min(l);
+            cells.push(l);
+        }
+        for l in cells {
+            print!(" {:>9.1}", l);
+        }
+        println!(" {:>9.1}", best);
+    }
+}

@@ -1,0 +1,60 @@
+//! Multi-tenant serving: the paper's mixed workload (all seven MLPerf
+//! models, arrival frequency inversely proportional to QoS) served under
+//! every policy, side by side.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant_serving
+//! ```
+
+use veltair::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::threadripper_3990x();
+    let opts = CompilerOptions::fast();
+
+    // Compile a lighter mix for a fast demo; add the heavy models for the
+    // full paper workload.
+    let names = ["mobilenet_v2", "tiny_yolo_v2", "resnet50", "googlenet"];
+    println!("compiling {} models...", names.len());
+    let compiled: Vec<CompiledModel> = names
+        .iter()
+        .map(|n| compile_model(&by_name(n).expect("zoo model"), &machine, &opts))
+        .collect();
+
+    // Inverse-QoS mixed arrival rates at 200 QPS aggregate.
+    let specs: Vec<ModelSpec> = names.iter().map(|n| by_name(n).unwrap()).collect();
+    let streams: Vec<(&str, f64)> =
+        specs.iter().map(|s| (s.graph.name.as_str(), 1.0 / s.qos_ms)).collect();
+    let workload = WorkloadSpec::mix(&streams, 400).scaled_to(200.0);
+
+    let proxy = train_proxy(&compiled, &machine, 384, 11);
+    println!("interference proxy r2 = {:.3}\n", proxy.r2);
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10}",
+        "policy", "satisfied", "latency(ms)", "conflicts", "avg cores"
+    );
+    for policy in [
+        Policy::ModelFcfs,
+        Policy::Prema,
+        Policy::Planaria,
+        Policy::VeltairAs,
+        Policy::VeltairAc,
+        Policy::VeltairFull,
+    ] {
+        let mut engine = ServingEngine::new(machine.clone(), policy);
+        for m in &compiled {
+            engine.register(m.clone());
+        }
+        engine.set_proxy(proxy.clone());
+        let report = engine.run(&workload, 3);
+        println!(
+            "{:<14} {:>11.1}% {:>12.2} {:>10} {:>10.1}",
+            policy.name(),
+            report.overall_satisfaction() * 100.0,
+            report.overall_avg_latency_s() * 1e3,
+            report.conflicts,
+            report.avg_cores
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Train, inspect, and stress the hardware-counter interference proxy.
+//!
+//! The runtime scheduler cannot see its co-runners' internals; it reads
+//! L3 performance counters and maps them to an interference pressure level
+//! through a linear model (paper §4.3, Fig. 11). This example walks the
+//! full pipeline: generate co-location episodes, run PCA to confirm which
+//! counters carry the signal, fit the proxy, validate it on held-out
+//! episodes, and compare serving quality with the proxy against the
+//! oracle monitor.
+//!
+//! ```text
+//! cargo run --release --example proxy_training
+//! ```
+
+use veltair::core::co_location_dataset;
+use veltair::prelude::*;
+use veltair::proxy::{InterferenceProxy, Pca};
+
+fn main() {
+    let machine = MachineConfig::threadripper_3990x();
+    let names = ["resnet50", "mobilenet_v2", "tiny_yolo_v2"];
+    let models: Vec<CompiledModel> = names
+        .iter()
+        .map(|n| compile_model(&by_name(n).expect("zoo model"), &machine, &CompilerOptions::fast()))
+        .collect();
+
+    // 1. Generate co-location episodes: random tenant subsets, random
+    //    allocations, counters sampled under the resulting contention.
+    let (windows, levels) = co_location_dataset(&models, &machine, 512, 7);
+    println!("dataset: {} episodes, levels {:.2}..{:.2}",
+        windows.len(),
+        levels.iter().copied().fold(f64::INFINITY, f64::min),
+        levels.iter().copied().fold(0.0, f64::max));
+
+    // 2. PCA over the counter features (paper Fig. 11a): the L3 counters
+    //    dominate the variance, which is why the proxy uses only them.
+    let rows: Vec<Vec<f64>> = windows.iter().map(|w| w.feature_vector().to_vec()).collect();
+    let pca = Pca::fit(&rows);
+    println!("\nPCA component ratios (l3_miss_rate, l3_accesses, ipc, flops):");
+    for (i, r) in pca.explained_ratio().iter().enumerate() {
+        println!("  component {i}: {:.4}", r);
+    }
+
+    // 3. Fit on the first half, validate on the second (Fig. 11b).
+    let split = windows.len() / 2;
+    let proxy = InterferenceProxy::fit(&windows[..split], &levels[..split]);
+    let mut sse = 0.0;
+    let mut sst = 0.0;
+    let mean: f64 = levels[split..].iter().sum::<f64>() / (windows.len() - split) as f64;
+    for (w, &l) in windows[split..].iter().zip(&levels[split..]) {
+        sse += (proxy.predict(w) - l).powi(2);
+        sst += (l - mean).powi(2);
+    }
+    println!("\ntrain r2 = {:.3}, held-out r2 = {:.3}", proxy.r2, 1.0 - sse / sst);
+
+    // 4. Serve the same workload with the oracle monitor and the proxy.
+    let workload = WorkloadSpec::mix(&[("resnet50", 1.0), ("tiny_yolo_v2", 2.0)], 300);
+    let mut engine = ServingEngine::new(machine, Policy::VeltairFull);
+    for m in models {
+        engine.register(m);
+    }
+    let oracle = engine.run(&workload, 99);
+    engine.set_proxy(proxy);
+    let proxied = engine.run(&workload, 99);
+    println!(
+        "\nserving with oracle monitor: {:.1}% QoS, {:.2} ms mean",
+        oracle.overall_satisfaction() * 100.0,
+        oracle.overall_avg_latency_s() * 1e3
+    );
+    println!(
+        "serving with trained proxy:  {:.1}% QoS, {:.2} ms mean",
+        proxied.overall_satisfaction() * 100.0,
+        proxied.overall_avg_latency_s() * 1e3
+    );
+}

@@ -1,0 +1,35 @@
+//! Quickstart: compile one model, serve a Poisson stream, read the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use veltair::prelude::*;
+
+fn main() {
+    // 1. The machine: the paper's 64-core Threadripper 3990X class CPU.
+    let machine = MachineConfig::threadripper_3990x();
+
+    // 2. Compile MobileNet-V2 with the single-pass multi-version compiler.
+    let spec = veltair::models::mobilenet_v2();
+    let compiled = compile_model(&spec, &machine, &CompilerOptions::fast());
+    println!("compiled: {compiled}");
+
+    // 3. Train the interference proxy the runtime scheduler will consult.
+    let proxy = train_proxy(std::slice::from_ref(&compiled), &machine, 256, 7);
+    println!("proxy trained: r2 = {:.3}", proxy.r2);
+
+    // 4. Serve 200 queries at 120 QPS with the full VELTAIR policy.
+    let mut engine = ServingEngine::new(machine, Policy::VeltairFull);
+    engine.register(compiled);
+    engine.set_proxy(proxy);
+    let report = engine.run(&WorkloadSpec::single("mobilenet_v2", 120.0, 200), 42);
+
+    println!(
+        "served {} queries: {:.1}% within QoS, mean latency {:.2} ms, peak {} cores",
+        report.total_queries(),
+        report.overall_satisfaction() * 100.0,
+        report.overall_avg_latency_s() * 1e3,
+        report.peak_cores
+    );
+}

@@ -1,0 +1,57 @@
+//! # VELTAIR
+//!
+//! A full reproduction of *"VELTAIR: Towards High-Performance Multi-tenant
+//! Deep Learning Services via Adaptive Compilation and Scheduling"*
+//! (ASPLOS 2022) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`sim`] — the analytic 64-core CPU machine model with shared-L3 and
+//!   memory-bandwidth contention;
+//! * [`tensor`] — the operator IR (shapes, FLOP/byte accounting, loop
+//!   nests, fusion);
+//! * [`models`] — the seven MLPerf-style networks of the paper's Table 2;
+//! * [`compiler`] — the Ansor-style auto-scheduler and the single-pass
+//!   static multi-version compiler (Algorithm 1);
+//! * [`proxy`] — the PCA-selected, linear performance-counter interference
+//!   proxy;
+//! * [`sched`] — layer-block formation (Algorithm 2), the VELTAIR runtime
+//!   scheduler (Algorithm 3), and the Planaria / PREMA baselines;
+//! * [`core`] — the serving engine, evaluation metrics, and the experiment
+//!   harness that regenerates every figure and table of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use veltair::prelude::*;
+//!
+//! // Compile a model once, offline.
+//! let machine = MachineConfig::threadripper_3990x();
+//! let spec = veltair::models::mobilenet_v2();
+//! let compiled = compile_model(&spec, &machine, &CompilerOptions::fast());
+//!
+//! // Serve a Poisson query stream with the full VELTAIR policy.
+//! let mut engine = ServingEngine::new(machine, Policy::VeltairFull);
+//! engine.register(compiled);
+//! let report = engine.run(&WorkloadSpec::single("mobilenet_v2", 50.0, 50), 42);
+//! assert_eq!(report.total_queries(), 50);
+//! ```
+
+pub use veltair_compiler as compiler;
+pub use veltair_core as core;
+pub use veltair_models as models;
+pub use veltair_proxy as proxy;
+pub use veltair_sched as sched;
+pub use veltair_sim as sim;
+pub use veltair_tensor as tensor;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
+    pub use veltair_core::{
+        max_qps_at_qos, train_proxy, Policy, QpsResult, QpsSearchConfig, ServingEngine,
+        ServingReport, WorkloadSpec,
+    };
+    pub use veltair_models::{all_models, by_name, ModelSpec, WorkloadClass};
+    pub use veltair_sim::{Interference, MachineConfig};
+}

@@ -1,0 +1,89 @@
+//! Determinism guarantees and failure-injection behaviour.
+
+use veltair::prelude::*;
+
+fn compiled(name: &str) -> CompiledModel {
+    let machine = MachineConfig::threadripper_3990x();
+    compile_model(&by_name(name).expect("zoo model"), &machine, &CompilerOptions::fast())
+}
+
+#[test]
+fn identical_seeds_give_identical_reports() {
+    let machine = MachineConfig::threadripper_3990x();
+    let m = compiled("mobilenet_v2");
+    let workload = WorkloadSpec::single("mobilenet_v2", 90.0, 120);
+    let run = || {
+        let mut e = ServingEngine::new(machine.clone(), Policy::VeltairFull);
+        e.register(m.clone());
+        e.run(&workload, 1234)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let a = compiled("tiny_yolo_v2");
+    let b = compiled("tiny_yolo_v2");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_change_arrivals_not_totals() {
+    let machine = MachineConfig::threadripper_3990x();
+    let m = compiled("mobilenet_v2");
+    let mut e = ServingEngine::new(machine, Policy::VeltairFull);
+    e.register(m);
+    let w = WorkloadSpec::single("mobilenet_v2", 90.0, 100);
+    let a = e.run(&w, 1);
+    let b = e.run(&w, 2);
+    assert_eq!(a.total_queries(), b.total_queries());
+    assert_ne!(a, b, "different seeds should perturb the schedule");
+}
+
+#[test]
+fn overload_degrades_gracefully_not_fatally() {
+    // 100x beyond capacity: every query still completes, satisfaction
+    // collapses, the simulator neither deadlocks nor panics.
+    let machine = MachineConfig::threadripper_3990x();
+    let m = compiled("resnet50");
+    let mut e = ServingEngine::new(machine, Policy::VeltairFull);
+    e.register(m);
+    let report = e.run(&WorkloadSpec::single("resnet50", 20_000.0, 150), 3);
+    assert_eq!(report.total_queries(), 150);
+    assert!(report.overall_satisfaction() < 0.5);
+    assert!(report.makespan_s.is_finite());
+}
+
+#[test]
+fn burst_arrivals_are_absorbed() {
+    // All queries arrive in the same instant (worst-case burst).
+    use veltair::sched::{simulate, QuerySpec, SimConfig};
+    use veltair::sim::SimTime;
+    let machine = MachineConfig::threadripper_3990x();
+    let m = compiled("mobilenet_v2");
+    let queries: Vec<QuerySpec> = (0..32)
+        .map(|i| QuerySpec {
+            model: "mobilenet_v2".into(),
+            arrival: SimTime(f64::from(i) * 1e-9),
+        })
+        .collect();
+    let report = simulate(
+        &[m],
+        &queries,
+        &SimConfig::new(machine, Policy::VeltairFull),
+    );
+    assert_eq!(report.total_queries(), 32);
+    assert!(report.makespan_s > 0.0);
+}
+
+#[test]
+fn single_query_stream_works() {
+    let machine = MachineConfig::threadripper_3990x();
+    let m = compiled("googlenet");
+    let mut e = ServingEngine::new(machine.clone(), Policy::VeltairFull);
+    e.register(m);
+    let report = e.run(&WorkloadSpec::single("googlenet", 5.0, 1), 8);
+    assert_eq!(report.total_queries(), 1);
+    // A lone query on an idle machine must meet QoS comfortably.
+    assert_eq!(report.qos_satisfaction("googlenet"), 1.0);
+}

@@ -1,0 +1,92 @@
+//! End-to-end integration: the full pipeline from model zoo through
+//! compilation, proxy training, and multi-tenant serving.
+
+use veltair::prelude::*;
+
+fn machine() -> MachineConfig {
+    MachineConfig::threadripper_3990x()
+}
+
+fn compile(names: &[&str]) -> Vec<CompiledModel> {
+    let m = machine();
+    names
+        .iter()
+        .map(|n| compile_model(&by_name(n).expect("zoo model"), &m, &CompilerOptions::fast()))
+        .collect()
+}
+
+#[test]
+fn full_pipeline_serves_a_mixed_workload() {
+    let compiled = compile(&["mobilenet_v2", "tiny_yolo_v2"]);
+    let proxy = train_proxy(&compiled, &machine(), 256, 1);
+    assert!(proxy.r2 > 0.5, "proxy r2 {}", proxy.r2);
+
+    let mut engine = ServingEngine::new(machine(), Policy::VeltairFull);
+    for m in compiled {
+        engine.register(m);
+    }
+    engine.set_proxy(proxy);
+
+    let workload = WorkloadSpec::mix(&[("mobilenet_v2", 60.0), ("tiny_yolo_v2", 40.0)], 200);
+    let report = engine.run(&workload, 9);
+    assert_eq!(report.total_queries(), 200);
+    assert!(report.overall_satisfaction() > 0.9, "satisfaction {}", report.overall_satisfaction());
+    assert!(report.per_model.contains_key("mobilenet_v2"));
+    assert!(report.per_model.contains_key("tiny_yolo_v2"));
+    // No query can beat its isolated latency.
+    for m in engine.models() {
+        let iso = m.flat_latency_s(machine().cores, 0.0, &machine());
+        assert!(report.avg_latency_s(&m.name) >= iso * 0.99, "{} faster than isolated", m.name);
+    }
+}
+
+#[test]
+fn every_zoo_model_compiles_and_serves() {
+    let m = machine();
+    for spec in all_models() {
+        let name = spec.graph.name.clone();
+        let compiled = compile_model(&spec, &m, &CompilerOptions::fast());
+        assert!(!compiled.layers.is_empty(), "{name} has no units");
+        assert!(compiled.model_core_requirement(0.0) <= m.cores);
+
+        // Serve a short stream near its solo throughput.
+        let solo = compiled.flat_latency_s(m.cores, 0.0, &m);
+        let qps = (0.2 / solo).clamp(1.0, 200.0);
+        let mut engine = ServingEngine::new(m.clone(), Policy::VeltairFull);
+        engine.register(compiled);
+        let report = engine.run(&WorkloadSpec::single(&name, qps, 30), 4);
+        assert_eq!(report.total_queries(), 30, "{name} lost queries");
+        assert!(
+            report.qos_satisfaction(&name) > 0.5,
+            "{name} satisfaction {} at {qps:.1} qps",
+            report.qos_satisfaction(&name)
+        );
+    }
+}
+
+#[test]
+fn adaptive_compilation_switches_versions_under_pressure() {
+    let compiled = compile(&["resnet50"]);
+    let model = &compiled[0];
+    let multi: Vec<_> = model.layers.iter().filter(|l| l.versions.len() > 1).collect();
+    assert!(!multi.is_empty(), "ResNet-50 must have multi-version layers");
+    let mut switched = 0;
+    for l in &multi {
+        if l.version_for_level(0.0) != l.version_for_level(0.95) {
+            switched += 1;
+        }
+    }
+    assert!(switched > 0, "no layer switches versions under pressure");
+}
+
+#[test]
+fn report_cpu_accounting_is_bounded() {
+    let compiled = compile(&["googlenet"]);
+    let mut engine = ServingEngine::new(machine(), Policy::VeltairAs);
+    engine.register(compiled.into_iter().next().unwrap());
+    let report = engine.run(&WorkloadSpec::single("googlenet", 80.0, 120), 13);
+    assert!(report.peak_cores <= machine().cores);
+    assert!(report.avg_cores <= f64::from(machine().cores));
+    assert!(report.core_seconds > 0.0);
+    assert!(report.makespan_s > 0.0);
+}

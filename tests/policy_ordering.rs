@@ -1,0 +1,143 @@
+//! Cross-policy behavioural orderings that the paper's evaluation depends
+//! on (Fig. 12 / Fig. 13 directions, granularity study of §3.2).
+
+use veltair::prelude::*;
+
+fn engine(policy: Policy, names: &[&str]) -> ServingEngine {
+    let machine = MachineConfig::threadripper_3990x();
+    let mut e = ServingEngine::new(machine.clone(), policy);
+    for n in names {
+        e.register(compile_model(
+            &by_name(n).expect("zoo model"),
+            &machine,
+            &CompilerOptions::fast(),
+        ));
+    }
+    e
+}
+
+fn search_cfg() -> QpsSearchConfig {
+    QpsSearchConfig { satisfaction_target: 0.95, queries: 150, seed: 17, iterations: 5 }
+}
+
+#[test]
+fn veltair_full_sustains_at_least_planaria_qps() {
+    let workload = WorkloadSpec::single("mobilenet_v2", 10.0, 150);
+    let planaria =
+        max_qps_at_qos(&engine(Policy::Planaria, &["mobilenet_v2"]), &workload, &search_cfg());
+    let full =
+        max_qps_at_qos(&engine(Policy::VeltairFull, &["mobilenet_v2"]), &workload, &search_cfg());
+    assert!(
+        full.qps >= planaria.qps * 0.9,
+        "FULL {} far below Planaria {}",
+        full.qps,
+        planaria.qps
+    );
+}
+
+#[test]
+fn spatial_beats_temporal_sharing_on_a_mix() {
+    // Fig. 12: PREMA (temporal) generally performs worst. Temporal
+    // multiplexing is most penalized on multi-tenant mixes, where a
+    // tight-QoS stream must repeatedly wait for whole foreign models.
+    let names = ["resnet50", "tiny_yolo_v2"];
+    let workload = WorkloadSpec::mix(&[("resnet50", 1.0), ("tiny_yolo_v2", 1.5)], 150);
+    let prema = max_qps_at_qos(&engine(Policy::Prema, &names), &workload, &search_cfg());
+    let full = max_qps_at_qos(&engine(Policy::VeltairFull, &names), &workload, &search_cfg());
+    assert!(full.qps >= prema.qps, "FULL {} < PREMA {}", full.qps, prema.qps);
+}
+
+#[test]
+fn full_latency_ordering_matches_fig13() {
+    // Fig. 13's direction: with adaptive compilation the average query
+    // latency under pressure is lower than adaptive scheduling alone
+    // (paper: FULL 1.1x vs AS 1.6x of isolated), and at the capacity
+    // point the average stays within the QoS envelope.
+    let workload = WorkloadSpec::single("resnet50", 140.0, 150);
+    let e_full = engine(Policy::VeltairFull, &["resnet50"]);
+    let e_as = engine(Policy::VeltairAs, &["resnet50"]);
+    // Per-seed differences are arrival noise; compare seed-averaged means.
+    let mean = |e: &ServingEngine| {
+        [17u64, 5, 99]
+            .iter()
+            .map(|&s| e.run(&workload, s).overall_avg_latency_s())
+            .sum::<f64>()
+            / 3.0
+    };
+    let full_lat = mean(&e_full);
+    let as_lat = mean(&e_as);
+    assert!(
+        full_lat <= as_lat * 1.05,
+        "FULL latency {:.1}ms above AS {:.1}ms under pressure",
+        full_lat * 1e3,
+        as_lat * 1e3
+    );
+
+    let e = engine(Policy::VeltairFull, &["mobilenet_v2"]);
+    let probe = WorkloadSpec::single("mobilenet_v2", 10.0, 150);
+    let result = max_qps_at_qos(&e, &probe, &search_cfg());
+    let qos = e.models()[0].qos_s;
+    assert!(
+        result.avg_latency_s <= qos * 1.2,
+        "mean latency {:.1}ms far beyond QoS {:.1}ms at the capacity point",
+        result.avg_latency_s * 1e3,
+        qos * 1e3
+    );
+}
+
+#[test]
+fn adaptive_granularity_outlasts_static_granularities() {
+    // §3.2 / Fig. 3a: as load approaches capacity, the static
+    // granularities (whole model, single layer, fixed blocks) lose QoS
+    // satisfaction well before the adaptive layer-block scheduling does.
+    let workload = WorkloadSpec::single("resnet50", 200.0, 150);
+    let sat = |policy| engine(policy, &["resnet50"]).run(&workload, 17).overall_satisfaction();
+    let adaptive = sat(Policy::VeltairAs);
+    for static_policy in [Policy::ModelFcfs, Policy::Planaria, Policy::FixedBlock(6)] {
+        let s = sat(static_policy);
+        assert!(
+            adaptive >= s + 0.15,
+            "{} sat {s:.2} too close to adaptive {adaptive:.2}",
+            static_policy.name()
+        );
+    }
+}
+
+#[test]
+fn per_layer_envelope_is_heterogeneous_under_pressure() {
+    // §3.2 / Fig. 4b: under co-location pressure the per-layer core
+    // requirements spread far apart — some layers become conflict-prone
+    // (demanding well over the flat model allocation), which is what the
+    // pivot rule of Algorithm 2 exists to absorb.
+    let e = engine(Policy::VeltairAs, &["resnet50"]);
+    let m = &e.models()[0];
+    let level = 0.5;
+    let flat = m.model_core_requirement(level);
+    let per_layer: Vec<u32> = m
+        .layers
+        .iter()
+        .map(|l| l.core_requirement(l.version_for(level, flat), level))
+        .collect();
+    let above = per_layer.iter().filter(|&&p| p > flat).count();
+    let max = per_layer.iter().max().copied().unwrap_or(0);
+    assert!(above > 0, "no conflict-prone layer under pressure");
+    assert!(
+        max >= flat.saturating_mul(2),
+        "peak layer demand {max} not far above the flat allocation {flat}"
+    );
+}
+
+#[test]
+fn dynamic_blocks_reduce_conflicts_vs_layer_wise_under_load() {
+    // §3.2 / Fig. 5a: layer-wise scheduling suffers the most conflicts;
+    // dynamic blocks smooth them out.
+    let workload = WorkloadSpec::single("resnet50", 400.0, 200);
+    let layer = engine(Policy::Planaria, &["resnet50"]).run(&workload, 21);
+    let blocks = engine(Policy::VeltairAs, &["resnet50"]).run(&workload, 21);
+    assert!(
+        blocks.conflict_rate() <= layer.conflict_rate() + 0.02,
+        "dynamic blocks conflicted more: {} vs {}",
+        blocks.conflict_rate(),
+        layer.conflict_rate()
+    );
+}

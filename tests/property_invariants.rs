@@ -1,0 +1,178 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use veltair::compiler::{extract_dominant, lower_gemm, search, CompilerOptions, Schedule};
+use veltair::prelude::*;
+use veltair::sched::layer_block::{form_blocks, versions_at_level};
+use veltair::sim::{execute, KernelProfile};
+use veltair::tensor::{FeatureMap, FusedUnit, GemmView, Layer};
+
+fn arb_conv() -> impl Strategy<Value = Layer> {
+    (1usize..=9, 4usize..=512, 4usize..=512, 7usize..=56).prop_map(|(k, cin, cout, hw)| {
+        let k = if k % 2 == 0 { k + 1 } else { k }; // odd kernels only
+        let k = k.min(hw);
+        Layer::conv2d(
+            "prop_conv",
+            FeatureMap::nchw(1, cin, hw, hw),
+            cout,
+            (k, k),
+            (1, 1),
+            (k / 2, k / 2),
+        )
+    })
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every (conv, schedule) pair lowers to a valid kernel profile.
+    #[test]
+    fn lowering_always_validates(
+        conv in arb_conv(),
+        tm in 1usize..=4096,
+        tn in 1usize..=4096,
+        tk in 1usize..=4096,
+        u in prop::sample::select(vec![1usize, 2, 4, 8, 16]),
+    ) {
+        let g = GemmView::of(&conv).unwrap();
+        let unit = FusedUnit::solo(conv);
+        let s = Schedule::new(&g, tm, tn, tk, u);
+        let p = lower_gemm(&unit, &g, &s);
+        prop_assert!(p.validate().is_ok());
+        // FLOPs are schedule-independent.
+        prop_assert!((p.flops - unit.flops()).abs() < 1e-6);
+    }
+
+    /// Latency never improves when interference rises, at any core count.
+    #[test]
+    fn latency_monotone_in_interference(
+        conv in arb_conv(),
+        cores in 1u32..=64,
+        a in 0.0f64..=1.0,
+        b in 0.0f64..=1.0,
+    ) {
+        let machine = MachineConfig::threadripper_3990x();
+        let g = GemmView::of(&conv).unwrap();
+        let unit = FusedUnit::solo(conv);
+        let s = Schedule::new(&g, 16, 32, 128, 8);
+        let p = lower_gemm(&unit, &g, &s);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let l_lo = execute(&p, cores, Interference::level(lo), &machine).latency_s;
+        let l_hi = execute(&p, cores, Interference::level(hi), &machine).latency_s;
+        prop_assert!(l_hi >= l_lo - 1e-15);
+    }
+
+    /// The traffic model interpolates between its endpoints.
+    #[test]
+    fn traffic_bounded_by_min_and_spill(
+        footprint in 1.0e3f64..1.0e9,
+        min_t in 1.0e3f64..1.0e8,
+        extra in 0.0f64..1.0e9,
+        cache in 0.0f64..5.0e8,
+        cores in 1u32..=64,
+    ) {
+        let p = KernelProfile {
+            flops: 1.0e9,
+            compute_efficiency: 0.5,
+            parallel_chunks: 64,
+            footprint_base_bytes: footprint * 0.1,
+            footprint_per_core_bytes: footprint,
+            min_traffic_bytes: min_t,
+            spill_traffic_bytes: min_t + extra,
+        };
+        let t = p.traffic_bytes(cores, cache);
+        prop_assert!(t >= p.min_traffic_bytes - 1e-9);
+        prop_assert!(t <= p.spill_traffic_bytes + 1e-9);
+    }
+
+    /// Dynamic layer blocks always partition the model exactly.
+    #[test]
+    fn blocks_partition_for_any_threshold(thres in 0u32..=64, level in 0.0f64..=1.0) {
+        let machine = MachineConfig::threadripper_3990x();
+        let compiled = compile_model(
+            &veltair::models::tiny_yolo_v2(),
+            &machine,
+            &CompilerOptions::fast(),
+        );
+        let blocks = form_blocks(&compiled, level, true, thres, &machine);
+        prop_assert_eq!(blocks[0].start, 0);
+        prop_assert_eq!(blocks.last().unwrap().end, compiled.layers.len());
+        for pair in blocks.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+        for b in &blocks {
+            prop_assert!(b.cores >= 1 && b.cores <= machine.cores);
+            prop_assert_eq!(b.versions.len(), b.end - b.start);
+        }
+    }
+
+    /// Version tables always return in-range versions and core counts.
+    #[test]
+    fn version_lookup_is_total(level in 0.0f64..=1.0) {
+        let machine = MachineConfig::threadripper_3990x();
+        let compiled = compile_model(
+            &veltair::models::mobilenet_v2(),
+            &machine,
+            &CompilerOptions::fast(),
+        );
+        let versions = versions_at_level(&compiled, level, true);
+        for (i, layer) in compiled.layers.iter().enumerate() {
+            prop_assert!(versions[i] < layer.versions.len());
+            let req = layer.core_requirement(versions[i], level);
+            prop_assert!(req >= 1 && req <= machine.cores);
+        }
+    }
+
+    /// Poisson workload generation: sorted arrivals, exact query counts,
+    /// only requested models.
+    #[test]
+    fn workload_generation_invariants(
+        qps_a in 1.0f64..200.0,
+        qps_b in 1.0f64..200.0,
+        n in 1usize..400,
+        seed in 0u64..5000,
+    ) {
+        let w = WorkloadSpec::mix(&[("a", qps_a), ("b", qps_b)], n);
+        let queries = w.generate(seed);
+        prop_assert_eq!(queries.len(), n);
+        for pair in queries.windows(2) {
+            prop_assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        prop_assert!(queries.iter().all(|q| q.model == "a" || q.model == "b"));
+    }
+}
+
+#[test]
+fn pareto_frontier_is_sound_and_complete() {
+    // Deterministic heavier check: nothing on the frontier is dominated;
+    // everything off the frontier is dominated by something on it.
+    let machine = MachineConfig::threadripper_3990x();
+    let conv = Layer::conv2d("c", FeatureMap::nchw(1, 128, 28, 28), 128, (3, 3), (1, 1), (1, 1));
+    let g = GemmView::of(&conv).unwrap();
+    let unit = FusedUnit::solo(conv);
+    let samples = search(&unit, &g, &machine, &CompilerOptions::fast(), 99);
+    let frontier = extract_dominant(&samples);
+    let dominates = |a: (f64, f64), b: (f64, f64)| {
+        (a.0 >= b.0 && a.1 > b.1) || (a.0 > b.0 && a.1 >= b.1)
+    };
+    for f in &frontier {
+        assert!(!samples
+            .iter()
+            .any(|s| dominates((s.parallelism, s.locality_bytes), (f.parallelism, f.locality_bytes))));
+    }
+    for s in &samples {
+        let on = frontier
+            .iter()
+            .any(|f| f.parallelism == s.parallelism && f.locality_bytes == s.locality_bytes);
+        if !on {
+            assert!(
+                frontier.iter().any(|f| dominates(
+                    (f.parallelism, f.locality_bytes),
+                    (s.parallelism, s.locality_bytes)
+                )),
+                "off-frontier sample not dominated"
+            );
+        }
+    }
+}
