@@ -12,22 +12,46 @@ use veltair_tensor::{FeatureMap, FusedUnit, GemmView, Layer};
 
 fn bench_execute(c: &mut Criterion) {
     let machine = MachineConfig::threadripper_3990x();
-    let conv = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+    let conv = Layer::conv2d(
+        "c",
+        FeatureMap::nchw(1, 256, 14, 14),
+        256,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
     let g = GemmView::of(&conv).unwrap();
     let unit = FusedUnit::solo(conv);
     let s = veltair_compiler::Schedule::new(&g, 14, 64, 512, 8);
     let profile = veltair_compiler::lower_gemm(&unit, &g, &s);
     c.bench_function("machine_model_execute", |b| {
-        b.iter(|| execute(std::hint::black_box(&profile), 16, Interference::level(0.5), &machine))
+        b.iter(|| {
+            execute(
+                std::hint::black_box(&profile),
+                16,
+                Interference::level(0.5),
+                &machine,
+            )
+        })
     });
 }
 
 fn bench_autoscheduler(c: &mut Criterion) {
     let machine = MachineConfig::threadripper_3990x();
-    let conv = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+    let conv = Layer::conv2d(
+        "c",
+        FeatureMap::nchw(1, 256, 14, 14),
+        256,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
     let g = GemmView::of(&conv).unwrap();
     let unit = FusedUnit::solo(conv);
-    let opts = CompilerOptions { search_iterations: 128, ..CompilerOptions::fast() };
+    let opts = CompilerOptions {
+        search_iterations: 128,
+        ..CompilerOptions::fast()
+    };
     c.bench_function("auto_scheduler_128_trials", |b| {
         b.iter(|| search(&unit, &g, &machine, &opts, 1))
     });
@@ -35,7 +59,11 @@ fn bench_autoscheduler(c: &mut Criterion) {
 
 fn bench_block_formation(c: &mut Criterion) {
     let machine = MachineConfig::threadripper_3990x();
-    let model = compile_model(&veltair_models::resnet50(), &machine, &CompilerOptions::fast());
+    let model = compile_model(
+        &veltair_models::resnet50(),
+        &machine,
+        &CompilerOptions::fast(),
+    );
     c.bench_function("layer_block_formation_resnet50", |b| {
         b.iter(|| form_blocks(std::hint::black_box(&model), 0.4, true, 6, &machine))
     });
@@ -55,7 +83,11 @@ fn bench_block_formation(c: &mut Criterion) {
 
 fn bench_proxy_predict(c: &mut Criterion) {
     let machine = MachineConfig::threadripper_3990x();
-    let model = compile_model(&veltair_models::mobilenet_v2(), &machine, &CompilerOptions::fast());
+    let model = compile_model(
+        &veltair_models::mobilenet_v2(),
+        &machine,
+        &CompilerOptions::fast(),
+    );
     let proxy = train_proxy(&[model], &machine, 128, 3);
     let counters = PerfCounters {
         l3_accesses: 1.0e7,
@@ -81,7 +113,11 @@ fn bench_serving_simulation(c: &mut Criterion) {
 
 fn bench_versions(c: &mut Criterion) {
     let machine = MachineConfig::threadripper_3990x();
-    let model = compile_model(&veltair_models::resnet50(), &machine, &CompilerOptions::fast());
+    let model = compile_model(
+        &veltair_models::resnet50(),
+        &machine,
+        &CompilerOptions::fast(),
+    );
     c.bench_function("version_and_core_lookup", |b| {
         b.iter(|| {
             let mut acc = 0u32;

@@ -12,7 +12,14 @@ use veltair_tensor::{FeatureMap, GemmView, Layer};
 
 fn main() {
     let dims = GemmDims::new(128, 128, 128, 4);
-    let probe = Layer::conv2d("p", FeatureMap::nchw(1, 128, 16, 8), 128, (1, 1), (1, 1), (0, 0));
+    let probe = Layer::conv2d(
+        "p",
+        FeatureMap::nchw(1, 128, 16, 8),
+        128,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
     let g = GemmView::of(&probe).expect("gemm view");
 
     println!("==== Traffic-model validation (analytic vs LRU cache simulation) ====");
@@ -34,10 +41,14 @@ fn main() {
     }
 
     println!("\n==== Contention displacement (victim GEMM + streaming aggressor) ====");
-    let victim = GemmTrace::new(dims, Schedule::new(&g, 32, 32, 64, 4), TraceScale::default());
+    let victim = GemmTrace::new(
+        dims,
+        Schedule::new(&g, 32, 32, 64, 4),
+        TraceScale::default(),
+    );
     let cfg = CacheConfig::l3_slice(512 * 1024);
     let addrs = victim.addresses();
-    let (solo, _) = interleave_proportional(&[addrs.clone()], cfg);
+    let (solo, _) = interleave_proportional(std::slice::from_ref(&addrs), cfg);
     for (label, lines) in [("mild", 2_000u64), ("medium", 8_000), ("harsh", 16_000)] {
         let aggressor: Vec<u64> = (0..8).flat_map(|_| (0..lines).map(|i| i * 64)).collect();
         let (stats, _) = interleave_proportional(&[addrs.clone(), aggressor], cfg);

@@ -23,18 +23,28 @@ impl CacheConfig {
     /// sets of `ways` lines.
     #[must_use]
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: u32) -> Self {
-        assert!(capacity_bytes > 0 && line_bytes > 0 && ways > 0, "cache geometry must be positive");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            capacity_bytes > 0 && line_bytes > 0 && ways > 0,
+            "cache geometry must be positive"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = capacity_bytes / line_bytes;
         assert!(
             lines * line_bytes == capacity_bytes,
             "capacity must be a whole number of lines"
         );
         assert!(
-            lines % u64::from(ways) == 0,
+            lines.is_multiple_of(u64::from(ways)),
             "capacity of {lines} lines does not divide into {ways}-way sets"
         );
-        Self { capacity_bytes, line_bytes, ways }
+        Self {
+            capacity_bytes,
+            line_bytes,
+            ways,
+        }
     }
 
     /// A 16-way cache geometry resembling one L3 slice of the paper's CPU,
@@ -110,7 +120,11 @@ impl SetAssociativeCache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let sets = usize::try_from(config.sets()).expect("set count fits a usize");
-        Self { config, sets: vec![Vec::new(); sets], stats: CacheStats::default() }
+        Self {
+            config,
+            sets: vec![Vec::new(); sets],
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -179,7 +193,11 @@ mod tests {
         let mut c = SetAssociativeCache::new(CacheConfig::new(1024, 64, 4));
         assert_eq!(c.access(128), AccessOutcome::Miss);
         assert_eq!(c.access(128), AccessOutcome::Hit);
-        assert_eq!(c.access(130), AccessOutcome::Hit, "same line, different byte");
+        assert_eq!(
+            c.access(130),
+            AccessOutcome::Hit,
+            "same line, different byte"
+        );
         assert_eq!(c.stats().accesses, 3);
         assert_eq!(c.stats().misses, 1);
     }
@@ -223,7 +241,11 @@ mod tests {
         for _ in 0..10 {
             c.run(lines.iter().copied());
         }
-        assert_eq!(c.stats().misses, cold_misses, "steady state must be all hits");
+        assert_eq!(
+            c.stats().misses,
+            cold_misses,
+            "steady state must be all hits"
+        );
         assert_eq!(cold_misses, 32);
     }
 
@@ -251,7 +273,12 @@ mod tests {
 
     #[test]
     fn stats_helpers() {
-        let s = CacheStats { accesses: 10, hits: 7, misses: 3, evictions: 1 };
+        let s = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            evictions: 1,
+        };
         assert!((s.miss_rate() - 0.3).abs() < 1e-12);
         assert!((s.traffic_bytes(64) - 192.0).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_rate(), 0.0);

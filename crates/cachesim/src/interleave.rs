@@ -99,7 +99,7 @@ mod tests {
     fn single_tenant_matches_solo_replay() {
         let cfg = CacheConfig::new(4096, 64, 4);
         let trace: Vec<u64> = lines(32).into_iter().chain(lines(32)).collect();
-        let (stats, cache) = interleave_proportional(&[trace.clone()], cfg);
+        let (stats, cache) = interleave_proportional(std::slice::from_ref(&trace), cfg);
         let mut solo = SetAssociativeCache::new(cfg);
         solo.run(trace);
         assert_eq!(stats[0].misses, solo.stats().misses);
@@ -113,7 +113,7 @@ mod tests {
         let cfg = CacheConfig::new(8192, 64, 8); // 128 lines
         let victim: Vec<u64> = (0..6).flat_map(|_| lines(80)).collect();
         let aggressor: Vec<u64> = (0..6).flat_map(|_| lines(100)).collect();
-        let (solo, _) = interleave_proportional(&[victim.clone()], cfg);
+        let (solo, _) = interleave_proportional(std::slice::from_ref(&victim), cfg);
         let (shared, _) = interleave_proportional(&[victim, aggressor], cfg);
         assert!(
             shared[0].misses > solo[0].misses,

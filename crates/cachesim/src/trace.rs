@@ -29,8 +29,16 @@ impl GemmDims {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn new(m: usize, n: usize, k: usize, elem_bytes: usize) -> Self {
-        assert!(m > 0 && n > 0 && k > 0 && elem_bytes > 0, "GEMM dimensions must be positive");
-        Self { m, n, k, elem_bytes }
+        assert!(
+            m > 0 && n > 0 && k > 0 && elem_bytes > 0,
+            "GEMM dimensions must be positive"
+        );
+        Self {
+            m,
+            n,
+            k,
+            elem_bytes,
+        }
     }
 
     /// Total bytes of the three operand matrices.
@@ -88,7 +96,12 @@ impl GemmTrace {
     #[must_use]
     pub fn new(dims: GemmDims, schedule: Schedule, scale: TraceScale) -> Self {
         let region = (dims.total_bytes() * 2).next_power_of_two();
-        Self { dims, schedule, scale, bases: [0, region, 2 * region] }
+        Self {
+            dims,
+            schedule,
+            scale,
+            bases: [0, region, 2 * region],
+        }
     }
 
     /// The schedule being traced.
@@ -179,7 +192,14 @@ mod tests {
     }
 
     fn schedule(tm: usize, tn: usize, tk: usize) -> Schedule {
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 64, 8, 8), 64, (1, 1), (1, 1), (0, 0));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 64, 8, 8),
+            64,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+        );
         let g = GemmView::of(&l).unwrap();
         Schedule::new(&g, tm, tn, tk, 4)
     }
@@ -212,7 +232,11 @@ mod tests {
         let total = lines.len() as u64;
         lines.sort_unstable();
         lines.dedup();
-        assert_eq!(lines.len() as u64, total, "single pass must not repeat lines");
+        assert_eq!(
+            lines.len() as u64,
+            total,
+            "single pass must not repeat lines"
+        );
         assert_eq!(total, t.compulsory_lines());
     }
 

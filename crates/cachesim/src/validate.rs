@@ -116,7 +116,11 @@ pub fn traffic_curve(
             cache.run(addrs.iter().copied());
             let measured = cache.stats().traffic_bytes(cfg.line_bytes);
             let analytic = profile.traffic_bytes(1, cap as f64);
-            ValidationPoint { cache_bytes: cap, analytic_bytes: analytic, measured_bytes: measured }
+            ValidationPoint {
+                cache_bytes: cap,
+                analytic_bytes: analytic,
+                measured_bytes: measured,
+            }
         })
         .collect()
 }
@@ -136,7 +140,11 @@ pub fn validate_schedule(dims: GemmDims, schedule: Schedule) -> ValidationReport
     }
     ladder.push(c);
     let points = traffic_curve(dims, schedule, &ladder);
-    ValidationReport { schedule, tile_bytes: tile, points }
+    ValidationReport {
+        schedule,
+        tile_bytes: tile,
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +157,14 @@ mod tests {
     }
 
     fn schedule(tm: usize, tn: usize, tk: usize) -> Schedule {
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 128, 16, 8), 128, (1, 1), (1, 1), (0, 0));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 128, 16, 8),
+            128,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+        );
         let g = GemmView::of(&l).unwrap();
         Schedule::new(&g, tm, tn, tk, 4)
     }
@@ -167,7 +182,11 @@ mod tests {
 
     #[test]
     fn analytic_and_measured_shapes_agree() {
-        for s in [schedule(16, 16, 16), schedule(32, 32, 64), schedule(128, 128, 128)] {
+        for s in [
+            schedule(16, 16, 16),
+            schedule(32, 32, 64),
+            schedule(128, 128, 128),
+        ] {
             let report = validate_schedule(dims(), s);
             let corr = report.correlation();
             assert!(corr > 0.7, "correlation {corr:.2} too weak for {s}");
@@ -200,11 +219,9 @@ mod tests {
         let streaming = |lines: u64, reps: usize| -> Vec<u64> {
             (0..reps).flat_map(|_| (0..lines).map(|i| i * 64)).collect()
         };
-        let (solo, _) = interleave_proportional(&[victim.clone()], cfg);
-        let (mild, _) =
-            interleave_proportional(&[victim.clone(), streaming(2_000, 8)], cfg);
-        let (harsh, _) =
-            interleave_proportional(&[victim.clone(), streaming(16_000, 8)], cfg);
+        let (solo, _) = interleave_proportional(std::slice::from_ref(&victim), cfg);
+        let (mild, _) = interleave_proportional(&[victim.clone(), streaming(2_000, 8)], cfg);
+        let (harsh, _) = interleave_proportional(&[victim.clone(), streaming(16_000, 8)], cfg);
         assert!(
             mild[0].misses >= solo[0].misses,
             "a co-runner cannot reduce victim misses"

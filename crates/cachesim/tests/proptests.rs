@@ -1,112 +1,134 @@
-//! Property-based invariants of the cache simulator and trace generator.
+//! Randomized invariants of the cache simulator and trace generator.
+//!
+//! Formerly proptest-based; the hermetic build has no crates.io access,
+//! so these run the same properties over seeded random cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use veltair_cachesim::{
     interleave_proportional, CacheConfig, GemmDims, GemmTrace, SetAssociativeCache, TraceScale,
 };
 use veltair_compiler::Schedule;
 use veltair_tensor::{FeatureMap, GemmView, Layer};
 
-fn arb_config() -> impl Strategy<Value = CacheConfig> {
+const CASES: usize = 64;
+
+fn arb_config(rng: &mut StdRng) -> CacheConfig {
     // ways in {1,2,4,8,16}, sets in {1..64}, line 64.
-    (0u32..5, 0u32..6).prop_map(|(w, s)| {
-        let ways = 1 << w;
-        let sets = 1u64 << s;
-        CacheConfig::new(sets * u64::from(ways) * 64, 64, ways)
-    })
+    let ways = 1u32 << rng.gen_range(0u32..5);
+    let sets = 1u64 << rng.gen_range(0u32..6);
+    CacheConfig::new(sets * u64::from(ways) * 64, 64, ways)
 }
 
-fn arb_trace() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..(1 << 16), 1..400)
+fn arb_trace(rng: &mut StdRng) -> Vec<u64> {
+    let len = rng.gen_range(1usize..400);
+    (0..len).map(|_| rng.gen_range(0u64..(1 << 16))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn hits_plus_misses_equals_accesses(cfg in arb_config(), trace in arb_trace()) {
+#[test]
+fn hits_plus_misses_equals_accesses() {
+    let mut rng = StdRng::seed_from_u64(0xcac4e01);
+    for _ in 0..CASES {
+        let cfg = arb_config(&mut rng);
+        let trace = arb_trace(&mut rng);
         let mut c = SetAssociativeCache::new(cfg);
         c.run(trace.iter().copied());
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-        prop_assert_eq!(s.accesses, trace.len() as u64);
-        prop_assert!(s.miss_rate() >= 0.0 && s.miss_rate() <= 1.0);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.accesses, trace.len() as u64);
+        assert!(s.miss_rate() >= 0.0 && s.miss_rate() <= 1.0);
     }
+}
 
-    #[test]
-    fn residency_never_exceeds_capacity(cfg in arb_config(), trace in arb_trace()) {
+#[test]
+fn residency_never_exceeds_capacity() {
+    let mut rng = StdRng::seed_from_u64(0xcac4e02);
+    for _ in 0..CASES {
+        let cfg = arb_config(&mut rng);
+        let trace = arb_trace(&mut rng);
         let mut c = SetAssociativeCache::new(cfg);
         c.run(trace.iter().copied());
         let lines = (cfg.capacity_bytes / cfg.line_bytes) as usize;
-        prop_assert!(c.resident_lines() <= lines);
+        assert!(c.resident_lines() <= lines);
     }
+}
 
-    #[test]
-    fn more_ways_never_more_misses_at_fixed_sets(
-        sets_log in 0u32..5,
-        trace in arb_trace(),
-    ) {
+#[test]
+fn more_ways_never_more_misses_at_fixed_sets() {
+    let mut rng = StdRng::seed_from_u64(0xcac4e03);
+    for _ in 0..CASES {
         // The LRU stack inclusion property: with the set count fixed,
         // growing associativity can only remove misses.
-        let sets = 1u64 << sets_log;
+        let sets = 1u64 << rng.gen_range(0u32..5);
+        let trace = arb_trace(&mut rng);
         let mut last = u64::MAX;
         for ways in [1u32, 2, 4, 8] {
             let cfg = CacheConfig::new(sets * u64::from(ways) * 64, 64, ways);
             let mut c = SetAssociativeCache::new(cfg);
             c.run(trace.iter().copied());
-            prop_assert!(
+            assert!(
                 c.stats().misses <= last,
-                "misses rose from {} with {} ways", last, ways
+                "misses rose from {last} with {ways} ways"
             );
             last = c.stats().misses;
         }
     }
+}
 
-    #[test]
-    fn replay_is_deterministic(cfg in arb_config(), trace in arb_trace()) {
+#[test]
+fn replay_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xcac4e04);
+    for _ in 0..CASES {
+        let cfg = arb_config(&mut rng);
+        let trace = arb_trace(&mut rng);
         let run = || {
             let mut c = SetAssociativeCache::new(cfg);
             c.run(trace.iter().copied());
             c.stats()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    #[test]
-    fn interleave_conserves_accesses(
-        a in arb_trace(),
-        b in arb_trace(),
-    ) {
+#[test]
+fn interleave_conserves_accesses() {
+    let mut rng = StdRng::seed_from_u64(0xcac4e05);
+    for _ in 0..CASES {
+        let a = arb_trace(&mut rng);
+        let b = arb_trace(&mut rng);
         let cfg = CacheConfig::new(64 * 64 * 4, 64, 4);
         let (stats, cache) = interleave_proportional(&[a.clone(), b.clone()], cfg);
-        prop_assert_eq!(stats[0].accesses as usize, a.len());
-        prop_assert_eq!(stats[1].accesses as usize, b.len());
-        prop_assert_eq!(
-            cache.stats().misses,
-            stats[0].misses + stats[1].misses
-        );
+        assert_eq!(stats[0].accesses as usize, a.len());
+        assert_eq!(stats[1].accesses as usize, b.len());
+        assert_eq!(cache.stats().misses, stats[0].misses + stats[1].misses);
     }
+}
 
-    #[test]
-    fn trace_covers_exactly_the_operand_lines(
-        m_log in 2usize..6,
-        n_log in 2usize..6,
-        k_log in 2usize..6,
-        tm_log in 0usize..6,
-        tn_log in 0usize..6,
-        tk_log in 0usize..6,
-    ) {
-        let (m, n, k) = (1 << m_log, 1 << n_log, 1 << k_log);
+#[test]
+fn trace_covers_exactly_the_operand_lines() {
+    let mut rng = StdRng::seed_from_u64(0xcac4e06);
+    for _ in 0..CASES {
+        let (m, n, k) = (
+            1usize << rng.gen_range(2usize..6),
+            1usize << rng.gen_range(2usize..6),
+            1usize << rng.gen_range(2usize..6),
+        );
         let dims = GemmDims::new(m, n, k, 4);
         let l = Layer::conv2d("p", FeatureMap::nchw(1, k, m, 1), n, (1, 1), (1, 1), (0, 0));
         let g = GemmView::of(&l).expect("gemm view");
-        let s = Schedule::new(&g, 1 << tm_log, 1 << tn_log, 1 << tk_log, 4);
+        let s = Schedule::new(
+            &g,
+            1 << rng.gen_range(0usize..6),
+            1 << rng.gen_range(0usize..6),
+            1 << rng.gen_range(0usize..6),
+            4,
+        );
         let trace = GemmTrace::new(dims, s, TraceScale::default());
         let mut lines: Vec<u64> = trace.addresses().iter().map(|a| a / 64).collect();
         lines.sort_unstable();
         lines.dedup();
         // Every distinct line belongs to the compulsory set, and the whole
         // compulsory set is covered (each operand is touched completely).
-        prop_assert_eq!(lines.len() as u64, trace.compulsory_lines());
+        assert_eq!(lines.len() as u64, trace.compulsory_lines());
     }
 }

@@ -69,7 +69,7 @@ impl LoopLevel {
     /// Whether the final trip is a partial (boundary) tile.
     #[must_use]
     pub fn has_boundary(&self) -> bool {
-        self.extent % self.step != 0
+        !self.extent.is_multiple_of(self.step)
     }
 }
 
@@ -121,8 +121,14 @@ pub enum CodegenIssue {
 impl std::fmt::Display for CodegenIssue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodegenIssue::IterationSpaceMismatch { generated, required } => {
-                write!(f, "iteration space mismatch: generated {generated} MACs, required {required}")
+            CodegenIssue::IterationSpaceMismatch {
+                generated,
+                required,
+            } => {
+                write!(
+                    f,
+                    "iteration space mismatch: generated {generated} MACs, required {required}"
+                )
             }
             CodegenIssue::DegenerateLoop { var } => write!(f, "degenerate loop {var}"),
         }
@@ -184,7 +190,12 @@ pub fn generate(name: &str, g: &GemmView, s: &Schedule) -> LoopNestProgram {
         step: tk,
         annotation: LoopAnnotation::Serial,
     });
-    levels.push(LoopLevel { var: "i".into(), extent: tm, step: 1, annotation: LoopAnnotation::Serial });
+    levels.push(LoopLevel {
+        var: "i".into(),
+        extent: tm,
+        step: 1,
+        annotation: LoopAnnotation::Serial,
+    });
     levels.push(LoopLevel {
         var: "j".into(),
         extent: tn,
@@ -202,7 +213,12 @@ pub fn generate(name: &str, g: &GemmView, s: &Schedule) -> LoopNestProgram {
         name: name.to_string(),
         dims: (g.m, g.n, g.k),
         levels,
-        micro: MicroKernel { acc_rows: 1, acc_vecs: 1, lanes, k_steps: unroll },
+        micro: MicroKernel {
+            acc_rows: 1,
+            acc_vecs: 1,
+            lanes,
+            k_steps: unroll,
+        },
     }
 }
 
@@ -252,11 +268,20 @@ impl LoopNestProgram {
             }
         }
         let (m, n, k) = self.dims;
-        let required = m as u128 * n as u128 * k as u128
-            * self.levels.iter().find(|l| l.var == "b").map_or(1u128, |l| l.extent as u128);
+        let required = m as u128
+            * n as u128
+            * k as u128
+            * self
+                .levels
+                .iter()
+                .find(|l| l.var == "b")
+                .map_or(1u128, |l| l.extent as u128);
         let generated = self.total_macs();
         if generated != required {
-            issues.push(CodegenIssue::IterationSpaceMismatch { generated, required });
+            issues.push(CodegenIssue::IterationSpaceMismatch {
+                generated,
+                required,
+            });
         }
         if issues.is_empty() {
             Ok(())
@@ -286,8 +311,16 @@ impl LoopNestProgram {
 impl std::fmt::Display for LoopNestProgram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (m, n, k) = self.dims;
-        writeln!(f, "// {} [m={m} n={n} k={k}] — generated by veltair-compiler", self.name)?;
-        writeln!(f, "void {}(const float* A, const float* B, float* C) {{", sanitize(&self.name))?;
+        writeln!(
+            f,
+            "// {} [m={m} n={n} k={k}] — generated by veltair-compiler",
+            self.name
+        )?;
+        writeln!(
+            f,
+            "void {}(const float* A, const float* B, float* C) {{",
+            sanitize(&self.name)
+        )?;
         let mut indent = 1usize;
         let mut opened = 0usize;
         for l in &self.levels {
@@ -304,7 +337,11 @@ impl std::fmt::Display for LoopNestProgram {
                 }
                 _ => {}
             }
-            let boundary = if l.has_boundary() { "  // + boundary tile" } else { "" };
+            let boundary = if l.has_boundary() {
+                "  // + boundary tile"
+            } else {
+                ""
+            };
             writeln!(
                 f,
                 "{pad}for (int {v} = 0; {v} < {e}; {v} += {s}) {{{boundary}",
@@ -333,7 +370,13 @@ impl std::fmt::Display for LoopNestProgram {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, '_');
@@ -347,16 +390,31 @@ mod tests {
     use veltair_tensor::{FeatureMap, Layer};
 
     fn view() -> GemmView {
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 256, 14, 14),
+            256,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         GemmView::of(&l).unwrap()
     }
 
     #[test]
     fn generated_program_verifies() {
         let g = view();
-        for (tm, tn, tk, u) in [(28, 64, 256, 8), (7, 8, 64, 1), (196, 256, 2304, 16), (5, 3, 7, 2)] {
+        for (tm, tn, tk, u) in [
+            (28, 64, 256, 8),
+            (7, 8, 64, 1),
+            (196, 256, 2304, 16),
+            (5, 3, 7, 2),
+        ] {
             let p = generate("c", &g, &Schedule::new(&g, tm, tn, tk, u));
-            assert!(p.verify().is_ok(), "schedule ({tm},{tn},{tk},{u}) failed verify");
+            assert!(
+                p.verify().is_ok(),
+                "schedule ({tm},{tn},{tk},{u}) failed verify"
+            );
         }
     }
 
@@ -364,10 +422,16 @@ mod tests {
     fn non_dividing_tiles_are_flagged_as_boundary() {
         let g = view();
         let even = generate("c", &g, &Schedule::new(&g, 28, 64, 256, 8));
-        assert!(!even.has_boundary_tiles(), "196/28, 256/64, 2304/256 divide evenly");
+        assert!(
+            !even.has_boundary_tiles(),
+            "196/28, 256/64, 2304/256 divide evenly"
+        );
         let odd = generate("c", &g, &Schedule::new(&g, 30, 60, 250, 8));
         assert!(odd.has_boundary_tiles());
-        assert!(odd.verify().is_ok(), "boundary tiles still conserve the space");
+        assert!(
+            odd.verify().is_ok(),
+            "boundary tiles still conserve the space"
+        );
     }
 
     #[test]
@@ -406,15 +470,27 @@ mod tests {
         let mut p = generate("c", &g, &Schedule::new(&g, 28, 64, 256, 8));
         p.levels[0].step = 0;
         let issues = p.verify().unwrap_err();
-        assert!(issues.iter().any(|i| matches!(i, CodegenIssue::DegenerateLoop { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, CodegenIssue::DegenerateLoop { .. })));
     }
 
     #[test]
     fn microkernel_register_accounting() {
-        let m = MicroKernel { acc_rows: 4, acc_vecs: 3, lanes: 8, k_steps: 8 };
+        let m = MicroKernel {
+            acc_rows: 4,
+            acc_vecs: 3,
+            lanes: 8,
+            k_steps: 8,
+        };
         assert_eq!(m.register_pressure(), 14);
         assert!(m.fits_registers());
-        let fat = MicroKernel { acc_rows: 6, acc_vecs: 4, lanes: 8, k_steps: 8 };
+        let fat = MicroKernel {
+            acc_rows: 6,
+            acc_vecs: 4,
+            lanes: 8,
+            k_steps: 8,
+        };
         assert!(!fat.fits_registers());
     }
 

@@ -50,7 +50,10 @@ pub const CORE_CLASSES: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 /// Index of the largest core class not exceeding `cores`.
 fn class_for(cores: u32) -> usize {
-    CORE_CLASSES.iter().rposition(|&c| c <= cores.max(1)).unwrap_or(0)
+    CORE_CLASSES
+        .iter()
+        .rposition(|&c| c <= cores.max(1))
+        .unwrap_or(0)
 }
 
 /// A compiled layer: its multi-version code library plus the lookup tables
@@ -90,7 +93,10 @@ impl CompiledLayer {
         machine: &MachineConfig,
         reference_cores: u32,
     ) -> Self {
-        assert!(!versions.is_empty(), "a compiled layer needs at least one version");
+        assert!(
+            !versions.is_empty(),
+            "a compiled layer needs at least one version"
+        );
         let bins = interference_bins();
 
         let mut best_version = Vec::with_capacity(CORE_CLASSES.len());
@@ -120,8 +126,7 @@ impl CompiledLayer {
         for v in &versions {
             let mut row = [machine.cores; NUM_INTERFERENCE_BINS];
             for (bi, &level) in bins.iter().enumerate() {
-                row[bi] =
-                    min_cores_for(&v.profile, qos_share_s * QOS_PLAN_MARGIN, level, machine);
+                row[bi] = min_cores_for(&v.profile, qos_share_s * QOS_PLAN_MARGIN, level, machine);
             }
             core_req.push(row);
         }
@@ -178,7 +183,13 @@ impl CompiledLayer {
         interference: Interference,
         machine: &MachineConfig,
     ) -> f64 {
-        execute(&self.versions[version].profile, cores, interference, machine).latency_s
+        execute(
+            &self.versions[version].profile,
+            cores,
+            interference,
+            machine,
+        )
+        .latency_s
             + machine.dispatch_overhead_s
     }
 }
@@ -304,8 +315,11 @@ pub fn compile_model(
     let raw_shares: Vec<f64> = units
         .iter()
         .map(|u| {
-            let flop_share =
-                if total_flops > 0.0 { spec.qos_s() * u.flops() / total_flops } else { 0.0 };
+            let flop_share = if total_flops > 0.0 {
+                spec.qos_s() * u.flops() / total_flops
+            } else {
+                0.0
+            };
             flop_share.max(floor_s(u))
         })
         .collect();
@@ -368,7 +382,10 @@ mod tests {
     fn compiled() -> (CompiledModel, MachineConfig) {
         let machine = MachineConfig::threadripper_3990x();
         let spec = veltair_models::resnet50();
-        (compile_model(&spec, &machine, &CompilerOptions::fast()), machine)
+        (
+            compile_model(&spec, &machine, &CompilerOptions::fast()),
+            machine,
+        )
     }
 
     #[test]
@@ -406,7 +423,10 @@ mod tests {
                 moved += 1;
             }
         }
-        assert!(moved >= 5, "interference never changes the chosen version ({moved})");
+        assert!(
+            moved >= 5,
+            "interference never changes the chosen version ({moved})"
+        );
         // In aggregate, contention shifts selection toward parallelism.
         assert!(par9 >= par0, "mean log-parallelism fell under interference");
     }
@@ -454,8 +474,7 @@ mod tests {
             let p = l.core_requirement(v, 0.0);
             distinct.insert(p);
             let target = l.qos_share_s * QOS_PLAN_MARGIN + 1e-12;
-            let attainable =
-                l.latency_s(v, machine.cores, Interference::NONE, &machine) <= target;
+            let attainable = l.latency_s(v, machine.cores, Interference::NONE, &machine) <= target;
             if attainable {
                 assert!(
                     l.latency_s(v, p, Interference::NONE, &machine) <= target,
@@ -472,6 +491,10 @@ mod tests {
         // Fig. 14c: the majority of layers keep <= 3 versions.
         let (m, _) = compiled();
         let small = m.layers.iter().filter(|l| l.versions.len() <= 3).count();
-        assert!(small * 2 > m.layers.len(), "{small}/{} layers", m.layers.len());
+        assert!(
+            small * 2 > m.layers.len(),
+            "{small}/{} layers",
+            m.layers.len()
+        );
     }
 }

@@ -46,7 +46,9 @@ pub use codegen::{generate as generate_code, LoopNestProgram};
 pub use compiled::{compile_model, CompiledLayer, CompiledModel, CompiledVersion, CORE_CLASSES};
 pub use lower::{lower_gemm, lower_streaming};
 pub use multiversion::{extract_dominant, select_versions};
-pub use options::{bin_for_level, interference_bins, CompilerOptions, NUM_INTERFERENCE_BINS, QOS_PLAN_MARGIN};
+pub use options::{
+    bin_for_level, interference_bins, CompilerOptions, NUM_INTERFERENCE_BINS, QOS_PLAN_MARGIN,
+};
 pub use schedule::{tile_ladder, Schedule};
 pub use search::{search, Sample};
 pub use vendor::vendor_profile;

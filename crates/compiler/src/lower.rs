@@ -74,7 +74,14 @@ mod tests {
     use veltair_tensor::{FeatureMap, Layer, OpKind, PoolKind};
 
     fn conv_unit() -> (FusedUnit, GemmView) {
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 256, 14, 14),
+            256,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         let g = GemmView::of(&l).unwrap();
         (FusedUnit::solo(l), g)
     }
@@ -125,15 +132,25 @@ mod tests {
         let p_solo = execute(&par, 16, Interference::NONE, &machine).latency_s;
         let l_high = execute(&local, 16, Interference::level(0.95), &machine).latency_s;
         let p_high = execute(&par, 16, Interference::level(0.95), &machine).latency_s;
-        assert!(l_solo < p_solo, "locality schedule must win solo: {l_solo} vs {p_solo}");
-        assert!(p_high < l_high, "parallel schedule must win contended: {p_high} vs {l_high}");
+        assert!(
+            l_solo < p_solo,
+            "locality schedule must win solo: {l_solo} vs {p_solo}"
+        );
+        assert!(
+            p_high < l_high,
+            "parallel schedule must win contended: {p_high} vs {l_high}"
+        );
     }
 
     #[test]
     fn streaming_profile_is_bandwidth_bound() {
         let pool = Layer::new(
             "pool",
-            OpKind::Pool { kind: PoolKind::Max, kernel: (3, 3), stride: (2, 2) },
+            OpKind::Pool {
+                kind: PoolKind::Max,
+                kernel: (3, 3),
+                stride: (2, 2),
+            },
             FeatureMap::nchw(1, 64, 112, 112),
         );
         let p = lower_streaming(&FusedUnit::solo(pool));
@@ -142,17 +159,36 @@ mod tests {
         let machine = MachineConfig::threadripper_3990x();
         // Bandwidth contention should hurt a streaming kernel.
         let solo = execute(&p, 8, Interference::NONE, &machine).latency_s;
-        let jam = execute(&p, 8, Interference { cache_frac: 0.0, bw_frac: 0.9 }, &machine).latency_s;
+        let jam = execute(
+            &p,
+            8,
+            Interference {
+                cache_frac: 0.0,
+                bw_frac: 0.9,
+            },
+            &machine,
+        )
+        .latency_s;
         assert!(jam > 2.0 * solo);
     }
 
     #[test]
     fn fused_residual_operand_reaches_traffic() {
-        let conv = Layer::conv2d("c", FeatureMap::nchw(1, 64, 28, 28), 64, (1, 1), (1, 1), (0, 0));
+        let conv = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 64, 28, 28),
+            64,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+        );
         let out = conv.output();
         let g = GemmView::of(&conv).unwrap();
         let solo_unit = FusedUnit::solo(conv.clone());
-        let fused = FusedUnit { base: conv, epilogue: vec![Layer::new("add", OpKind::EltwiseAdd, out)] };
+        let fused = FusedUnit {
+            base: conv,
+            epilogue: vec![Layer::new("add", OpKind::EltwiseAdd, out)],
+        };
         let s = Schedule::new(&g, 49, 64, 64, 8);
         let a = lower_gemm(&solo_unit, &g, &s);
         let b = lower_gemm(&fused, &g, &s);

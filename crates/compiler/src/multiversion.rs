@@ -40,9 +40,8 @@ pub fn extract_dominant(samples: &[Sample]) -> Vec<Sample> {
             .total_cmp(&a.locality_bytes)
             .then(b.parallelism.total_cmp(&a.parallelism))
     });
-    frontier.dedup_by(|a, b| {
-        a.locality_bytes == b.locality_bytes && a.parallelism == b.parallelism
-    });
+    frontier
+        .dedup_by(|a, b| a.locality_bytes == b.locality_bytes && a.parallelism == b.parallelism);
     frontier
 }
 
@@ -60,11 +59,17 @@ pub fn select_versions(
     machine: &MachineConfig,
     opts: &CompilerOptions,
 ) -> Vec<CompiledVersion> {
-    assert!(!samples.is_empty(), "cannot select versions from an empty population");
+    assert!(
+        !samples.is_empty(),
+        "cannot select versions from an empty population"
+    );
 
     // Step 2: QoS-share filter.
-    let mut qualified: Vec<Sample> =
-        samples.iter().filter(|s| s.solo_latency_s <= qos_share_s).cloned().collect();
+    let mut qualified: Vec<Sample> = samples
+        .iter()
+        .filter(|s| s.solo_latency_s <= qos_share_s)
+        .cloned()
+        .collect();
     if qualified.is_empty() {
         let fastest = samples
             .iter()
@@ -88,11 +93,17 @@ pub fn select_versions(
     let v = opts.max_versions.min(frontier.len() + 1).max(1);
     let mut picked: Vec<Sample> = vec![solo_best.clone()];
     for i in 0..v.min(frontier.len()) {
-        let idx = if v == 1 { 0 } else { i * (frontier.len() - 1) / (v - 1).max(1) };
+        let idx = if v == 1 {
+            0
+        } else {
+            i * (frontier.len() - 1) / (v - 1).max(1)
+        };
         picked.push(frontier[idx].clone());
     }
     picked.sort_by(|a, b| {
-        b.locality_bytes.total_cmp(&a.locality_bytes).then(b.parallelism.total_cmp(&a.parallelism))
+        b.locality_bytes
+            .total_cmp(&a.locality_bytes)
+            .then(b.parallelism.total_cmp(&a.parallelism))
     });
     picked.dedup_by(|a, b| a.schedule == b.schedule);
     // Respect the budget: drop the non-solo-best pick whose locality is
@@ -112,12 +123,21 @@ pub fn select_versions(
     // tolerance across interference levels.
     let pruned = prune_redundant(picked, machine, opts);
 
-    pruned.into_iter().map(CompiledVersion::from_sample).collect()
+    pruned
+        .into_iter()
+        .map(CompiledVersion::from_sample)
+        .collect()
 }
 
 /// Latency of one sample at the reference core count under a given level.
 fn latency_at(s: &Sample, level: f64, machine: &MachineConfig, opts: &CompilerOptions) -> f64 {
-    execute(&s.profile, opts.reference_cores, Interference::level(level), machine).latency_s
+    execute(
+        &s.profile,
+        opts.reference_cores,
+        Interference::level(level),
+        machine,
+    )
+    .latency_s
 }
 
 /// Greedily removes versions while the remaining min-latency envelope stays
@@ -170,7 +190,14 @@ mod tests {
     use veltair_tensor::{FeatureMap, FusedUnit, GemmView, Layer};
 
     fn population() -> (Vec<Sample>, MachineConfig, CompilerOptions) {
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 256, 14, 14),
+            256,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         let g = GemmView::of(&l).unwrap();
         let u = FusedUnit::solo(l);
         let machine = MachineConfig::threadripper_3990x();
@@ -215,9 +242,13 @@ mod tests {
     fn frontier_is_sorted_most_local_first() {
         let (samples, ..) = population();
         let frontier = extract_dominant(&samples);
-        assert!(frontier.windows(2).all(|w| w[0].locality_bytes >= w[1].locality_bytes));
+        assert!(frontier
+            .windows(2)
+            .all(|w| w[0].locality_bytes >= w[1].locality_bytes));
         // Along a Pareto frontier, parallelism rises as locality falls.
-        assert!(frontier.windows(2).all(|w| w[0].parallelism <= w[1].parallelism));
+        assert!(frontier
+            .windows(2)
+            .all(|w| w[0].parallelism <= w[1].parallelism));
     }
 
     #[test]
@@ -256,17 +287,21 @@ mod tests {
     #[test]
     fn pruning_preserves_envelope_within_tolerance() {
         let (samples, machine, opts) = population();
-        let loose = CompilerOptions { prune_tolerance: 1.10, ..opts.clone() };
+        let loose = CompilerOptions {
+            prune_tolerance: 1.10,
+            ..opts.clone()
+        };
         let versions = select_versions(&samples, 1.0, &machine, &loose);
         // Rebuild the unpruned pick and compare envelopes.
-        let unpruned = CompilerOptions { prune_tolerance: 1.0, ..opts };
+        let unpruned = CompilerOptions {
+            prune_tolerance: 1.0,
+            ..opts
+        };
         let full = select_versions(&samples, 1.0, &machine, &unpruned);
         for &b in &interference_bins() {
             let env = |set: &[CompiledVersion]| {
                 set.iter()
-                    .map(|v| {
-                        execute(&v.profile, 16, Interference::level(b), &machine).latency_s
-                    })
+                    .map(|v| execute(&v.profile, 16, Interference::level(b), &machine).latency_s)
                     .fold(f64::INFINITY, f64::min)
             };
             assert!(env(&versions) <= env(&full) * 1.101);

@@ -59,7 +59,10 @@ impl CompilerOptions {
     /// representative.
     #[must_use]
     pub fn fast() -> Self {
-        Self { search_iterations: 192, ..Self::thorough() }
+        Self {
+            search_iterations: 192,
+            ..Self::thorough()
+        }
     }
 
     /// Restricts the compiler to a single (solo-optimal) version, which is
@@ -67,7 +70,10 @@ impl CompilerOptions {
     /// Table 1).
     #[must_use]
     pub fn single_version() -> Self {
-        Self { max_versions: 1, ..Self::thorough() }
+        Self {
+            max_versions: 1,
+            ..Self::thorough()
+        }
     }
 
     /// Same options with a different version budget (Fig. 14b sweep).

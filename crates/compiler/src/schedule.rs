@@ -34,8 +34,16 @@ impl Schedule {
     /// Panics if any parameter is zero.
     #[must_use]
     pub fn new(g: &GemmView, tm: usize, tn: usize, tk: usize, unroll: usize) -> Self {
-        assert!(tm > 0 && tn > 0 && tk > 0 && unroll > 0, "schedule parameters must be positive");
-        Self { tm: tm.min(g.m), tn: tn.min(g.n), tk: tk.min(g.k), unroll }
+        assert!(
+            tm > 0 && tn > 0 && tk > 0 && unroll > 0,
+            "schedule parameters must be positive"
+        );
+        Self {
+            tm: tm.min(g.m),
+            tn: tn.min(g.n),
+            tk: tk.min(g.k),
+            unroll,
+        }
     }
 
     /// Number of independent parallel chunks (outer tiles x batch).
@@ -95,7 +103,11 @@ impl Schedule {
 
 impl std::fmt::Display for Schedule {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "tm{}xtn{}xtk{}u{}", self.tm, self.tn, self.tk, self.unroll)
+        write!(
+            f,
+            "tm{}xtn{}xtk{}u{}",
+            self.tm, self.tn, self.tk, self.unroll
+        )
     }
 }
 
@@ -133,7 +145,14 @@ mod tests {
 
     fn gemm() -> GemmView {
         // The paper's Fig. 6 exemplar conv: 14x14 map, 256 channels, 3x3.
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 256, 14, 14),
+            256,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         GemmView::of(&l).unwrap()
     }
 

@@ -135,13 +135,35 @@ fn mutate(
 ) -> Schedule {
     let step = |ladder: &[usize], cur: usize, rng: &mut StdRng| -> usize {
         let idx = ladder.iter().position(|&t| t >= cur).unwrap_or(0);
-        let next = if rng.gen_bool(0.5) { idx.saturating_sub(1) } else { (idx + 1).min(ladder.len() - 1) };
+        let next = if rng.gen_bool(0.5) {
+            idx.saturating_sub(1)
+        } else {
+            (idx + 1).min(ladder.len() - 1)
+        };
         ladder[next]
     };
     match rng.gen_range(0..4) {
-        0 => Schedule::new(g, step(lm, parent.tm, rng), parent.tn, parent.tk, parent.unroll),
-        1 => Schedule::new(g, parent.tm, step(ln, parent.tn, rng), parent.tk, parent.unroll),
-        2 => Schedule::new(g, parent.tm, parent.tn, step(lk, parent.tk, rng), parent.unroll),
+        0 => Schedule::new(
+            g,
+            step(lm, parent.tm, rng),
+            parent.tn,
+            parent.tk,
+            parent.unroll,
+        ),
+        1 => Schedule::new(
+            g,
+            parent.tm,
+            step(ln, parent.tn, rng),
+            parent.tk,
+            parent.unroll,
+        ),
+        2 => Schedule::new(
+            g,
+            parent.tm,
+            parent.tn,
+            step(lk, parent.tk, rng),
+            parent.unroll,
+        ),
         _ => {
             let u = UNROLLS[rng.gen_range(0..UNROLLS.len())];
             Schedule::new(g, parent.tm, parent.tn, parent.tk, u)
@@ -155,7 +177,14 @@ mod tests {
     use veltair_tensor::{FeatureMap, Layer};
 
     fn unit() -> (FusedUnit, GemmView) {
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 256, 14, 14),
+            256,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         let g = GemmView::of(&l).unwrap();
         (FusedUnit::solo(l), g)
     }
@@ -187,7 +216,13 @@ mod tests {
     #[test]
     fn small_spaces_are_enumerated() {
         // A depthwise conv has a tiny GEMM view -> exhaustive enumeration.
-        let l = Layer::dwconv2d("dw", FeatureMap::nchw(1, 32, 14, 14), (3, 3), (1, 1), (1, 1));
+        let l = Layer::dwconv2d(
+            "dw",
+            FeatureMap::nchw(1, 32, 14, 14),
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         let g = GemmView::of(&l).unwrap();
         let u = FusedUnit::solo(l);
         let machine = MachineConfig::threadripper_3990x();
@@ -205,7 +240,10 @@ mod tests {
         let (u, g) = unit();
         let machine = MachineConfig::threadripper_3990x();
         let samples = search(&u, &g, &machine, &CompilerOptions::fast(), 11);
-        let best = samples.iter().map(|s| s.solo_latency_s).fold(f64::INFINITY, f64::min);
+        let best = samples
+            .iter()
+            .map(|s| s.solo_latency_s)
+            .fold(f64::INFINITY, f64::min);
         // Roofline bound at the reference 16 cores and peak efficiency 0.95.
         let bound = g.flops() / (16.0 * machine.peak_flops_per_core() * 0.95);
         assert!(best < 3.0 * bound, "best {best} vs bound {bound}");
@@ -216,10 +254,16 @@ mod tests {
         let (u, g) = unit();
         let machine = MachineConfig::threadripper_3990x();
         let samples = search(&u, &g, &machine, &CompilerOptions::fast(), 5);
-        let min_loc = samples.iter().map(|s| s.locality_bytes).fold(f64::INFINITY, f64::min);
+        let min_loc = samples
+            .iter()
+            .map(|s| s.locality_bytes)
+            .fold(f64::INFINITY, f64::min);
         let max_loc = samples.iter().map(|s| s.locality_bytes).fold(0.0, f64::max);
         assert!(max_loc > 16.0 * min_loc, "locality range too narrow");
-        let min_par = samples.iter().map(|s| s.parallelism).fold(f64::INFINITY, f64::min);
+        let min_par = samples
+            .iter()
+            .map(|s| s.parallelism)
+            .fold(f64::INFINITY, f64::min);
         let max_par = samples.iter().map(|s| s.parallelism).fold(0.0, f64::max);
         assert!(max_par > 16.0 * min_par, "parallelism range too narrow");
     }

@@ -43,7 +43,14 @@ mod tests {
 
     #[test]
     fn vendor_profile_is_valid() {
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 64, 56, 56), 64, (3, 3), (1, 1), (1, 1));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 64, 56, 56),
+            64,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         let u = FusedUnit::solo(l);
         assert!(vendor_profile(&u).validate().is_ok());
     }
@@ -52,13 +59,22 @@ mod tests {
     fn auto_scheduler_beats_vendor_solo() {
         // Fig. 2: TVM generally outperforms MKL-DNN.
         let machine = MachineConfig::threadripper_3990x();
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 256, 14, 14),
+            256,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         let g = GemmView::of(&l).unwrap();
         let u = FusedUnit::solo(l);
-        let vendor =
-            execute(&vendor_profile(&u), 16, Interference::NONE, &machine).latency_s;
+        let vendor = execute(&vendor_profile(&u), 16, Interference::NONE, &machine).latency_s;
         let samples = search(&u, &g, &machine, &CompilerOptions::fast(), 0);
-        let tvm = samples.iter().map(|s| s.solo_latency_s).fold(f64::INFINITY, f64::min);
+        let tvm = samples
+            .iter()
+            .map(|s| s.solo_latency_s)
+            .fold(f64::INFINITY, f64::min);
         assert!(tvm < vendor, "tvm {tvm} vs vendor {vendor}");
     }
 

@@ -1,36 +1,42 @@
-//! Property-based invariants of the schedule space and Algorithm 1.
+//! Randomized invariants of the schedule space and Algorithm 1.
+//!
+//! Formerly proptest-based; the hermetic build has no crates.io access,
+//! so these run the same properties over seeded random cases.
 
-use proptest::prelude::*;
-use veltair_compiler::{
-    select_versions, tile_ladder, CompilerOptions, Sample, Schedule,
-};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veltair_compiler::{select_versions, tile_ladder, CompilerOptions, Sample, Schedule};
 use veltair_sim::MachineConfig;
 use veltair_tensor::{FeatureMap, FusedUnit, GemmView, Layer};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn tile_ladder_is_sorted_and_complete(extent in 1usize..100_000) {
+#[test]
+fn tile_ladder_is_sorted_and_complete() {
+    let mut rng = StdRng::seed_from_u64(0xc0de01);
+    for _ in 0..CASES {
+        let extent = rng.gen_range(1usize..100_000);
         let ladder = tile_ladder(extent);
-        prop_assert!(ladder.windows(2).all(|w| w[0] < w[1]));
-        prop_assert_eq!(*ladder.first().unwrap(), 1);
-        prop_assert_eq!(*ladder.last().unwrap(), extent);
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*ladder.first().unwrap(), 1);
+        assert_eq!(*ladder.last().unwrap(), extent);
         // All interior entries are powers of two.
         for &t in &ladder[..ladder.len() - 1] {
-            prop_assert!(t.is_power_of_two());
+            assert!(t.is_power_of_two());
         }
     }
+}
 
-    #[test]
-    fn schedules_clamp_and_count_chunks(
-        cin in 1usize..512,
-        cout in 1usize..512,
-        hw in 7usize..56,
-        tm in 1usize..10_000,
-        tn in 1usize..10_000,
-        tk in 1usize..10_000,
-    ) {
+#[test]
+fn schedules_clamp_and_count_chunks() {
+    let mut rng = StdRng::seed_from_u64(0xc0de02);
+    for _ in 0..CASES {
+        let cin = rng.gen_range(1usize..512);
+        let cout = rng.gen_range(1usize..512);
+        let hw = rng.gen_range(7usize..56);
+        let tm = rng.gen_range(1usize..10_000);
+        let tn = rng.gen_range(1usize..10_000);
+        let tk = rng.gen_range(1usize..10_000);
         let conv = Layer::conv2d(
             "c",
             FeatureMap::nchw(1, cin, hw, hw),
@@ -41,13 +47,13 @@ proptest! {
         );
         let g = GemmView::of(&conv).unwrap();
         let s = Schedule::new(&g, tm, tn, tk, 8);
-        prop_assert!(s.tm <= g.m && s.tn <= g.n && s.tk <= g.k);
+        assert!(s.tm <= g.m && s.tn <= g.n && s.tk <= g.k);
         let chunks = s.parallel_chunks(&g) as usize;
-        prop_assert!(chunks >= 1);
-        prop_assert!(chunks <= g.m * g.n);
+        assert!(chunks >= 1);
+        assert!(chunks <= g.m * g.n);
         let eff = s.compute_efficiency(&g);
-        prop_assert!((0.02..=0.95).contains(&eff));
-        prop_assert!(s.locality_bytes(&g) > 0.0);
+        assert!((0.02..=0.95).contains(&eff));
+        assert!(s.locality_bytes(&g) > 0.0);
     }
 }
 
@@ -56,7 +62,14 @@ proptest! {
 #[test]
 fn selection_budget_holds_for_any_share() {
     let machine = MachineConfig::threadripper_3990x();
-    let conv = Layer::conv2d("c", FeatureMap::nchw(1, 128, 14, 14), 128, (3, 3), (1, 1), (1, 1));
+    let conv = Layer::conv2d(
+        "c",
+        FeatureMap::nchw(1, 128, 14, 14),
+        128,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
     let g = GemmView::of(&conv).unwrap();
     let unit = FusedUnit::solo(conv);
     let opts = CompilerOptions::fast();
@@ -66,7 +79,10 @@ fn selection_budget_holds_for_any_share() {
         for v in 1..=5usize {
             let o = opts.clone().with_max_versions(v);
             let versions = select_versions(&samples, share, &machine, &o);
-            assert!((1..=v).contains(&versions.len()), "share {share} budget {v}");
+            assert!(
+                (1..=v).contains(&versions.len()),
+                "share {share} budget {v}"
+            );
             // Ordered most-local first.
             for w in versions.windows(2) {
                 assert!(w[0].locality_bytes >= w[1].locality_bytes);
@@ -81,17 +97,33 @@ fn selection_budget_holds_for_any_share() {
 fn envelope_at_zero_stays_near_best_sample() {
     use veltair_sim::{execute, Interference};
     let machine = MachineConfig::threadripper_3990x();
-    let conv = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+    let conv = Layer::conv2d(
+        "c",
+        FeatureMap::nchw(1, 256, 14, 14),
+        256,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
     let g = GemmView::of(&conv).unwrap();
     let unit = FusedUnit::solo(conv);
     let opts = CompilerOptions::fast();
     let samples: Vec<Sample> = veltair_compiler::search(&unit, &g, &machine, &opts, 3);
     let versions = select_versions(&samples, f64::INFINITY, &machine, &opts);
-    let best = samples.iter().map(|s| s.solo_latency_s).fold(f64::INFINITY, f64::min);
+    let best = samples
+        .iter()
+        .map(|s| s.solo_latency_s)
+        .fold(f64::INFINITY, f64::min);
     let env = versions
         .iter()
         .map(|v| {
-            execute(&v.profile, opts.reference_cores, Interference::NONE, &machine).latency_s
+            execute(
+                &v.profile,
+                opts.reference_cores,
+                Interference::NONE,
+                &machine,
+            )
+            .latency_s
                 + machine.dispatch_overhead_s
         })
         .fold(f64::INFINITY, f64::min);

@@ -10,14 +10,28 @@
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
 
 use veltair_core::experiments::{
-    ablations, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig09, fig10, fig11, fig12,
-    fig13, fig14, tables, ExpContext,
+    ablations, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig09, fig10, fig11, fig12, fig13,
+    fig14, tables, ExpContext,
 };
 
 /// All runnable experiment names in paper order.
 const ALL: &[&str] = &[
-    "tab01", "tab02", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig09",
-    "fig10", "fig11", "fig12", "fig13", "fig14", "ablations",
+    "tab01",
+    "tab02",
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablations",
 ];
 
 fn run_one(ctx: &ExpContext, name: &str) {

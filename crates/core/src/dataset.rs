@@ -27,7 +27,10 @@ pub fn co_location_dataset(
     episodes: usize,
     seed: u64,
 ) -> (Vec<CounterWindow>, Vec<f64>) {
-    assert!(!models.is_empty(), "dataset needs at least one compiled model");
+    assert!(
+        !models.is_empty(),
+        "dataset needs at least one compiled model"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut windows = Vec::with_capacity(episodes);
     let mut levels = Vec::with_capacity(episodes);
@@ -41,7 +44,9 @@ pub fn co_location_dataset(
             let l = &m.layers[rng.gen_range(0..m.layers.len())];
             let v = rng.gen_range(0..l.versions.len());
             let req = l.core_requirement(v, 0.0).max(1);
-            let cores = rng.gen_range(1..=req.saturating_mul(2).min(machine.cores)).max(1);
+            let cores = rng
+                .gen_range(1..=req.saturating_mul(2).min(machine.cores))
+                .max(1);
             picks.push((l.versions[v].profile, cores));
         }
         // First pass: solo demands.
@@ -96,8 +101,16 @@ mod tests {
     fn models() -> (Vec<CompiledModel>, MachineConfig) {
         let machine = MachineConfig::threadripper_3990x();
         let m = vec![
-            compile_model(&veltair_models::mobilenet_v2(), &machine, &CompilerOptions::fast()),
-            compile_model(&veltair_models::tiny_yolo_v2(), &machine, &CompilerOptions::fast()),
+            compile_model(
+                &veltair_models::mobilenet_v2(),
+                &machine,
+                &CompilerOptions::fast(),
+            ),
+            compile_model(
+                &veltair_models::tiny_yolo_v2(),
+                &machine,
+                &CompilerOptions::fast(),
+            ),
         ];
         (m, machine)
     }

@@ -2,7 +2,8 @@
 
 use veltair_compiler::CompiledModel;
 use veltair_proxy::InterferenceProxy;
-use veltair_sched::{simulate, Policy, ServingReport, SimConfig, WorkloadSpec};
+use veltair_sched::runtime;
+use veltair_sched::{simulate_with_dispatcher, Policy, ServingReport, SimConfig, WorkloadSpec};
 use veltair_sim::MachineConfig;
 
 /// Compile-once, serve-many facade: holds the machine, the policy, the
@@ -19,7 +20,12 @@ impl ServingEngine {
     /// Creates an engine for a machine and scheduling policy.
     #[must_use]
     pub fn new(machine: MachineConfig, policy: Policy) -> Self {
-        Self { machine, policy, models: Vec::new(), proxy: None }
+        Self {
+            machine,
+            policy,
+            models: Vec::new(),
+            proxy: None,
+        }
     }
 
     /// Registers a compiled model, replacing any previous model of the
@@ -54,6 +60,11 @@ impl ServingEngine {
 
     /// Serves a workload's query stream and returns the report.
     ///
+    /// The engine constructs the scheduler-core dispatcher for its policy
+    /// explicitly (via [`runtime::for_policy`]) and hands it to the
+    /// policy-agnostic event loop, so embedders can follow the same path
+    /// with a custom [`runtime::Dispatcher`] implementation.
+    ///
     /// # Panics
     ///
     /// Panics if the workload references unregistered models.
@@ -64,7 +75,8 @@ impl ServingEngine {
         if let Some(p) = &self.proxy {
             cfg = cfg.with_proxy(p.clone());
         }
-        simulate(&self.models, &queries, &cfg)
+        let dispatcher = runtime::for_policy(self.policy);
+        simulate_with_dispatcher(&self.models, &queries, &cfg, dispatcher)
     }
 }
 
@@ -76,7 +88,11 @@ mod tests {
     fn engine() -> ServingEngine {
         let machine = MachineConfig::threadripper_3990x();
         let mut e = ServingEngine::new(machine.clone(), Policy::VeltairFull);
-        e.register(compile_model(&veltair_models::tiny_yolo_v2(), &machine, &CompilerOptions::fast()));
+        e.register(compile_model(
+            &veltair_models::tiny_yolo_v2(),
+            &machine,
+            &CompilerOptions::fast(),
+        ));
         e
     }
 
@@ -93,7 +109,11 @@ mod tests {
         let mut e = engine();
         let n = e.models().len();
         let machine = e.machine().clone();
-        e.register(compile_model(&veltair_models::tiny_yolo_v2(), &machine, &CompilerOptions::fast()));
+        e.register(compile_model(
+            &veltair_models::tiny_yolo_v2(),
+            &machine,
+            &CompilerOptions::fast(),
+        ));
         assert_eq!(e.models().len(), n);
     }
 

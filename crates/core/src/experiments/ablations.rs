@@ -69,14 +69,25 @@ pub fn run(ctx: &ExpContext) -> Ablations {
             cfg = cfg.with_proxy(p);
         }
         let r = simulate(&compiled, &queries, &cfg);
-        monitor_ablation.push((label, r.overall_satisfaction(), r.overall_avg_latency_s() * 1e3));
+        monitor_ablation.push((
+            label,
+            r.overall_satisfaction(),
+            r.overall_avg_latency_s() * 1e3,
+        ));
     }
 
     // --- Extended prior-work comparison (Table 1 ports) -----------------
-    let mix_models =
-        vec![ctx.model("resnet50"), ctx.model("mobilenet_v2"), ctx.model("tiny_yolo_v2")];
+    let mix_models = vec![
+        ctx.model("resnet50"),
+        ctx.model("mobilenet_v2"),
+        ctx.model("tiny_yolo_v2"),
+    ];
     let mix = WorkloadSpec::mix(
-        &[("resnet50", 1.0 / 15.0), ("mobilenet_v2", 1.0 / 10.0), ("tiny_yolo_v2", 1.0 / 10.0)],
+        &[
+            ("resnet50", 1.0 / 15.0),
+            ("mobilenet_v2", 1.0 / 10.0),
+            ("tiny_yolo_v2", 1.0 / 10.0),
+        ],
         budget,
     )
     .generate(0xAB1C);
@@ -102,8 +113,7 @@ pub fn run(ctx: &ExpContext) -> Ablations {
     for (label, machine) in platforms {
         // Recompile against the altered machine so the lookup tables match.
         let spec = veltair_models::by_name("resnet50").expect("zoo model");
-        let compiled =
-            vec![veltair_compiler::compile_model(&spec, &machine, &ctx.opts)];
+        let compiled = vec![veltair_compiler::compile_model(&spec, &machine, &ctx.opts)];
         let cfg = SimConfig::new(machine, Policy::VeltairFull);
         let r = simulate(&compiled, &queries, &cfg);
         platform_sensitivity.push((
@@ -113,27 +123,65 @@ pub fn run(ctx: &ExpContext) -> Ablations {
         ));
     }
 
-    Ablations { threshold_sweep, monitor_ablation, extended_baselines, platform_sensitivity }
+    Ablations {
+        threshold_sweep,
+        monitor_ablation,
+        extended_baselines,
+        platform_sensitivity,
+    }
 }
 
 impl std::fmt::Display for Ablations {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Ablation A: block size sweep at {QPS} QPS (k = 0 is the dynamic threshold)")?;
+        writeln!(
+            f,
+            "Ablation A: block size sweep at {QPS} QPS (k = 0 is the dynamic threshold)"
+        )?;
         for (k, sat, conf) in &self.threshold_sweep {
-            let label = if *k == 0 { "dynamic".to_string() } else { format!("fixed({k})") };
-            writeln!(f, "  {label:<10} satisfaction {:>5.1}%  conflicts {:>5.1}%", sat * 100.0, conf * 100.0)?;
+            let label = if *k == 0 {
+                "dynamic".to_string()
+            } else {
+                format!("fixed({k})")
+            };
+            writeln!(
+                f,
+                "  {label:<10} satisfaction {:>5.1}%  conflicts {:>5.1}%",
+                sat * 100.0,
+                conf * 100.0
+            )?;
         }
         writeln!(f, "Ablation B: interference monitor under VELTAIR-FULL")?;
         for (label, sat, lat) in &self.monitor_ablation {
-            writeln!(f, "  {label:<14} satisfaction {:>5.1}%  latency {:>7.2} ms", sat * 100.0, lat)?;
+            writeln!(
+                f,
+                "  {label:<14} satisfaction {:>5.1}%  latency {:>7.2} ms",
+                sat * 100.0,
+                lat
+            )?;
         }
-        writeln!(f, "Ablation C: extended prior-work comparison (mixed workload)")?;
+        writeln!(
+            f,
+            "Ablation C: extended prior-work comparison (mixed workload)"
+        )?;
         for (label, sat, lat) in &self.extended_baselines {
-            writeln!(f, "  {label:<14} satisfaction {:>5.1}%  latency {:>7.2} ms", sat * 100.0, lat)?;
+            writeln!(
+                f,
+                "  {label:<14} satisfaction {:>5.1}%  latency {:>7.2} ms",
+                sat * 100.0,
+                lat
+            )?;
         }
-        writeln!(f, "Ablation D: platform sensitivity (SMT / DVFS re-enabled, §5.1)")?;
+        writeln!(
+            f,
+            "Ablation D: platform sensitivity (SMT / DVFS re-enabled, §5.1)"
+        )?;
         for (label, sat, lat) in &self.platform_sensitivity {
-            writeln!(f, "  {label:<14} satisfaction {:>5.1}%  latency {:>7.2} ms", sat * 100.0, lat)?;
+            writeln!(
+                f,
+                "  {label:<14} satisfaction {:>5.1}%  latency {:>7.2} ms",
+                sat * 100.0,
+                lat
+            )?;
         }
         Ok(())
     }
@@ -148,7 +196,11 @@ mod tests {
         let ctx = ExpContext::new();
         let a = run(&ctx);
         let get = |label: &str| {
-            a.monitor_ablation.iter().find(|(l, ..)| l == label).cloned().unwrap()
+            a.monitor_ablation
+                .iter()
+                .find(|(l, ..)| l == label)
+                .cloned()
+                .unwrap()
         };
         let (_, oracle_sat, _) = get("oracle");
         let (_, proxy_sat, _) = get("trained-proxy");

@@ -62,13 +62,18 @@ pub fn run(ctx: &ExpContext) -> Fig01 {
     let slowdown_avg: Vec<(usize, f64)> = (0..4)
         .map(|i| {
             let k = i + 1;
-            let mean =
-                slowdown.iter().map(|(_, s)| s[i].1).sum::<f64>() / slowdown.len() as f64;
+            let mean = slowdown.iter().map(|(_, s)| s[i].1).sum::<f64>() / slowdown.len() as f64;
             (k, mean)
         })
         .collect();
 
-    Fig01 { latency_vs_cores, qos_light_ms: 10.0, qos_medium_ms: 15.0, slowdown, slowdown_avg }
+    Fig01 {
+        latency_vs_cores,
+        qos_light_ms: 10.0,
+        qos_medium_ms: 15.0,
+        slowdown,
+        slowdown_avg,
+    }
 }
 
 /// Thread-team size every naively co-located task keeps (the machine fits
@@ -98,18 +103,30 @@ fn steady_demand(model: &CompiledModel, cores: u32, machine: &MachineConfig) -> 
     let mut cache = 0.0;
     let mut bw = 0.0;
     for l in &model.layers {
-        let e = execute(&l.versions[l.version_for_level(0.0)].profile, cores, Interference::NONE, machine);
+        let e = execute(
+            &l.versions[l.version_for_level(0.0)].profile,
+            cores,
+            Interference::NONE,
+            machine,
+        );
         total_t += e.latency_s;
         cache += e.demand.cache_bytes * e.latency_s;
         bw += e.demand.bw_bytes_per_s * e.latency_s;
     }
-    PressureDemand { cache_bytes: cache / total_t.max(1e-12), bw_bytes_per_s: bw / total_t.max(1e-12) }
+    PressureDemand {
+        cache_bytes: cache / total_t.max(1e-12),
+        bw_bytes_per_s: bw / total_t.max(1e-12),
+    }
 }
 
 impl std::fmt::Display for Fig01 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Figure 1a: inference latency (ms) vs core count")?;
-        writeln!(f, "  QoS lines: light {} ms, medium {} ms", self.qos_light_ms, self.qos_medium_ms)?;
+        writeln!(
+            f,
+            "  QoS lines: light {} ms, medium {} ms",
+            self.qos_light_ms, self.qos_medium_ms
+        )?;
         for (m, series) in &self.latency_vs_cores {
             write!(f, "  {m:<16}")?;
             for (p, l) in series {
@@ -144,7 +161,10 @@ mod tests {
         // (a) Latency falls (weakly) with more cores, and every vision
         // model meets its QoS with 16 cores (paper: "a few cores").
         for (m, series) in &fig.latency_vs_cores {
-            assert!(series.windows(2).all(|w| w[1].1 <= w[0].1 * 1.001), "{m} not monotone");
+            assert!(
+                series.windows(2).all(|w| w[1].1 <= w[0].1 * 1.001),
+                "{m} not monotone"
+            );
             assert!(series[1].1 < 15.0, "{m} at 16 cores: {} ms", series[1].1);
         }
         // (b) Slowdown grows with co-location, reaching the paper's

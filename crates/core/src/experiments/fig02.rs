@@ -44,9 +44,16 @@ pub fn run(ctx: &ExpContext) -> Fig02 {
 
 impl std::fmt::Display for Fig02 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 2: TVM-class auto-scheduling vs vendor library (ms, {CORES} cores)")?;
+        writeln!(
+            f,
+            "Figure 2: TVM-class auto-scheduling vs vendor library (ms, {CORES} cores)"
+        )?;
         for (m, tvm, vendor) in &self.rows {
-            writeln!(f, "  {m:<16} tvm {tvm:>7.2}  vendor {vendor:>7.2}  speedup {:.2}x", vendor / tvm)?;
+            writeln!(
+                f,
+                "  {m:<16} tvm {tvm:>7.2}  vendor {vendor:>7.2}  speedup {:.2}x",
+                vendor / tvm
+            )?;
         }
         Ok(())
     }
@@ -61,7 +68,11 @@ mod tests {
         let ctx = ExpContext::new();
         let fig = run(&ctx);
         assert_eq!(fig.rows.len(), 4);
-        let wins = fig.rows.iter().filter(|(_, tvm, vendor)| tvm < vendor).count();
+        let wins = fig
+            .rows
+            .iter()
+            .filter(|(_, tvm, vendor)| tvm < vendor)
+            .count();
         assert!(wins >= 3, "tvm won only {wins}/4 models");
         // And never catastrophically loses.
         for (m, tvm, vendor) in &fig.rows {

@@ -43,8 +43,12 @@ pub const QPS_SWEEP: [f64; 6] = [50.0, 100.0, 150.0, 200.0, 250.0, 300.0];
 /// which restores the gradual degradation the figure demonstrates.
 #[must_use]
 pub fn run(ctx: &ExpContext) -> Fig03 {
-    let policies =
-        [Policy::ModelFcfs, Policy::Planaria, Policy::FixedBlock(6), Policy::FixedBlock(11)];
+    let policies = [
+        Policy::ModelFcfs,
+        Policy::Planaria,
+        Policy::FixedBlock(6),
+        Policy::FixedBlock(11),
+    ];
     let budget = ctx.query_budget();
     let mut series = Vec::new();
     for policy in policies {
@@ -73,7 +77,10 @@ pub fn run(ctx: &ExpContext) -> Fig03 {
 
 impl std::fmt::Display for Fig03 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 3a: QoS satisfaction rate vs QPS (ResNet-50, uniform arrivals)")?;
+        writeln!(
+            f,
+            "Figure 3a: QoS satisfaction rate vs QPS (ResNet-50, uniform arrivals)"
+        )?;
         for (name, pts) in &self.series {
             write!(f, "  {name:<10}")?;
             for p in pts {

@@ -77,12 +77,16 @@ pub fn run(ctx: &ExpContext) -> Fig04 {
         while begin < n {
             let end = (begin + k).min(n);
             let cores = veltair_sched::block_core_requirement(
-                &model, begin, end, &versions, Interference::NONE, machine,
+                &model,
+                begin,
+                end,
+                &versions,
+                Interference::NONE,
+                machine,
             );
             series.push((t, cores));
-            for i in begin..end {
-                t += model.layers[i].latency_s(versions[i], cores, Interference::NONE, machine)
-                    * 1e3;
+            for (layer, &version) in model.layers[begin..end].iter().zip(&versions[begin..end]) {
+                t += layer.latency_s(version, cores, Interference::NONE, machine) * 1e3;
             }
             begin = end;
         }
@@ -96,14 +100,21 @@ pub fn run(ctx: &ExpContext) -> Fig04 {
     for b in &blocks {
         series.push((t, b.cores));
         for i in b.start..b.end {
-            t += model.layers[i].latency_s(b.versions[i - b.start], b.cores, Interference::NONE, machine)
-                * 1e3;
+            t += model.layers[i].latency_s(
+                b.versions[i - b.start],
+                b.cores,
+                Interference::NONE,
+                machine,
+            ) * 1e3;
         }
     }
     series.push((t, 0));
     allocation.push(("Block(Dyn)".to_string(), series));
 
-    Fig04 { speedup, allocation }
+    Fig04 {
+        speedup,
+        allocation,
+    }
 }
 
 impl std::fmt::Display for Fig04 {
@@ -120,7 +131,11 @@ impl std::fmt::Display for Fig04 {
         for (label, series) in &self.allocation {
             let peak = series.iter().map(|&(_, c)| c).max().unwrap_or(0);
             let end = series.last().map_or(0.0, |&(t, _)| t);
-            writeln!(f, "  {label:<12} steps {:>3}  peak {peak:>2} cores  span {end:>7.2} ms", series.len())?;
+            writeln!(
+                f,
+                "  {label:<12} steps {:>3}  peak {peak:>2} cores  span {end:>7.2} ms",
+                series.len()
+            )?;
         }
         Ok(())
     }
@@ -149,11 +164,18 @@ mod tests {
                 .map(|(_, s)| s.last().unwrap().1)
                 .unwrap()
         };
-        assert!(last("7x7") < last("56x56 C(64,64) K3"), "small layer should scale worst");
+        assert!(
+            last("7x7") < last("56x56 C(64,64) K3"),
+            "small layer should scale worst"
+        );
         // (b) Layer-wise has more allocation steps than blocks, which have
         // more than model-wise; model-wise holds the peak flat.
         let steps = |label: &str| {
-            fig.allocation.iter().find(|(l, _)| l == label).map(|(_, s)| s.len()).unwrap()
+            fig.allocation
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, s)| s.len())
+                .unwrap()
         };
         assert!(steps("Layer") > steps("Block(6)"));
         assert!(steps("Block(6)") > steps("Model"));

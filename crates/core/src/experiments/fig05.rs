@@ -42,14 +42,20 @@ pub fn run(ctx: &ExpContext, fig03: Option<&Fig03>) -> Fig05 {
         .series
         .iter()
         .map(|(name, pts)| {
-            (name.clone(), pts.iter().map(|p| (p.qps, p.conflict_rate)).collect())
+            (
+                name.clone(),
+                pts.iter().map(|p| (p.qps, p.conflict_rate)).collect(),
+            )
         })
         .collect();
     let conflicts_per_query = sweep
         .series
         .iter()
         .map(|(name, pts)| {
-            (name.clone(), pts.iter().map(|p| (p.qps, p.conflicts_per_query)).collect())
+            (
+                name.clone(),
+                pts.iter().map(|p| (p.qps, p.conflicts_per_query)).collect(),
+            )
         })
         .collect();
 
@@ -76,7 +82,13 @@ pub fn run(ctx: &ExpContext, fig03: Option<&Fig03>) -> Fig05 {
     let mean_us = sorted.iter().sum::<f64>() / sorted.len() as f64;
     let median_us = sorted[sorted.len() / 2];
 
-    Fig05 { conflict_rates, conflicts_per_query, overhead_us, mean_us, median_us }
+    Fig05 {
+        conflict_rates,
+        conflicts_per_query,
+        overhead_us,
+        mean_us,
+        median_us,
+    }
 }
 
 impl std::fmt::Display for Fig05 {
@@ -118,7 +130,10 @@ mod tests {
             "median overhead {} us",
             fig.median_us
         );
-        assert!(fig.mean_us > fig.median_us, "overhead distribution should be right-skewed");
+        assert!(
+            fig.mean_us > fig.median_us,
+            "overhead distribution should be right-skewed"
+        );
     }
 
     #[test]

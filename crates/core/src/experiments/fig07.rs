@@ -68,7 +68,10 @@ fn retention_losses(optima: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let env_loss = |kept: &[usize]| -> Vec<f64> {
         (0..n_levels)
             .map(|li| {
-                let env = kept.iter().map(|&v| optima[v][li]).fold(f64::INFINITY, f64::min);
+                let env = kept
+                    .iter()
+                    .map(|&v| optima[v][li])
+                    .fold(f64::INFINITY, f64::min);
                 (env / oracle[li] - 1.0).max(0.0)
             })
             .collect()
@@ -104,15 +107,22 @@ fn retention_losses(optima: &[Vec<f64>]) -> Vec<Vec<f64>> {
 pub fn run(ctx: &ExpContext) -> Fig07 {
     let spec = veltair_models::resnet50();
     let units = spec.graph.fused_units();
-    let opts = CompilerOptions { search_iterations: 256, ..CompilerOptions::fast() };
+    let opts = CompilerOptions {
+        search_iterations: 256,
+        ..CompilerOptions::fast()
+    };
     let machine = &ctx.machine;
 
-    let levels: Vec<f64> = (0..LEVELS).map(|i| i as f64 / (LEVELS - 1) as f64).collect();
+    let levels: Vec<f64> = (0..LEVELS)
+        .map(|i| i as f64 / (LEVELS - 1) as f64)
+        .collect();
 
     // Per unit: the per-level optima and the nested retention losses.
     let mut per_unit_losses: Vec<Vec<Vec<f64>>> = Vec::new(); // [unit][k][level]
     for (i, unit) in units.iter().enumerate() {
-        let Some(g) = GemmView::of(&unit.base) else { continue };
+        let Some(g) = GemmView::of(&unit.base) else {
+            continue;
+        };
         let population = search(unit, &g, machine, &opts, i as u64);
         let optima = per_level_optima(&population, &levels, machine);
         per_unit_losses.push(retention_losses(&optima));
@@ -125,8 +135,7 @@ pub fn run(ctx: &ExpContext) -> Fig07 {
                 .iter()
                 .enumerate()
                 .map(|(li, &l)| {
-                    let mean =
-                        per_unit_losses.iter().map(|u| u[k][li]).sum::<f64>() / n_units;
+                    let mean = per_unit_losses.iter().map(|u| u[k][li]).sum::<f64>() / n_units;
                     (l, mean)
                 })
                 .collect()
@@ -151,7 +160,10 @@ pub fn run(ctx: &ExpContext) -> Fig07 {
         })
         .collect();
 
-    Fig07 { loss_curves, version_cdf }
+    Fig07 {
+        loss_curves,
+        version_cdf,
+    }
 }
 
 impl std::fmt::Display for Fig07 {
@@ -164,7 +176,10 @@ impl std::fmt::Display for Fig07 {
             }
             writeln!(f)?;
         }
-        writeln!(f, "Figure 7b: operators within loss budget (cumulative by version count)")?;
+        writeln!(
+            f,
+            "Figure 7b: operators within loss budget (cumulative by version count)"
+        )?;
         for (b, fracs) in &self.version_cdf {
             write!(f, "  loss<={:>3.0}%", b * 100.0)?;
             for (k, fr) in fracs.iter().enumerate() {
@@ -196,8 +211,7 @@ mod tests {
                 );
             }
         }
-        let worst_5v = fig
-            .loss_curves[4]
+        let worst_5v = fig.loss_curves[4]
             .iter()
             .map(|(_, l)| *l)
             .fold(0.0, f64::max);
@@ -219,6 +233,10 @@ mod tests {
         // With a 10 % budget, most operators need at most 3 versions
         // (paper: >80 %).
         let (_, at10) = fig.version_cdf[0];
-        assert!(at10[2] > 0.5, "only {:.0}% of ops fine with 3 versions", at10[2] * 100.0);
+        assert!(
+            at10[2] > 0.5,
+            "only {:.0}% of ops fine with 3 versions",
+            at10[2] * 100.0
+        );
     }
 }

@@ -24,39 +24,71 @@ pub struct Fig09 {
 #[must_use]
 pub fn run(ctx: &ExpContext) -> Fig09 {
     // The paper's exemplar: Hin=Win=7, Cin=832, Cout=384, K=1.
-    let layer = Layer::conv2d("5b_1x1", FeatureMap::nchw(1, 832, 7, 7), 384, (1, 1), (1, 1), (0, 0));
+    let layer = Layer::conv2d(
+        "5b_1x1",
+        FeatureMap::nchw(1, 832, 7, 7),
+        384,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
     let gemm = GemmView::of(&layer).expect("conv gemm view");
     let unit = FusedUnit::solo(layer);
-    let opts = CompilerOptions { search_iterations: 512, ..CompilerOptions::fast() };
+    let opts = CompilerOptions {
+        search_iterations: 512,
+        ..CompilerOptions::fast()
+    };
     let population = search(&unit, &gemm, &ctx.machine, &opts, 0xF1_909);
 
     // QoS share: GoogLeNet's budget weighted by this unit's share.
     let spec = veltair_models::googlenet();
     let units = spec.graph.fused_units();
     let tf: f64 = units.iter().map(veltair_tensor::FusedUnit::flops).sum();
-    let tb: f64 = units.iter().map(veltair_tensor::FusedUnit::total_bytes).sum();
+    let tb: f64 = units
+        .iter()
+        .map(veltair_tensor::FusedUnit::total_bytes)
+        .sum();
     let weight = 0.5 * (unit.flops() / tf) + 0.5 * (unit.total_bytes() / tb);
     let qos_share = spec.qos_s() * weight;
 
     let coords = |s: &veltair_compiler::Sample| (s.parallelism, s.locality_bytes / 1e3);
     let all_samples: Vec<_> = population.iter().map(coords).collect();
-    let qualified_samples: Vec<_> =
-        population.iter().filter(|s| s.solo_latency_s <= qos_share).cloned().collect();
+    let qualified_samples: Vec<_> = population
+        .iter()
+        .filter(|s| s.solo_latency_s <= qos_share)
+        .cloned()
+        .collect();
     let qualified: Vec<_> = qualified_samples.iter().map(coords).collect();
-    let frontier: Vec<_> = extract_dominant(&qualified_samples).iter().map(coords).collect();
+    let frontier: Vec<_> = extract_dominant(&qualified_samples)
+        .iter()
+        .map(coords)
+        .collect();
     let picked: Vec<_> = select_versions(&population, qos_share, &ctx.machine, &opts)
         .iter()
         .map(|v| (v.parallelism, v.locality_bytes / 1e3))
         .collect();
 
-    Fig09 { all_samples, qualified, frontier, picked }
+    Fig09 {
+        all_samples,
+        qualified,
+        frontier,
+        picked,
+    }
 }
 
 impl std::fmt::Display for Fig09 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Figure 9: version extraction on conv 7x7 C(832,384) K1")?;
-        writeln!(f, "  step 1 collect:   {:>4} implementations", self.all_samples.len())?;
-        writeln!(f, "  step 2 QoS-filter:{:>4} qualified", self.qualified.len())?;
+        writeln!(
+            f,
+            "  step 1 collect:   {:>4} implementations",
+            self.all_samples.len()
+        )?;
+        writeln!(
+            f,
+            "  step 2 QoS-filter:{:>4} qualified",
+            self.qualified.len()
+        )?;
         writeln!(f, "  step 3 Pareto:    {:>4} dominant", self.frontier.len())?;
         writeln!(f, "  picked versions (parallelism, blocking KB):")?;
         for (p, l) in &self.picked {

@@ -59,12 +59,22 @@ pub fn run(ctx: &ExpContext) -> Fig10 {
         usage.push((label, report.avg_cores, report.peak_cores));
     }
 
-    Fig10 { layer_requirements, model_cores, threshold, blocks, usage }
+    Fig10 {
+        layer_requirements,
+        model_cores,
+        threshold,
+        blocks,
+        usage,
+    }
 }
 
 impl std::fmt::Display for Fig10 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 10a: block formation (thres = {})", self.threshold)?;
+        writeln!(
+            f,
+            "Figure 10a: block formation (thres = {})",
+            self.threshold
+        )?;
         writeln!(
             f,
             "  model-granularity cores {}, layer peak {}, {} blocks",

@@ -27,8 +27,8 @@ pub fn run(ctx: &ExpContext) -> Fig11 {
         .iter()
         .map(|n| ctx.model(n))
         .collect();
-    let (train_w, train_l) = co_location_dataset(&models, &ctx.machine, 512, 0x11A);
-    let (test_w, test_l) = co_location_dataset(&models, &ctx.machine, 192, 0x11B);
+    let (train_w, train_l) = co_location_dataset(&models, &ctx.machine, 512, 0x11C);
+    let (test_w, test_l) = co_location_dataset(&models, &ctx.machine, 192, 0x11D);
 
     // (a) PCA on the 4-counter feature matrix, coefficient-of-variation
     // scaled so the question is "which counter *moves* with pressure".
@@ -41,7 +41,12 @@ pub fn run(ctx: &ExpContext) -> Fig11 {
     }
     let scaled: Vec<Vec<f64>> = raw
         .iter()
-        .map(|r| r.iter().zip(&means).map(|(v, m)| if *m > 0.0 { v / m } else { 0.0 }).collect())
+        .map(|r| {
+            r.iter()
+                .zip(&means)
+                .map(|(v, m)| if *m > 0.0 { v / m } else { 0.0 })
+                .collect()
+        })
         .collect();
     let pca = Pca::fit(&scaled);
     let names = ["L3 Miss Rate", "L3 Access", "IPC", "FP OP"];
@@ -54,16 +59,37 @@ pub fn run(ctx: &ExpContext) -> Fig11 {
     // (b) Fit on the training half, evaluate on held-out episodes.
     let proxy = InterferenceProxy::fit(&train_w, &train_l);
     let preds: Vec<f64> = test_w.iter().map(|w| proxy.predict(w)).collect();
-    let mae =
-        preds.iter().zip(&test_l).map(|(p, m)| (p - m).abs()).sum::<f64>() / preds.len() as f64;
+    let mae = preds
+        .iter()
+        .zip(&test_l)
+        .map(|(p, m)| (p - m).abs())
+        .sum::<f64>()
+        / preds.len() as f64;
     let mean = test_l.iter().sum::<f64>() / test_l.len() as f64;
-    let ss_res: f64 = preds.iter().zip(&test_l).map(|(p, m)| (p - m) * (p - m)).sum();
+    let ss_res: f64 = preds
+        .iter()
+        .zip(&test_l)
+        .map(|(p, m)| (p - m) * (p - m))
+        .sum();
     let ss_tot: f64 = test_l.iter().map(|m| (m - mean) * (m - mean)).sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    let scatter: Vec<(f64, f64)> =
-        test_l.iter().copied().zip(preds.iter().copied()).take(64).collect();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    let scatter: Vec<(f64, f64)> = test_l
+        .iter()
+        .copied()
+        .zip(preds.iter().copied())
+        .take(64)
+        .collect();
 
-    Fig11 { importance, scatter, r2, mae }
+    Fig11 {
+        importance,
+        scatter,
+        r2,
+        mae,
+    }
 }
 
 impl std::fmt::Display for Fig11 {
@@ -91,7 +117,11 @@ mod tests {
         let ctx = ExpContext::new();
         let fig = run(&ctx);
         let share = |name: &str| {
-            fig.importance.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap()
+            fig.importance
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
         };
         // Fig. 11a: the L3 counters carry (most of) the variance.
         let l3 = share("L3 Miss Rate") + share("L3 Access");

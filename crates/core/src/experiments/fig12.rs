@@ -46,7 +46,10 @@ pub fn workload_columns() -> Vec<(String, Vec<(String, f64)>)> {
         single("efficientnet_b0"),
         single("mobilenet_v2"),
         single("tiny_yolo_v2"),
-        class_mix("Light", &["efficientnet_b0", "mobilenet_v2", "tiny_yolo_v2"]),
+        class_mix(
+            "Light",
+            &["efficientnet_b0", "mobilenet_v2", "tiny_yolo_v2"],
+        ),
         single("resnet50"),
         single("googlenet"),
         class_mix("Medium", &["resnet50", "googlenet"]),
@@ -82,10 +85,10 @@ pub fn run(ctx: &ExpContext) -> Fig12 {
 
     let mut columns: Vec<Option<WorkloadResult>> = Vec::new();
     columns.resize_with(columns_spec.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, (label, streams)) in columns.iter_mut().zip(&columns_spec) {
             let cfg = cfg.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let names: Vec<&str> = streams.iter().map(|(n, _)| n.as_str()).collect();
                 let stream_refs: Vec<(&str, f64)> =
                     streams.iter().map(|(n, r)| (n.as_str(), *r)).collect();
@@ -94,19 +97,28 @@ pub fn run(ctx: &ExpContext) -> Fig12 {
                 let mut latency = BTreeMap::new();
                 for policy in policies {
                     let engine = ctx.engine(policy, &names);
-                    let QpsResult { qps: q, avg_latency_s, .. } =
-                        max_qps_at_qos(&engine, &workload, &cfg);
+                    let QpsResult {
+                        qps: q,
+                        avg_latency_s,
+                        ..
+                    } = max_qps_at_qos(&engine, &workload, &cfg);
                     qps.insert(policy.name(), q);
                     latency.insert(policy.name(), avg_latency_s);
                 }
-                *slot = Some(WorkloadResult { label: label.clone(), qps, latency_s: latency });
+                *slot = Some(WorkloadResult {
+                    label: label.clone(),
+                    qps,
+                    latency_s: latency,
+                });
             });
         }
-    })
-    .expect("search threads must not panic");
+    });
 
     Fig12 {
-        columns: columns.into_iter().map(|c| c.expect("all columns filled")).collect(),
+        columns: columns
+            .into_iter()
+            .map(|c| c.expect("all columns filled"))
+            .collect(),
         policies: policies.iter().map(Policy::name).collect(),
     }
 }
@@ -115,7 +127,11 @@ impl Fig12 {
     /// QPS of `policy` on `column`, normalized to Planaria.
     #[must_use]
     pub fn normalized(&self, column: &str, policy: &str) -> f64 {
-        let col = self.columns.iter().find(|c| c.label == column).expect("column exists");
+        let col = self
+            .columns
+            .iter()
+            .find(|c| c.label == column)
+            .expect("column exists");
         col.qps[policy] / col.qps["Planaria"]
     }
 
@@ -158,7 +174,12 @@ mod tests {
     #[test]
     fn full_beats_baselines_on_light_workload() {
         let ctx = ExpContext::new();
-        let cfg = QpsSearchConfig { queries: 120, seed: 1, iterations: 5, satisfaction_target: 0.95 };
+        let cfg = QpsSearchConfig {
+            queries: 120,
+            seed: 1,
+            iterations: 5,
+            satisfaction_target: 0.95,
+        };
         let workload = WorkloadSpec::single("mobilenet_v2", 10.0, cfg.queries);
         let q = |policy| {
             let engine: ServingEngine = ctx.engine(policy, &["mobilenet_v2"]);
@@ -168,6 +189,9 @@ mod tests {
         let prema = q(Policy::Prema);
         let full = q(Policy::VeltairFull);
         assert!(full > prema, "FULL {full} <= PREMA {prema}");
-        assert!(full >= planaria * 0.95, "FULL {full} far below Planaria {planaria}");
+        assert!(
+            full >= planaria * 0.95,
+            "FULL {full} far below Planaria {planaria}"
+        );
     }
 }

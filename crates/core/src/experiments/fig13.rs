@@ -40,7 +40,11 @@ pub fn run(ctx: &ExpContext, fig12: Option<&Fig12>) -> Fig13 {
         let compiled = ctx.model(name);
         // The shortest latency the model can achieve on this machine.
         let isolated_s = compiled.flat_latency_s(ctx.machine.cores, 0.0, &ctx.machine);
-        let col = data.columns.iter().find(|c| c.label == name).expect("column exists");
+        let col = data
+            .columns
+            .iter()
+            .find(|c| c.label == name)
+            .expect("column exists");
         let mut norm = [0.0f64; 3];
         for (i, p) in policies.iter().enumerate() {
             norm[i] = col.latency_s[*p] / isolated_s;
@@ -56,10 +60,21 @@ pub fn run(ctx: &ExpContext, fig12: Option<&Fig12>) -> Fig13 {
 
 impl std::fmt::Display for Fig13 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 13: latency at max QPS, normalized to isolated execution")?;
-        writeln!(f, "  {:<16} {:>9} {:>9} {:>9} {:>9}", "model", "iso(ms)", "AS", "AC", "FULL")?;
+        writeln!(
+            f,
+            "Figure 13: latency at max QPS, normalized to isolated execution"
+        )?;
+        writeln!(
+            f,
+            "  {:<16} {:>9} {:>9} {:>9} {:>9}",
+            "model", "iso(ms)", "AS", "AC", "FULL"
+        )?;
         for (m, iso, n) in &self.rows {
-            writeln!(f, "  {m:<16} {iso:>9.2} {:>9.2} {:>9.2} {:>9.2}", n[0], n[1], n[2])?;
+            writeln!(
+                f,
+                "  {m:<16} {iso:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                n[0], n[1], n[2]
+            )?;
         }
         writeln!(
             f,

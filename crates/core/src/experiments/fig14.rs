@@ -24,20 +24,28 @@ pub struct Fig14 {
 #[must_use]
 pub fn run(ctx: &ExpContext) -> Fig14 {
     let budget = ctx.query_budget().min(200);
-    let cfg = QpsSearchConfig { queries: budget, ..QpsSearchConfig::standard() };
+    let cfg = QpsSearchConfig {
+        queries: budget,
+        ..QpsSearchConfig::standard()
+    };
 
     // (a) Core-usage gap vs the layer-wise minimum at 25 % / 75 % load.
     let mut usage_gap = Vec::new();
-    for (class, model) in
-        [("Light", "mobilenet_v2"), ("Medium", "resnet50"), ("Heavy", "bert_large")]
-    {
+    for (class, model) in [
+        ("Light", "mobilenet_v2"),
+        ("Medium", "resnet50"),
+        ("Heavy", "bert_large"),
+    ] {
         let workload = WorkloadSpec::single(model, 10.0, budget);
         let full = ctx.engine(Policy::VeltairFull, &[model]);
         let max = max_qps_at_qos(&full, &workload, &cfg).qps;
         for load in [0.25, 0.75] {
             let mut w = workload.scaled_to(max * load);
             w.total_queries = budget;
-            let layer = ctx.engine(Policy::Planaria, &[model]).run(&w, 7).core_seconds;
+            let layer = ctx
+                .engine(Policy::Planaria, &[model])
+                .run(&w, 7)
+                .core_seconds;
             for (label, policy) in [("Model", Policy::ModelFcfs), ("Block", Policy::VeltairAs)] {
                 let used = ctx.engine(policy, &[model]).run(&w, 7).core_seconds;
                 let gap = (used - layer) / layer;
@@ -48,15 +56,23 @@ pub fn run(ctx: &ExpContext) -> Fig14 {
 
     // (b) Version-budget sweep on a light mix (recompiling per V).
     let names = ["mobilenet_v2", "tiny_yolo_v2", "resnet50"];
-    let specs: Vec<_> = names.iter().map(|n| veltair_models::by_name(n).unwrap()).collect();
-    let streams: Vec<(&str, f64)> =
-        specs.iter().map(|s| (s.graph.name.as_str(), 1.0 / s.qos_ms)).collect();
+    let specs: Vec<_> = names
+        .iter()
+        .map(|n| veltair_models::by_name(n).unwrap())
+        .collect();
+    let streams: Vec<(&str, f64)> = specs
+        .iter()
+        .map(|s| (s.graph.name.as_str(), 1.0 / s.qos_ms))
+        .collect();
     let workload = WorkloadSpec::mix(&streams, budget);
     let mut version_sweep = Vec::new();
     let mut base = 0.0;
     for v in 1..=5usize {
-        let opts =
-            CompilerOptions { prune_tolerance: 1.0, ..ctx.opts.clone() }.with_max_versions(v);
+        let opts = CompilerOptions {
+            prune_tolerance: 1.0,
+            ..ctx.opts.clone()
+        }
+        .with_max_versions(v);
         let mut engine = ServingEngine::new(ctx.machine.clone(), Policy::VeltairFull);
         for spec in &specs {
             engine.register(compile_model(spec, &ctx.machine, &opts));
@@ -83,14 +99,23 @@ pub fn run(ctx: &ExpContext) -> Fig14 {
         *d = h as f64 / total as f64;
     }
 
-    Fig14 { usage_gap, version_sweep, version_distribution }
+    Fig14 {
+        usage_gap,
+        version_sweep,
+        version_distribution,
+    }
 }
 
 impl std::fmt::Display for Fig14 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Figure 14a: core-usage gap vs layer-wise minimum")?;
         for (class, load, policy, gap) in &self.usage_gap {
-            writeln!(f, "  {class:<7} load {:>2.0}% {policy:<6} {:>6.1}%", load * 100.0, gap * 100.0)?;
+            writeln!(
+                f,
+                "  {class:<7} load {:>2.0}% {policy:<6} {:>6.1}%",
+                load * 100.0,
+                gap * 100.0
+            )?;
         }
         writeln!(f, "Figure 14b: normalized max QPS vs version budget")?;
         for (v, q) in &self.version_sweep {

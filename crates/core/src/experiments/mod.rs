@@ -8,7 +8,8 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
 use veltair_sched::Policy;
 use veltair_sim::MachineConfig;
@@ -56,7 +57,10 @@ impl ExpContext {
     /// Context with explicit compiler options.
     #[must_use]
     pub fn with_options(opts: CompilerOptions) -> Self {
-        Self { opts, ..Self::new() }
+        Self {
+            opts,
+            ..Self::new()
+        }
     }
 
     /// Compiles (or fetches from cache) a model of the zoo by name.
@@ -66,12 +70,11 @@ impl ExpContext {
     /// Panics if the name is not in the model zoo.
     #[must_use]
     pub fn model(&self, name: &str) -> CompiledModel {
-        let mut cache = self.cache.lock();
+        let mut cache = self.cache.lock().expect("model cache lock poisoned");
         if let Some(m) = cache.get(name) {
             return m.clone();
         }
-        let spec = veltair_models::by_name(name)
-            .unwrap_or_else(|| panic!("unknown model {name}"));
+        let spec = veltair_models::by_name(name).unwrap_or_else(|| panic!("unknown model {name}"));
         let compiled = compile_model(&spec, &self.machine, &self.opts);
         cache.insert(name.to_string(), compiled.clone());
         compiled
@@ -90,7 +93,10 @@ impl ExpContext {
     /// Query budget per simulation run (`VELTAIR_QUERIES`, default 250).
     #[must_use]
     pub fn query_budget(&self) -> usize {
-        std::env::var("VELTAIR_QUERIES").ok().and_then(|v| v.parse().ok()).unwrap_or(250)
+        std::env::var("VELTAIR_QUERIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(250)
     }
 }
 

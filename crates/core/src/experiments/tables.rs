@@ -12,7 +12,12 @@ pub fn table1() -> String {
         ("Planaria", "Spatial", "Static (Model)", "Static"),
         ("Parties", "Spatial", "Static (Model/Layer)", "Static"),
         ("Protean", "Spatial", "Static (Model/Layer)", "Adaptive"),
-        ("VELTAIR (ours)", "Spatial", "Adaptive (Layer Block)", "Adaptive"),
+        (
+            "VELTAIR (ours)",
+            "Spatial",
+            "Adaptive (Layer Block)",
+            "Adaptive",
+        ),
     ];
     let mut s = String::from("Table 1: optimization strategies in VELTAIR and prior works\n");
     s.push_str(&format!(
@@ -88,7 +93,9 @@ mod tests {
     #[test]
     fn table1_lists_all_prior_work() {
         let t = table1();
-        for name in ["PREMA", "AI-MT", "Planaria", "Parties", "Protean", "VELTAIR"] {
+        for name in [
+            "PREMA", "AI-MT", "Planaria", "Parties", "Protean", "VELTAIR",
+        ] {
             assert!(t.contains(name), "missing {name}");
         }
     }

@@ -40,4 +40,4 @@ pub use dataset::{co_location_dataset, train_proxy};
 pub use engine::ServingEngine;
 pub use metrics::{max_qps_at_qos, QpsResult, QpsSearchConfig};
 // Re-export the user-facing vocabulary so downstream users need one import.
-pub use veltair_sched::{Policy, ServingReport, WorkloadSpec};
+pub use veltair_sched::{Policy, ServingReport, WorkloadError, WorkloadSpec};

@@ -28,7 +28,12 @@ impl QpsSearchConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(400);
-        Self { satisfaction_target: 0.95, queries, seed: 0xA11CE, iterations: 7 }
+        Self {
+            satisfaction_target: 0.95,
+            queries,
+            seed: 0xA11CE,
+            iterations: 7,
+        }
     }
 
     /// The Fig. 12 sweep's target. The paper uses 95 %; on this substrate
@@ -40,7 +45,10 @@ impl QpsSearchConfig {
     /// recorded in EXPERIMENTS.md.
     #[must_use]
     pub fn figure12() -> Self {
-        Self { satisfaction_target: 0.90, ..Self::standard() }
+        Self {
+            satisfaction_target: 0.90,
+            ..Self::standard()
+        }
     }
 }
 
@@ -129,12 +137,21 @@ mod tests {
     fn engine(policy: Policy) -> ServingEngine {
         let machine = MachineConfig::threadripper_3990x();
         let mut e = ServingEngine::new(machine.clone(), policy);
-        e.register(compile_model(&veltair_models::mobilenet_v2(), &machine, &CompilerOptions::fast()));
+        e.register(compile_model(
+            &veltair_models::mobilenet_v2(),
+            &machine,
+            &CompilerOptions::fast(),
+        ));
         e
     }
 
     fn search_cfg() -> QpsSearchConfig {
-        QpsSearchConfig { satisfaction_target: 0.95, queries: 120, seed: 3, iterations: 5 }
+        QpsSearchConfig {
+            satisfaction_target: 0.95,
+            queries: 120,
+            seed: 3,
+            iterations: 5,
+        }
     }
 
     #[test]
@@ -148,7 +165,10 @@ mod tests {
         let mut w4 = w.scaled_to(r.qps * 4.0);
         w4.total_queries = 120;
         let over = e.run(&w4, 3);
-        assert!(over.overall_satisfaction() < 0.95, "4x rate still satisfied");
+        assert!(
+            over.overall_satisfaction() < 0.95,
+            "4x rate still satisfied"
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ fn encoder_layer(layers: &mut Vec<Layer>, idx: usize) {
     // Scores: per-head (SEQ x HEAD_DIM) x (HEAD_DIM x SEQ).
     let scores = Layer::new(
         n("scores"),
-        OpKind::BatchedMatMul { batch: HEADS, m: SEQ, k: HEAD_DIM, n: SEQ },
+        OpKind::BatchedMatMul {
+            batch: HEADS,
+            m: SEQ,
+            k: HEAD_DIM,
+            n: SEQ,
+        },
         x,
     );
     let scores_out = scores.output();
@@ -39,7 +44,12 @@ fn encoder_layer(layers: &mut Vec<Layer>, idx: usize) {
     // Context: per-head (SEQ x SEQ) x (SEQ x HEAD_DIM).
     layers.push(Layer::new(
         n("context"),
-        OpKind::BatchedMatMul { batch: HEADS, m: SEQ, k: SEQ, n: HEAD_DIM },
+        OpKind::BatchedMatMul {
+            batch: HEADS,
+            m: SEQ,
+            k: SEQ,
+            n: HEAD_DIM,
+        },
         scores_out,
     ));
     // Output projection + residual + layer norm.
@@ -121,6 +131,9 @@ mod tests {
             .iter()
             .find(|l| l.name == "l0_scores")
             .unwrap();
-        assert_eq!(scores.flops(), 2.0 * HEADS as f64 * (SEQ * SEQ * HEAD_DIM) as f64);
+        assert_eq!(
+            scores.flops(),
+            2.0 * HEADS as f64 * (SEQ * SEQ * HEAD_DIM) as f64
+        );
     }
 }

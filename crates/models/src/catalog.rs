@@ -73,7 +73,10 @@ pub fn by_name(name: &str) -> Option<ModelSpec> {
 /// Models of one class, in catalog order.
 #[must_use]
 pub fn by_class(class: WorkloadClass) -> Vec<ModelSpec> {
-    all_models().into_iter().filter(|m| m.class == class).collect()
+    all_models()
+        .into_iter()
+        .filter(|m| m.class == class)
+        .collect()
 }
 
 #[cfg(test)]
@@ -115,8 +118,14 @@ mod tests {
         // Every heavy model out-computes every light model by a wide margin.
         let lights = by_class(WorkloadClass::Light);
         let heavies = by_class(WorkloadClass::Heavy);
-        let max_light = lights.iter().map(|m| m.graph.total_flops()).fold(0.0, f64::max);
-        let min_heavy = heavies.iter().map(|m| m.graph.total_flops()).fold(f64::INFINITY, f64::min);
+        let max_light = lights
+            .iter()
+            .map(|m| m.graph.total_flops())
+            .fold(0.0, f64::max);
+        let min_heavy = heavies
+            .iter()
+            .map(|m| m.graph.total_flops())
+            .fold(f64::INFINITY, f64::min);
         assert!(min_heavy > 5.0 * max_light);
     }
 }

@@ -14,12 +14,23 @@ fn conv_bn_swish(
     act: bool,
 ) -> FeatureMap {
     let pad = kernel / 2;
-    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let conv = Layer::conv2d(
+        name,
+        input,
+        out_ch,
+        (kernel, kernel),
+        (stride, stride),
+        (pad, pad),
+    );
     let out = conv.output();
     layers.push(conv);
     layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
     if act {
-        layers.push(Layer::activation(format!("{name}_swish"), out, ActKind::Swish));
+        layers.push(Layer::activation(
+            format!("{name}_swish"),
+            out,
+            ActKind::Swish,
+        ));
     }
     out
 }
@@ -30,7 +41,11 @@ fn conv_bn_swish(
 fn squeeze_excite(layers: &mut Vec<Layer>, name: &str, input: FeatureMap, se_ch: usize) {
     let gap = Layer::new(
         format!("{name}_se_gap"),
-        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: (1, 1),
+            stride: (1, 1),
+        },
         input,
     );
     let squeezed = gap.output();
@@ -67,8 +82,16 @@ fn mbconv(
     );
     let dw_out = dw.output();
     layers.push(dw);
-    layers.push(Layer::new(format!("{name}_dw_bn"), OpKind::BatchNorm, dw_out));
-    layers.push(Layer::activation(format!("{name}_dw_swish"), dw_out, ActKind::Swish));
+    layers.push(Layer::new(
+        format!("{name}_dw_bn"),
+        OpKind::BatchNorm,
+        dw_out,
+    ));
+    layers.push(Layer::activation(
+        format!("{name}_dw_swish"),
+        dw_out,
+        ActKind::Swish,
+    ));
     squeeze_excite(layers, name, dw_out, (input.c / 4).max(1));
     let out = conv_bn_swish(layers, &format!("{name}_proj"), dw_out, out_ch, 1, 1, false);
     if stride == 1 && input.c == out_ch {
@@ -104,7 +127,11 @@ pub fn efficientnet_b0() -> ModelSpec {
     let x = conv_bn_swish(&mut layers, "head", x, 1280, 1, 1, true);
     let gap = Layer::new(
         "gap",
-        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: (1, 1),
+            stride: (1, 1),
+        },
         x,
     );
     let gap_out = gap.output();
@@ -144,7 +171,12 @@ mod tests {
     #[test]
     fn squeeze_excite_layers_present() {
         let m = efficientnet_b0();
-        let se = m.graph.layers.iter().filter(|l| l.name.contains("_se_fc")).count();
+        let se = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| l.name.contains("_se_fc"))
+            .count();
         assert_eq!(se, 2 * 16, "two dense layers per MBConv block");
     }
 

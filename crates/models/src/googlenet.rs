@@ -13,17 +13,38 @@ fn conv_relu(
     stride: usize,
 ) -> FeatureMap {
     let pad = kernel / 2;
-    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let conv = Layer::conv2d(
+        name,
+        input,
+        out_ch,
+        (kernel, kernel),
+        (stride, stride),
+        (pad, pad),
+    );
     let out = conv.output();
     layers.push(conv);
-    layers.push(Layer::activation(format!("{name}_relu"), out, ActKind::Relu));
+    layers.push(Layer::activation(
+        format!("{name}_relu"),
+        out,
+        ActKind::Relu,
+    ));
     out
 }
 
-fn max_pool(layers: &mut Vec<Layer>, name: &str, input: FeatureMap, kernel: usize, stride: usize) -> FeatureMap {
+fn max_pool(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    kernel: usize,
+    stride: usize,
+) -> FeatureMap {
     let pool = Layer::new(
         name,
-        OpKind::Pool { kind: PoolKind::Max, kernel: (kernel, kernel), stride: (stride, stride) },
+        OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+        },
         input,
     );
     let out = pool.output();
@@ -37,7 +58,12 @@ type InceptionPlan = (usize, usize, usize, usize, usize, usize);
 
 /// Appends one inception module (branches linearized in execution order)
 /// and returns the concatenated output map.
-fn inception(layers: &mut Vec<Layer>, name: &str, input: FeatureMap, plan: InceptionPlan) -> FeatureMap {
+fn inception(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: FeatureMap,
+    plan: InceptionPlan,
+) -> FeatureMap {
     let (b1, r3, b3, r5, b5, bp) = plan;
     // Branch 1: 1x1.
     conv_relu(layers, &format!("{name}_1x1"), input, b1, 1, 1);
@@ -50,7 +76,11 @@ fn inception(layers: &mut Vec<Layer>, name: &str, input: FeatureMap, plan: Incep
     // Branch 4: 3x3 max pool -> 1x1 projection.
     let p = Layer::new(
         format!("{name}_poolb"),
-        OpKind::Pool { kind: PoolKind::Max, kernel: (3, 3), stride: (1, 1) },
+        OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: (3, 3),
+            stride: (1, 1),
+        },
         input,
     );
     // 3x3/1 pool with implicit same-padding keeps the spatial extent; our
@@ -98,7 +128,11 @@ pub fn googlenet() -> ModelSpec {
 
     let gap = Layer::new(
         "gap",
-        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: (1, 1),
+            stride: (1, 1),
+        },
         x,
     );
     let gap_out = gap.output();
@@ -152,7 +186,12 @@ mod tests {
         let found = m.graph.layers.iter().any(|l| {
             matches!(
                 l.op,
-                OpKind::Conv2d { in_ch: 832, out_ch: 384, kernel: (1, 1), .. }
+                OpKind::Conv2d {
+                    in_ch: 832,
+                    out_ch: 384,
+                    kernel: (1, 1),
+                    ..
+                }
             ) && l.input.h == 7
         });
         assert!(found, "Fig. 9 exemplar layer missing from GoogLeNet");

@@ -14,7 +14,14 @@ fn conv_bn_act(
     act: Option<ActKind>,
 ) -> FeatureMap {
     let pad = kernel / 2;
-    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let conv = Layer::conv2d(
+        name,
+        input,
+        out_ch,
+        (kernel, kernel),
+        (stride, stride),
+        (pad, pad),
+    );
     let out = conv.output();
     layers.push(conv);
     layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
@@ -36,7 +43,11 @@ fn dwconv_bn_act(
     let out = conv.output();
     layers.push(conv);
     layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
-    layers.push(Layer::activation(format!("{name}_act"), out, ActKind::Relu6));
+    layers.push(Layer::activation(
+        format!("{name}_act"),
+        out,
+        ActKind::Relu6,
+    ));
     out
 }
 
@@ -52,7 +63,15 @@ fn inverted_residual(
     let mid = input.c * expand;
     let mut x = input;
     if expand != 1 {
-        x = conv_bn_act(layers, &format!("{name}_exp"), x, mid, 1, 1, Some(ActKind::Relu6));
+        x = conv_bn_act(
+            layers,
+            &format!("{name}_exp"),
+            x,
+            mid,
+            1,
+            1,
+            Some(ActKind::Relu6),
+        );
     }
     let x = dwconv_bn_act(layers, &format!("{name}_dw"), x, 3, stride);
     let out = conv_bn_act(layers, &format!("{name}_proj"), x, out_ch, 1, 1, None);
@@ -89,7 +108,11 @@ pub fn mobilenet_v2() -> ModelSpec {
     let x = conv_bn_act(&mut layers, "head", x, 1280, 1, 1, Some(ActKind::Relu6));
     let gap = Layer::new(
         "gap",
-        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: (1, 1),
+            stride: (1, 1),
+        },
         x,
     );
     let gap_out = gap.output();

@@ -15,12 +15,23 @@ fn conv_bn_relu(
     relu: bool,
 ) -> FeatureMap {
     let pad = kernel / 2;
-    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let conv = Layer::conv2d(
+        name,
+        input,
+        out_ch,
+        (kernel, kernel),
+        (stride, stride),
+        (pad, pad),
+    );
     let out = conv.output();
     layers.push(conv);
     layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
     if relu {
-        layers.push(Layer::activation(format!("{name}_relu"), out, ActKind::Relu));
+        layers.push(Layer::activation(
+            format!("{name}_relu"),
+            out,
+            ActKind::Relu,
+        ));
     }
     out
 }
@@ -35,11 +46,27 @@ fn bottleneck(
     stride: usize,
     downsample: bool,
 ) -> FeatureMap {
-    let a = conv_bn_relu(layers, &format!("{name}_2a"), input, mid_ch, 1, stride, true);
+    let a = conv_bn_relu(
+        layers,
+        &format!("{name}_2a"),
+        input,
+        mid_ch,
+        1,
+        stride,
+        true,
+    );
     let b = conv_bn_relu(layers, &format!("{name}_2b"), a, mid_ch, 3, 1, true);
     let c = conv_bn_relu(layers, &format!("{name}_2c"), b, out_ch, 1, 1, false);
     if downsample {
-        conv_bn_relu(layers, &format!("{name}_1"), input, out_ch, 1, stride, false);
+        conv_bn_relu(
+            layers,
+            &format!("{name}_1"),
+            input,
+            out_ch,
+            1,
+            stride,
+            false,
+        );
     }
     layers.push(Layer::new(format!("{name}_add"), OpKind::EltwiseAdd, c));
     layers.push(Layer::activation(format!("{name}_relu"), c, ActKind::Relu));
@@ -56,7 +83,11 @@ pub fn resnet50() -> ModelSpec {
     let stem = conv_bn_relu(&mut layers, "conv1", input, 64, 7, 2, true);
     let pool = Layer::new(
         "pool1",
-        OpKind::Pool { kind: PoolKind::Max, kernel: (3, 3), stride: (2, 2) },
+        OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: (3, 3),
+            stride: (2, 2),
+        },
         stem,
     );
     let mut x = pool.output();
@@ -80,7 +111,11 @@ pub fn resnet50() -> ModelSpec {
     // Head: global average pool + fully connected classifier.
     let gap = Layer::new(
         "gap",
-        OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+        OpKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: (1, 1),
+            stride: (1, 1),
+        },
         x,
     );
     let gap_out = gap.output();
@@ -134,8 +169,7 @@ mod tests {
             .graph
             .layers
             .iter()
-            .filter(|l| matches!(l.op, OpKind::Conv2d { .. }))
-            .next_back()
+            .rfind(|l| matches!(l.op, OpKind::Conv2d { .. }))
             .unwrap();
         assert_eq!(last_conv.output().h, 7);
         assert_eq!(last_conv.output().c, 2048);

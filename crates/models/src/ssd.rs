@@ -14,11 +14,22 @@ fn conv_bn_relu(
     stride: usize,
 ) -> FeatureMap {
     let pad = kernel / 2;
-    let conv = Layer::conv2d(name, input, out_ch, (kernel, kernel), (stride, stride), (pad, pad));
+    let conv = Layer::conv2d(
+        name,
+        input,
+        out_ch,
+        (kernel, kernel),
+        (stride, stride),
+        (pad, pad),
+    );
     let out = conv.output();
     layers.push(conv);
     layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
-    layers.push(Layer::activation(format!("{name}_relu"), out, ActKind::Relu));
+    layers.push(Layer::activation(
+        format!("{name}_relu"),
+        out,
+        ActKind::Relu,
+    ));
     out
 }
 
@@ -49,7 +60,11 @@ pub fn ssd_resnet34() -> ModelSpec {
     let stem = conv_bn_relu(&mut layers, "conv1", input, 64, 7, 2);
     let pool = Layer::new(
         "pool1",
-        OpKind::Pool { kind: PoolKind::Max, kernel: (3, 3), stride: (2, 2) },
+        OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: (3, 3),
+            stride: (2, 2),
+        },
         stem,
     );
     let mut x = pool.output();
@@ -68,7 +83,8 @@ pub fn ssd_resnet34() -> ModelSpec {
     }
 
     // SSD extra feature pyramid: five downsampling 1x1 -> 3x3/2 pairs.
-    let extra_plan: [(usize, usize); 5] = [(256, 512), (256, 512), (128, 256), (128, 256), (128, 256)];
+    let extra_plan: [(usize, usize); 5] =
+        [(256, 512), (256, 512), (128, 256), (128, 256), (128, 256)];
     for (i, (mid, out)) in extra_plan.into_iter().enumerate() {
         let t = conv_bn_relu(&mut layers, &format!("extra{i}_1"), x, mid, 1, 1);
         x = conv_bn_relu(&mut layers, &format!("extra{i}_2"), t, out, 3, 2);
@@ -117,14 +133,24 @@ mod tests {
     #[test]
     fn backbone_block_structure() {
         let m = ssd_resnet34();
-        let adds = m.graph.layers.iter().filter(|l| matches!(l.op, OpKind::EltwiseAdd)).count();
+        let adds = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| matches!(l.op, OpKind::EltwiseAdd))
+            .count();
         assert_eq!(adds, 3 + 4 + 6);
     }
 
     #[test]
     fn detection_heads_cover_six_scales() {
         let m = ssd_resnet34();
-        let heads = m.graph.layers.iter().filter(|l| l.name.starts_with("head")).count();
+        let heads = m
+            .graph
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("head"))
+            .count();
         assert_eq!(heads, 12);
     }
 

@@ -17,14 +17,22 @@ fn conv_bn_leaky(
     layers.push(conv);
     layers.push(Layer::new(format!("{name}_bn"), OpKind::BatchNorm, out));
     // Leaky ReLU costs the same as ReLU6 in our accounting.
-    layers.push(Layer::activation(format!("{name}_act"), out, ActKind::Relu6));
+    layers.push(Layer::activation(
+        format!("{name}_act"),
+        out,
+        ActKind::Relu6,
+    ));
     out
 }
 
 fn max_pool2(layers: &mut Vec<Layer>, name: &str, input: FeatureMap) -> FeatureMap {
     let pool = Layer::new(
         name,
-        OpKind::Pool { kind: PoolKind::Max, kernel: (2, 2), stride: (2, 2) },
+        OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: (2, 2),
+            stride: (2, 2),
+        },
         input,
     );
     let out = pool.output();

@@ -18,7 +18,10 @@ impl SquareMatrix {
     #[must_use]
     pub fn zeros(n: usize) -> Self {
         assert!(n > 0, "matrix dimension must be positive");
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Dimension.
@@ -116,8 +119,9 @@ pub fn symmetric_eigen(m: &SquareMatrix) -> (Vec<f64>, Vec<Vec<f64>>) {
         }
     }
 
-    let mut pairs: Vec<(f64, Vec<f64>)> =
-        (0..n).map(|i| (a.get(i, i), (0..n).map(|k| v.get(i, k)).collect())).collect();
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|i| (a.get(i, i), (0..n).map(|k| v.get(i, k)).collect()))
+        .collect();
     pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
     let eigenvalues = pairs.iter().map(|p| p.0).collect();
     let eigenvectors = pairs.into_iter().map(|p| p.1).collect();
@@ -162,8 +166,8 @@ pub fn solve(a: &SquareMatrix, b: &[f64]) -> Vec<f64> {
     let mut x = vec![0.0; n];
     for row in (0..n).rev() {
         let mut acc = rhs[row];
-        for k in (row + 1)..n {
-            acc -= m.get(row, k) * x[k];
+        for (k, xk) in x.iter().enumerate().take(n).skip(row + 1) {
+            acc -= m.get(row, k) * xk;
         }
         x[row] = acc / m.get(row, row);
     }

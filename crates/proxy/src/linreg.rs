@@ -28,7 +28,10 @@ impl LinearModel {
         assert!(!xs.is_empty(), "cannot fit on an empty dataset");
         assert_eq!(xs.len(), ys.len(), "feature/target length mismatch");
         let d = xs[0].len();
-        assert!(xs.iter().all(|x| x.len() == d), "inconsistent feature dimensions");
+        assert!(
+            xs.iter().all(|x| x.len() == d),
+            "inconsistent feature dimensions"
+        );
 
         // Augment with the intercept column.
         let n = d + 1;
@@ -36,8 +39,8 @@ impl LinearModel {
         let mut xty = vec![0.0; n];
         for (x, &y) in xs.iter().zip(ys) {
             let aug = |i: usize| if i < d { x[i] } else { 1.0 };
-            for r in 0..n {
-                xty[r] += aug(r) * y;
+            for (r, t) in xty.iter_mut().enumerate() {
+                *t += aug(r) * y;
                 for c in 0..n {
                     xtx.set(r, c, xtx.get(r, c) + aug(r) * aug(c));
                 }
@@ -58,9 +61,17 @@ impl LinearModel {
             ss_res += (y - pred) * (y - pred);
             ss_tot += (y - mean_y) * (y - mean_y);
         }
-        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
 
-        Self { weights, intercept, r2 }
+        Self {
+            weights,
+            intercept,
+            r2,
+        }
     }
 
     /// Predicts `y` for a feature vector.
@@ -81,8 +92,9 @@ mod tests {
 
     #[test]
     fn recovers_planted_coefficients() {
-        let xs: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![f64::from(i), f64::from(i % 7)]).collect();
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![f64::from(i), f64::from(i % 7)])
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
         let m = LinearModel::fit(&xs, &ys);
         assert!((m.weights[0] - 3.0).abs() < 1e-6);

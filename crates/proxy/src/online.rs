@@ -35,7 +35,13 @@ impl OnlineProxy {
     #[must_use]
     pub fn new(base: InterferenceProxy, alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        Self { base, alpha, bias: 0.0, gain: 1.0, observations: 0 }
+        Self {
+            base,
+            alpha,
+            bias: 0.0,
+            gain: 1.0,
+            observations: 0,
+        }
     }
 
     /// Predicts the pressure level with the current correction applied,

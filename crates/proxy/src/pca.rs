@@ -29,7 +29,10 @@ impl Pca {
     pub fn fit(rows: &[Vec<f64>]) -> Self {
         assert!(!rows.is_empty(), "cannot fit PCA on an empty matrix");
         let d = rows[0].len();
-        assert!(d > 0 && rows.iter().all(|r| r.len() == d), "ragged feature matrix");
+        assert!(
+            d > 0 && rows.iter().all(|r| r.len() == d),
+            "ragged feature matrix"
+        );
         let n = rows.len() as f64;
 
         let mut means = vec![0.0; d];
@@ -43,7 +46,8 @@ impl Pca {
         for r in rows {
             for i in 0..d {
                 for j in 0..d {
-                    let v = cov.get(i, j) + (r[i] - means[i]) * (r[j] - means[j]) / (n - 1.0).max(1.0);
+                    let v =
+                        cov.get(i, j) + (r[i] - means[i]) * (r[j] - means[j]) / (n - 1.0).max(1.0);
                     cov.set(i, j, v);
                 }
             }
@@ -52,7 +56,11 @@ impl Pca {
         let (eigenvalues, components) = symmetric_eigen(&cov);
         // Numerical noise can leave tiny negative eigenvalues.
         let eigenvalues = eigenvalues.into_iter().map(|l| l.max(0.0)).collect();
-        Self { eigenvalues, components, means }
+        Self {
+            eigenvalues,
+            components,
+            means,
+        }
     }
 
     /// Fraction of total variance captured by each component.

@@ -70,7 +70,10 @@ impl InterferenceProxy {
     /// accesses/s (the reuse stream). Hardware PMUs deliver event counts,
     /// so both are directly measurable per window.
     fn features(w: &CounterWindow) -> [f64; 2] {
-        [w.miss_rate * w.access_rate * ACCESS_RATE_SCALE, w.access_rate * ACCESS_RATE_SCALE]
+        [
+            w.miss_rate * w.access_rate * ACCESS_RATE_SCALE,
+            w.access_rate * ACCESS_RATE_SCALE,
+        ]
     }
 
     /// Fits the proxy on observed windows and their measured pressure
@@ -82,7 +85,11 @@ impl InterferenceProxy {
     #[must_use]
     pub fn fit(windows: &[CounterWindow], levels: &[f64]) -> Self {
         assert!(!windows.is_empty(), "cannot fit proxy without data");
-        assert_eq!(windows.len(), levels.len(), "windows/levels length mismatch");
+        assert_eq!(
+            windows.len(),
+            levels.len(),
+            "windows/levels length mismatch"
+        );
         let xs: Vec<Vec<f64>> = windows.iter().map(|w| Self::features(w).to_vec()).collect();
         let model = LinearModel::fit(&xs, levels);
         let r2 = model.r2;
@@ -100,7 +107,14 @@ impl InterferenceProxy {
     /// interference-oblivious baseline configuration.
     #[must_use]
     pub fn oblivious() -> Self {
-        Self { model: LinearModel { weights: vec![0.0, 0.0], intercept: 0.0, r2: 1.0 }, r2: 1.0 }
+        Self {
+            model: LinearModel {
+                weights: vec![0.0, 0.0],
+                intercept: 0.0,
+                r2: 1.0,
+            },
+            r2: 1.0,
+        }
     }
 }
 
@@ -140,7 +154,12 @@ mod tests {
     fn predictions_are_clamped() {
         let (w, l) = synthetic(16);
         let proxy = InterferenceProxy::fit(&w, &l);
-        let extreme = CounterWindow { miss_rate: 5.0, access_rate: 1.0e13, ipc: 0.0, flop_rate: 0.0 };
+        let extreme = CounterWindow {
+            miss_rate: 5.0,
+            access_rate: 1.0e13,
+            ipc: 0.0,
+            flop_rate: 0.0,
+        };
         let p = proxy.predict(&extreme);
         assert!((0.0..=1.0).contains(&p));
     }

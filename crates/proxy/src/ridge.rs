@@ -55,7 +55,11 @@ impl Standardizer {
     /// Standardizes one feature vector.
     #[must_use]
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
-        x.iter().zip(&self.means).zip(&self.stds).map(|((v, m), s)| (v - m) / s).collect()
+        x.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
     }
 }
 
@@ -93,8 +97,8 @@ impl RidgeModel {
         let mut xty = vec![0.0; n];
         for (z, &y) in zs.iter().zip(ys) {
             let aug = |i: usize| if i < d { z[i] } else { 1.0 };
-            for r in 0..n {
-                xty[r] += aug(r) * y;
+            for (r, t) in xty.iter_mut().enumerate() {
+                *t += aug(r) * y;
                 for c in 0..n {
                     xtx.set(r, c, xtx.get(r, c) + aug(r) * aug(c));
                 }
@@ -105,7 +109,12 @@ impl RidgeModel {
         }
         xtx.set(d, d, xtx.get(d, d) + 1e-12);
         let sol = solve(&xtx, &xty);
-        Self { weights: sol[..d].to_vec(), intercept: sol[d], standardizer, lambda }
+        Self {
+            weights: sol[..d].to_vec(),
+            intercept: sol[d],
+            standardizer,
+            lambda,
+        }
     }
 
     /// Predicts for a raw (unstandardized) feature vector.
@@ -141,10 +150,18 @@ pub fn cross_validate(xs: &[Vec<f64>], ys: &[f64], lambda: f64, k: usize) -> f64
     for fold in 0..k {
         let lo = fold * n / k;
         let hi = (fold + 1) * n / k;
-        let train_x: Vec<Vec<f64>> =
-            xs.iter().enumerate().filter(|(i, _)| *i < lo || *i >= hi).map(|(_, x)| x.clone()).collect();
-        let train_y: Vec<f64> =
-            ys.iter().enumerate().filter(|(i, _)| *i < lo || *i >= hi).map(|(_, y)| *y).collect();
+        let train_x: Vec<Vec<f64>> = xs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i < lo || *i >= hi)
+            .map(|(_, x)| x.clone())
+            .collect();
+        let train_y: Vec<f64> = ys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i < lo || *i >= hi)
+            .map(|(_, y)| *y)
+            .collect();
         let model = RidgeModel::fit(&train_x, &train_y, lambda);
         for i in lo..hi {
             let pred = model.predict(&xs[i]);
@@ -181,7 +198,12 @@ mod tests {
 
     fn planted(n: usize, noise: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let xs: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![f64::from(u32::try_from(i).unwrap()), f64::from(u32::try_from(i % 13).unwrap()) * 100.0])
+            .map(|i| {
+                vec![
+                    f64::from(u32::try_from(i).unwrap()),
+                    f64::from(u32::try_from(i % 13).unwrap()) * 100.0,
+                ]
+            })
             .collect();
         let ys: Vec<f64> = xs
             .iter()

@@ -1,90 +1,108 @@
-//! Property-based invariants of the numerics behind the proxy.
+//! Randomized invariants of the numerics behind the proxy.
+//!
+//! Formerly proptest-based; the hermetic build has no crates.io access,
+//! so these run the same properties over seeded random cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use veltair_proxy::linalg::{solve, symmetric_eigen, SquareMatrix};
 use veltair_proxy::{LinearModel, Pca};
 
-fn arb_symmetric(n: usize) -> impl Strategy<Value = SquareMatrix> {
-    prop::collection::vec(-5.0f64..5.0, n * n).prop_map(move |vals| {
-        let mut m = SquareMatrix::zeros(n);
-        for r in 0..n {
-            for c in r..n {
-                let v = vals[r * n + c];
-                m.set(r, c, v);
-                m.set(c, r, v);
-            }
+const CASES: usize = 96;
+
+fn arb_symmetric(rng: &mut StdRng, n: usize) -> SquareMatrix {
+    let mut m = SquareMatrix::zeros(n);
+    for r in 0..n {
+        for c in r..n {
+            let v = rng.gen_range(-5.0f64..5.0);
+            m.set(r, c, v);
+            m.set(c, r, v);
         }
-        m
-    })
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn eigen_orthonormal_and_trace_preserving(m in arb_symmetric(4)) {
+#[test]
+fn eigen_orthonormal_and_trace_preserving() {
+    let mut rng = StdRng::seed_from_u64(0x94a01);
+    for _ in 0..CASES {
+        let m = arb_symmetric(&mut rng, 4);
         let (vals, vecs) = symmetric_eigen(&m);
         // Descending eigenvalues.
-        prop_assert!(vals.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        assert!(vals.windows(2).all(|w| w[0] >= w[1] - 1e-9));
         // Trace preservation.
         let trace: f64 = (0..4).map(|i| m.get(i, i)).sum();
-        prop_assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-6);
+        assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-6);
         // Orthonormal eigenvectors.
         for i in 0..4 {
             for j in 0..4 {
                 let dot: f64 = (0..4).map(|k| vecs[i][k] * vecs[j][k]).sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
-                prop_assert!((dot - expect).abs() < 1e-6);
+                assert!((dot - expect).abs() < 1e-6);
             }
         }
     }
+}
 
-    #[test]
-    fn regression_recovers_planted_model(
-        w0 in -10.0f64..10.0,
-        w1 in -10.0f64..10.0,
-        b in -10.0f64..10.0,
-    ) {
+#[test]
+fn regression_recovers_planted_model() {
+    let mut rng = StdRng::seed_from_u64(0x94a02);
+    for _ in 0..CASES {
+        let w0 = rng.gen_range(-10.0f64..10.0);
+        let w1 = rng.gen_range(-10.0f64..10.0);
+        let b = rng.gen_range(-10.0f64..10.0);
         let xs: Vec<Vec<f64>> = (0..60)
             .map(|i| vec![f64::from(i), f64::from((i * 13) % 17)])
             .collect();
         let ys: Vec<f64> = xs.iter().map(|x| w0 * x[0] + w1 * x[1] + b).collect();
         let m = LinearModel::fit(&xs, &ys);
-        prop_assert!((m.weights[0] - w0).abs() < 1e-5);
-        prop_assert!((m.weights[1] - w1).abs() < 1e-5);
-        prop_assert!((m.intercept - b).abs() < 1e-3);
+        assert!((m.weights[0] - w0).abs() < 1e-5);
+        assert!((m.weights[1] - w1).abs() < 1e-5);
+        assert!((m.intercept - b).abs() < 1e-3);
     }
+}
 
-    #[test]
-    fn pca_importance_is_a_distribution(
-        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 4..60),
-    ) {
+#[test]
+fn pca_importance_is_a_distribution() {
+    let mut rng = StdRng::seed_from_u64(0x94a03);
+    for _ in 0..CASES {
+        let n_rows = rng.gen_range(4usize..60);
+        let rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| (0..3).map(|_| rng.gen_range(-100.0f64..100.0)).collect())
+            .collect();
         let pca = Pca::fit(&rows);
         let imp = pca.feature_importance();
-        prop_assert_eq!(imp.len(), 3);
-        prop_assert!(imp.iter().all(|&v| v >= -1e-9));
+        assert_eq!(imp.len(), 3);
+        assert!(imp.iter().all(|&v| v >= -1e-9));
         let total: f64 = imp.iter().sum();
         // Degenerate all-constant matrices have zero variance.
-        prop_assert!(total < 1.0 + 1e-6);
+        assert!(total < 1.0 + 1e-6);
         if pca.eigenvalues.iter().sum::<f64>() > 1e-9 {
-            prop_assert!((total - 1.0).abs() < 1e-6);
+            assert!((total - 1.0).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn solve_round_trips(m in arb_symmetric(3), x0 in -5.0f64..5.0, x1 in -5.0f64..5.0, x2 in -5.0f64..5.0) {
+#[test]
+fn solve_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x94a04);
+    for _ in 0..CASES {
         // Make it diagonally dominant so it is well-conditioned.
-        let mut a = m;
+        let mut a = arb_symmetric(&mut rng, 3);
         for i in 0..3 {
             a.set(i, i, a.get(i, i) + 20.0);
         }
-        let x_true = [x0, x1, x2];
+        let x_true = [
+            rng.gen_range(-5.0f64..5.0),
+            rng.gen_range(-5.0f64..5.0),
+            rng.gen_range(-5.0f64..5.0),
+        ];
         let b: Vec<f64> = (0..3)
             .map(|r| (0..3).map(|c| a.get(r, c) * x_true[c]).sum())
             .collect();
         let x = solve(&a, &b);
         for (xi, ti) in x.iter().zip(x_true.iter()) {
-            prop_assert!((xi - ti).abs() < 1e-6);
+            assert!((xi - ti).abs() < 1e-6);
         }
     }
 }

@@ -52,9 +52,8 @@ pub fn find_first_pivot(
     thres: u32,
 ) -> Option<usize> {
     let limit = u64::from(avg_c) + u64::from(thres);
-    ((begin + 1)..model.layers.len()).find(|&i| {
-        u64::from(model.layers[i].core_requirement(versions[i], level)) >= limit
-    })
+    ((begin + 1)..model.layers.len())
+        .find(|&i| u64::from(model.layers[i].core_requirement(versions[i], level)) >= limit)
 }
 
 /// Minimum cores under which the units `[start, end)` finish within their
@@ -74,14 +73,25 @@ pub fn block_core_requirement(
     pressure: Interference,
     machine: &MachineConfig,
 ) -> u32 {
-    assert!(start < end && end <= model.layers.len(), "invalid block range");
-    let budget: f64 = model.layers[start..end].iter().map(|l| l.qos_share_s).sum::<f64>()
+    assert!(
+        start < end && end <= model.layers.len(),
+        "invalid block range"
+    );
+    let budget: f64 = model.layers[start..end]
+        .iter()
+        .map(|l| l.qos_share_s)
+        .sum::<f64>()
         * veltair_compiler::QOS_PLAN_MARGIN;
     for p in 1..=machine.cores {
         let total: f64 = (start..end)
             .map(|i| {
-                execute(&model.layers[i].versions[versions[i]].profile, p, pressure, machine)
-                    .latency_s
+                execute(
+                    &model.layers[i].versions[versions[i]].profile,
+                    p,
+                    pressure,
+                    machine,
+                )
+                .latency_s
                     + machine.dispatch_overhead_s
             })
             .sum();
@@ -104,11 +114,19 @@ pub fn block_flat_latency_s(
     cores: u32,
     machine: &MachineConfig,
 ) -> f64 {
-    assert!(start < end && end <= model.layers.len(), "invalid block range");
+    assert!(
+        start < end && end <= model.layers.len(),
+        "invalid block range"
+    );
     (start..end)
         .map(|i| {
-            execute(&model.layers[i].versions[versions[i]].profile, cores, pressure, machine)
-                .latency_s
+            execute(
+                &model.layers[i].versions[versions[i]].profile,
+                cores,
+                pressure,
+                machine,
+            )
+            .latency_s
                 + machine.dispatch_overhead_s
         })
         .sum()
@@ -126,6 +144,7 @@ const BOOST_SLACK: f64 = 0.05;
 /// looks *through* wave-quantization plateaus instead of stopping at the
 /// first flat step.
 #[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's full parameter list
 pub fn boosted_block_cores(
     model: &CompiledModel,
     start: usize,
@@ -141,9 +160,17 @@ pub fn boosted_block_cores(
         return min_cores;
     }
     let latencies: Vec<(u32, f64)> = (min_cores..=cap)
-        .map(|p| (p, block_flat_latency_s(model, start, end, versions, pressure, p, machine)))
+        .map(|p| {
+            (
+                p,
+                block_flat_latency_s(model, start, end, versions, pressure, p, machine),
+            )
+        })
         .collect();
-    let best = latencies.iter().map(|&(_, l)| l).fold(f64::INFINITY, f64::min);
+    let best = latencies
+        .iter()
+        .map(|&(_, l)| l)
+        .fold(f64::INFINITY, f64::min);
     latencies
         .iter()
         .find(|&&(_, l)| l <= best * (1.0 + BOOST_SLACK))
@@ -160,10 +187,18 @@ pub fn boosted_block_cores(
 #[must_use]
 pub fn versions_at_level(model: &CompiledModel, level: f64, adaptive: bool) -> Vec<usize> {
     if !adaptive {
-        return model.layers.iter().map(|layer| layer.version_for_level(0.0)).collect();
+        return model
+            .layers
+            .iter()
+            .map(|layer| layer.version_for_level(0.0))
+            .collect();
     }
     let expected_cores = model.model_core_requirement(level).max(1);
-    model.layers.iter().map(|layer| layer.version_for(level, expected_cores)).collect()
+    model
+        .layers
+        .iter()
+        .map(|layer| layer.version_for(level, expected_cores))
+        .collect()
 }
 
 /// Chooses the code version for every unit of the model against the *live*
@@ -189,10 +224,10 @@ pub fn versions_for_pressure(
         .map(|layer| {
             (0..layer.versions.len())
                 .min_by(|&a, &b| {
-                    let la = execute(&layer.versions[a].profile, cores, pressure, machine)
-                        .latency_s;
-                    let lb = execute(&layer.versions[b].profile, cores, pressure, machine)
-                        .latency_s;
+                    let la =
+                        execute(&layer.versions[a].profile, cores, pressure, machine).latency_s;
+                    let lb =
+                        execute(&layer.versions[b].profile, cores, pressure, machine).latency_s;
                     la.total_cmp(&lb)
                 })
                 .unwrap_or(0)
@@ -238,7 +273,10 @@ mod tests {
     fn compiled() -> (CompiledModel, MachineConfig) {
         let machine = MachineConfig::threadripper_3990x();
         let spec = veltair_models::resnet50();
-        (compile_model(&spec, &machine, &CompilerOptions::fast()), machine)
+        (
+            compile_model(&spec, &machine, &CompilerOptions::fast()),
+            machine,
+        )
     }
 
     #[test]
@@ -298,8 +336,8 @@ mod tests {
         let avg_c = m.model_core_requirement(0.0);
         if let Some(p) = find_first_pivot(&m, 0, &versions, 0.0, avg_c, 0) {
             assert!(m.layers[p].core_requirement(versions[p], 0.0) >= avg_c);
-            for i in 1..p {
-                assert!(m.layers[i].core_requirement(versions[i], 0.0) < avg_c);
+            for (layer, &version) in m.layers[1..p].iter().zip(&versions[1..p]) {
+                assert!(layer.core_requirement(version, 0.0) < avg_c);
             }
         }
     }

@@ -10,9 +10,14 @@
 //!   fixed-layer-block baselines (Table 1's design space);
 //! * [`layer_block`] — Algorithm 2: dynamic-threshold layer-block
 //!   formation and block core-requirement calculation;
-//! * [`simulator`] — the progress-based discrete-event serving simulator
-//!   implementing Algorithm 3 (dispatch, conflict handling with thread-team
-//!   expansion, interference monitoring, version selection);
+//! * [`runtime`] — the scheduler-core runtime: a policy-agnostic
+//!   progress-based discrete-event loop ([`runtime::run`]) over pluggable
+//!   [`runtime::Dispatcher`] families (spatial layer-block, temporal
+//!   PREMA/AI-MT, partitioned Parties), with the oracle and counter-proxy
+//!   interference paths unified behind [`runtime::Monitor`];
+//! * [`simulator`] — the stable entry points over that runtime:
+//!   [`SimConfig`] and [`simulate`] / [`simulate_with_trace`] /
+//!   [`simulate_with_dispatcher`];
 //! * [`report`] — per-model QoS satisfaction, latency, conflict and CPU
 //!   usage statistics.
 //!
@@ -37,11 +42,13 @@
 pub mod layer_block;
 pub mod policy;
 pub mod report;
+pub mod runtime;
 pub mod simulator;
 pub mod workload;
 
 pub use layer_block::{block_core_requirement, find_first_pivot, form_blocks, BlockPlan};
 pub use policy::{Granularity, Policy};
 pub use report::{ModelStats, ServingReport};
-pub use simulator::{simulate, SimConfig};
-pub use workload::{QuerySpec, WorkloadSpec};
+pub use runtime::{Dispatcher, Monitor};
+pub use simulator::{simulate, simulate_with_dispatcher, simulate_with_trace, SimConfig};
+pub use workload::{QuerySpec, WorkloadError, WorkloadSpec};

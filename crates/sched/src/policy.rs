@@ -101,7 +101,13 @@ impl Policy {
     /// The five policies compared in Fig. 12, in plot order.
     #[must_use]
     pub fn figure12_set() -> [Policy; 5] {
-        [Policy::Planaria, Policy::Prema, Policy::VeltairAs, Policy::VeltairAc, Policy::VeltairFull]
+        [
+            Policy::Planaria,
+            Policy::Prema,
+            Policy::VeltairAs,
+            Policy::VeltairAc,
+            Policy::VeltairFull,
+        ]
     }
 
     /// The extended baseline set (Fig. 12 plus the Table 1 prior-work
@@ -129,7 +135,10 @@ mod tests {
         assert_eq!(Policy::Planaria.granularity(), Granularity::Layer);
         assert_eq!(Policy::Prema.granularity(), Granularity::Model);
         assert_eq!(Policy::VeltairAs.granularity(), Granularity::DynamicBlock);
-        assert_eq!(Policy::FixedBlock(6).granularity(), Granularity::FixedBlock(6));
+        assert_eq!(
+            Policy::FixedBlock(6).granularity(),
+            Granularity::FixedBlock(6)
+        );
     }
 
     #[test]
@@ -144,7 +153,13 @@ mod tests {
     #[test]
     fn prema_is_the_only_temporal_policy() {
         assert!(Policy::Prema.is_temporal());
-        assert!(Policy::figure12_set().iter().filter(|p| p.is_temporal()).count() == 1);
+        assert!(
+            Policy::figure12_set()
+                .iter()
+                .filter(|p| p.is_temporal())
+                .count()
+                == 1
+        );
     }
 
     #[test]

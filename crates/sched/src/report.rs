@@ -84,13 +84,17 @@ impl ServingReport {
     /// QoS satisfaction for one model (1.0 when the model saw no queries).
     #[must_use]
     pub fn qos_satisfaction(&self, model: &str) -> f64 {
-        self.per_model.get(model).map_or(1.0, ModelStats::satisfaction)
+        self.per_model
+            .get(model)
+            .map_or(1.0, ModelStats::satisfaction)
     }
 
     /// Mean latency for one model, seconds.
     #[must_use]
     pub fn avg_latency_s(&self, model: &str) -> f64 {
-        self.per_model.get(model).map_or(0.0, ModelStats::avg_latency_s)
+        self.per_model
+            .get(model)
+            .map_or(0.0, ModelStats::avg_latency_s)
     }
 
     /// Mean latency across all completed queries, seconds.
@@ -139,11 +143,21 @@ mod tests {
         let mut r = ServingReport::default();
         r.per_model.insert(
             "a".into(),
-            ModelStats { queries: 10, satisfied: 9, latency_sum_s: 1.0, latency_max_s: 0.3 },
+            ModelStats {
+                queries: 10,
+                satisfied: 9,
+                latency_sum_s: 1.0,
+                latency_max_s: 0.3,
+            },
         );
         r.per_model.insert(
             "b".into(),
-            ModelStats { queries: 10, satisfied: 5, latency_sum_s: 3.0, latency_max_s: 0.9 },
+            ModelStats {
+                queries: 10,
+                satisfied: 5,
+                latency_sum_s: 3.0,
+                latency_max_s: 0.9,
+            },
         );
         assert_eq!(r.total_queries(), 20);
         assert!((r.overall_satisfaction() - 0.7).abs() < 1e-12);
@@ -163,7 +177,11 @@ mod tests {
 
     #[test]
     fn conflict_rate_is_ratio() {
-        let r = ServingReport { conflicts: 25, dispatches: 100, ..Default::default() };
+        let r = ServingReport {
+            conflicts: 25,
+            dispatches: 100,
+            ..Default::default()
+        };
         assert!((r.conflict_rate() - 0.25).abs() < 1e-12);
     }
 }

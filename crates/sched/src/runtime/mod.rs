@@ -1,0 +1,98 @@
+//! The scheduler-core runtime: a policy-agnostic progress-based
+//! discrete-event loop with pluggable [`Dispatcher`] families.
+//!
+//! Every in-flight scheduling unit advances at a rate set by the machine
+//! model under the *current* co-location; whenever the tenant set changes,
+//! all in-flight units are re-rated. This mirrors wall-clock execution on
+//! the paper's testbed, where a layer's remaining time stretches the
+//! moment a cache-hungry neighbour arrives.
+//!
+//! The module family splits Algorithm 3 along its natural seams:
+//!
+//! * [`state`] — the shared unit-state machine: queries, in-flight units,
+//!   pending queues, time advancement, unit lifecycle, fixed-point
+//!   re-rating, and report accumulation. Policy-free.
+//! * [`monitor`] — the [`Monitor`] abstraction unifying the oracle and
+//!   counter-proxy interference paths.
+//! * [`dispatcher`] — the [`Dispatcher`] trait and the policy→family map.
+//! * [`spatial`] — layer-block spatial sharing (FCFS, Planaria, fixed and
+//!   dynamic blocks, the VELTAIR policies) with Algorithm 2 planning.
+//! * [`temporal`] — PREMA token-priority and AI-MT round-robin
+//!   time-multiplexing.
+//! * [`partitioned`] — Parties per-tenant core partitioning.
+//!
+//! Adding a policy means implementing [`Dispatcher`] and extending
+//! [`dispatcher::for_policy`]; the event loop below never changes.
+
+pub mod dispatcher;
+pub mod monitor;
+pub mod partitioned;
+pub mod spatial;
+pub mod state;
+pub mod temporal;
+
+pub use dispatcher::{for_policy, Dispatcher};
+pub use monitor::{CounterProxyMonitor, Monitor, OracleMonitor};
+pub use partitioned::PartitionedDispatcher;
+pub use spatial::SpatialDispatcher;
+pub use state::{Event, Pending, QueryState, Running, SimState};
+pub use temporal::{TemporalDispatcher, TemporalOrder};
+
+use crate::report::ServingReport;
+use crate::simulator::SimConfig;
+use crate::workload::QuerySpec;
+use veltair_compiler::CompiledModel;
+
+/// Runs the serving simulation to completion under the given dispatcher,
+/// returning the report and the `(time, busy cores)` allocation trace
+/// (empty unless `cfg.record_alloc_trace` is set).
+///
+/// This is the whole event loop — note the absence of any policy
+/// inspection: policies act only through `dispatcher` and the planning
+/// code it calls.
+///
+/// # Panics
+///
+/// Panics if a query references a model that was not compiled, or if
+/// `queries` is empty.
+#[must_use]
+pub fn run(
+    models: &[CompiledModel],
+    queries: &[QuerySpec],
+    cfg: &SimConfig,
+    mut dispatcher: Box<dyn Dispatcher>,
+) -> (ServingReport, Vec<(f64, u32)>) {
+    let mut state = SimState::new(models, queries, cfg);
+    while let Some((t, ev)) = state.events.pop() {
+        // Stale unit checks (superseded by a re-rate) are skipped
+        // entirely: processing them would trigger refresh cascades that
+        // can livelock the queue under overload.
+        let material = match ev {
+            Event::Arrival(q) => {
+                state.advance_to(t);
+                state.admit_arrival(q);
+                true
+            }
+            Event::UnitCheck { slot, gen } => {
+                if !state
+                    .running
+                    .get(slot)
+                    .is_some_and(|r| r.active && r.gen == gen)
+                {
+                    continue;
+                }
+                state.advance_to(t);
+                state.check_unit(slot, dispatcher.as_ref())
+            }
+        };
+        // Only material events — arrivals and block transitions — can
+        // change the co-location; re-rating is pointless otherwise.
+        if material {
+            state.expand_conflicted();
+            dispatcher.dispatch(&mut state);
+            state.refresh_conditions();
+        }
+    }
+    let trace = std::mem::take(&mut state.alloc_trace);
+    (state.finish_report(), trace)
+}

@@ -1,0 +1,99 @@
+//! The interference-monitor abstraction: how the runtime estimates the
+//! pressure a planning tenant will face from the units already in flight.
+//!
+//! The paper deploys two monitors. The *oracle* reads the true aggregate
+//! cache/bandwidth demand of every co-runner — available in simulation,
+//! not on real hardware. The *counter proxy* is the deployable path: a
+//! PCA-selected linear model over hardware performance counters predicts a
+//! scalar interference level (counters cannot attribute pressure to a
+//! specific resource, so the pair is the symmetric expansion of the
+//! scalar). Both implement [`Monitor`], so dispatchers and block planning
+//! are oblivious to which one is installed.
+
+use veltair_proxy::{CounterWindow, InterferenceProxy};
+use veltair_sim::{Execution, Interference, MachineConfig};
+
+use crate::simulator::SimConfig;
+
+/// Estimates co-runner pressure for admission and block planning.
+///
+/// `corunners` holds the current rating of every active, not
+/// soon-to-finish unit; the result is the full pressure pair plus the
+/// scalar level used to index the compiled lookup tables.
+pub trait Monitor: std::fmt::Debug + Send + Sync {
+    /// Monitor name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Observes the given co-runners on `machine`.
+    fn observe(&self, corunners: &[&Execution], machine: &MachineConfig) -> (Interference, f64);
+}
+
+/// Builds the monitor a configuration asks for: the trained counter proxy
+/// when one is installed, the oracle otherwise.
+#[must_use]
+pub fn for_config(cfg: &SimConfig) -> Box<dyn Monitor> {
+    match &cfg.proxy {
+        Some(p) => Box::new(CounterProxyMonitor::new(p.clone())),
+        None => Box::new(OracleMonitor),
+    }
+}
+
+/// The oracle monitor: reads the true aggregate co-runner demand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleMonitor;
+
+impl Monitor for OracleMonitor {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn observe(&self, corunners: &[&Execution], machine: &MachineConfig) -> (Interference, f64) {
+        if corunners.is_empty() {
+            return (Interference::NONE, 0.0);
+        }
+        let pair = Interference::from_corunners(corunners.iter().map(|e| &e.demand), machine);
+        (pair, pair.scalar())
+    }
+}
+
+/// The deployed monitor: a trained linear proxy over rate-weighted
+/// performance counters, predicting only the scalar level.
+#[derive(Debug, Clone)]
+pub struct CounterProxyMonitor {
+    proxy: InterferenceProxy,
+}
+
+impl CounterProxyMonitor {
+    /// Wraps a trained proxy.
+    #[must_use]
+    pub fn new(proxy: InterferenceProxy) -> Self {
+        Self { proxy }
+    }
+}
+
+impl Monitor for CounterProxyMonitor {
+    fn name(&self) -> &'static str {
+        "counter-proxy"
+    }
+
+    fn observe(&self, corunners: &[&Execution], _machine: &MachineConfig) -> (Interference, f64) {
+        if corunners.is_empty() {
+            return (Interference::NONE, 0.0);
+        }
+        let mut counters = veltair_sim::PerfCounters::default();
+        for exec in corunners {
+            // Rate-weight the counters by each unit's own duration.
+            let scale = 1.0 / exec.latency_s.max(1e-12);
+            counters.l3_accesses += exec.counters.l3_accesses * scale;
+            counters.l3_misses += exec.counters.l3_misses * scale;
+            counters.instructions += exec.counters.instructions * scale;
+            counters.cycles += exec.counters.cycles * scale;
+            counters.flops += exec.counters.flops * scale;
+        }
+        let level = self
+            .proxy
+            .predict(&CounterWindow::from_counters(&counters, 1.0))
+            .clamp(0.0, 1.0);
+        (Interference::level(level), level)
+    }
+}

@@ -1,0 +1,538 @@
+//! Shared unit-state for the scheduler-core runtime: queries, in-flight
+//! units, pending queues, and the progress-based bookkeeping every
+//! [`Dispatcher`](super::Dispatcher) implementation operates on.
+//!
+//! Nothing in this module consults [`Policy`](crate::Policy): the state
+//! machine (arrival intake, time advancement, unit lifecycle, re-rating)
+//! is identical for every scheduling discipline. Policy-specific decisions
+//! enter only through the dispatcher (who runs next, with how many cores)
+//! and, at one block-internal boundary, through
+//! [`Dispatcher::should_yield`](super::Dispatcher::should_yield).
+
+use std::collections::VecDeque;
+
+use veltair_compiler::CompiledModel;
+use veltair_sim::{
+    execute, EventQueue, Execution, Interference, PerfCounters, PressureDemand, SimTime,
+    UnitProgress,
+};
+
+use super::monitor::{self, Monitor};
+use super::Dispatcher;
+use crate::report::ServingReport;
+use crate::simulator::SimConfig;
+use crate::workload::QuerySpec;
+
+/// Maximum Jacobi sweeps when converging the demand<->latency fixed point
+/// after a co-location change. The coupling is a contraction in practice;
+/// the cap only guards against pathological oscillation.
+const MAX_REFRESH_SWEEPS: usize = 8;
+
+/// Relative latency change below which an in-flight unit is not re-rated.
+/// A picosecond-level threshold would let demand<->latency feedback
+/// oscillation flood the event queue with near-zero-step re-arms.
+const REFRESH_TOL: f64 = 1e-3;
+
+/// Events of the serving simulation.
+#[derive(Debug, Clone, Copy)]
+pub enum Event {
+    /// Query `.0` arrives and joins its admission queue.
+    Arrival(usize),
+    /// The unit in `slot` may have completed; stale generations are
+    /// ignored (the unit was re-rated since this check was armed).
+    UnitCheck { slot: usize, gen: u64 },
+}
+
+/// Per-query lifecycle state.
+#[derive(Debug)]
+pub struct QueryState {
+    /// Index into the compiled-model registry.
+    pub model: usize,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Next layer to execute (absolute index into the model's layers).
+    pub next_unit: usize,
+    /// Completion time, once finished.
+    pub finish: Option<SimTime>,
+}
+
+/// One in-flight scheduling unit (a layer block on a core allocation).
+#[derive(Debug)]
+pub struct Running {
+    /// Owning query (index into [`SimState::queries`]).
+    pub query: usize,
+    /// Exclusive end of the block's unit range.
+    pub end: usize,
+    /// Current unit (absolute index into the model's layers).
+    pub unit: usize,
+    /// Start of the block (for version indexing).
+    pub start: usize,
+    /// Chosen code version per unit of the block.
+    pub versions: Vec<usize>,
+    /// Cores the block's QoS share demands.
+    pub requested: u32,
+    /// Cores actually granted (≤ requested under conflicts).
+    pub granted: u32,
+    /// Overhead + work-fraction progress under the current rating.
+    pub progress: UnitProgress,
+    /// Current rating of the unit under the present co-location.
+    pub exec: Execution,
+    /// Generation counter invalidating stale `UnitCheck` events.
+    pub gen: u64,
+    /// Whether the slot currently holds live work.
+    pub active: bool,
+    /// Thread-team growth events so far (the fork-join rebuild cost is
+    /// paid once; later growths reuse the warm pool).
+    pub expansions: u32,
+}
+
+/// A query waiting for cores.
+#[derive(Debug)]
+pub struct Pending {
+    /// Index into [`SimState::queries`].
+    pub query: usize,
+    /// Whether this wait has already been counted as a conflict.
+    pub conflicted: bool,
+}
+
+/// The complete mutable state of one serving simulation.
+pub struct SimState<'a> {
+    /// Simulation configuration (machine, policy, monitor settings).
+    pub cfg: &'a SimConfig,
+    /// The compiled-model registry queries index into.
+    pub models: &'a [CompiledModel],
+    /// Per-query lifecycle state.
+    pub queries: Vec<QueryState>,
+    /// Slot-indexed in-flight units (slots are recycled via `free_slots`).
+    pub running: Vec<Running>,
+    /// Recycled `running` slots.
+    pub free_slots: Vec<usize>,
+    /// The deterministic event queue driving the simulation.
+    pub events: EventQueue<Event>,
+    /// Current simulation time.
+    pub now: SimTime,
+    last_advance: SimTime,
+    /// Cores not currently granted to any unit.
+    pub free_cores: u32,
+    /// Mid-query blocks waiting for cores; they precede fresh arrivals in
+    /// dispatch order.
+    pub continuations: VecDeque<Pending>,
+    /// Fresh latency-critical arrivals.
+    pub arrivals: VecDeque<Pending>,
+    /// Best-effort work; only runs when the two queues above are drained.
+    pub best_effort: VecDeque<Pending>,
+    /// Accumulating output statistics.
+    pub report: ServingReport,
+    /// `(time, busy cores)` samples when `cfg.record_alloc_trace` is set.
+    pub alloc_trace: Vec<(f64, u32)>,
+    /// The interference monitor (oracle or trained counter proxy).
+    pub monitor: Box<dyn Monitor>,
+}
+
+impl std::fmt::Debug for SimState<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimState")
+            .field("now", &self.now)
+            .field("free_cores", &self.free_cores)
+            .field("queries", &self.queries.len())
+            .field("running", &self.running.len())
+            .field("monitor", &self.monitor)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SimState<'a> {
+    /// Builds the initial state and schedules every arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query references a model that was not compiled, or if
+    /// `queries` is empty.
+    #[must_use]
+    pub fn new(models: &'a [CompiledModel], queries: &[QuerySpec], cfg: &'a SimConfig) -> Self {
+        assert!(!queries.is_empty(), "cannot simulate an empty query stream");
+        let states: Vec<QueryState> = queries
+            .iter()
+            .map(|q| QueryState {
+                model: models
+                    .iter()
+                    .position(|m| m.name == q.model)
+                    .unwrap_or_else(|| panic!("model {} was not compiled", q.model)),
+                arrival: q.arrival,
+                next_unit: 0,
+                finish: None,
+            })
+            .collect();
+        let mut state = Self {
+            cfg,
+            models,
+            queries: states,
+            running: Vec::new(),
+            free_slots: Vec::new(),
+            events: EventQueue::new(),
+            now: SimTime::ZERO,
+            last_advance: SimTime::ZERO,
+            free_cores: cfg.machine.cores,
+            continuations: VecDeque::new(),
+            arrivals: VecDeque::new(),
+            best_effort: VecDeque::new(),
+            report: ServingReport::default(),
+            alloc_trace: Vec::new(),
+            monitor: monitor::for_config(cfg),
+        };
+        for (i, q) in queries.iter().enumerate() {
+            state.events.push(q.arrival, Event::Arrival(i));
+        }
+        state
+    }
+
+    // --- Time advancement -------------------------------------------------
+
+    /// Advances the clock to `t`, accruing core-seconds and unit progress
+    /// at the current ratings.
+    pub fn advance_to(&mut self, t: SimTime) {
+        let dt = t.since(self.last_advance);
+        if dt > 0.0 {
+            let busy = self.cfg.machine.cores - self.free_cores;
+            self.report.core_seconds += f64::from(busy) * dt;
+            for r in &mut self.running {
+                if r.active {
+                    r.progress.advance(dt, r.exec.latency_s);
+                }
+            }
+            self.last_advance = t;
+        }
+        self.now = t;
+    }
+
+    // --- Admission ----------------------------------------------------------
+
+    /// Whether the query's model is registered as a best-effort tenant.
+    #[must_use]
+    pub fn is_best_effort(&self, query: usize) -> bool {
+        let name = &self.models[self.queries[query].model].name;
+        self.cfg.best_effort_models.iter().any(|m| m == name)
+    }
+
+    /// Routes a newly arrived query to its admission queue.
+    pub fn admit_arrival(&mut self, query: usize) {
+        let pending = Pending {
+            query,
+            conflicted: false,
+        };
+        if self.is_best_effort(query) {
+            self.best_effort.push_back(pending);
+        } else {
+            self.arrivals.push_back(pending);
+        }
+    }
+
+    /// Counts a conflict for a pending entry at most once.
+    pub fn mark_conflicted(&mut self, pending: &mut Pending) {
+        if !pending.conflicted {
+            pending.conflicted = true;
+            self.report.conflicts += 1;
+        }
+    }
+
+    // --- Monitoring ---------------------------------------------------------
+
+    /// Co-runner pressure from the perspective of a new or planning tenant:
+    /// all active units except soon-to-finish ones (the paper's
+    /// soon-to-finish rule, §4.3), as estimated by the configured monitor.
+    #[must_use]
+    pub fn monitored(&self) -> (Interference, f64) {
+        let corunners: Vec<&Execution> = self
+            .running
+            .iter()
+            .filter(|r| r.active && r.progress.remaining_frac >= self.cfg.soon_finish_frac)
+            .map(|r| &r.exec)
+            .collect();
+        self.monitor.observe(&corunners, &self.cfg.machine)
+    }
+
+    /// Interference one unit experiences from all other active units.
+    #[must_use]
+    pub fn interference_for(&self, slot: usize) -> Interference {
+        let demands: Vec<&PressureDemand> = self
+            .running
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| *i != slot && r.active)
+            .map(|(_, r)| &r.exec.demand)
+            .collect();
+        Interference::from_corunners(demands, &self.cfg.machine)
+    }
+
+    // --- Unit lifecycle -----------------------------------------------------
+
+    /// Starts a block of units for `query` on `granted` cores, arming its
+    /// first completion check.
+    pub fn start_block(
+        &mut self,
+        query: usize,
+        end: usize,
+        versions: Vec<usize>,
+        requested: u32,
+        granted: u32,
+    ) {
+        assert!(granted >= 1, "blocks always start with at least one core");
+        let start = self.queries[query].next_unit;
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            self.running.push(Running {
+                query: 0,
+                end: 0,
+                unit: 0,
+                start: 0,
+                versions: Vec::new(),
+                requested: 0,
+                granted: 0,
+                progress: UnitProgress::fresh(0.0),
+                exec: Execution {
+                    latency_s: 1.0_f64,
+                    counters: PerfCounters::default(),
+                    demand: PressureDemand::ZERO,
+                },
+                gen: 0,
+                active: false,
+                expansions: 0,
+            });
+            self.running.len() - 1
+        });
+
+        self.report.dispatches += 1;
+        let machine = &self.cfg.machine;
+        let model = &self.models[self.queries[query].model];
+        let version = versions[0];
+        let interference = self.interference_for(slot);
+        let exec = execute(
+            &model.layers[start].versions[version].profile,
+            granted,
+            interference,
+            machine,
+        );
+        let r = &mut self.running[slot];
+        r.query = query;
+        r.end = end;
+        r.unit = start;
+        r.start = start;
+        r.versions = versions;
+        r.requested = requested;
+        r.granted = granted;
+        r.progress = UnitProgress::fresh(machine.unit_dispatch_overhead_s(granted));
+        r.exec = exec;
+        r.gen += 1;
+        r.active = true;
+        r.expansions = 0;
+        let gen = r.gen;
+        let eta = r.progress.eta_s(r.exec.latency_s);
+        self.events
+            .push(self.now.after(eta), Event::UnitCheck { slot, gen });
+    }
+
+    /// Tile-wise expansion: grant freed cores to under-allocated units,
+    /// paying the thread-team growth overhead (Fig. 5b).
+    pub fn expand_conflicted(&mut self) {
+        if self.free_cores == 0 {
+            return;
+        }
+        for slot in 0..self.running.len() {
+            if self.free_cores == 0 {
+                break;
+            }
+            let r = &mut self.running[slot];
+            if !r.active || r.granted >= r.requested {
+                continue;
+            }
+            let added = (r.requested - r.granted).min(self.free_cores);
+            r.granted += added;
+            self.free_cores -= added;
+            // The fork-join team rebuild is paid on the first growth; later
+            // growths reuse the warm pool and pay only per-thread spawns.
+            r.progress.add_overhead(if r.expansions == 0 {
+                self.cfg.machine.expansion_overhead_s(added)
+            } else {
+                self.cfg.machine.spawn_per_core_s * f64::from(added)
+            });
+            r.expansions += 1;
+        }
+    }
+
+    /// Handles a unit's completion check. Returns `true` when the event was
+    /// material (the unit advanced or finished, changing the co-location)
+    /// and `false` for a pure re-arm.
+    ///
+    /// At block-internal unit boundaries the dispatcher is consulted via
+    /// [`Dispatcher::should_yield`]; a yielding unit releases its cores and
+    /// re-enters the continuation queue (temporal preemption).
+    pub fn check_unit(&mut self, slot: usize, dispatcher: &dyn Dispatcher) -> bool {
+        if !self.running[slot].progress.is_done() {
+            // Conditions changed since scheduling; re-arm at the new ETA.
+            let r = &mut self.running[slot];
+            r.gen += 1;
+            let eta = r.progress.eta_s(r.exec.latency_s);
+            let (gen, t) = (r.gen, self.now.after(eta.max(1e-9)));
+            self.events.push(t, Event::UnitCheck { slot, gen });
+            return false;
+        }
+
+        let (query, next_unit) = {
+            let r = &mut self.running[slot];
+            r.unit += 1;
+            (r.query, r.unit)
+        };
+        self.queries[query].next_unit = next_unit;
+
+        let block_end = self.running[slot].end;
+        let model_len = self.models[self.queries[query].model].layers.len();
+
+        if next_unit < block_end && dispatcher.should_yield(self, slot) {
+            // The dispatcher preempts at this unit boundary: the running
+            // query yields its cores and re-enters the pool as a
+            // continuation (PREMA's token-priority preemption).
+            self.release_slot(slot);
+            self.report.preemptions += 1;
+            self.continuations.push_back(Pending {
+                query,
+                conflicted: false,
+            });
+            return true;
+        }
+
+        if next_unit < block_end {
+            // Next unit of the same block, same allocation.
+            let machine = &self.cfg.machine;
+            let model = &self.models[self.queries[query].model];
+            let interference = self.interference_for(slot);
+            let r = &mut self.running[slot];
+            let version = r.versions[next_unit - r.start];
+            r.exec = execute(
+                &model.layers[next_unit].versions[version].profile,
+                r.granted,
+                interference,
+                machine,
+            );
+            r.progress
+                .restart(machine.unit_dispatch_overhead_s(r.granted));
+            r.gen += 1;
+            let eta = r.progress.eta_s(r.exec.latency_s);
+            let (gen, t) = (r.gen, self.now.after(eta));
+            self.events.push(t, Event::UnitCheck { slot, gen });
+            return true;
+        }
+
+        // Block finished: release cores.
+        self.release_slot(slot);
+
+        if next_unit >= model_len {
+            self.complete_query(query);
+        } else {
+            let pending = Pending {
+                query,
+                conflicted: false,
+            };
+            if self.is_best_effort(query) {
+                self.best_effort.push_back(pending);
+            } else {
+                self.continuations.push_back(pending);
+            }
+        }
+        true
+    }
+
+    /// Deactivates a slot and returns its cores to the pool.
+    fn release_slot(&mut self, slot: usize) {
+        let r = &mut self.running[slot];
+        r.active = false;
+        self.free_cores += r.granted;
+        r.granted = 0;
+        self.free_slots.push(slot);
+    }
+
+    /// Records a finished query in the report.
+    fn complete_query(&mut self, query: usize) {
+        let st = &mut self.queries[query];
+        st.finish = Some(self.now);
+        let latency = self.now.since(st.arrival);
+        let model = &self.models[st.model];
+        let stats = self.report.per_model.entry(model.name.clone()).or_default();
+        stats.queries += 1;
+        if latency <= model.qos_s {
+            stats.satisfied += 1;
+        }
+        stats.latency_sum_s += latency;
+        stats.latency_max_s = stats.latency_max_s.max(latency);
+        self.report.makespan_s = self.report.makespan_s.max(self.now.0);
+    }
+
+    /// Re-rates all in-flight units under the new co-location and re-arms
+    /// their completion events.
+    ///
+    /// A unit's latency depends on its co-runners' demands and vice versa,
+    /// so re-rating is a fixed point: we iterate Jacobi sweeps in place
+    /// (bounded by [`MAX_REFRESH_SWEEPS`]) until the largest relative
+    /// latency change drops below [`REFRESH_TOL`], then arm exactly one
+    /// fresh event per changed unit. Converging *here* — instead of one
+    /// sweep per event — keeps the event queue from ping-ponging between
+    /// coupled units, which livelocks the simulation under overload.
+    pub fn refresh_conditions(&mut self) {
+        let machine = self.cfg.machine.clone();
+        let mut changed = vec![false; self.running.len()];
+        for _ in 0..MAX_REFRESH_SWEEPS {
+            let mut max_rel = 0.0_f64;
+            // Jacobi sweep: all new ratings computed from current demands.
+            let updates: Vec<(usize, Execution, f64)> = (0..self.running.len())
+                .filter(|&slot| self.running[slot].active)
+                .map(|slot| {
+                    let interference = self.interference_for(slot);
+                    let r = &self.running[slot];
+                    let model = &self.models[self.queries[r.query].model];
+                    let version = r.versions[r.unit - r.start];
+                    let exec = execute(
+                        &model.layers[r.unit].versions[version].profile,
+                        r.granted,
+                        interference,
+                        &machine,
+                    );
+                    let rel =
+                        (exec.latency_s - r.exec.latency_s).abs() / r.exec.latency_s.max(1e-12);
+                    (slot, exec, rel)
+                })
+                .collect();
+            for (slot, exec, rel) in updates {
+                if rel > REFRESH_TOL {
+                    self.running[slot].exec = exec;
+                    changed[slot] = true;
+                    max_rel = max_rel.max(rel);
+                }
+            }
+            if max_rel <= REFRESH_TOL {
+                break;
+            }
+        }
+        for (slot, was_changed) in changed.into_iter().enumerate() {
+            if !was_changed || !self.running[slot].active {
+                continue;
+            }
+            let r = &mut self.running[slot];
+            r.gen += 1;
+            let eta = r.progress.eta_s(r.exec.latency_s);
+            let (gen, t) = (r.gen, self.now.after(eta.max(1e-9)));
+            self.events.push(t, Event::UnitCheck { slot, gen });
+        }
+        let busy = self.cfg.machine.cores - self.free_cores;
+        self.report.peak_cores = self.report.peak_cores.max(busy);
+        if self.cfg.record_alloc_trace {
+            self.alloc_trace.push((self.now.0, busy));
+        }
+    }
+
+    /// Finalizes and returns the serving report.
+    #[must_use]
+    pub fn finish_report(mut self) -> ServingReport {
+        if self.report.makespan_s > 0.0 {
+            self.report.avg_cores = self.report.core_seconds / self.report.makespan_s;
+        }
+        self.report
+    }
+}

@@ -1,32 +1,22 @@
-//! The progress-based discrete-event serving simulator (Algorithm 3).
+//! The serving simulator's stable entry points (Algorithm 3).
 //!
-//! Every in-flight scheduling unit advances at a rate set by the machine
-//! model under the *current* co-location; whenever the tenant set changes,
-//! all in-flight units are re-rated. This mirrors wall-clock execution on
-//! the paper's testbed, where a layer's remaining time stretches the moment
-//! a cache-hungry neighbour arrives.
-//!
-//! Spatial policies dispatch blocks with the cores their QoS share demands,
-//! start short on conflicts and expand when cores free up (paying the
-//! thread-team expansion overhead of Fig. 5b). The temporal baselines
-//! time-multiplex the whole machine — PREMA with token-based priorities at
-//! model granularity, AI-MT with fair round-robin at layer granularity —
-//! and the Parties baseline partitions cores per tenant.
-
-use std::collections::VecDeque;
+//! The actual machinery lives in the [`runtime`](crate::runtime) module
+//! family: a policy-agnostic discrete-event loop over pluggable
+//! [`Dispatcher`](crate::runtime::Dispatcher) implementations — spatial
+//! layer-block sharing, temporal PREMA/AI-MT multiplexing, and Parties
+//! partitioning — with the oracle/proxy interference paths unified behind
+//! [`Monitor`](crate::runtime::Monitor). This module keeps the public
+//! surface the experiment harness, benches, and examples program against:
+//! [`SimConfig`] plus [`simulate`] / [`simulate_with_trace`] /
+//! [`simulate_with_dispatcher`].
 
 use veltair_compiler::CompiledModel;
-use veltair_proxy::{CounterWindow, InterferenceProxy};
-use veltair_sim::{
-    execute, EventQueue, Execution, Interference, MachineConfig, PressureDemand, SimTime,
-};
+use veltair_proxy::InterferenceProxy;
+use veltair_sim::MachineConfig;
 
-use crate::layer_block::{
-    block_core_requirement, boosted_block_cores, find_first_pivot, versions_at_level,
-    versions_for_pressure,
-};
-use crate::policy::{Granularity, Policy};
-use crate::report::{ModelStats, ServingReport};
+use crate::policy::Policy;
+use crate::report::ServingReport;
+use crate::runtime::{self, Dispatcher};
 use crate::workload::QuerySpec;
 
 /// Simulation configuration.
@@ -79,108 +69,6 @@ impl SimConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival(usize),
-    UnitCheck { slot: usize, gen: u64 },
-}
-
-#[derive(Debug)]
-struct QueryState {
-    model: usize,
-    arrival: SimTime,
-    next_unit: usize,
-    finish: Option<SimTime>,
-}
-
-#[derive(Debug)]
-struct Running {
-    query: usize,
-    /// Exclusive end of the block's unit range.
-    end: usize,
-    /// Current unit (absolute index into the model's layers).
-    unit: usize,
-    /// Start of the block (for version indexing).
-    start: usize,
-    versions: Vec<usize>,
-    requested: u32,
-    granted: u32,
-    remaining_frac: f64,
-    overhead_s: f64,
-    exec: Execution,
-    gen: u64,
-    active: bool,
-    /// Thread-team growth events so far (the fork-join rebuild cost is
-    /// paid once; later growths reuse the warm pool).
-    expansions: u32,
-}
-
-#[derive(Debug)]
-struct Pending {
-    query: usize,
-    conflicted: bool,
-}
-
-struct Sim<'a> {
-    cfg: &'a SimConfig,
-    models: &'a [CompiledModel],
-    queries: Vec<QueryState>,
-    running: Vec<Running>,
-    free_slots: Vec<usize>,
-    events: EventQueue<Event>,
-    now: SimTime,
-    last_advance: SimTime,
-    free_cores: u32,
-    // Continuations are mid-query blocks waiting for cores; they precede
-    // fresh arrivals in dispatch order.
-    continuations: VecDeque<Pending>,
-    arrivals: VecDeque<Pending>,
-    // Best-effort work only runs when the two queues above are drained.
-    best_effort: VecDeque<Pending>,
-    report: ServingReport,
-    alloc_trace: Vec<(f64, u32)>,
-}
-
-fn build_sim<'a>(
-    models: &'a [CompiledModel],
-    queries: &[QuerySpec],
-    cfg: &'a SimConfig,
-) -> Sim<'a> {
-    assert!(!queries.is_empty(), "cannot simulate an empty query stream");
-    let states: Vec<QueryState> = queries
-        .iter()
-        .map(|q| QueryState {
-            model: models
-                .iter()
-                .position(|m| m.name == q.model)
-                .unwrap_or_else(|| panic!("model {} was not compiled", q.model)),
-            arrival: q.arrival,
-            next_unit: 0,
-            finish: None,
-        })
-        .collect();
-    let mut sim = Sim {
-        cfg,
-        models,
-        queries: states,
-        running: Vec::new(),
-        free_slots: Vec::new(),
-        events: EventQueue::new(),
-        now: SimTime::ZERO,
-        last_advance: SimTime::ZERO,
-        free_cores: cfg.machine.cores,
-        continuations: VecDeque::new(),
-        arrivals: VecDeque::new(),
-        best_effort: VecDeque::new(),
-        report: ServingReport::default(),
-        alloc_trace: Vec::new(),
-    };
-    for (i, q) in queries.iter().enumerate() {
-        sim.events.push(q.arrival, Event::Arrival(i));
-    }
-    sim
-}
-
 /// Runs the serving simulation to completion.
 ///
 /// # Panics
@@ -188,14 +76,29 @@ fn build_sim<'a>(
 /// Panics if a query references a model that was not compiled, or if
 /// `queries` is empty.
 #[must_use]
-pub fn simulate(
+pub fn simulate(models: &[CompiledModel], queries: &[QuerySpec], cfg: &SimConfig) -> ServingReport {
+    let dispatcher = runtime::for_policy(cfg.policy);
+    simulate_with_dispatcher(models, queries, cfg, dispatcher)
+}
+
+/// Runs the serving simulation under an explicitly constructed dispatcher
+/// (the default is [`runtime::for_policy`] on `cfg.policy`). This is the
+/// hook for callers — like `ServingEngine` — that build or customize the
+/// dispatcher themselves, and for new scheduling disciplines that are not
+/// (yet) in the [`Policy`] table.
+///
+/// # Panics
+///
+/// Panics if a query references a model that was not compiled, or if
+/// `queries` is empty.
+#[must_use]
+pub fn simulate_with_dispatcher(
     models: &[CompiledModel],
     queries: &[QuerySpec],
     cfg: &SimConfig,
+    dispatcher: Box<dyn Dispatcher>,
 ) -> ServingReport {
-    let mut sim = build_sim(models, queries, cfg);
-    sim.run();
-    sim.finish_report()
+    runtime::run(models, queries, cfg, dispatcher).0
 }
 
 /// Runs the simulation and additionally returns the `(time, busy cores)`
@@ -208,801 +111,8 @@ pub fn simulate_with_trace(
 ) -> (ServingReport, Vec<(f64, u32)>) {
     let mut cfg = cfg.clone();
     cfg.record_alloc_trace = true;
-    let mut sim = build_sim(models, queries, &cfg);
-    sim.run();
-    let trace = std::mem::take(&mut sim.alloc_trace);
-    (sim.finish_report(), trace)
-}
-
-/// Maximum Jacobi sweeps when converging the demand<->latency fixed point
-/// after a co-location change. The coupling is a contraction in practice;
-/// the cap only guards against pathological oscillation.
-const MAX_REFRESH_SWEEPS: usize = 8;
-
-/// Relative latency change below which an in-flight unit is not re-rated.
-/// A picosecond-level threshold would let demand<->latency feedback
-/// oscillation flood the event queue with near-zero-step re-arms.
-const REFRESH_TOL: f64 = 1e-3;
-
-impl Sim<'_> {
-    fn run(&mut self) {
-        while let Some((t, ev)) = self.events.pop() {
-            // Stale unit checks (superseded by a re-rate) are skipped
-            // entirely: processing them would trigger refresh cascades that
-            // can livelock the queue under overload.
-            let material = match ev {
-                Event::Arrival(q) => {
-                    self.advance_to(t);
-                    let pending = Pending { query: q, conflicted: false };
-                    if self.is_best_effort(q) {
-                        self.best_effort.push_back(pending);
-                    } else {
-                        self.arrivals.push_back(pending);
-                    }
-                    true
-                }
-                Event::UnitCheck { slot, gen } => {
-                    if !self.running.get(slot).is_some_and(|r| r.active && r.gen == gen) {
-                        continue;
-                    }
-                    self.advance_to(t);
-                    self.check_unit(slot)
-                }
-            };
-            // Only material events — arrivals and block transitions — can
-            // change the co-location; re-rating is pointless otherwise.
-            if material {
-                self.expand_conflicted();
-                self.dispatch();
-                self.refresh_conditions();
-            }
-        }
-    }
-
-    // --- Time advancement -------------------------------------------------
-
-    fn advance_to(&mut self, t: SimTime) {
-        let dt = t.since(self.last_advance);
-        if dt > 0.0 {
-            let busy = self.cfg.machine.cores - self.free_cores;
-            self.report.core_seconds += f64::from(busy) * dt;
-            for r in &mut self.running {
-                if !r.active {
-                    continue;
-                }
-                let mut left = dt;
-                if r.overhead_s > 0.0 {
-                    let used = r.overhead_s.min(left);
-                    r.overhead_s -= used;
-                    left -= used;
-                }
-                if left > 0.0 && r.exec.latency_s > 0.0 {
-                    r.remaining_frac = (r.remaining_frac - left / r.exec.latency_s).max(0.0);
-                }
-            }
-            self.last_advance = t;
-        }
-        self.now = t;
-    }
-
-    // --- Monitoring ---------------------------------------------------------
-
-    fn is_best_effort(&self, query: usize) -> bool {
-        let name = &self.models[self.queries[query].model].name;
-        self.cfg.best_effort_models.iter().any(|m| m == name)
-    }
-
-    /// Co-runner pressure from the perspective of a new or planning tenant:
-    /// all active units except soon-to-finish ones. Returns the full
-    /// cache/bandwidth pressure pair plus the scalar level used to index
-    /// the compiled lookup tables.
-    ///
-    /// The oracle monitor reads the true aggregate demand; the trained
-    /// proxy predicts only the scalar (hardware counters cannot attribute
-    /// pressure to a resource), so its pair is the symmetric expansion.
-    fn monitored(&self) -> (Interference, f64) {
-        let mut counters = veltair_sim::PerfCounters::default();
-        let mut demands: Vec<PressureDemand> = Vec::new();
-        let mut window_s: f64 = 0.0;
-        for r in &self.running {
-            if !r.active || r.remaining_frac < self.cfg.soon_finish_frac {
-                continue;
-            }
-            demands.push(r.exec.demand);
-            // Rate-weight the counters by each unit's own duration.
-            let scale = 1.0 / r.exec.latency_s.max(1e-12);
-            counters.l3_accesses += r.exec.counters.l3_accesses * scale;
-            counters.l3_misses += r.exec.counters.l3_misses * scale;
-            counters.instructions += r.exec.counters.instructions * scale;
-            counters.cycles += r.exec.counters.cycles * scale;
-            counters.flops += r.exec.counters.flops * scale;
-            window_s = 1.0;
-        }
-        if demands.is_empty() {
-            return (Interference::NONE, 0.0);
-        }
-        match &self.cfg.proxy {
-            Some(p) => {
-                let level = p
-                    .predict(&CounterWindow::from_counters(&counters, window_s.max(1.0)))
-                    .clamp(0.0, 1.0);
-                (Interference::level(level), level)
-            }
-            None => {
-                let pair = Interference::from_corunners(demands.iter(), &self.cfg.machine);
-                (pair, pair.scalar())
-            }
-        }
-    }
-
-    /// Interference one unit experiences from all other active units.
-    fn interference_for(&self, slot: usize) -> Interference {
-        let demands: Vec<&PressureDemand> = self
-            .running
-            .iter()
-            .enumerate()
-            .filter(|(i, r)| *i != slot && r.active)
-            .map(|(_, r)| &r.exec.demand)
-            .collect();
-        Interference::from_corunners(demands.into_iter(), &self.cfg.machine)
-    }
-
-    // --- Block planning (Algorithm 2 + Algorithm 3 lines 11-13) ------------
-
-    fn plan_block(&self, query: usize) -> (usize, Vec<usize>, u32) {
-        let q = &self.queries[query];
-        let model = &self.models[q.model];
-        let machine = &self.cfg.machine;
-        let policy = self.cfg.policy;
-        let adaptive = policy.adaptive_compilation();
-        // Interference-oblivious baselines plan as if alone.
-        let aware = adaptive || matches!(policy, Policy::VeltairAs | Policy::VeltairFull);
-        let (pressure, level) =
-            if aware { self.monitored() } else { (Interference::NONE, 0.0) };
-        let versions = if adaptive {
-            let expected = model.model_core_requirement(level).max(1);
-            versions_for_pressure(model, pressure, expected, machine)
-        } else {
-            versions_at_level(model, 0.0, false)
-        };
-        let begin = q.next_unit;
-        let n = model.layers.len();
-
-        match policy.granularity() {
-            Granularity::Model => {
-                let cores = model.model_core_requirement(level);
-                (n, versions[begin..n].to_vec(), cores)
-            }
-            Granularity::Layer => {
-                let end = begin + 1;
-                let mut cores = model.layers[begin].core_requirement(versions[begin], level);
-                if aware {
-                    // VELTAIR-AC runs inside the same scheduler discipline
-                    // (Alg. 3): interference-aware requirements are capped
-                    // at `Avg_C + thres`, or a saturated system would feed
-                    // its own inflation (see the DynamicBlock arm).
-                    let thres = self.dynamic_threshold(query, level);
-                    let avg_c = model.model_core_requirement(level);
-                    cores = cores.min(avg_c.saturating_add(thres).max(1));
-                }
-                (end, versions[begin..end].to_vec(), cores)
-            }
-            Granularity::FixedBlock(k) => {
-                let end = (begin + k.max(1)).min(n);
-                let cores =
-                    block_core_requirement(model, begin, end, &versions, pressure, machine);
-                (end, versions[begin..end].to_vec(), cores)
-            }
-            Granularity::DynamicBlock => {
-                let thres = self.dynamic_threshold(query, level);
-                let avg_c = model.model_core_requirement(level);
-                let end =
-                    find_first_pivot(model, begin, &versions, level, avg_c, thres).unwrap_or(n);
-                let min_cores =
-                    block_core_requirement(model, begin, end, &versions, pressure, machine);
-                // Algorithm 2's contract: blocks use no more than
-                // `Avg_C + thres` cores. Without this cap, a saturated
-                // system feeds back on itself — high monitored interference
-                // inflates the QoS-minimum request, which saturates the
-                // machine further. Past the cap the block accepts the QoS
-                // risk instead of the death spiral.
-                let hard_cap = avg_c.saturating_add(thres).max(1);
-                let cores = if min_cores >= hard_cap {
-                    hard_cap
-                } else {
-                    // §4.2: at low load the threshold is high, and the block
-                    // may use the idle headroom — never beyond what is
-                    // currently free, so a boost cannot manufacture a
-                    // conflict. A standing reserve for the *other*
-                    // registered tenants keeps a momentarily idle machine
-                    // from being hogged by one boosted heavy block while
-                    // tight-QoS co-tenants arrive behind it.
-                    let reserve = self.co_tenant_reserve(q.model);
-                    let cap = hard_cap
-                        .min(self.free_cores.max(min_cores))
-                        .min(machine.cores.saturating_sub(reserve).max(min_cores));
-                    boosted_block_cores(
-                        model, begin, end, &versions, pressure, min_cores, cap, machine,
-                    )
-                };
-                (end, versions[begin..end].to_vec(), cores)
-            }
-        }
-    }
-
-    /// Cores held back from boosting on behalf of the *other* registered
-    /// latency-critical tenants: the sum of their flat requirements,
-    /// capped at half the machine. Zero for single-tenant deployments, so
-    /// boosting there is unconstrained.
-    fn co_tenant_reserve(&self, planning_model: usize) -> u32 {
-        let sum: u32 = self
-            .models
-            .iter()
-            .enumerate()
-            .filter(|(m, model)| {
-                *m != planning_model
-                    && !self.cfg.best_effort_models.iter().any(|b| *b == model.name)
-            })
-            .map(|(_, model)| model.model_core_requirement(0.0))
-            .sum();
-        sum.min(self.cfg.machine.cores / 2)
-    }
-
-    /// Algorithm 3 line 12: idle cores beyond every tenant's flat
-    /// requirement, distributed proportionally to this model's share.
-    ///
-    /// "Tenant" covers both in-flight units and queries already waiting in
-    /// the latency-critical queues: queued work is committed load, and
-    /// ignoring it would let the first dispatches of a burst claim boosted
-    /// allocations that starve the rest of the burst.
-    fn dynamic_threshold(&self, planning_query: usize, level: f64) -> u32 {
-        let avg = |model: usize| self.models[model].model_core_requirement(level);
-        let mut used: u64 = 0;
-        for r in self.running.iter().filter(|r| r.active) {
-            used += u64::from(avg(self.queries[r.query].model));
-        }
-        // The planning query itself still sits at the head of a queue;
-        // counting it both as queued work and as `mine` would double its
-        // demand and zero the idle pool for any tenant needing half the
-        // machine.
-        for p in self.continuations.iter().chain(self.arrivals.iter()) {
-            if p.query == planning_query {
-                continue;
-            }
-            used += u64::from(avg(self.queries[p.query].model));
-        }
-        let mine = avg(self.queries[planning_query].model);
-        used += u64::from(mine);
-        let total = u64::from(self.cfg.machine.cores);
-        let idle = total.saturating_sub(used);
-        if used == 0 {
-            return self.cfg.machine.cores;
-        }
-        let share = (idle as f64 * f64::from(mine) / used as f64).floor();
-        share as u32
-    }
-
-    // --- Dispatch -----------------------------------------------------------
-
-    fn dispatch(&mut self) {
-        if self.cfg.policy.is_temporal() {
-            self.dispatch_temporal();
-            return;
-        }
-        if self.cfg.policy.is_partitioned() {
-            self.dispatch_partitioned();
-            self.dispatch_best_effort();
-            return;
-        }
-        // Continuations first, then fresh arrivals, both FCFS.
-        loop {
-            let from_cont = !self.continuations.is_empty();
-            let Some(head) = (if from_cont {
-                self.continuations.front()
-            } else {
-                self.arrivals.front()
-            }) else {
-                break;
-            };
-            let query = head.query;
-            if self.free_cores == 0 {
-                // Head-of-line blocking without any cores: skip the (costly)
-                // block planning entirely and mark the conflict once.
-                let head = if from_cont {
-                    self.continuations.front_mut()
-                } else {
-                    self.arrivals.front_mut()
-                }
-                .expect("head exists");
-                if !head.conflicted {
-                    head.conflicted = true;
-                    self.report.conflicts += 1;
-                }
-                break;
-            }
-            let (end, versions, requested) = self.plan_block(query);
-
-            let fcfs_blocks = matches!(self.cfg.policy.granularity(), Granularity::Model);
-            if fcfs_blocks && self.free_cores < requested {
-                // Head-of-line blocking; mark the conflict once.
-                let head = if from_cont {
-                    self.continuations.front_mut()
-                } else {
-                    self.arrivals.front_mut()
-                }
-                .expect("head exists");
-                if !head.conflicted {
-                    head.conflicted = true;
-                    self.report.conflicts += 1;
-                }
-                break;
-            }
-
-            let head = if from_cont {
-                self.continuations.pop_front()
-            } else {
-                self.arrivals.pop_front()
-            }
-            .expect("head exists");
-
-            let granted = requested.min(self.free_cores);
-            if granted < requested && !head.conflicted {
-                self.report.conflicts += 1;
-            }
-            self.free_cores -= granted;
-            self.start_block(query, end, versions, requested, granted);
-        }
-        self.dispatch_best_effort();
-    }
-
-    /// Parties: per-tenant core partitions proportional to each tenant's
-    /// flat core requirement, recomputed over the set of models that
-    /// currently have work. Every model with work receives at least one
-    /// core; leftovers go to the largest tenants first.
-    fn partitions(&self) -> Vec<u32> {
-        let n = self.models.len();
-        let mut has_work = vec![false; n];
-        for r in self.running.iter().filter(|r| r.active) {
-            has_work[self.queries[r.query].model] = true;
-        }
-        for p in self.continuations.iter().chain(self.arrivals.iter()) {
-            has_work[self.queries[p.query].model] = true;
-        }
-        let reqs: Vec<u64> = (0..n)
-            .map(|m| {
-                if has_work[m] {
-                    u64::from(self.models[m].model_core_requirement(0.0).max(1))
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let total_req: u64 = reqs.iter().sum();
-        let cores = u64::from(self.cfg.machine.cores);
-        let mut parts = vec![0u32; n];
-        if total_req == 0 {
-            return parts;
-        }
-        let mut assigned = 0u64;
-        for m in 0..n {
-            if reqs[m] > 0 {
-                let share = (cores * reqs[m] / total_req).max(1);
-                parts[m] = u32::try_from(share.min(cores)).expect("share fits u32");
-                assigned += u64::from(parts[m]);
-            }
-        }
-        // Hand out any remainder to the largest tenants (stable order).
-        let mut leftover = cores.saturating_sub(assigned);
-        let mut order: Vec<usize> = (0..n).filter(|&m| reqs[m] > 0).collect();
-        order.sort_by_key(|&m| std::cmp::Reverse(reqs[m]));
-        for &m in order.iter().cycle().take(leftover.min(cores) as usize * n) {
-            if leftover == 0 {
-                break;
-            }
-            parts[m] += 1;
-            leftover -= 1;
-        }
-        parts
-    }
-
-    /// Parties dispatch: FCFS within each tenant's partition. A tenant
-    /// whose head query does not fit its partition blocks only itself;
-    /// other tenants keep dispatching into their own partitions.
-    fn dispatch_partitioned(&mut self) {
-        let parts = self.partitions();
-        let mut used = vec![0u32; self.models.len()];
-        for r in self.running.iter().filter(|r| r.active) {
-            used[self.queries[r.query].model] += r.granted;
-        }
-        let mut blocked = vec![false; self.models.len()];
-        let mut pending: Vec<Pending> = self.continuations.drain(..).collect();
-        pending.extend(self.arrivals.drain(..));
-        let mut kept: VecDeque<Pending> = VecDeque::new();
-
-        for mut p in pending {
-            let query = p.query;
-            let m = self.queries[query].model;
-            if blocked[m] {
-                kept.push_back(p);
-                continue;
-            }
-            let model = &self.models[m];
-            // Resource partitioning: the tenant owns its partition and runs
-            // its queue on all of it, one query at a time — cores are not
-            // returned to a shared pool between queries.
-            let request = parts[m].max(1);
-            if used[m] + request <= parts[m] && request <= self.free_cores {
-                let n_units = model.layers.len();
-                let versions = versions_at_level(model, 0.0, false);
-                let begin = self.queries[query].next_unit;
-                self.free_cores -= request;
-                used[m] += request;
-                self.start_block(query, n_units, versions[begin..].to_vec(), request, request);
-            } else {
-                if !p.conflicted {
-                    p.conflicted = true;
-                    self.report.conflicts += 1;
-                }
-                blocked[m] = true;
-                kept.push_back(p);
-            }
-        }
-        self.continuations = kept;
-    }
-
-    /// Best-effort tenants scavenge leftover cores: they run only when the
-    /// latency-critical queues are drained, take at most what is free, and
-    /// never register conflicts or claim expansions.
-    fn dispatch_best_effort(&mut self) {
-        while self.free_cores > 0
-            && self.continuations.is_empty()
-            && self.arrivals.is_empty()
-            && !self.best_effort.is_empty()
-        {
-            let head = self.best_effort.pop_front().expect("checked non-empty");
-            let query = head.query;
-            let (end, versions, requested) = self.plan_block(query);
-            let granted = requested.min(self.free_cores);
-            self.free_cores -= granted;
-            // Cap the request at the grant so expansion never triggers.
-            self.start_block(query, end, versions, granted, granted);
-        }
-    }
-
-    /// PREMA's token priority: time waited so far, normalized by the QoS
-    /// target, so tight-deadline tenants accumulate tokens faster.
-    fn priority(&self, query: usize) -> f64 {
-        let st = &self.queries[query];
-        self.now.since(st.arrival) / self.models[st.model].qos_s
-    }
-
-    /// Whether any pending query holds strictly more priority tokens than
-    /// the given running query (the PREMA preemption condition).
-    fn higher_priority_pending(&self, running: usize) -> bool {
-        let held = self.priority(running);
-        self.continuations
-            .iter()
-            .chain(self.arrivals.iter())
-            .chain(self.best_effort.iter())
-            .any(|p| self.priority(p.query) > held)
-    }
-
-    /// Temporal multiplexing: one tenant at a time on the whole machine.
-    ///
-    /// PREMA dispatches whole models chosen by token priority (preemption
-    /// happens at unit boundaries, see [`Sim::check_unit`]). AI-MT
-    /// dispatches one *layer* at a time, picking the query with the least
-    /// relative progress (fair round-robin; arrival order breaks ties) —
-    /// its finer temporal multiplexing without the accelerator's
-    /// compute/memory overlap engine.
-    fn dispatch_temporal(&mut self) {
-        if self.running.iter().any(|r| r.active) {
-            return;
-        }
-        // Merge continuations and arrivals; neither temporal baseline has
-        // a best-effort tier, so those queries join the pool.
-        let mut all: Vec<Pending> = self.continuations.drain(..).collect();
-        all.extend(self.arrivals.drain(..));
-        all.extend(self.best_effort.drain(..));
-        if all.is_empty() {
-            return;
-        }
-        let layer_granular = matches!(self.cfg.policy, Policy::AiMt);
-        let best = if layer_granular {
-            let progress = |q: usize| {
-                let st = &self.queries[q];
-                st.next_unit as f64 / self.models[st.model].layers.len() as f64
-            };
-            (0..all.len())
-                .min_by(|&a, &b| {
-                    progress(all[a].query)
-                        .total_cmp(&progress(all[b].query))
-                        .then(self.queries[all[a].query].arrival.cmp(&self.queries[all[b].query].arrival))
-                })
-                .expect("non-empty")
-        } else {
-            let prio = |q: usize| self.priority(q);
-            (0..all.len())
-                .max_by(|&a, &b| prio(all[a].query).total_cmp(&prio(all[b].query)))
-                .expect("non-empty")
-        };
-        let chosen = all.swap_remove(best);
-        for p in all {
-            self.continuations.push_back(p);
-        }
-        let query = chosen.query;
-        let st = &self.queries[query];
-        let model = &self.models[st.model];
-        let n = model.layers.len();
-        let versions = versions_at_level(model, 0.0, false);
-        let begin = st.next_unit;
-        let end = if layer_granular { begin + 1 } else { n };
-        let cores = self.cfg.machine.cores;
-        self.free_cores = 0;
-        self.start_block(query, end, versions[begin..end].to_vec(), cores, cores);
-    }
-
-    fn start_block(
-        &mut self,
-        query: usize,
-        end: usize,
-        versions: Vec<usize>,
-        requested: u32,
-        granted: u32,
-    ) {
-        assert!(granted >= 1, "blocks always start with at least one core");
-        let start = self.queries[query].next_unit;
-        let slot = self.free_slots.pop().unwrap_or_else(|| {
-            self.running.push(Running {
-                query: 0,
-                end: 0,
-                unit: 0,
-                start: 0,
-                versions: Vec::new(),
-                requested: 0,
-                granted: 0,
-                remaining_frac: 0.0,
-                overhead_s: 0.0,
-                exec: Execution {
-                    latency_s: 1.0_f64,
-                    counters: veltair_sim::PerfCounters::default(),
-                    demand: PressureDemand::ZERO,
-                },
-                gen: 0,
-                active: false,
-                expansions: 0,
-            });
-            self.running.len() - 1
-        });
-
-        self.report.dispatches += 1;
-        let machine = &self.cfg.machine;
-        let model = &self.models[self.queries[query].model];
-        let version = versions[0];
-        let interference = self.interference_for(slot);
-        let exec =
-            execute(&model.layers[start].versions[version].profile, granted, interference, machine);
-        let r = &mut self.running[slot];
-        r.query = query;
-        r.end = end;
-        r.unit = start;
-        r.start = start;
-        r.versions = versions;
-        r.requested = requested;
-        r.granted = granted;
-        r.remaining_frac = 1.0;
-        r.overhead_s = machine.dispatch_overhead_s;
-        r.exec = exec;
-        r.gen += 1;
-        r.active = true;
-        r.expansions = 0;
-        let gen = r.gen;
-        let eta = r.overhead_s + r.exec.latency_s;
-        self.events.push(self.now.after(eta), Event::UnitCheck { slot, gen });
-    }
-
-    /// Tile-wise expansion: grant freed cores to under-allocated units,
-    /// paying the thread-team growth overhead (Fig. 5b).
-    fn expand_conflicted(&mut self) {
-        if self.free_cores == 0 {
-            return;
-        }
-        for slot in 0..self.running.len() {
-            if self.free_cores == 0 {
-                break;
-            }
-            let r = &mut self.running[slot];
-            if !r.active || r.granted >= r.requested {
-                continue;
-            }
-            let added = (r.requested - r.granted).min(self.free_cores);
-            r.granted += added;
-            self.free_cores -= added;
-            // The fork-join team rebuild is paid on the first growth; later
-            // growths reuse the warm pool and pay only per-thread spawns.
-            r.overhead_s += if r.expansions == 0 {
-                self.cfg.machine.expansion_overhead_s(added)
-            } else {
-                self.cfg.machine.spawn_per_core_s * f64::from(added)
-            };
-            r.expansions += 1;
-        }
-    }
-
-    // --- Unit lifecycle -----------------------------------------------------
-
-    /// Handles a unit's completion check. Returns `true` when the event was
-    /// material (the unit advanced or finished, changing the co-location)
-    /// and `false` for a pure re-arm.
-    fn check_unit(&mut self, slot: usize) -> bool {
-        let done = {
-            let r = &self.running[slot];
-            r.overhead_s <= 1e-12 && r.remaining_frac <= 1e-9
-        };
-        if !done {
-            // Conditions changed since scheduling; re-arm at the new ETA.
-            let r = &mut self.running[slot];
-            r.gen += 1;
-            let eta = r.overhead_s + r.remaining_frac * r.exec.latency_s;
-            let (gen, t) = (r.gen, self.now.after(eta.max(1e-9)));
-            self.events.push(t, Event::UnitCheck { slot, gen });
-            return false;
-        }
-
-        let (query, next_unit) = {
-            let r = &mut self.running[slot];
-            r.unit += 1;
-            (r.query, r.unit)
-        };
-        self.queries[query].next_unit = next_unit;
-
-        let block_end = self.running[slot].end;
-        let model_len = self.models[self.queries[query].model].layers.len();
-
-        if next_unit < block_end && self.cfg.policy.is_temporal()
-            && self.higher_priority_pending(query)
-        {
-            // PREMA preemption: a pending tenant holds more priority
-            // tokens, so the running query yields the machine at this unit
-            // boundary and re-enters the pool as a continuation.
-            let r = &mut self.running[slot];
-            r.active = false;
-            self.free_cores += r.granted;
-            r.granted = 0;
-            self.free_slots.push(slot);
-            self.report.preemptions += 1;
-            self.continuations.push_back(Pending { query, conflicted: false });
-            return true;
-        }
-
-        if next_unit < block_end {
-            // Next unit of the same block, same allocation.
-            let machine = &self.cfg.machine;
-            let model = &self.models[self.queries[query].model];
-            let interference = self.interference_for(slot);
-            let r = &mut self.running[slot];
-            let version = r.versions[next_unit - r.start];
-            r.exec = execute(
-                &model.layers[next_unit].versions[version].profile,
-                r.granted,
-                interference,
-                machine,
-            );
-            r.remaining_frac = 1.0;
-            r.overhead_s += machine.dispatch_overhead_s;
-            r.gen += 1;
-            let eta = r.overhead_s + r.exec.latency_s;
-            let (gen, t) = (r.gen, self.now.after(eta));
-            self.events.push(t, Event::UnitCheck { slot, gen });
-            return true;
-        }
-
-        // Block finished: release cores.
-        {
-            let r = &mut self.running[slot];
-            r.active = false;
-            self.free_cores += r.granted;
-            r.granted = 0;
-        }
-        self.free_slots.push(slot);
-
-        if next_unit >= model_len {
-            // Query complete.
-            let st = &mut self.queries[query];
-            st.finish = Some(self.now);
-            let latency = self.now.since(st.arrival);
-            let model = &self.models[st.model];
-            let stats = self
-                .report
-                .per_model
-                .entry(model.name.clone())
-                .or_insert_with(ModelStats::default);
-            stats.queries += 1;
-            if latency <= model.qos_s {
-                stats.satisfied += 1;
-            }
-            stats.latency_sum_s += latency;
-            stats.latency_max_s = stats.latency_max_s.max(latency);
-            self.report.makespan_s = self.report.makespan_s.max(self.now.0);
-        } else {
-            let pending = Pending { query, conflicted: false };
-            if self.is_best_effort(query) {
-                self.best_effort.push_back(pending);
-            } else {
-                self.continuations.push_back(pending);
-            }
-        }
-        true
-    }
-
-    /// Re-rates all in-flight units under the new co-location and re-arms
-    /// their completion events.
-    ///
-    /// A unit's latency depends on its co-runners' demands and vice versa,
-    /// so re-rating is a fixed point: we iterate Jacobi sweeps in place
-    /// (bounded by [`MAX_REFRESH_SWEEPS`]) until the largest relative
-    /// latency change drops below [`REFRESH_TOL`], then arm exactly one
-    /// fresh event per changed unit. Converging *here* — instead of one
-    /// sweep per event — keeps the event queue from ping-ponging between
-    /// coupled units, which livelocks the simulation under overload.
-    fn refresh_conditions(&mut self) {
-        let machine = self.cfg.machine.clone();
-        let mut changed = vec![false; self.running.len()];
-        for _ in 0..MAX_REFRESH_SWEEPS {
-            let mut max_rel = 0.0_f64;
-            // Jacobi sweep: all new ratings computed from current demands.
-            let updates: Vec<(usize, Execution, f64)> = (0..self.running.len())
-                .filter(|&slot| self.running[slot].active)
-                .map(|slot| {
-                    let interference = self.interference_for(slot);
-                    let r = &self.running[slot];
-                    let model = &self.models[self.queries[r.query].model];
-                    let version = r.versions[r.unit - r.start];
-                    let exec = execute(
-                        &model.layers[r.unit].versions[version].profile,
-                        r.granted,
-                        interference,
-                        &machine,
-                    );
-                    let rel = (exec.latency_s - r.exec.latency_s).abs()
-                        / r.exec.latency_s.max(1e-12);
-                    (slot, exec, rel)
-                })
-                .collect();
-            for (slot, exec, rel) in updates {
-                if rel > REFRESH_TOL {
-                    self.running[slot].exec = exec;
-                    changed[slot] = true;
-                    max_rel = max_rel.max(rel);
-                }
-            }
-            if max_rel <= REFRESH_TOL {
-                break;
-            }
-        }
-        for (slot, was_changed) in changed.into_iter().enumerate() {
-            if !was_changed || !self.running[slot].active {
-                continue;
-            }
-            let r = &mut self.running[slot];
-            r.gen += 1;
-            let eta = r.overhead_s + r.remaining_frac * r.exec.latency_s;
-            let (gen, t) = (r.gen, self.now.after(eta.max(1e-9)));
-            self.events.push(t, Event::UnitCheck { slot, gen });
-        }
-        let busy = self.cfg.machine.cores - self.free_cores;
-        self.report.peak_cores = self.report.peak_cores.max(busy);
-        if self.cfg.record_alloc_trace {
-            self.alloc_trace.push((self.now.0, busy));
-        }
-    }
-
-    fn finish_report(mut self) -> ServingReport {
-        if self.report.makespan_s > 0.0 {
-            self.report.avg_cores = self.report.core_seconds / self.report.makespan_s;
-        }
-        self.report
-    }
+    let dispatcher = runtime::for_policy(cfg.policy);
+    runtime::run(models, queries, &cfg, dispatcher)
 }
 
 #[cfg(test)]
@@ -1010,16 +120,25 @@ mod tests {
     use super::*;
     use crate::workload::WorkloadSpec;
     use veltair_compiler::{compile_model, CompilerOptions};
+    use veltair_sim::SimTime;
 
     fn compiled_mobilenet() -> Vec<CompiledModel> {
         let machine = MachineConfig::threadripper_3990x();
-        vec![compile_model(&veltair_models::mobilenet_v2(), &machine, &CompilerOptions::fast())]
+        vec![compile_model(
+            &veltair_models::mobilenet_v2(),
+            &machine,
+            &CompilerOptions::fast(),
+        )]
     }
 
     fn run(policy: Policy, qps: f64, n: usize) -> ServingReport {
         let models = compiled_mobilenet();
         let queries = WorkloadSpec::single("mobilenet_v2", qps, n).generate(42);
-        simulate(&models, &queries, &SimConfig::new(MachineConfig::threadripper_3990x(), policy))
+        simulate(
+            &models,
+            &queries,
+            &SimConfig::new(MachineConfig::threadripper_3990x(), policy),
+        )
     }
 
     #[test]
@@ -1062,6 +181,21 @@ mod tests {
     }
 
     #[test]
+    fn explicit_dispatcher_matches_policy_default() {
+        let models = compiled_mobilenet();
+        let queries = WorkloadSpec::single("mobilenet_v2", 120.0, 60).generate(42);
+        let cfg = SimConfig::new(MachineConfig::threadripper_3990x(), Policy::VeltairFull);
+        let by_policy = simulate(&models, &queries, &cfg);
+        let by_dispatcher = simulate_with_dispatcher(
+            &models,
+            &queries,
+            &cfg,
+            crate::runtime::for_policy(Policy::VeltairFull),
+        );
+        assert_eq!(by_policy, by_dispatcher);
+    }
+
+    #[test]
     fn conflicts_rise_with_load_for_layer_wise() {
         let low = run(Policy::Planaria, 30.0, 80);
         let high = run(Policy::Planaria, 600.0, 80);
@@ -1095,8 +229,16 @@ mod tests {
     fn best_effort_tenants_do_not_hurt_latency_critical_work() {
         let machine = MachineConfig::threadripper_3990x();
         let models = vec![
-            compile_model(&veltair_models::mobilenet_v2(), &machine, &CompilerOptions::fast()),
-            compile_model(&veltair_models::tiny_yolo_v2(), &machine, &CompilerOptions::fast()),
+            compile_model(
+                &veltair_models::mobilenet_v2(),
+                &machine,
+                &CompilerOptions::fast(),
+            ),
+            compile_model(
+                &veltair_models::tiny_yolo_v2(),
+                &machine,
+                &CompilerOptions::fast(),
+            ),
         ];
         let queries = crate::workload::WorkloadSpec::mix(
             &[("mobilenet_v2", 150.0), ("tiny_yolo_v2", 60.0)],
@@ -1135,7 +277,11 @@ mod tests {
         assert_eq!(r.peak_cores, 64);
         assert_eq!(r.conflicts, 0, "temporal multiplexing never conflicts");
         let layers = compiled_mobilenet()[0].layers.len() as u64;
-        assert_eq!(r.dispatches, 30 * layers, "one dispatch per layer per query");
+        assert_eq!(
+            r.dispatches,
+            30 * layers,
+            "one dispatch per layer per query"
+        );
     }
 
     #[test]
@@ -1145,8 +291,14 @@ mod tests {
         // PREMA, which runs the higher-priority one to completion.
         let models = compiled_mobilenet();
         let queries = vec![
-            crate::workload::QuerySpec { model: "mobilenet_v2".into(), arrival: SimTime(0.0) },
-            crate::workload::QuerySpec { model: "mobilenet_v2".into(), arrival: SimTime(1e-6) },
+            crate::workload::QuerySpec {
+                model: "mobilenet_v2".into(),
+                arrival: SimTime(0.0),
+            },
+            crate::workload::QuerySpec {
+                model: "mobilenet_v2".into(),
+                arrival: SimTime(1e-6),
+            },
         ];
         let r = simulate(
             &models,
@@ -1170,12 +322,21 @@ mod tests {
         // the heavy one is far beyond capacity.
         let machine = MachineConfig::threadripper_3990x();
         let models = vec![
-            compile_model(&veltair_models::mobilenet_v2(), &machine, &CompilerOptions::fast()),
-            compile_model(&veltair_models::resnet50(), &machine, &CompilerOptions::fast()),
+            compile_model(
+                &veltair_models::mobilenet_v2(),
+                &machine,
+                &CompilerOptions::fast(),
+            ),
+            compile_model(
+                &veltair_models::resnet50(),
+                &machine,
+                &CompilerOptions::fast(),
+            ),
         ];
-        let mut queries = crate::workload::WorkloadSpec::single("resnet50", 2000.0, 120).generate(3);
+        let mut queries =
+            crate::workload::WorkloadSpec::single("resnet50", 2000.0, 120).generate(3);
         queries.extend(crate::workload::WorkloadSpec::single("mobilenet_v2", 40.0, 40).generate(4));
-        queries.sort_by(|a, b| a.arrival.cmp(&b.arrival));
+        queries.sort_by_key(|a| a.arrival);
         let r = simulate(&models, &queries, &SimConfig::new(machine, Policy::Parties));
         assert_eq!(r.total_queries(), 160);
         assert!(
@@ -1183,7 +344,10 @@ mod tests {
             "partitioned light tenant starved: {}",
             r.qos_satisfaction("mobilenet_v2")
         );
-        assert!(r.qos_satisfaction("resnet50") < 0.5, "the flood should be underwater");
+        assert!(
+            r.qos_satisfaction("resnet50") < 0.5,
+            "the flood should be underwater"
+        );
     }
 
     #[test]

@@ -26,6 +26,40 @@ pub enum ArrivalProcess {
     Uniform,
 }
 
+/// Why a workload specification was rejected at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The workload names no tenant streams.
+    NoStreams,
+    /// The total query budget is zero.
+    NoQueries,
+    /// A stream's rate (or a model's QoS target in the inverse-QoS mix)
+    /// is zero, negative, or not finite.
+    InvalidRate {
+        /// The offending model name.
+        model: String,
+        /// The rejected value.
+        rate: f64,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::NoStreams => write!(f, "a workload needs at least one stream"),
+            WorkloadError::NoQueries => write!(f, "a workload needs at least one query"),
+            WorkloadError::InvalidRate { model, rate } => {
+                write!(
+                    f,
+                    "stream rates must be positive and finite: {model} has rate {rate}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// A workload: per-model arrival rates plus the total query budget.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
@@ -38,14 +72,116 @@ pub struct WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// A single-tenant Poisson stream, validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `qps` is not positive and finite or
+    /// `total_queries` is zero.
+    pub fn try_single(model: &str, qps: f64, total_queries: usize) -> Result<Self, WorkloadError> {
+        Self::try_mix(&[(model, qps)], total_queries)
+    }
+
+    /// A multi-tenant Poisson mix with explicit per-stream rates,
+    /// validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `streams` is empty, any rate is
+    /// non-positive or non-finite, or `total_queries` is zero.
+    pub fn try_mix(streams: &[(&str, f64)], total_queries: usize) -> Result<Self, WorkloadError> {
+        if streams.is_empty() {
+            return Err(WorkloadError::NoStreams);
+        }
+        if total_queries == 0 {
+            return Err(WorkloadError::NoQueries);
+        }
+        if let Some((m, q)) = streams.iter().find(|(_, q)| !(q.is_finite() && *q > 0.0)) {
+            return Err(WorkloadError::InvalidRate {
+                model: (*m).to_string(),
+                rate: *q,
+            });
+        }
+        Ok(Self {
+            streams: streams
+                .iter()
+                .map(|(m, q)| ((*m).to_string(), *q))
+                .collect(),
+            total_queries,
+            process: ArrivalProcess::Poisson,
+        })
+    }
+
+    /// Same mix with deterministic uniform arrivals (granularity study),
+    /// validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] under the same conditions as
+    /// [`WorkloadSpec::try_single`].
+    pub fn try_uniform(model: &str, qps: f64, total_queries: usize) -> Result<Self, WorkloadError> {
+        Ok(Self {
+            process: ArrivalProcess::Uniform,
+            ..Self::try_single(model, qps, total_queries)?
+        })
+    }
+
+    /// Splits a total rate across models with frequency inversely
+    /// proportional to their QoS targets (the paper's mixed workload
+    /// follows [53]: tighter-QoS tasks arrive more often), validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `models` is empty, any QoS target or
+    /// the total rate is non-positive or non-finite, or `total_queries`
+    /// is zero.
+    pub fn try_inverse_qos_mix(
+        models: &[(&str, f64)],
+        total_qps: f64,
+        total_queries: usize,
+    ) -> Result<Self, WorkloadError> {
+        if models.is_empty() {
+            return Err(WorkloadError::NoStreams);
+        }
+        if total_queries == 0 {
+            return Err(WorkloadError::NoQueries);
+        }
+        if !(total_qps.is_finite() && total_qps > 0.0) {
+            return Err(WorkloadError::InvalidRate {
+                model: "<total>".to_string(),
+                rate: total_qps,
+            });
+        }
+        if let Some((m, qos)) = models
+            .iter()
+            .find(|(_, qos)| !(qos.is_finite() && *qos > 0.0))
+        {
+            return Err(WorkloadError::InvalidRate {
+                model: (*m).to_string(),
+                rate: *qos,
+            });
+        }
+        let inv_sum: f64 = models.iter().map(|(_, qos)| 1.0 / qos).sum();
+        let streams: Vec<(String, f64)> = models
+            .iter()
+            .map(|(m, qos)| ((*m).to_string(), total_qps * (1.0 / qos) / inv_sum))
+            .collect();
+        Ok(Self {
+            streams,
+            total_queries,
+            process: ArrivalProcess::Poisson,
+        })
+    }
+
     /// A single-tenant Poisson stream.
     ///
     /// # Panics
     ///
-    /// Panics if `qps` is not positive or `total_queries` is zero.
+    /// Panics if `qps` is not positive or `total_queries` is zero; use
+    /// [`WorkloadSpec::try_single`] to handle invalid input gracefully.
     #[must_use]
     pub fn single(model: &str, qps: f64, total_queries: usize) -> Self {
-        Self::mix(&[(model, qps)], total_queries)
+        Self::try_single(model, qps, total_queries).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// A multi-tenant Poisson mix with explicit per-stream rates.
@@ -53,41 +189,37 @@ impl WorkloadSpec {
     /// # Panics
     ///
     /// Panics if `streams` is empty, any rate is non-positive, or
-    /// `total_queries` is zero.
+    /// `total_queries` is zero; use [`WorkloadSpec::try_mix`] to handle
+    /// invalid input gracefully.
     #[must_use]
     pub fn mix(streams: &[(&str, f64)], total_queries: usize) -> Self {
-        assert!(!streams.is_empty(), "a workload needs at least one stream");
-        assert!(total_queries > 0, "a workload needs at least one query");
-        assert!(streams.iter().all(|s| s.1 > 0.0), "stream rates must be positive");
-        Self {
-            streams: streams.iter().map(|(m, q)| ((*m).to_string(), *q)).collect(),
-            total_queries,
-            process: ArrivalProcess::Poisson,
-        }
+        Self::try_mix(streams, total_queries).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Same mix with deterministic uniform arrivals (granularity study).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`WorkloadSpec::single`]; use
+    /// [`WorkloadSpec::try_uniform`] to handle invalid input gracefully.
     #[must_use]
     pub fn uniform(model: &str, qps: f64, total_queries: usize) -> Self {
-        Self { process: ArrivalProcess::Uniform, ..Self::single(model, qps, total_queries) }
+        Self::try_uniform(model, qps, total_queries).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Splits a total rate across models with frequency inversely
     /// proportional to their QoS targets (the paper's mixed workload
     /// follows [53]: tighter-QoS tasks arrive more often).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid; use
+    /// [`WorkloadSpec::try_inverse_qos_mix`] to handle invalid input
+    /// gracefully.
     #[must_use]
     pub fn inverse_qos_mix(models: &[(&str, f64)], total_qps: f64, total_queries: usize) -> Self {
-        assert!(!models.is_empty(), "a workload needs at least one stream");
-        let inv_sum: f64 = models.iter().map(|(_, qos)| 1.0 / qos).sum();
-        let streams: Vec<(String, f64)> = models
-            .iter()
-            .map(|(m, qos)| ((*m).to_string(), total_qps * (1.0 / qos) / inv_sum))
-            .collect();
-        Self {
-            streams,
-            total_queries,
-            process: ArrivalProcess::Poisson,
-        }
+        Self::try_inverse_qos_mix(models, total_qps, total_queries)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Aggregate arrival rate.
@@ -135,10 +267,13 @@ impl WorkloadSpec {
                     ArrivalProcess::Uniform => 1.0 / rate,
                 };
                 t += dt;
-                queries.push(QuerySpec { model: model.clone(), arrival: SimTime(t) });
+                queries.push(QuerySpec {
+                    model: model.clone(),
+                    arrival: SimTime(t),
+                });
             }
         }
-        queries.sort_by(|a, b| a.arrival.cmp(&b.arrival));
+        queries.sort_by_key(|a| a.arrival);
         queries
     }
 }
@@ -204,5 +339,89 @@ mod tests {
         let s = w.scaled_to(80.0);
         assert!((s.total_qps() - 80.0).abs() < 1e-9);
         assert!((s.streams[0].1 / s.streams[1].1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_mix_rejects_empty_streams() {
+        assert_eq!(
+            WorkloadSpec::try_mix(&[], 10),
+            Err(WorkloadError::NoStreams)
+        );
+        assert_eq!(
+            WorkloadSpec::try_inverse_qos_mix(&[], 10.0, 10),
+            Err(WorkloadError::NoStreams)
+        );
+    }
+
+    #[test]
+    fn try_mix_rejects_zero_query_budget() {
+        assert_eq!(
+            WorkloadSpec::try_single("m", 5.0, 0),
+            Err(WorkloadError::NoQueries)
+        );
+        assert_eq!(
+            WorkloadSpec::try_inverse_qos_mix(&[("m", 10.0)], 5.0, 0),
+            Err(WorkloadError::NoQueries)
+        );
+    }
+
+    #[test]
+    fn try_mix_rejects_bad_rates() {
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let err = WorkloadSpec::try_mix(&[("good", 1.0), ("bad", bad)], 10).unwrap_err();
+            match err {
+                WorkloadError::InvalidRate { model, .. } => assert_eq!(model, "bad"),
+                other => panic!("wrong error for rate {bad}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_uniform_accepts_valid_specs() {
+        let w = WorkloadSpec::try_uniform("m", 25.0, 4).expect("valid");
+        assert_eq!(w.process, ArrivalProcess::Uniform);
+        assert_eq!(w, WorkloadSpec::uniform("m", 25.0, 4));
+    }
+
+    #[test]
+    fn try_inverse_qos_mix_rejects_bad_total_and_qos() {
+        assert!(matches!(
+            WorkloadSpec::try_inverse_qos_mix(&[("m", 10.0)], 0.0, 5),
+            Err(WorkloadError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::try_inverse_qos_mix(&[("m", -1.0)], 10.0, 5),
+            Err(WorkloadError::InvalidRate { .. })
+        ));
+        let ok =
+            WorkloadSpec::try_inverse_qos_mix(&[("a", 10.0), ("b", 20.0)], 30.0, 5).expect("valid");
+        assert_eq!(
+            ok,
+            WorkloadSpec::inverse_qos_mix(&[("a", 10.0), ("b", 20.0)], 30.0, 5)
+        );
+    }
+
+    #[test]
+    fn panicking_constructors_are_thin_wrappers() {
+        assert_eq!(
+            WorkloadSpec::single("m", 5.0, 3),
+            WorkloadSpec::try_single("m", 5.0, 3).unwrap()
+        );
+        assert_eq!(
+            WorkloadSpec::mix(&[("a", 1.0)], 3),
+            WorkloadSpec::try_mix(&[("a", 1.0)], 3).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn empty_mix_panics() {
+        let _ = WorkloadSpec::mix(&[], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_rate_panics() {
+        let _ = WorkloadSpec::single("m", 0.0, 10);
     }
 }

@@ -1,68 +1,77 @@
-//! Property-based invariants of workload generation and block formation.
+//! Randomized invariants of workload generation and block formation.
+//!
+//! Formerly proptest-based; the hermetic build has no crates.io access,
+//! so these run the same properties over seeded random cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use veltair_sched::WorkloadSpec;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn scaling_preserves_stream_ratios(
-        r1 in 0.1f64..100.0,
-        r2 in 0.1f64..100.0,
-        target in 1.0f64..1000.0,
-    ) {
+#[test]
+fn scaling_preserves_stream_ratios() {
+    let mut rng = StdRng::seed_from_u64(0x5c4ed01);
+    for _ in 0..CASES {
+        let r1 = rng.gen_range(0.1f64..100.0);
+        let r2 = rng.gen_range(0.1f64..100.0);
+        let target = rng.gen_range(1.0f64..1000.0);
         let w = WorkloadSpec::mix(&[("a", r1), ("b", r2)], 10);
         let s = w.scaled_to(target);
-        prop_assert!((s.total_qps() - target).abs() < 1e-9 * target);
+        assert!((s.total_qps() - target).abs() < 1e-9 * target);
         let before = r1 / r2;
         let after = s.streams[0].1 / s.streams[1].1;
-        prop_assert!((before - after).abs() < 1e-9 * before);
+        assert!((before - after).abs() < 1e-9 * before);
     }
+}
 
-    #[test]
-    fn inverse_qos_mix_sums_to_target(
-        q1 in 1.0f64..200.0,
-        q2 in 1.0f64..200.0,
-        q3 in 1.0f64..200.0,
-        total in 1.0f64..500.0,
-    ) {
-        let w = WorkloadSpec::inverse_qos_mix(
-            &[("a", q1), ("b", q2), ("c", q3)],
-            total,
-            30,
-        );
-        prop_assert!((w.total_qps() - total).abs() < 1e-9 * total);
+#[test]
+fn inverse_qos_mix_sums_to_target() {
+    let mut rng = StdRng::seed_from_u64(0x5c4ed02);
+    for _ in 0..CASES {
+        let q1 = rng.gen_range(1.0f64..200.0);
+        let q2 = rng.gen_range(1.0f64..200.0);
+        let q3 = rng.gen_range(1.0f64..200.0);
+        let total = rng.gen_range(1.0f64..500.0);
+        let w = WorkloadSpec::inverse_qos_mix(&[("a", q1), ("b", q2), ("c", q3)], total, 30);
+        assert!((w.total_qps() - total).abs() < 1e-9 * total);
         // Tighter QoS -> higher rate.
         let rate = |n: &str| w.streams.iter().find(|s| s.0 == n).unwrap().1;
         if q1 < q2 {
-            prop_assert!(rate("a") >= rate("b"));
+            assert!(rate("a") >= rate("b"));
         }
     }
+}
 
-    #[test]
-    fn poisson_streams_have_positive_gaps(
-        qps in 1.0f64..500.0,
-        n in 2usize..300,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn poisson_streams_have_positive_gaps() {
+    let mut rng = StdRng::seed_from_u64(0x5c4ed03);
+    for _ in 0..CASES {
+        let qps = rng.gen_range(1.0f64..500.0);
+        let n = rng.gen_range(2usize..300);
+        let seed = rng.gen_range(0u64..1000);
         let w = WorkloadSpec::single("m", qps, n);
         let q = w.generate(seed);
-        prop_assert_eq!(q.len(), n);
-        prop_assert!(q[0].arrival.0 > 0.0);
+        assert_eq!(q.len(), n);
+        assert!(q[0].arrival.0 > 0.0);
         for pair in q.windows(2) {
-            prop_assert!(pair[1].arrival >= pair[0].arrival);
+            assert!(pair[1].arrival >= pair[0].arrival);
         }
     }
+}
 
-    #[test]
-    fn uniform_streams_are_exactly_spaced(qps in 1.0f64..500.0, n in 2usize..200) {
+#[test]
+fn uniform_streams_are_exactly_spaced() {
+    let mut rng = StdRng::seed_from_u64(0x5c4ed04);
+    for _ in 0..CASES {
+        let qps = rng.gen_range(1.0f64..500.0);
+        let n = rng.gen_range(2usize..200);
         let w = WorkloadSpec::uniform("m", qps, n);
         let q = w.generate(0);
         let dt = 1.0 / qps;
         for pair in q.windows(2) {
             let gap = pair[1].arrival.since(pair[0].arrival);
-            prop_assert!((gap - dt).abs() < 1e-9);
+            assert!((gap - dt).abs() < 1e-9);
         }
     }
 }

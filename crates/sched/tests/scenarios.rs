@@ -2,7 +2,9 @@
 //! and granularity-specific dispatch behaviour.
 
 use veltair_compiler::{compile_model, CompilerOptions};
-use veltair_sched::{simulate, simulator::simulate_with_trace, Policy, QuerySpec, SimConfig, WorkloadSpec};
+use veltair_sched::{
+    simulate, simulator::simulate_with_trace, Policy, QuerySpec, SimConfig, WorkloadSpec,
+};
 use veltair_sim::{MachineConfig, SimTime};
 
 fn machine() -> MachineConfig {
@@ -14,7 +16,11 @@ fn compiled(names: &[&str]) -> Vec<veltair_compiler::CompiledModel> {
     names
         .iter()
         .map(|n| {
-            compile_model(&veltair_models::by_name(n).expect("zoo"), &m, &CompilerOptions::fast())
+            compile_model(
+                &veltair_models::by_name(n).expect("zoo"),
+                &m,
+                &CompilerOptions::fast(),
+            )
         })
         .collect()
 }
@@ -26,8 +32,14 @@ fn prema_preempts_long_jobs_for_tight_deadlines() {
     // for the whole BERT inference (which takes ~100 ms).
     let models = compiled(&["bert_large", "tiny_yolo_v2"]);
     let queries = vec![
-        QuerySpec { model: "bert_large".into(), arrival: SimTime(0.0) },
-        QuerySpec { model: "tiny_yolo_v2".into(), arrival: SimTime(0.002) },
+        QuerySpec {
+            model: "bert_large".into(),
+            arrival: SimTime(0.0),
+        },
+        QuerySpec {
+            model: "tiny_yolo_v2".into(),
+            arrival: SimTime(0.002),
+        },
     ];
     let report = simulate(&models, &queries, &SimConfig::new(machine(), Policy::Prema));
     let yolo_latency = report.avg_latency_s("tiny_yolo_v2");
@@ -36,15 +48,21 @@ fn prema_preempts_long_jobs_for_tight_deadlines() {
         yolo_latency < bert_solo,
         "YOLO waited out the whole BERT run: {yolo_latency}s vs bert {bert_solo}s"
     );
-    assert!(report.preemptions > 0, "PREMA must have preempted BERT for YOLO");
+    assert!(
+        report.preemptions > 0,
+        "PREMA must have preempted BERT for YOLO"
+    );
 }
 
 #[test]
 fn allocation_trace_is_recorded_and_bounded() {
     let models = compiled(&["mobilenet_v2"]);
     let queries = WorkloadSpec::single("mobilenet_v2", 100.0, 60).generate(3);
-    let (report, trace) =
-        simulate_with_trace(&models, &queries, &SimConfig::new(machine(), Policy::VeltairAs));
+    let (report, trace) = simulate_with_trace(
+        &models,
+        &queries,
+        &SimConfig::new(machine(), Policy::VeltairAs),
+    );
     assert!(!trace.is_empty());
     assert!(trace.iter().all(|&(t, c)| t >= 0.0 && c <= 64));
     let peak_in_trace = trace.iter().map(|&(_, c)| c).max().unwrap();
@@ -60,11 +78,24 @@ fn model_fcfs_blocks_head_of_line() {
     // registers the conflict.
     let models = compiled(&["ssd_resnet34"]);
     let queries = vec![
-        QuerySpec { model: "ssd_resnet34".into(), arrival: SimTime(0.0) },
-        QuerySpec { model: "ssd_resnet34".into(), arrival: SimTime(1e-5) },
-        QuerySpec { model: "ssd_resnet34".into(), arrival: SimTime(2e-5) },
+        QuerySpec {
+            model: "ssd_resnet34".into(),
+            arrival: SimTime(0.0),
+        },
+        QuerySpec {
+            model: "ssd_resnet34".into(),
+            arrival: SimTime(1e-5),
+        },
+        QuerySpec {
+            model: "ssd_resnet34".into(),
+            arrival: SimTime(2e-5),
+        },
     ];
-    let report = simulate(&models, &queries, &SimConfig::new(machine(), Policy::ModelFcfs));
+    let report = simulate(
+        &models,
+        &queries,
+        &SimConfig::new(machine(), Policy::ModelFcfs),
+    );
     assert_eq!(report.total_queries(), 3);
     // The machine fits two 26-core allocations but not three: the trailing
     // query must wait out roughly one full inference before starting.
@@ -85,12 +116,20 @@ fn fixed_block_sizes_change_dispatch_counts() {
     let models = compiled(&["resnet50"]);
     let queries = WorkloadSpec::single("resnet50", 50.0, 40).generate(2);
     let d = |k: usize| {
-        simulate(&models, &queries, &SimConfig::new(machine(), Policy::FixedBlock(k))).dispatches
+        simulate(
+            &models,
+            &queries,
+            &SimConfig::new(machine(), Policy::FixedBlock(k)),
+        )
+        .dispatches
     };
     let fine = d(1);
     let mid = d(6);
     let coarse = d(56);
-    assert!(fine > mid && mid > coarse, "dispatches {fine} / {mid} / {coarse}");
+    assert!(
+        fine > mid && mid > coarse,
+        "dispatches {fine} / {mid} / {coarse}"
+    );
     // Block(1) is layer-wise: one dispatch per unit.
     assert_eq!(fine, 40 * models[0].layers.len() as u64);
 }
@@ -101,7 +140,18 @@ fn adaptive_compilation_uses_multiple_versions_at_runtime() {
     // non-default versions (indirectly: its behaviour differs from AS).
     let models = compiled(&["resnet50"]);
     let queries = WorkloadSpec::single("resnet50", 350.0, 120).generate(11);
-    let r_as = simulate(&models, &queries, &SimConfig::new(machine(), Policy::VeltairAs));
-    let r_ac = simulate(&models, &queries, &SimConfig::new(machine(), Policy::VeltairAc));
-    assert_ne!(r_as, r_ac, "AC must behave differently from AS under pressure");
+    let r_as = simulate(
+        &models,
+        &queries,
+        &SimConfig::new(machine(), Policy::VeltairAs),
+    );
+    let r_ac = simulate(
+        &models,
+        &queries,
+        &SimConfig::new(machine(), Policy::VeltairAc),
+    );
+    assert_ne!(
+        r_as, r_ac,
+        "AC must behave differently from AS under pressure"
+    );
 }

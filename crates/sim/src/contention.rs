@@ -21,7 +21,10 @@ pub struct Interference {
 
 impl Interference {
     /// No co-runners: the isolated, solo-run condition.
-    pub const NONE: Interference = Interference { cache_frac: 0.0, bw_frac: 0.0 };
+    pub const NONE: Interference = Interference {
+        cache_frac: 0.0,
+        bw_frac: 0.0,
+    };
 
     /// Canonical pressure point: both shared resources `level`-loaded.
     ///
@@ -30,8 +33,14 @@ impl Interference {
     /// Panics if `level` is not within `[0, 1]` or is not finite.
     #[must_use]
     pub fn level(level: f64) -> Self {
-        assert!(level.is_finite() && (0.0..=1.0).contains(&level), "interference level must be in [0,1], got {level}");
-        Self { cache_frac: level, bw_frac: level }
+        assert!(
+            level.is_finite() && (0.0..=1.0).contains(&level),
+            "interference level must be in [0,1], got {level}"
+        );
+        Self {
+            cache_frac: level,
+            bw_frac: level,
+        }
     }
 
     /// Scalar summary used for reporting and version selection: the mean of
@@ -72,7 +81,10 @@ pub struct PressureDemand {
 
 impl PressureDemand {
     /// Demand of an idle tenant.
-    pub const ZERO: PressureDemand = PressureDemand { cache_bytes: 0.0, bw_bytes_per_s: 0.0 };
+    pub const ZERO: PressureDemand = PressureDemand {
+        cache_bytes: 0.0,
+        bw_bytes_per_s: 0.0,
+    };
 }
 
 #[cfg(test)]
@@ -96,8 +108,14 @@ mod tests {
     #[test]
     fn corunner_aggregation_clamps_at_capacity() {
         let m = MachineConfig::threadripper_3990x();
-        let d1 = PressureDemand { cache_bytes: 200.0e6, bw_bytes_per_s: 80.0e9 };
-        let d2 = PressureDemand { cache_bytes: 200.0e6, bw_bytes_per_s: 80.0e9 };
+        let d1 = PressureDemand {
+            cache_bytes: 200.0e6,
+            bw_bytes_per_s: 80.0e9,
+        };
+        let d2 = PressureDemand {
+            cache_bytes: 200.0e6,
+            bw_bytes_per_s: 80.0e9,
+        };
         let i = Interference::from_corunners([&d1, &d2], &m);
         assert_eq!(i.cache_frac, 1.0);
         assert_eq!(i.bw_frac, 1.0);
@@ -113,7 +131,10 @@ mod tests {
     #[test]
     fn partial_pressure_is_proportional() {
         let m = MachineConfig::threadripper_3990x();
-        let d = PressureDemand { cache_bytes: 64.0e6, bw_bytes_per_s: 25.0e9 };
+        let d = PressureDemand {
+            cache_bytes: 64.0e6,
+            bw_bytes_per_s: 25.0e9,
+        };
         let i = Interference::from_corunners([&d], &m);
         assert!((i.cache_frac - 0.25).abs() < 1e-12);
         assert!((i.bw_frac - 0.25).abs() < 1e-12);

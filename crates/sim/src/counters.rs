@@ -53,7 +53,12 @@ impl PerfCounters {
     /// `[miss_rate, accesses, ipc, flops]`.
     #[must_use]
     pub fn feature_vector(&self) -> [f64; 4] {
-        [self.l3_miss_rate(), self.l3_accesses, self.ipc(), self.flops]
+        [
+            self.l3_miss_rate(),
+            self.l3_accesses,
+            self.ipc(),
+            self.flops,
+        ]
     }
 
     /// Names matching [`Self::feature_vector`] order.
@@ -89,7 +94,13 @@ mod tests {
 
     #[test]
     fn accumulate_sums_fields() {
-        let mut a = PerfCounters { l3_accesses: 1.0, l3_misses: 1.0, instructions: 1.0, cycles: 1.0, flops: 1.0 };
+        let mut a = PerfCounters {
+            l3_accesses: 1.0,
+            l3_misses: 1.0,
+            instructions: 1.0,
+            cycles: 1.0,
+            flops: 1.0,
+        };
         let b = a;
         a.accumulate(&b);
         assert_eq!(a.l3_accesses, 2.0);
@@ -98,6 +109,9 @@ mod tests {
 
     #[test]
     fn feature_vector_matches_names() {
-        assert_eq!(PerfCounters::feature_names().len(), PerfCounters::default().feature_vector().len());
+        assert_eq!(
+            PerfCounters::feature_names().len(),
+            PerfCounters::default().feature_vector().len()
+        );
     }
 }

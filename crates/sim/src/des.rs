@@ -28,7 +28,10 @@ impl SimTime {
     /// Panics if the duration is negative or not finite.
     #[must_use]
     pub fn after(self, seconds: f64) -> SimTime {
-        assert!(seconds.is_finite() && seconds >= 0.0, "durations must be finite and non-negative, got {seconds}");
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "durations must be finite and non-negative, got {seconds}"
+        );
         SimTime(self.0 + seconds)
     }
 
@@ -40,7 +43,12 @@ impl SimTime {
     #[must_use]
     pub fn since(self, earlier: SimTime) -> f64 {
         let d = self.0 - earlier.0;
-        assert!(d >= -1e-12, "time ran backwards: {} -> {}", earlier.0, self.0);
+        assert!(
+            d >= -1e-12,
+            "time ran backwards: {} -> {}",
+            earlier.0,
+            self.0
+        );
         d.max(0.0)
     }
 }
@@ -55,7 +63,9 @@ impl PartialOrd for SimTime {
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("SimTime must never be NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime must never be NaN")
     }
 }
 
@@ -96,12 +106,19 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
-        self.heap.push(Entry { time, seq: self.seq, event });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

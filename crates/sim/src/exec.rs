@@ -43,6 +43,77 @@ pub struct Execution {
     pub demand: PressureDemand,
 }
 
+/// Progress of one in-flight scheduling unit in a progress-based DES.
+///
+/// A unit first pays any pending scheduler overhead (dispatch, thread-team
+/// expansion), then works through the kernel at a rate set by the current
+/// [`Execution::latency_s`] — which co-location changes re-rate, so
+/// progress is tracked as a *fraction* of work remaining rather than a
+/// completion timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitProgress {
+    /// Fraction of the unit's kernel work still outstanding, in `[0, 1]`.
+    pub remaining_frac: f64,
+    /// Scheduler overhead seconds still to pay before kernel work resumes.
+    pub overhead_s: f64,
+}
+
+/// Completion tolerances: progress below these residuals counts as done
+/// (floating-point advancement never lands exactly on zero).
+const OVERHEAD_DONE_S: f64 = 1e-12;
+const FRAC_DONE: f64 = 1e-9;
+
+impl UnitProgress {
+    /// A freshly dispatched unit: full work remaining plus the given
+    /// scheduler overhead.
+    #[must_use]
+    pub fn fresh(overhead_s: f64) -> Self {
+        Self {
+            remaining_frac: 1.0,
+            overhead_s,
+        }
+    }
+
+    /// Advances by `dt` seconds under the current rating `latency_s`:
+    /// overhead drains first, then the remaining fraction.
+    pub fn advance(&mut self, dt: f64, latency_s: f64) {
+        let mut left = dt;
+        if self.overhead_s > 0.0 {
+            let used = self.overhead_s.min(left);
+            self.overhead_s -= used;
+            left -= used;
+        }
+        if left > 0.0 && latency_s > 0.0 {
+            self.remaining_frac = (self.remaining_frac - left / latency_s).max(0.0);
+        }
+    }
+
+    /// Charges additional scheduler overhead (e.g. a thread-team growth).
+    pub fn add_overhead(&mut self, seconds: f64) {
+        self.overhead_s += seconds;
+    }
+
+    /// Restarts the work fraction for the next unit of a block, charging
+    /// its dispatch overhead on top of any unpaid remainder.
+    pub fn restart(&mut self, dispatch_overhead_s: f64) {
+        self.remaining_frac = 1.0;
+        self.overhead_s += dispatch_overhead_s;
+    }
+
+    /// Whether the unit has paid its overhead and finished its work.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.overhead_s <= OVERHEAD_DONE_S && self.remaining_frac <= FRAC_DONE
+    }
+
+    /// Seconds until completion under the current rating, assuming the
+    /// co-location does not change again.
+    #[must_use]
+    pub fn eta_s(&self, latency_s: f64) -> f64 {
+        self.overhead_s + self.remaining_frac * latency_s
+    }
+}
+
 /// Simulates executing `kernel` on `cores` cores under `interference`.
 ///
 /// The model is a roofline with contention: compute time is
@@ -103,8 +174,13 @@ pub fn execute(
     // SIMD compute instructions plus one instruction per line touched.
     let instructions = kernel.flops / (machine.flops_per_cycle / 2.0) + l3_accesses;
     let cycles = latency_s * machine.freq_ghz * 1e9 * f64::from(p_eff);
-    let counters =
-        PerfCounters { l3_accesses, l3_misses, instructions, cycles, flops: kernel.flops };
+    let counters = PerfCounters {
+        l3_accesses,
+        l3_misses,
+        instructions,
+        cycles,
+        flops: kernel.flops,
+    };
 
     // --- Demand on co-runners ----------------------------------------------
     // Cache pressure = held working set + LRU pollution by the DRAM
@@ -116,7 +192,11 @@ pub fn execute(
         bw_bytes_per_s,
     };
 
-    Execution { latency_s, counters, demand }
+    Execution {
+        latency_s,
+        counters,
+        demand,
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +248,10 @@ mod tests {
 
     #[test]
     fn scaling_saturates_at_parallel_chunks() {
-        let k = KernelProfile { parallel_chunks: 8, ..parallel_kernel() };
+        let k = KernelProfile {
+            parallel_chunks: 8,
+            ..parallel_kernel()
+        };
         let e8 = execute(&k, 8, Interference::NONE, &machine());
         let e64 = execute(&k, 64, Interference::NONE, &machine());
         assert!((e8.latency_s - e64.latency_s).abs() / e8.latency_s < 1e-9);
@@ -177,8 +260,14 @@ mod tests {
     #[test]
     fn wave_quantization_penalizes_poor_divisibility() {
         // 65 chunks on 64 cores takes ~2x the time of 64 chunks.
-        let k64 = KernelProfile { parallel_chunks: 64, ..parallel_kernel() };
-        let k65 = KernelProfile { parallel_chunks: 65, ..parallel_kernel() };
+        let k64 = KernelProfile {
+            parallel_chunks: 64,
+            ..parallel_kernel()
+        };
+        let k65 = KernelProfile {
+            parallel_chunks: 65,
+            ..parallel_kernel()
+        };
         let e64 = execute(&k64, 64, Interference::NONE, &machine());
         let e65 = execute(&k65, 64, Interference::NONE, &machine());
         // The compute term doubles; memory terms dilute the overall ratio.
@@ -208,10 +297,19 @@ mod tests {
         let loc_high = execute(&locality_kernel(), 16, Interference::level(0.95), &m).latency_s;
         let par_high = execute(&parallel_kernel(), 16, Interference::level(0.95), &m).latency_s;
         assert!(loc_solo < par_solo, "locality version must win solo");
-        assert!(par_high < loc_high, "parallel version must win under contention");
+        assert!(
+            par_high < loc_high,
+            "parallel version must win under contention"
+        );
         let degradation = loc_high / loc_solo;
-        assert!(degradation > 3.0, "locality version degraded only {degradation:.2}x");
-        assert!(par_high / par_solo < 3.0, "parallel version should be robust");
+        assert!(
+            degradation > 3.0,
+            "locality version degraded only {degradation:.2}x"
+        );
+        assert!(
+            par_high / par_solo < 3.0,
+            "parallel version should be robust"
+        );
     }
 
     #[test]
@@ -236,5 +334,39 @@ mod tests {
     #[should_panic(expected = "zero cores")]
     fn zero_cores_panics() {
         let _ = execute(&parallel_kernel(), 0, Interference::NONE, &machine());
+    }
+
+    #[test]
+    fn progress_pays_overhead_before_work() {
+        let mut p = UnitProgress::fresh(1.0);
+        p.advance(0.5, 10.0);
+        assert!((p.overhead_s - 0.5).abs() < 1e-12);
+        assert!(
+            (p.remaining_frac - 1.0).abs() < 1e-12,
+            "no work while overhead is unpaid"
+        );
+        p.advance(1.5, 10.0);
+        assert!(p.overhead_s <= 1e-12);
+        assert!((p.remaining_frac - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn progress_completes_exactly_at_eta() {
+        let mut p = UnitProgress::fresh(0.25);
+        let eta = p.eta_s(2.0);
+        assert!((eta - 2.25).abs() < 1e-12);
+        p.advance(eta, 2.0);
+        assert!(p.is_done());
+    }
+
+    #[test]
+    fn progress_restart_charges_dispatch_overhead() {
+        let mut p = UnitProgress::fresh(0.0);
+        p.advance(1.0, 1.0);
+        assert!(p.is_done());
+        p.restart(0.01);
+        assert!(!p.is_done());
+        assert!((p.remaining_frac - 1.0).abs() < 1e-12);
+        assert!((p.overhead_s - 0.01).abs() < 1e-12);
     }
 }

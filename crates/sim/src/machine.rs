@@ -29,6 +29,13 @@ pub struct MachineConfig {
     /// Fixed cost of dispatching a kernel to an already-warm thread pool
     /// (fork-join barrier), in seconds.
     pub dispatch_overhead_s: f64,
+    /// Additional dispatch cost per participating thread, in seconds: the
+    /// fork-join barrier is a tree/centralized combine whose latency grows
+    /// with the team, so dispatching a layer to all 64 cores costs several
+    /// times more than to a 8-core team. This is the per-layer overhead
+    /// that stops small kernels from scaling with cores (Fig. 4a) and
+    /// taxes whole-machine temporal multiplexing once per layer.
+    pub sync_per_core_s: f64,
     /// Base cost of growing a running kernel's thread team, in seconds.
     pub spawn_base_s: f64,
     /// Additional team-growth cost per newly spawned thread, in seconds.
@@ -53,6 +60,7 @@ impl MachineConfig {
             per_core_bw: 20.0e9,
             l3_bw_per_core: 40.0e9,
             dispatch_overhead_s: 5.0e-6,
+            sync_per_core_s: 0.4e-6,
             spawn_base_s: 50.0e-6,
             spawn_per_core_s: 2.5e-6,
             dvfs_droop: 0.0,
@@ -91,8 +99,7 @@ impl MachineConfig {
     #[must_use]
     pub fn effective_flops_per_core(&self, active: u32) -> f64 {
         let scale = if self.cores > 1 {
-            1.0 - self.dvfs_droop * f64::from(active.saturating_sub(1))
-                / f64::from(self.cores - 1)
+            1.0 - self.dvfs_droop * f64::from(active.saturating_sub(1)) / f64::from(self.cores - 1)
         } else {
             1.0
         };
@@ -112,6 +119,7 @@ impl MachineConfig {
             per_core_bw: 20.0e9,
             l3_bw_per_core: 35.0e9,
             dispatch_overhead_s: 3.0e-6,
+            sync_per_core_s: 0.3e-6,
             spawn_base_s: 30.0e-6,
             spawn_per_core_s: 2.0e-6,
             dvfs_droop: 0.0,
@@ -128,6 +136,14 @@ impl MachineConfig {
     #[must_use]
     pub fn peak_flops(&self) -> f64 {
         self.peak_flops_per_core() * f64::from(self.cores)
+    }
+
+    /// Cost of dispatching one kernel (unit) to a warm team of `cores`
+    /// threads: the fixed fork-join barrier plus the team-size-dependent
+    /// synchronization term.
+    #[must_use]
+    pub fn unit_dispatch_overhead_s(&self, cores: u32) -> f64 {
+        self.dispatch_overhead_s + self.sync_per_core_s * f64::from(cores)
     }
 
     /// Cost of expanding a running kernel's thread team by `added` threads.
@@ -177,6 +193,22 @@ mod tests {
 
     #[test]
     fn default_is_the_paper_testbed() {
-        assert_eq!(MachineConfig::default(), MachineConfig::threadripper_3990x());
+        assert_eq!(
+            MachineConfig::default(),
+            MachineConfig::threadripper_3990x()
+        );
+    }
+
+    #[test]
+    fn unit_dispatch_grows_with_team_size() {
+        let m = MachineConfig::threadripper_3990x();
+        let small = m.unit_dispatch_overhead_s(8);
+        let full = m.unit_dispatch_overhead_s(64);
+        assert!(full > small, "64-core barrier must cost more than 8-core");
+        // The whole-machine barrier is a multiple of the base dispatch
+        // cost, large enough to stop tiny layers from scaling (Fig. 4a)
+        // but well under the team-rebuild (expansion) overhead.
+        assert!(full >= 4.0 * m.dispatch_overhead_s, "got {full}");
+        assert!(full < m.expansion_overhead_s(64));
     }
 }

@@ -1,73 +1,81 @@
-//! Property-based invariants of the machine model and DES toolkit.
+//! Randomized invariants of the machine model and DES toolkit.
+//!
+//! Formerly proptest-based; the hermetic build has no crates.io access,
+//! so these run the same properties over seeded random cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use veltair_sim::{execute, EventQueue, Interference, KernelProfile, MachineConfig, SimTime};
 
-fn arb_profile() -> impl Strategy<Value = KernelProfile> {
-    (
-        1.0e6f64..1.0e10,
-        0.05f64..0.95,
-        1u32..2048,
-        0.0f64..4.0e6,
-        1.0e3f64..2.0e6,
-        1.0e4f64..1.0e8,
-        0.0f64..1.0e9,
-    )
-        .prop_map(|(flops, eff, chunks, base, per_core, min_t, extra)| KernelProfile {
-            flops,
-            compute_efficiency: eff,
-            parallel_chunks: chunks,
-            footprint_base_bytes: base,
-            footprint_per_core_bytes: per_core,
-            min_traffic_bytes: min_t,
-            spill_traffic_bytes: min_t + extra,
-        })
+const CASES: usize = 128;
+
+fn arb_profile(rng: &mut StdRng) -> KernelProfile {
+    let min_t = rng.gen_range(1.0e4f64..1.0e8);
+    KernelProfile {
+        flops: rng.gen_range(1.0e6f64..1.0e10),
+        compute_efficiency: rng.gen_range(0.05f64..0.95),
+        parallel_chunks: rng.gen_range(1u32..2048),
+        footprint_base_bytes: rng.gen_range(0.0f64..4.0e6),
+        footprint_per_core_bytes: rng.gen_range(1.0e3f64..2.0e6),
+        min_traffic_bytes: min_t,
+        spill_traffic_bytes: min_t + rng.gen_range(0.0f64..1.0e9),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn execution_outputs_are_finite_and_positive(
-        p in arb_profile(),
-        cores in 1u32..=64,
-        level in 0.0f64..=1.0,
-    ) {
-        let machine = MachineConfig::threadripper_3990x();
+#[test]
+fn execution_outputs_are_finite_and_positive() {
+    let mut rng = StdRng::seed_from_u64(0x51b01);
+    let machine = MachineConfig::threadripper_3990x();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let cores = rng.gen_range(1u32..=64);
+        let level = rng.gen_range(0.0f64..1.0);
         let e = execute(&p, cores, Interference::level(level), &machine);
-        prop_assert!(e.latency_s.is_finite() && e.latency_s > 0.0);
-        prop_assert!(e.counters.l3_accesses >= e.counters.l3_misses);
-        prop_assert!((0.0..=1.0).contains(&e.counters.l3_miss_rate()));
-        prop_assert!(e.demand.cache_bytes <= machine.l3_bytes);
-        prop_assert!(e.demand.bw_bytes_per_s >= 0.0);
+        assert!(e.latency_s.is_finite() && e.latency_s > 0.0);
+        assert!(e.counters.l3_accesses >= e.counters.l3_misses);
+        assert!((0.0..=1.0).contains(&e.counters.l3_miss_rate()));
+        assert!(e.demand.cache_bytes <= machine.l3_bytes);
+        assert!(e.demand.bw_bytes_per_s >= 0.0);
     }
+}
 
-    #[test]
-    fn solo_latency_non_increasing_in_cores(p in arb_profile(), cores in 1u32..=63) {
-        let machine = MachineConfig::threadripper_3990x();
+#[test]
+fn solo_latency_non_increasing_in_cores() {
+    let mut rng = StdRng::seed_from_u64(0x51b02);
+    let machine = MachineConfig::threadripper_3990x();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let cores = rng.gen_range(1u32..=63);
         let a = execute(&p, cores, Interference::NONE, &machine).latency_s;
         let b = execute(&p, cores + 1, Interference::NONE, &machine).latency_s;
         // Solo, the footprint always fits the 256 MB L3 with the bounded
         // generators above, so more cores can only help (or tie).
-        prop_assert!(b <= a * (1.0 + 1e-9), "p={cores}: {a} -> {b}");
+        assert!(b <= a * (1.0 + 1e-9), "p={cores}: {a} -> {b}");
     }
+}
 
-    #[test]
-    fn latency_non_decreasing_in_interference(
-        p in arb_profile(),
-        cores in 1u32..=64,
-        a in 0.0f64..=1.0,
-        b in 0.0f64..=1.0,
-    ) {
-        let machine = MachineConfig::threadripper_3990x();
+#[test]
+fn latency_non_decreasing_in_interference() {
+    let mut rng = StdRng::seed_from_u64(0x51b03);
+    let machine = MachineConfig::threadripper_3990x();
+    for _ in 0..CASES {
+        let p = arb_profile(&mut rng);
+        let cores = rng.gen_range(1u32..=64);
+        let a = rng.gen_range(0.0f64..1.0);
+        let b = rng.gen_range(0.0f64..1.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let l_lo = execute(&p, cores, Interference::level(lo), &machine).latency_s;
         let l_hi = execute(&p, cores, Interference::level(hi), &machine).latency_s;
-        prop_assert!(l_hi >= l_lo - 1e-15);
+        assert!(l_hi >= l_lo - 1e-15);
     }
+}
 
-    #[test]
-    fn event_queue_delivers_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+#[test]
+fn event_queue_delivers_sorted() {
+    let mut rng = StdRng::seed_from_u64(0x51b04);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..200);
+        let times: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..1e6)).collect();
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.push(SimTime(*t), i);
@@ -75,29 +83,29 @@ proptest! {
         let mut last = SimTime(-1.0);
         let mut count = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             count += 1;
         }
-        prop_assert_eq!(count, times.len());
+        assert_eq!(count, times.len());
     }
+}
 
-    #[test]
-    fn corunner_pressure_is_clamped(
-        caches in prop::collection::vec(0.0f64..1.0e9, 0..10),
-        bws in prop::collection::vec(0.0f64..1.0e11, 0..10),
-    ) {
-        let machine = MachineConfig::threadripper_3990x();
-        let n = caches.len().min(bws.len());
+#[test]
+fn corunner_pressure_is_clamped() {
+    let mut rng = StdRng::seed_from_u64(0x51b05);
+    let machine = MachineConfig::threadripper_3990x();
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..10);
         let demands: Vec<veltair_sim::PressureDemand> = (0..n)
-            .map(|i| veltair_sim::PressureDemand {
-                cache_bytes: caches[i],
-                bw_bytes_per_s: bws[i],
+            .map(|_| veltair_sim::PressureDemand {
+                cache_bytes: rng.gen_range(0.0f64..1.0e9),
+                bw_bytes_per_s: rng.gen_range(0.0f64..1.0e11),
             })
             .collect();
         let i = Interference::from_corunners(demands.iter(), &machine);
-        prop_assert!((0.0..=1.0).contains(&i.cache_frac));
-        prop_assert!((0.0..=1.0).contains(&i.bw_frac));
-        prop_assert!((0.0..=1.0).contains(&i.scalar()));
+        assert!((0.0..=1.0).contains(&i.cache_frac));
+        assert!((0.0..=1.0).contains(&i.bw_frac));
+        assert!((0.0..=1.0).contains(&i.scalar()));
     }
 }

@@ -42,7 +42,10 @@ fn dvfs_droop_slows_wide_allocations_only() {
     let dvfs = base.clone().with_dvfs(0.2);
     let one_base = execute(&kernel(), 1, Interference::NONE, &base).latency_s;
     let one_dvfs = execute(&kernel(), 1, Interference::NONE, &dvfs).latency_s;
-    assert!((one_base - one_dvfs).abs() < 1e-12, "single core must be unaffected");
+    assert!(
+        (one_base - one_dvfs).abs() < 1e-12,
+        "single core must be unaffected"
+    );
     let full_base = execute(&kernel(), 64, Interference::NONE, &base).latency_s;
     let full_dvfs = execute(&kernel(), 64, Interference::NONE, &dvfs).latency_s;
     assert!(full_dvfs > full_base, "droop must slow the full machine");

@@ -26,7 +26,10 @@ impl FusedUnit {
     /// A unit consisting of a single unfused layer.
     #[must_use]
     pub fn solo(base: Layer) -> Self {
-        Self { base, epilogue: Vec::new() }
+        Self {
+            base,
+            epilogue: Vec::new(),
+        }
     }
 
     /// Display name: producer name plus fused mnemonics.
@@ -72,7 +75,9 @@ impl FusedUnit {
     /// Output bytes written by the unit (the final epilogue's output).
     #[must_use]
     pub fn output_bytes(&self) -> f64 {
-        self.epilogue.last().map_or_else(|| self.base.output_bytes(), Layer::output_bytes)
+        self.epilogue
+            .last()
+            .map_or_else(|| self.base.output_bytes(), Layer::output_bytes)
     }
 
     /// Total bytes at perfect reuse.
@@ -178,7 +183,11 @@ mod tests {
             conv,
             Layer::new(
                 "pool",
-                OpKind::Pool { kind: PoolKind::Max, kernel: (2, 2), stride: (2, 2) },
+                OpKind::Pool {
+                    kind: PoolKind::Max,
+                    kernel: (2, 2),
+                    stride: (2, 2),
+                },
                 out,
             ),
             Layer::activation("relu", FeatureMap::nchw(1, 64, 28, 28), ActKind::Relu),

@@ -27,8 +27,14 @@ impl ModelGraph {
     /// Panics if `layers` is empty — an empty model cannot be scheduled.
     #[must_use]
     pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
-        assert!(!layers.is_empty(), "a model must contain at least one layer");
-        Self { name: name.into(), layers }
+        assert!(
+            !layers.is_empty(),
+            "a model must contain at least one layer"
+        );
+        Self {
+            name: name.into(),
+            layers,
+        }
     }
 
     /// Number of layers.
@@ -65,7 +71,10 @@ impl ModelGraph {
     /// Count of compute-intensive (schedulable) layers.
     #[must_use]
     pub fn compute_layer_count(&self) -> usize {
-        self.layers.iter().filter(|l| l.op.is_compute_intensive()).count()
+        self.layers
+            .iter()
+            .filter(|l| l.op.is_compute_intensive())
+            .count()
     }
 }
 

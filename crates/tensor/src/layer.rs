@@ -35,16 +35,29 @@ impl Layer {
     #[must_use]
     pub fn new(name: impl Into<String>, op: OpKind, input: FeatureMap) -> Self {
         match op {
-            OpKind::Conv2d { in_ch, out_ch, groups, .. } => {
+            OpKind::Conv2d {
+                in_ch,
+                out_ch,
+                groups,
+                ..
+            } => {
                 assert_eq!(in_ch, input.c, "conv in_ch must match input channels");
-                assert!(groups > 0 && in_ch % groups == 0 && out_ch % groups == 0, "groups must divide channels");
+                assert!(
+                    groups > 0 && in_ch % groups == 0 && out_ch % groups == 0,
+                    "groups must divide channels"
+                );
             }
             OpKind::Dense { k, .. } => {
                 assert_eq!(k, input.c, "dense k must match input features");
             }
             _ => {}
         }
-        Self { name: name.into(), op, input, dtype: DType::F32 }
+        Self {
+            name: name.into(),
+            op,
+            input,
+            dtype: DType::F32,
+        }
     }
 
     /// Convenience constructor for a standard (non-grouped) convolution.
@@ -59,7 +72,14 @@ impl Layer {
     ) -> Self {
         Self::new(
             name,
-            OpKind::Conv2d { in_ch: input.c, out_ch, kernel, stride, padding, groups: 1 },
+            OpKind::Conv2d {
+                in_ch: input.c,
+                out_ch,
+                kernel,
+                stride,
+                padding,
+                groups: 1,
+            },
             input,
         )
     }
@@ -94,7 +114,15 @@ impl Layer {
     #[must_use]
     pub fn dense(name: impl Into<String>, input: FeatureMap, out_features: usize) -> Self {
         let m = input.n * input.h * input.w;
-        Self::new(name, OpKind::Dense { m, k: input.c, n: out_features }, input)
+        Self::new(
+            name,
+            OpKind::Dense {
+                m,
+                k: input.c,
+                n: out_features,
+            },
+            input,
+        )
     }
 
     /// Convenience constructor for an activation layer.
@@ -108,7 +136,13 @@ impl Layer {
     pub fn output(&self) -> FeatureMap {
         let i = self.input;
         match self.op {
-            OpKind::Conv2d { out_ch, kernel, stride, padding, .. } => {
+            OpKind::Conv2d {
+                out_ch,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
                 let oh = conv_out(i.h, kernel.0, stride.0, padding.0);
                 let ow = conv_out(i.w, kernel.1, stride.1, padding.1);
                 FeatureMap::nchw(i.n, out_ch, oh, ow)
@@ -121,7 +155,10 @@ impl Layer {
                 }
             }
             OpKind::BatchedMatMul { batch, m, n, .. } => FeatureMap::seq(m, batch * n),
-            OpKind::Pool { kind: PoolKind::GlobalAvg, .. } => FeatureMap::nchw(i.n, i.c, 1, 1),
+            OpKind::Pool {
+                kind: PoolKind::GlobalAvg,
+                ..
+            } => FeatureMap::nchw(i.n, i.c, 1, 1),
             OpKind::Pool { kernel, stride, .. } => {
                 let oh = conv_out(i.h, kernel.0, stride.0, 0).max(1);
                 let ow = conv_out(i.w, kernel.1, stride.1, 0).max(1);
@@ -140,14 +177,20 @@ impl Layer {
     pub fn flops(&self) -> f64 {
         let out = self.output();
         match self.op {
-            OpKind::Conv2d { in_ch, kernel, groups, .. } => {
-                2.0 * out.elems() as f64 * (in_ch / groups) as f64 * (kernel.0 * kernel.1) as f64
-            }
+            OpKind::Conv2d {
+                in_ch,
+                kernel,
+                groups,
+                ..
+            } => 2.0 * out.elems() as f64 * (in_ch / groups) as f64 * (kernel.0 * kernel.1) as f64,
             OpKind::Dense { m, k, n } => 2.0 * m as f64 * k as f64 * n as f64,
             OpKind::BatchedMatMul { batch, m, k, n } => {
                 2.0 * batch as f64 * m as f64 * k as f64 * n as f64
             }
-            OpKind::Pool { kind: PoolKind::GlobalAvg, .. } => self.input.elems() as f64,
+            OpKind::Pool {
+                kind: PoolKind::GlobalAvg,
+                ..
+            } => self.input.elems() as f64,
             OpKind::Pool { kernel, .. } => out.elems() as f64 * (kernel.0 * kernel.1) as f64,
             OpKind::Activation(ActKind::Relu | ActKind::Relu6) => out.elems() as f64,
             OpKind::Activation(ActKind::Sigmoid | ActKind::Swish) => 4.0 * out.elems() as f64,
@@ -164,9 +207,13 @@ impl Layer {
     pub fn weight_bytes(&self) -> f64 {
         let e = self.dtype.bytes() as f64;
         match self.op {
-            OpKind::Conv2d { in_ch, out_ch, kernel, groups, .. } => {
-                (out_ch * (in_ch / groups) * kernel.0 * kernel.1) as f64 * e
-            }
+            OpKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                groups,
+                ..
+            } => (out_ch * (in_ch / groups) * kernel.0 * kernel.1) as f64 * e,
             OpKind::Dense { k, n, .. } => (k * n) as f64 * e,
             // Attention GEMMs multiply two activation tensors; no weights.
             OpKind::BatchedMatMul { .. } => 0.0,
@@ -225,7 +272,14 @@ mod tests {
     use super::*;
 
     fn res2_conv() -> Layer {
-        Layer::conv2d("res2", FeatureMap::nchw(1, 64, 56, 56), 64, (3, 3), (1, 1), (1, 1))
+        Layer::conv2d(
+            "res2",
+            FeatureMap::nchw(1, 64, 56, 56),
+            64,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        )
     }
 
     #[test]
@@ -236,7 +290,14 @@ mod tests {
 
     #[test]
     fn conv_output_shape_strided() {
-        let l = Layer::conv2d("stem", FeatureMap::nchw(1, 3, 224, 224), 64, (7, 7), (2, 2), (3, 3));
+        let l = Layer::conv2d(
+            "stem",
+            FeatureMap::nchw(1, 3, 224, 224),
+            64,
+            (7, 7),
+            (2, 2),
+            (3, 3),
+        );
         assert_eq!(l.output(), FeatureMap::nchw(1, 64, 112, 112));
     }
 
@@ -249,8 +310,21 @@ mod tests {
 
     #[test]
     fn depthwise_conv_divides_flops_by_channels() {
-        let dense = Layer::conv2d("d", FeatureMap::nchw(1, 144, 56, 56), 144, (3, 3), (1, 1), (1, 1));
-        let dw = Layer::dwconv2d("dw", FeatureMap::nchw(1, 144, 56, 56), (3, 3), (1, 1), (1, 1));
+        let dense = Layer::conv2d(
+            "d",
+            FeatureMap::nchw(1, 144, 56, 56),
+            144,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
+        let dw = Layer::dwconv2d(
+            "dw",
+            FeatureMap::nchw(1, 144, 56, 56),
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         assert!((dense.flops() / dw.flops() - 144.0).abs() < 1e-9);
         assert_eq!(dw.weight_bytes(), (144 * 3 * 3 * 4) as f64);
     }
@@ -274,7 +348,12 @@ mod tests {
     fn batched_matmul_accounting() {
         let l = Layer::new(
             "scores",
-            OpKind::BatchedMatMul { batch: 16, m: 384, k: 64, n: 384 },
+            OpKind::BatchedMatMul {
+                batch: 16,
+                m: 384,
+                k: 64,
+                n: 384,
+            },
             FeatureMap::seq(384, 1024),
         );
         assert_eq!(l.flops(), 2.0 * 16.0 * 384.0 * 64.0 * 384.0);
@@ -286,14 +365,22 @@ mod tests {
     fn pooling_shapes() {
         let p = Layer::new(
             "pool",
-            OpKind::Pool { kind: PoolKind::Max, kernel: (3, 3), stride: (2, 2) },
+            OpKind::Pool {
+                kind: PoolKind::Max,
+                kernel: (3, 3),
+                stride: (2, 2),
+            },
             FeatureMap::nchw(1, 64, 112, 112),
         );
         // MLPerf ResNet uses pad-1 3x3/2 pools; ours is unpadded: (112-3)/2+1.
         assert_eq!(p.output().h, 55);
         let g = Layer::new(
             "gap",
-            OpKind::Pool { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1) },
+            OpKind::Pool {
+                kind: PoolKind::GlobalAvg,
+                kernel: (1, 1),
+                stride: (1, 1),
+            },
             FeatureMap::nchw(1, 2048, 7, 7),
         );
         assert_eq!(g.output(), FeatureMap::nchw(1, 2048, 1, 1));

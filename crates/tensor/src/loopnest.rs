@@ -95,7 +95,13 @@ impl GemmView {
     pub fn of(layer: &Layer) -> Option<Self> {
         let elem_bytes = layer.dtype.bytes();
         match layer.op {
-            OpKind::Conv2d { in_ch, out_ch, kernel, groups, .. } => {
+            OpKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                groups,
+                ..
+            } => {
                 let out = layer.output();
                 Some(GemmView {
                     batch: groups,
@@ -105,10 +111,20 @@ impl GemmView {
                     elem_bytes,
                 })
             }
-            OpKind::Dense { m, k, n } => Some(GemmView { batch: 1, m, k, n, elem_bytes }),
-            OpKind::BatchedMatMul { batch, m, k, n } => {
-                Some(GemmView { batch, m, k, n, elem_bytes })
-            }
+            OpKind::Dense { m, k, n } => Some(GemmView {
+                batch: 1,
+                m,
+                k,
+                n,
+                elem_bytes,
+            }),
+            OpKind::BatchedMatMul { batch, m, k, n } => Some(GemmView {
+                batch,
+                m,
+                k,
+                n,
+                elem_bytes,
+            }),
             _ => None,
         }
     }
@@ -145,11 +161,27 @@ pub fn loop_nest(layer: &Layer) -> Option<LoopNest> {
     let v = GemmView::of(layer)?;
     let mut dims = Vec::with_capacity(4);
     if v.batch > 1 {
-        dims.push(LoopDim { name: "b", extent: v.batch, kind: LoopKind::Parallel });
+        dims.push(LoopDim {
+            name: "b",
+            extent: v.batch,
+            kind: LoopKind::Parallel,
+        });
     }
-    dims.push(LoopDim { name: "m", extent: v.m, kind: LoopKind::Parallel });
-    dims.push(LoopDim { name: "n", extent: v.n, kind: LoopKind::Parallel });
-    dims.push(LoopDim { name: "k", extent: v.k, kind: LoopKind::Reduction });
+    dims.push(LoopDim {
+        name: "m",
+        extent: v.m,
+        kind: LoopKind::Parallel,
+    });
+    dims.push(LoopDim {
+        name: "n",
+        extent: v.n,
+        kind: LoopKind::Parallel,
+    });
+    dims.push(LoopDim {
+        name: "k",
+        extent: v.k,
+        kind: LoopKind::Reduction,
+    });
     Some(LoopNest { dims })
 }
 
@@ -166,7 +198,14 @@ mod tests {
 
     #[test]
     fn conv_gemm_view_im2col() {
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 64, 56, 56), 128, (3, 3), (1, 1), (1, 1));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 64, 56, 56),
+            128,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         let v = GemmView::of(&l).unwrap();
         assert_eq!(v.m, 56 * 56);
         assert_eq!(v.k, 64 * 9);
@@ -178,7 +217,13 @@ mod tests {
 
     #[test]
     fn depthwise_gemm_view_degenerates() {
-        let l = Layer::dwconv2d("dw", FeatureMap::nchw(1, 144, 28, 28), (3, 3), (1, 1), (1, 1));
+        let l = Layer::dwconv2d(
+            "dw",
+            FeatureMap::nchw(1, 144, 28, 28),
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
         let v = GemmView::of(&l).unwrap();
         assert_eq!(v.batch, 144);
         assert_eq!(v.n, 1);
@@ -203,7 +248,14 @@ mod tests {
 
     #[test]
     fn loop_nest_parallelism() {
-        let l = Layer::conv2d("c", FeatureMap::nchw(1, 64, 14, 14), 256, (1, 1), (1, 1), (0, 0));
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 64, 14, 14),
+            256,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+        );
         let nest = loop_nest(&l).unwrap();
         assert_eq!(nest.parallel_iterations(), 14 * 14 * 256);
         assert_eq!(nest.reduction_iterations(), 64);

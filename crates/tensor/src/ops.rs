@@ -99,7 +99,10 @@ impl OpKind {
     /// executed with a fixed streaming schedule.
     #[must_use]
     pub fn is_compute_intensive(&self) -> bool {
-        matches!(self, OpKind::Conv2d { .. } | OpKind::Dense { .. } | OpKind::BatchedMatMul { .. })
+        matches!(
+            self,
+            OpKind::Conv2d { .. } | OpKind::Dense { .. } | OpKind::BatchedMatMul { .. }
+        )
     }
 
     /// Whether the operator is a cheap element-wise epilogue that standard
@@ -145,8 +148,19 @@ mod tests {
             groups: 1,
         };
         assert!(conv.is_compute_intensive());
-        assert!(OpKind::Dense { m: 1, k: 2048, n: 1000 }.is_compute_intensive());
-        assert!(OpKind::BatchedMatMul { batch: 16, m: 384, k: 64, n: 384 }.is_compute_intensive());
+        assert!(OpKind::Dense {
+            m: 1,
+            k: 2048,
+            n: 1000
+        }
+        .is_compute_intensive());
+        assert!(OpKind::BatchedMatMul {
+            batch: 16,
+            m: 384,
+            k: 64,
+            n: 384
+        }
+        .is_compute_intensive());
         assert!(!OpKind::Softmax.is_compute_intensive());
         assert!(!OpKind::Activation(ActKind::Relu).is_compute_intensive());
     }
@@ -157,8 +171,12 @@ mod tests {
         assert!(OpKind::BatchNorm.is_fusable_epilogue());
         assert!(OpKind::EltwiseAdd.is_fusable_epilogue());
         assert!(!OpKind::Softmax.is_fusable_epilogue());
-        assert!(!OpKind::Pool { kind: PoolKind::Max, kernel: (2, 2), stride: (2, 2) }
-            .is_fusable_epilogue());
+        assert!(!OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: (2, 2),
+            stride: (2, 2)
+        }
+        .is_fusable_epilogue());
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl FeatureMap {
     /// construction bug.
     #[must_use]
     pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
-        assert!(n > 0 && c > 0 && h > 0 && w > 0, "feature map extents must be positive");
+        assert!(
+            n > 0 && c > 0 && h > 0 && w > 0,
+            "feature map extents must be positive"
+        );
         Self { n, c, h, w }
     }
 

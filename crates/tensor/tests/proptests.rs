@@ -1,81 +1,102 @@
-//! Property-based invariants of the operator IR.
+//! Randomized invariants of the operator IR.
+//!
+//! Formerly proptest-based; the hermetic build has no crates.io access,
+//! so these run the same properties over seeded random cases (the `rand`
+//! shim is deterministic per seed, keeping failures reproducible).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use veltair_tensor::{fuse_layers, ActKind, FeatureMap, GemmView, Layer, OpKind};
 
-fn arb_conv() -> impl Strategy<Value = Layer> {
-    (
-        prop::sample::select(vec![1usize, 3, 5, 7]),
-        1usize..=512,
-        1usize..=512,
-        7usize..=112,
-        prop::sample::select(vec![1usize, 2]),
+const CASES: usize = 128;
+
+fn arb_conv(rng: &mut StdRng) -> Layer {
+    let k = *[1usize, 3, 5, 7].choose(rng).unwrap();
+    let cin = rng.gen_range(1usize..=512);
+    let cout = rng.gen_range(1usize..=512);
+    let hw = rng.gen_range(7usize..=112);
+    let stride = *[1usize, 2].choose(rng).unwrap();
+    Layer::conv2d(
+        "conv",
+        FeatureMap::nchw(1, cin, hw, hw),
+        cout,
+        (k, k),
+        (stride, stride),
+        (k / 2, k / 2),
     )
-        .prop_map(|(k, cin, cout, hw, stride)| {
-            Layer::conv2d(
-                "conv",
-                FeatureMap::nchw(1, cin, hw, hw),
-                cout,
-                (k, k),
-                (stride, stride),
-                (k / 2, k / 2),
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn conv_accounting_is_positive_and_consistent(conv in arb_conv()) {
+#[test]
+fn conv_accounting_is_positive_and_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x7e4501);
+    for _ in 0..CASES {
+        let conv = arb_conv(&mut rng);
         let out = conv.output();
-        prop_assert!(out.elems() > 0);
-        prop_assert!(conv.flops() > 0.0);
-        prop_assert!(conv.weight_bytes() > 0.0);
+        assert!(out.elems() > 0);
+        assert!(conv.flops() > 0.0);
+        assert!(conv.weight_bytes() > 0.0);
         // The GEMM view agrees with the layer on FLOPs and weights.
         let g = GemmView::of(&conv).unwrap();
-        prop_assert!((g.flops() - conv.flops()).abs() <= 1e-6 * conv.flops());
-        prop_assert!((g.b_bytes() - conv.weight_bytes()).abs() < 1e-6);
+        assert!((g.flops() - conv.flops()).abs() <= 1e-6 * conv.flops());
+        assert!((g.b_bytes() - conv.weight_bytes()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn doubling_output_channels_doubles_flops(conv in arb_conv()) {
-        let OpKind::Conv2d { out_ch, kernel, stride, padding, .. } = conv.op else {
+#[test]
+fn doubling_output_channels_doubles_flops() {
+    let mut rng = StdRng::seed_from_u64(0x7e4502);
+    for _ in 0..CASES {
+        let conv = arb_conv(&mut rng);
+        let OpKind::Conv2d {
+            out_ch,
+            kernel,
+            stride,
+            padding,
+            ..
+        } = conv.op
+        else {
             unreachable!()
         };
         let doubled = Layer::conv2d("c2", conv.input, out_ch * 2, kernel, stride, padding);
-        prop_assert!((doubled.flops() - 2.0 * conv.flops()).abs() <= 1e-6 * conv.flops());
+        assert!((doubled.flops() - 2.0 * conv.flops()).abs() <= 1e-6 * conv.flops());
     }
+}
 
-    #[test]
-    fn fusion_conserves_flops_and_covers_layers(
-        convs in prop::collection::vec(arb_conv(), 1..6),
-        with_relu in prop::collection::vec(any::<bool>(), 6),
-    ) {
+#[test]
+fn fusion_conserves_flops_and_covers_layers() {
+    let mut rng = StdRng::seed_from_u64(0x7e4503);
+    for _ in 0..CASES {
+        let n_convs = rng.gen_range(1usize..6);
         let mut layers = Vec::new();
-        for (i, c) in convs.iter().enumerate() {
+        for _ in 0..n_convs {
+            let c = arb_conv(&mut rng);
             let out = c.output();
-            layers.push(c.clone());
-            if with_relu[i] {
+            layers.push(c);
+            if rng.gen_bool(0.5) {
                 layers.push(Layer::activation("r", out, ActKind::Relu));
             }
         }
         let units = fuse_layers(&layers);
         let covered: usize = units.iter().map(|u| 1 + u.epilogue.len()).sum();
-        prop_assert_eq!(covered, layers.len());
+        assert_eq!(covered, layers.len());
         let sum: f64 = layers.iter().map(Layer::flops).sum();
         let fused: f64 = units.iter().map(|u| u.flops()).sum();
-        prop_assert!((sum - fused).abs() <= 1e-9 * sum.max(1.0));
+        assert!((sum - fused).abs() <= 1e-9 * sum.max(1.0));
         // Fusion never increases the bytes moved.
         let raw: f64 = layers.iter().map(Layer::total_bytes).sum();
         let after: f64 = units.iter().map(|u| u.total_bytes()).sum();
-        prop_assert!(after <= raw + 1e-9);
+        assert!(after <= raw + 1e-9);
     }
+}
 
-    #[test]
-    fn strided_conv_shrinks_output(conv in arb_conv()) {
+#[test]
+fn strided_conv_shrinks_output() {
+    let mut rng = StdRng::seed_from_u64(0x7e4504);
+    for _ in 0..CASES {
+        let conv = arb_conv(&mut rng);
         let out = conv.output();
-        prop_assert!(out.h <= conv.input.h);
-        prop_assert!(out.w <= conv.input.w);
+        assert!(out.h <= conv.input.h);
+        assert!(out.w <= conv.input.w);
     }
 }

@@ -29,11 +29,23 @@ fn main() {
     let mut queries = Vec::new();
     for frame in 0..90u32 {
         let t = f64::from(frame) / 30.0;
-        queries.push(QuerySpec { model: "tiny_yolo_v2".into(), arrival: SimTime(t) });
-        queries.push(QuerySpec { model: "tiny_yolo_v2".into(), arrival: SimTime(t + 1e-4) });
-        queries.push(QuerySpec { model: "mobilenet_v2".into(), arrival: SimTime(t + 2e-4) });
+        queries.push(QuerySpec {
+            model: "tiny_yolo_v2".into(),
+            arrival: SimTime(t),
+        });
+        queries.push(QuerySpec {
+            model: "tiny_yolo_v2".into(),
+            arrival: SimTime(t + 1e-4),
+        });
+        queries.push(QuerySpec {
+            model: "mobilenet_v2".into(),
+            arrival: SimTime(t + 2e-4),
+        });
         if frame % 5 == 0 {
-            queries.push(QuerySpec { model: "resnet50".into(), arrival: SimTime(t + 3e-4) });
+            queries.push(QuerySpec {
+                model: "resnet50".into(),
+                arrival: SimTime(t + 3e-4),
+            });
         }
     }
 

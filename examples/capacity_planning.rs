@@ -15,7 +15,10 @@ use veltair::prelude::*;
 fn main() {
     let machine = MachineConfig::threadripper_3990x();
     let mixes: Vec<(&str, Vec<(&str, f64)>)> = vec![
-        ("light", vec![("mobilenet_v2", 1.0), ("efficientnet_b0", 1.0)]),
+        (
+            "light",
+            vec![("mobilenet_v2", 1.0), ("efficientnet_b0", 1.0)],
+        ),
         ("medium", vec![("resnet50", 1.0), ("googlenet", 1.0)]),
         (
             "paper-mix",
@@ -27,11 +30,23 @@ fn main() {
             ],
         ),
     ];
-    let policies =
-        [Policy::Planaria, Policy::Prema, Policy::VeltairAs, Policy::VeltairFull];
-    let cfg = QpsSearchConfig { queries: 200, seed: 7, iterations: 6, satisfaction_target: 0.95 };
+    let policies = [
+        Policy::Planaria,
+        Policy::Prema,
+        Policy::VeltairAs,
+        Policy::VeltairFull,
+    ];
+    let cfg = QpsSearchConfig {
+        queries: 200,
+        seed: 7,
+        iterations: 6,
+        satisfaction_target: 0.95,
+    };
 
-    println!("{:<10} {:>14} {:>12} {:>14}", "mix", "policy", "max QPS", "latency (ms)");
+    println!(
+        "{:<10} {:>14} {:>12} {:>14}",
+        "mix", "policy", "max QPS", "latency (ms)"
+    );
     for (label, streams) in &mixes {
         // Compile every model of the mix once.
         let names: Vec<&str> = streams.iter().map(|(n, _)| *n).collect();

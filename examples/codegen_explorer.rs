@@ -17,8 +17,14 @@ use veltair::tensor::{FeatureMap, FusedUnit, GemmView, Layer};
 fn main() {
     let machine = MachineConfig::threadripper_3990x();
     // The paper's Fig. 6 exemplar: 14x14 map, 256 channels, 3x3 kernel.
-    let conv =
-        Layer::conv2d("res4_conv3x3", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+    let conv = Layer::conv2d(
+        "res4_conv3x3",
+        FeatureMap::nchw(1, 256, 14, 14),
+        256,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
     let g = GemmView::of(&conv).expect("convolutions have a GEMM view");
     println!(
         "layer {} -> GEMM m={} n={} k={} ({:.1} MFLOPs)\n",
@@ -32,25 +38,33 @@ fn main() {
     let unit = FusedUnit::solo(conv);
     let opts = CompilerOptions::fast();
     let samples = search(&unit, &g, &machine, &opts, 42);
-    println!("auto-scheduler sampled {} distinct schedules", samples.len());
+    println!(
+        "auto-scheduler sampled {} distinct schedules",
+        samples.len()
+    );
 
     let versions = select_versions(&samples, 1.0, &machine, &opts);
     println!("Algorithm 1 retained {} versions:\n", versions.len());
     for (i, v) in versions.iter().enumerate() {
         println!(
             "  v{i}: schedule {}  parallelism {:>8.0}  blocking {:>8.0} B",
-            v.schedule.map_or("streaming".to_string(), |s| s.to_string()),
+            v.schedule
+                .map_or("streaming".to_string(), |s| s.to_string()),
             v.parallelism,
             v.locality_bytes
         );
     }
 
-    for (label, v) in [("most-local (v0)", versions.first()), ("most-parallel", versions.last())]
-    {
+    for (label, v) in [
+        ("most-local (v0)", versions.first()),
+        ("most-parallel", versions.last()),
+    ] {
         let Some(v) = v else { continue };
         let Some(s) = v.schedule else { continue };
         let program = codegen::generate("res4_conv3x3", &g, &s);
-        program.verify().expect("generated programs are structurally sound");
+        program
+            .verify()
+            .expect("generated programs are structurally sound");
         println!(
             "\n----- {label}: {} parallel chunks, boundary tiles: {} -----\n{program}",
             program.parallel_chunks(),

@@ -7,9 +7,7 @@
 //! cargo run --release --example compiler_explorer
 //! ```
 
-use veltair::compiler::{
-    extract_dominant, search, select_versions, CompilerOptions, Schedule,
-};
+use veltair::compiler::{extract_dominant, search, select_versions, CompilerOptions, Schedule};
 use veltair::prelude::*;
 use veltair::sim::execute;
 use veltair::tensor::{FeatureMap, FusedUnit, GemmView, Layer};
@@ -17,26 +15,46 @@ use veltair::tensor::{FeatureMap, FusedUnit, GemmView, Layer};
 fn main() {
     let machine = MachineConfig::threadripper_3990x();
     // The paper's Fig. 6 exemplar: conv 14x14, 256 -> 256 channels, 3x3.
-    let layer =
-        Layer::conv2d("conv", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+    let layer = Layer::conv2d(
+        "conv",
+        FeatureMap::nchw(1, 256, 14, 14),
+        256,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
     let gemm = GemmView::of(&layer).expect("conv has a GEMM view");
     let unit = FusedUnit::solo(layer);
 
-    let opts = CompilerOptions { search_iterations: 512, ..CompilerOptions::fast() };
+    let opts = CompilerOptions {
+        search_iterations: 512,
+        ..CompilerOptions::fast()
+    };
     let population = search(&unit, &gemm, &machine, &opts, 0);
     println!("sampled {} distinct schedules", population.len());
 
     let frontier = extract_dominant(&population);
-    println!("dominant implementations (Pareto frontier): {}", frontier.len());
+    println!(
+        "dominant implementations (Pareto frontier): {}",
+        frontier.len()
+    );
 
     let qos_share = 0.5e-3; // a 0.5 ms slice of the model budget
     let versions = select_versions(&population, qos_share, &machine, &opts);
     println!("retained versions: {}\n", versions.len());
 
-    println!("{:<22} {:>12} {:>12}", "schedule", "parallelism", "block(KB)");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "schedule", "parallelism", "block(KB)"
+    );
     for v in &versions {
         let s: Schedule = v.schedule.expect("searched versions have schedules");
-        println!("{:<22} {:>12.0} {:>12.1}", s.to_string(), v.parallelism, v.locality_bytes / 1e3);
+        println!(
+            "{:<22} {:>12.0} {:>12.1}",
+            s.to_string(),
+            v.parallelism,
+            v.locality_bytes / 1e3
+        );
     }
 
     println!("\nlatency (us) on 16 cores as interference pressure rises:");

@@ -23,8 +23,10 @@ fn main() {
 
     // Inverse-QoS mixed arrival rates at 200 QPS aggregate.
     let specs: Vec<ModelSpec> = names.iter().map(|n| by_name(n).unwrap()).collect();
-    let streams: Vec<(&str, f64)> =
-        specs.iter().map(|s| (s.graph.name.as_str(), 1.0 / s.qos_ms)).collect();
+    let streams: Vec<(&str, f64)> = specs
+        .iter()
+        .map(|s| (s.graph.name.as_str(), 1.0 / s.qos_ms))
+        .collect();
     let workload = WorkloadSpec::mix(&streams, 400).scaled_to(200.0);
 
     let proxy = train_proxy(&compiled, &machine, 384, 11);

@@ -21,20 +21,31 @@ fn main() {
     let names = ["resnet50", "mobilenet_v2", "tiny_yolo_v2"];
     let models: Vec<CompiledModel> = names
         .iter()
-        .map(|n| compile_model(&by_name(n).expect("zoo model"), &machine, &CompilerOptions::fast()))
+        .map(|n| {
+            compile_model(
+                &by_name(n).expect("zoo model"),
+                &machine,
+                &CompilerOptions::fast(),
+            )
+        })
         .collect();
 
     // 1. Generate co-location episodes: random tenant subsets, random
     //    allocations, counters sampled under the resulting contention.
     let (windows, levels) = co_location_dataset(&models, &machine, 512, 7);
-    println!("dataset: {} episodes, levels {:.2}..{:.2}",
+    println!(
+        "dataset: {} episodes, levels {:.2}..{:.2}",
         windows.len(),
         levels.iter().copied().fold(f64::INFINITY, f64::min),
-        levels.iter().copied().fold(0.0, f64::max));
+        levels.iter().copied().fold(0.0, f64::max)
+    );
 
     // 2. PCA over the counter features (paper Fig. 11a): the L3 counters
     //    dominate the variance, which is why the proxy uses only them.
-    let rows: Vec<Vec<f64>> = windows.iter().map(|w| w.feature_vector().to_vec()).collect();
+    let rows: Vec<Vec<f64>> = windows
+        .iter()
+        .map(|w| w.feature_vector().to_vec())
+        .collect();
     let pca = Pca::fit(&rows);
     println!("\nPCA component ratios (l3_miss_rate, l3_accesses, ipc, flops):");
     for (i, r) in pca.explained_ratio().iter().enumerate() {
@@ -51,7 +62,11 @@ fn main() {
         sse += (proxy.predict(w) - l).powi(2);
         sst += (l - mean).powi(2);
     }
-    println!("\ntrain r2 = {:.3}, held-out r2 = {:.3}", proxy.r2, 1.0 - sse / sst);
+    println!(
+        "\ntrain r2 = {:.3}, held-out r2 = {:.3}",
+        proxy.r2,
+        1.0 - sse / sst
+    );
 
     // 4. Serve the same workload with the oracle monitor and the proxy.
     let workload = WorkloadSpec::mix(&[("resnet50", 1.0), ("tiny_yolo_v2", 2.0)], 300);

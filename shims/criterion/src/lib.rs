@@ -1,0 +1,193 @@
+//! Offline minimal stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no crates.io access, so this shim keeps the
+//! workspace's criterion benches compiling and *runnable*: each
+//! `bench_function` warms up once, then runs timed batches and reports
+//! the per-iteration median, best, and mean wall time. It performs no
+//! statistical analysis, produces no HTML reports, and ignores CLI
+//! arguments (so `cargo test --benches`, which passes `--test`, also
+//! works). Swap back to real criterion by repointing the
+//! `[workspace.dependencies]` entry once a registry is reachable.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to bench functions (mirror of
+/// `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder, like upstream).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim has no global config.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 0,
+        };
+        // Warm-up + calibration pass sizes the batches so that one sample
+        // is neither a single nanosecond-scale call nor a minute-long run.
+        b.calibrate(&mut f);
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.report(id);
+        self
+    }
+}
+
+/// Per-benchmark iteration driver (mirror of `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+/// Target wall time for one timed sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+
+impl Bencher {
+    fn calibrate<F: FnMut(&mut Bencher)>(&mut self, f: &mut F) {
+        self.iters_per_sample = 1;
+        f(self); // Warm-up sample; also measures one batch.
+        if let Some(&first) = self.samples.first() {
+            let per_iter = first.as_secs_f64().max(1e-9);
+            let fit = (SAMPLE_BUDGET.as_secs_f64() / per_iter).floor();
+            self.iters_per_sample = if fit.is_finite() {
+                (fit as u32).clamp(1, 1_000_000)
+            } else {
+                1
+            };
+        }
+        self.samples.clear();
+    }
+
+    /// Times `iters_per_sample` calls of `routine` as one sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iters);
+    }
+
+    fn report(&self, id: &str) {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let best = sorted.first().copied().unwrap_or_default();
+        let mean = sorted
+            .iter()
+            .sum::<Duration>()
+            .checked_div(sorted.len() as u32)
+            .unwrap_or_default();
+        println!(
+            "bench {id:<40} median {median:>12.3?}  best {best:>12.3?}  mean {mean:>12.3?}  \
+             ({} samples x {} iters)",
+            sorted.len(),
+            self.iters_per_sample.max(1)
+        );
+    }
+}
+
+/// Benchmark parameter label (mirror of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Mirror of `criterion::criterion_group!` (both invocation forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0, "the routine must actually run");
+    }
+
+    criterion_group! {
+        name = smoke_group;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke_group();
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no crates.io access, and no crate in this
+//! workspace performs actual serialization (there is no `serde_json` or
+//! similar consumer in the tree). This shim keeps the real crates'
+//! `use serde::{Deserialize, Serialize}` imports and
+//! `#[derive(Serialize, Deserialize)]` annotations compiling:
+//!
+//! * the traits are empty markers with blanket impls, so any
+//!   `T: Serialize` bound is satisfied;
+//! * the derive macros (from the sibling `serde_derive` shim) expand to
+//!   nothing.
+//!
+//! If the workspace ever gains a real serialization consumer, replace
+//! the two shims with the real `serde` by pointing the
+//! `[workspace.dependencies]` entry back at crates.io.
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented for
+/// every type; carries no methods because nothing in the workspace
+/// serializes.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker alias mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough for `de::DeserializeOwned` paths.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        x: u32,
+        s: String,
+    }
+
+    fn takes_serialize<T: Serialize>(_t: &T) {}
+    fn takes_deserialize<T: for<'de> Deserialize<'de>>(_t: &T) {}
+
+    #[test]
+    fn derives_and_bounds_compile() {
+        let p = Probe {
+            x: 1,
+            s: "ok".into(),
+        };
+        takes_serialize(&p);
+        takes_deserialize(&p);
+        assert_eq!(
+            p,
+            Probe {
+                x: 1,
+                s: "ok".into()
+            }
+        );
+    }
+}

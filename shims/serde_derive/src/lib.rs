@@ -1,0 +1,23 @@
+//! No-op derive macros backing the offline [`serde`](../serde) shim.
+//!
+//! The workspace builds in a hermetic environment with no crates.io
+//! access, and nothing in the tree actually serializes (there is no
+//! `serde_json`/`bincode` consumer). The `#[derive(Serialize,
+//! Deserialize)]` attributes scattered across the crates are kept as
+//! forward-looking annotations; these derives accept them and expand to
+//! nothing. The shim `serde` crate provides blanket trait impls, so
+//! bounds like `T: Serialize` still hold.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -15,8 +15,10 @@
 //!   static multi-version compiler (Algorithm 1);
 //! * [`proxy`] — the PCA-selected, linear performance-counter interference
 //!   proxy;
-//! * [`sched`] — layer-block formation (Algorithm 2), the VELTAIR runtime
-//!   scheduler (Algorithm 3), and the Planaria / PREMA baselines;
+//! * [`sched`] — layer-block formation (Algorithm 2), the scheduler-core
+//!   runtime (Algorithm 3): a policy-agnostic event loop over pluggable
+//!   `Dispatcher` families, plus the Planaria / PREMA / AI-MT / Parties
+//!   baselines;
 //! * [`core`] — the serving engine, evaluation metrics, and the experiment
 //!   harness that regenerates every figure and table of the paper.
 //!
@@ -50,8 +52,10 @@ pub mod prelude {
     pub use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
     pub use veltair_core::{
         max_qps_at_qos, train_proxy, Policy, QpsResult, QpsSearchConfig, ServingEngine,
-        ServingReport, WorkloadSpec,
+        ServingReport, WorkloadError, WorkloadSpec,
     };
     pub use veltair_models::{all_models, by_name, ModelSpec, WorkloadClass};
+    pub use veltair_sched::runtime::Dispatcher;
+    pub use veltair_sched::SimConfig;
     pub use veltair_sim::{Interference, MachineConfig};
 }

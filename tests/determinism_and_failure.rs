@@ -4,7 +4,11 @@ use veltair::prelude::*;
 
 fn compiled(name: &str) -> CompiledModel {
     let machine = MachineConfig::threadripper_3990x();
-    compile_model(&by_name(name).expect("zoo model"), &machine, &CompilerOptions::fast())
+    compile_model(
+        &by_name(name).expect("zoo model"),
+        &machine,
+        &CompilerOptions::fast(),
+    )
 }
 
 #[test]

@@ -11,7 +11,13 @@ fn compile(names: &[&str]) -> Vec<CompiledModel> {
     let m = machine();
     names
         .iter()
-        .map(|n| compile_model(&by_name(n).expect("zoo model"), &m, &CompilerOptions::fast()))
+        .map(|n| {
+            compile_model(
+                &by_name(n).expect("zoo model"),
+                &m,
+                &CompilerOptions::fast(),
+            )
+        })
         .collect()
 }
 
@@ -30,13 +36,21 @@ fn full_pipeline_serves_a_mixed_workload() {
     let workload = WorkloadSpec::mix(&[("mobilenet_v2", 60.0), ("tiny_yolo_v2", 40.0)], 200);
     let report = engine.run(&workload, 9);
     assert_eq!(report.total_queries(), 200);
-    assert!(report.overall_satisfaction() > 0.9, "satisfaction {}", report.overall_satisfaction());
+    assert!(
+        report.overall_satisfaction() > 0.9,
+        "satisfaction {}",
+        report.overall_satisfaction()
+    );
     assert!(report.per_model.contains_key("mobilenet_v2"));
     assert!(report.per_model.contains_key("tiny_yolo_v2"));
     // No query can beat its isolated latency.
     for m in engine.models() {
         let iso = m.flat_latency_s(machine().cores, 0.0, &machine());
-        assert!(report.avg_latency_s(&m.name) >= iso * 0.99, "{} faster than isolated", m.name);
+        assert!(
+            report.avg_latency_s(&m.name) >= iso * 0.99,
+            "{} faster than isolated",
+            m.name
+        );
     }
 }
 
@@ -68,8 +82,15 @@ fn every_zoo_model_compiles_and_serves() {
 fn adaptive_compilation_switches_versions_under_pressure() {
     let compiled = compile(&["resnet50"]);
     let model = &compiled[0];
-    let multi: Vec<_> = model.layers.iter().filter(|l| l.versions.len() > 1).collect();
-    assert!(!multi.is_empty(), "ResNet-50 must have multi-version layers");
+    let multi: Vec<_> = model
+        .layers
+        .iter()
+        .filter(|l| l.versions.len() > 1)
+        .collect();
+    assert!(
+        !multi.is_empty(),
+        "ResNet-50 must have multi-version layers"
+    );
     let mut switched = 0;
     for l in &multi {
         if l.version_for_level(0.0) != l.version_for_level(0.95) {

@@ -17,16 +17,27 @@ fn engine(policy: Policy, names: &[&str]) -> ServingEngine {
 }
 
 fn search_cfg() -> QpsSearchConfig {
-    QpsSearchConfig { satisfaction_target: 0.95, queries: 150, seed: 17, iterations: 5 }
+    QpsSearchConfig {
+        satisfaction_target: 0.95,
+        queries: 150,
+        seed: 17,
+        iterations: 5,
+    }
 }
 
 #[test]
 fn veltair_full_sustains_at_least_planaria_qps() {
     let workload = WorkloadSpec::single("mobilenet_v2", 10.0, 150);
-    let planaria =
-        max_qps_at_qos(&engine(Policy::Planaria, &["mobilenet_v2"]), &workload, &search_cfg());
-    let full =
-        max_qps_at_qos(&engine(Policy::VeltairFull, &["mobilenet_v2"]), &workload, &search_cfg());
+    let planaria = max_qps_at_qos(
+        &engine(Policy::Planaria, &["mobilenet_v2"]),
+        &workload,
+        &search_cfg(),
+    );
+    let full = max_qps_at_qos(
+        &engine(Policy::VeltairFull, &["mobilenet_v2"]),
+        &workload,
+        &search_cfg(),
+    );
     assert!(
         full.qps >= planaria.qps * 0.9,
         "FULL {} far below Planaria {}",
@@ -38,13 +49,24 @@ fn veltair_full_sustains_at_least_planaria_qps() {
 #[test]
 fn spatial_beats_temporal_sharing_on_a_mix() {
     // Fig. 12: PREMA (temporal) generally performs worst. Temporal
-    // multiplexing is most penalized on multi-tenant mixes, where a
-    // tight-QoS stream must repeatedly wait for whole foreign models.
-    let names = ["resnet50", "tiny_yolo_v2"];
-    let workload = WorkloadSpec::mix(&[("resnet50", 1.0), ("tiny_yolo_v2", 1.5)], 150);
+    // multiplexing serializes the machine, so on the paper's medium mix
+    // (ResNet-50 + GoogLeNet, §5.1) it pays the whole-machine fork-join
+    // barrier per layer and leaves cores idle that spatial co-location
+    // puts to work.
+    let names = ["resnet50", "googlenet"];
+    let workload = WorkloadSpec::mix(&[("resnet50", 1.0), ("googlenet", 1.0)], 150);
     let prema = max_qps_at_qos(&engine(Policy::Prema, &names), &workload, &search_cfg());
-    let full = max_qps_at_qos(&engine(Policy::VeltairFull, &names), &workload, &search_cfg());
-    assert!(full.qps >= prema.qps, "FULL {} < PREMA {}", full.qps, prema.qps);
+    let full = max_qps_at_qos(
+        &engine(Policy::VeltairFull, &names),
+        &workload,
+        &search_cfg(),
+    );
+    assert!(
+        full.qps >= prema.qps,
+        "FULL {} < PREMA {}",
+        full.qps,
+        prema.qps
+    );
 }
 
 #[test]
@@ -90,8 +112,12 @@ fn adaptive_granularity_outlasts_static_granularities() {
     // §3.2 / Fig. 3a: as load approaches capacity, the static
     // granularities (whole model, single layer, fixed blocks) lose QoS
     // satisfaction well before the adaptive layer-block scheduling does.
-    let workload = WorkloadSpec::single("resnet50", 200.0, 150);
-    let sat = |policy| engine(policy, &["resnet50"]).run(&workload, 17).overall_satisfaction();
+    let workload = WorkloadSpec::single("resnet50", 160.0, 150);
+    let sat = |policy| {
+        engine(policy, &["resnet50"])
+            .run(&workload, 17)
+            .overall_satisfaction()
+    };
     let adaptive = sat(Policy::VeltairAs);
     for static_policy in [Policy::ModelFcfs, Policy::Planaria, Policy::FixedBlock(6)] {
         let s = sat(static_policy);

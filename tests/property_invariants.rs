@@ -1,58 +1,67 @@
-//! Cross-crate property-based tests (proptest) on the core invariants.
+//! Cross-crate randomized tests on the core invariants.
+//!
+//! Formerly proptest-based; the hermetic build has no crates.io access,
+//! so these run the same properties over seeded random cases (the `rand`
+//! shim is deterministic per seed, keeping failures reproducible).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use veltair::compiler::{extract_dominant, lower_gemm, search, CompilerOptions, Schedule};
 use veltair::prelude::*;
 use veltair::sched::layer_block::{form_blocks, versions_at_level};
 use veltair::sim::{execute, KernelProfile};
 use veltair::tensor::{FeatureMap, FusedUnit, GemmView, Layer};
 
-fn arb_conv() -> impl Strategy<Value = Layer> {
-    (1usize..=9, 4usize..=512, 4usize..=512, 7usize..=56).prop_map(|(k, cin, cout, hw)| {
-        let k = if k % 2 == 0 { k + 1 } else { k }; // odd kernels only
-        let k = k.min(hw);
-        Layer::conv2d(
-            "prop_conv",
-            FeatureMap::nchw(1, cin, hw, hw),
-            cout,
-            (k, k),
-            (1, 1),
-            (k / 2, k / 2),
-        )
-    })
+const CASES: usize = 64;
+
+fn arb_conv(rng: &mut StdRng) -> Layer {
+    let k = rng.gen_range(1usize..=9);
+    let k = if k % 2 == 0 { k + 1 } else { k }; // odd kernels only
+    let cin = rng.gen_range(4usize..=512);
+    let cout = rng.gen_range(4usize..=512);
+    let hw = rng.gen_range(7usize..=56);
+    let k = k.min(hw);
+    Layer::conv2d(
+        "prop_conv",
+        FeatureMap::nchw(1, cin, hw, hw),
+        cout,
+        (k, k),
+        (1, 1),
+        (k / 2, k / 2),
+    )
 }
 
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every (conv, schedule) pair lowers to a valid kernel profile.
-    #[test]
-    fn lowering_always_validates(
-        conv in arb_conv(),
-        tm in 1usize..=4096,
-        tn in 1usize..=4096,
-        tk in 1usize..=4096,
-        u in prop::sample::select(vec![1usize, 2, 4, 8, 16]),
-    ) {
+/// Every (conv, schedule) pair lowers to a valid kernel profile.
+#[test]
+fn lowering_always_validates() {
+    let mut rng = StdRng::seed_from_u64(0x1e4f01);
+    for _ in 0..CASES {
+        let conv = arb_conv(&mut rng);
+        let tm = rng.gen_range(1usize..=4096);
+        let tn = rng.gen_range(1usize..=4096);
+        let tk = rng.gen_range(1usize..=4096);
+        let u = *[1usize, 2, 4, 8, 16].choose(&mut rng).unwrap();
         let g = GemmView::of(&conv).unwrap();
         let unit = FusedUnit::solo(conv);
         let s = Schedule::new(&g, tm, tn, tk, u);
         let p = lower_gemm(&unit, &g, &s);
-        prop_assert!(p.validate().is_ok());
+        assert!(p.validate().is_ok());
         // FLOPs are schedule-independent.
-        prop_assert!((p.flops - unit.flops()).abs() < 1e-6);
+        assert!((p.flops - unit.flops()).abs() < 1e-6);
     }
+}
 
-    /// Latency never improves when interference rises, at any core count.
-    #[test]
-    fn latency_monotone_in_interference(
-        conv in arb_conv(),
-        cores in 1u32..=64,
-        a in 0.0f64..=1.0,
-        b in 0.0f64..=1.0,
-    ) {
-        let machine = MachineConfig::threadripper_3990x();
+/// Latency never improves when interference rises, at any core count.
+#[test]
+fn latency_monotone_in_interference() {
+    let mut rng = StdRng::seed_from_u64(0x1e4f02);
+    let machine = MachineConfig::threadripper_3990x();
+    for _ in 0..CASES {
+        let conv = arb_conv(&mut rng);
+        let cores = rng.gen_range(1u32..=64);
+        let a = rng.gen_range(0.0f64..1.0);
+        let b = rng.gen_range(0.0f64..1.0);
         let g = GemmView::of(&conv).unwrap();
         let unit = FusedUnit::solo(conv);
         let s = Schedule::new(&g, 16, 32, 128, 8);
@@ -60,18 +69,20 @@ proptest! {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let l_lo = execute(&p, cores, Interference::level(lo), &machine).latency_s;
         let l_hi = execute(&p, cores, Interference::level(hi), &machine).latency_s;
-        prop_assert!(l_hi >= l_lo - 1e-15);
+        assert!(l_hi >= l_lo - 1e-15);
     }
+}
 
-    /// The traffic model interpolates between its endpoints.
-    #[test]
-    fn traffic_bounded_by_min_and_spill(
-        footprint in 1.0e3f64..1.0e9,
-        min_t in 1.0e3f64..1.0e8,
-        extra in 0.0f64..1.0e9,
-        cache in 0.0f64..5.0e8,
-        cores in 1u32..=64,
-    ) {
+/// The traffic model interpolates between its endpoints.
+#[test]
+fn traffic_bounded_by_min_and_spill() {
+    let mut rng = StdRng::seed_from_u64(0x1e4f03);
+    for _ in 0..CASES {
+        let footprint = rng.gen_range(1.0e3f64..1.0e9);
+        let min_t = rng.gen_range(1.0e3f64..1.0e8);
+        let extra = rng.gen_range(0.0f64..1.0e9);
+        let cache = rng.gen_range(0.0f64..5.0e8);
+        let cores = rng.gen_range(1u32..=64);
         let p = KernelProfile {
             flops: 1.0e9,
             compute_efficiency: 0.5,
@@ -82,64 +93,75 @@ proptest! {
             spill_traffic_bytes: min_t + extra,
         };
         let t = p.traffic_bytes(cores, cache);
-        prop_assert!(t >= p.min_traffic_bytes - 1e-9);
-        prop_assert!(t <= p.spill_traffic_bytes + 1e-9);
+        assert!(t >= p.min_traffic_bytes - 1e-9);
+        assert!(t <= p.spill_traffic_bytes + 1e-9);
     }
+}
 
-    /// Dynamic layer blocks always partition the model exactly.
-    #[test]
-    fn blocks_partition_for_any_threshold(thres in 0u32..=64, level in 0.0f64..=1.0) {
-        let machine = MachineConfig::threadripper_3990x();
-        let compiled = compile_model(
-            &veltair::models::tiny_yolo_v2(),
-            &machine,
-            &CompilerOptions::fast(),
-        );
+/// Dynamic layer blocks always partition the model exactly.
+#[test]
+fn blocks_partition_for_any_threshold() {
+    let mut rng = StdRng::seed_from_u64(0x1e4f04);
+    let machine = MachineConfig::threadripper_3990x();
+    let compiled = compile_model(
+        &veltair::models::tiny_yolo_v2(),
+        &machine,
+        &CompilerOptions::fast(),
+    );
+    for _ in 0..CASES {
+        let thres = rng.gen_range(0u32..=64);
+        let level = rng.gen_range(0.0f64..1.0);
         let blocks = form_blocks(&compiled, level, true, thres, &machine);
-        prop_assert_eq!(blocks[0].start, 0);
-        prop_assert_eq!(blocks.last().unwrap().end, compiled.layers.len());
+        assert_eq!(blocks[0].start, 0);
+        assert_eq!(blocks.last().unwrap().end, compiled.layers.len());
         for pair in blocks.windows(2) {
-            prop_assert_eq!(pair[0].end, pair[1].start);
+            assert_eq!(pair[0].end, pair[1].start);
         }
         for b in &blocks {
-            prop_assert!(b.cores >= 1 && b.cores <= machine.cores);
-            prop_assert_eq!(b.versions.len(), b.end - b.start);
+            assert!(b.cores >= 1 && b.cores <= machine.cores);
+            assert_eq!(b.versions.len(), b.end - b.start);
         }
     }
+}
 
-    /// Version tables always return in-range versions and core counts.
-    #[test]
-    fn version_lookup_is_total(level in 0.0f64..=1.0) {
-        let machine = MachineConfig::threadripper_3990x();
-        let compiled = compile_model(
-            &veltair::models::mobilenet_v2(),
-            &machine,
-            &CompilerOptions::fast(),
-        );
+/// Version tables always return in-range versions and core counts.
+#[test]
+fn version_lookup_is_total() {
+    let mut rng = StdRng::seed_from_u64(0x1e4f05);
+    let machine = MachineConfig::threadripper_3990x();
+    let compiled = compile_model(
+        &veltair::models::mobilenet_v2(),
+        &machine,
+        &CompilerOptions::fast(),
+    );
+    for _ in 0..CASES {
+        let level = rng.gen_range(0.0f64..1.0);
         let versions = versions_at_level(&compiled, level, true);
         for (i, layer) in compiled.layers.iter().enumerate() {
-            prop_assert!(versions[i] < layer.versions.len());
+            assert!(versions[i] < layer.versions.len());
             let req = layer.core_requirement(versions[i], level);
-            prop_assert!(req >= 1 && req <= machine.cores);
+            assert!(req >= 1 && req <= machine.cores);
         }
     }
+}
 
-    /// Poisson workload generation: sorted arrivals, exact query counts,
-    /// only requested models.
-    #[test]
-    fn workload_generation_invariants(
-        qps_a in 1.0f64..200.0,
-        qps_b in 1.0f64..200.0,
-        n in 1usize..400,
-        seed in 0u64..5000,
-    ) {
+/// Poisson workload generation: sorted arrivals, exact query counts,
+/// only requested models.
+#[test]
+fn workload_generation_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x1e4f06);
+    for _ in 0..CASES {
+        let qps_a = rng.gen_range(1.0f64..200.0);
+        let qps_b = rng.gen_range(1.0f64..200.0);
+        let n = rng.gen_range(1usize..400);
+        let seed = rng.gen_range(0u64..5000);
         let w = WorkloadSpec::mix(&[("a", qps_a), ("b", qps_b)], n);
         let queries = w.generate(seed);
-        prop_assert_eq!(queries.len(), n);
+        assert_eq!(queries.len(), n);
         for pair in queries.windows(2) {
-            prop_assert!(pair[0].arrival <= pair[1].arrival);
+            assert!(pair[0].arrival <= pair[1].arrival);
         }
-        prop_assert!(queries.iter().all(|q| q.model == "a" || q.model == "b"));
+        assert!(queries.iter().all(|q| q.model == "a" || q.model == "b"));
     }
 }
 
@@ -148,18 +170,25 @@ fn pareto_frontier_is_sound_and_complete() {
     // Deterministic heavier check: nothing on the frontier is dominated;
     // everything off the frontier is dominated by something on it.
     let machine = MachineConfig::threadripper_3990x();
-    let conv = Layer::conv2d("c", FeatureMap::nchw(1, 128, 28, 28), 128, (3, 3), (1, 1), (1, 1));
+    let conv = Layer::conv2d(
+        "c",
+        FeatureMap::nchw(1, 128, 28, 28),
+        128,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
     let g = GemmView::of(&conv).unwrap();
     let unit = FusedUnit::solo(conv);
     let samples = search(&unit, &g, &machine, &CompilerOptions::fast(), 99);
     let frontier = extract_dominant(&samples);
-    let dominates = |a: (f64, f64), b: (f64, f64)| {
-        (a.0 >= b.0 && a.1 > b.1) || (a.0 > b.0 && a.1 >= b.1)
-    };
+    let dominates =
+        |a: (f64, f64), b: (f64, f64)| (a.0 >= b.0 && a.1 > b.1) || (a.0 > b.0 && a.1 >= b.1);
     for f in &frontier {
-        assert!(!samples
-            .iter()
-            .any(|s| dominates((s.parallelism, s.locality_bytes), (f.parallelism, f.locality_bytes))));
+        assert!(!samples.iter().any(|s| dominates(
+            (s.parallelism, s.locality_bytes),
+            (f.parallelism, f.locality_bytes)
+        )));
     }
     for s in &samples {
         let on = frontier
