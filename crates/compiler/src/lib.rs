@@ -3,7 +3,7 @@
 //!
 //! The pipeline per layer:
 //!
-//! 1. [`search`] samples the schedule space (tilings x parallelization x
+//! 1. [`mod@search`] samples the schedule space (tilings x parallelization x
 //!    unrolling over the layer's GEMM-normalized loop nest), "measuring"
 //!    each candidate on the analytic machine model — the stand-in for
 //!    running TVM's auto-scheduler for 1024 trials;

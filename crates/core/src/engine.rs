@@ -1,10 +1,216 @@
-//! The serving engine facade.
+//! The serving engine facade and the resumable serving session.
+//!
+//! Three layers, from offline to online:
+//!
+//! * [`EngineBuilder`] — validated construction: machine, policy, model
+//!   registry, optional interference proxy, and per-model SLO overrides.
+//! * [`ServingEngine`] — compile-once, serve-many: batch runs
+//!   ([`ServingEngine::run`] / [`ServingEngine::try_run`]) and session
+//!   creation.
+//! * [`ServingSession`] — the open-loop path: queries are
+//!   [`submit`](ServingSession::submit)ted while the clock runs,
+//!   completions are [`poll`](ServingSession::poll)ed incrementally, the
+//!   policy is hot-swapped mid-stream
+//!   ([`set_policy`](ServingSession::set_policy)), and
+//!   [`snapshot`](ServingSession::snapshot) reads per-model QoS/latency
+//!   statistics without stopping the run.
 
 use veltair_compiler::CompiledModel;
 use veltair_proxy::InterferenceProxy;
-use veltair_sched::runtime;
-use veltair_sched::{simulate_with_dispatcher, Policy, ServingReport, SimConfig, WorkloadSpec};
-use veltair_sim::MachineConfig;
+use veltair_sched::runtime::{self, Driver};
+use veltair_sched::{Policy, QuerySpec, ServingReport, SimConfig, SimError, WorkloadSpec};
+use veltair_sim::{MachineConfig, SimTime};
+
+/// Why an engine could not be built or a serving call could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The builder was finalized (or a session opened) with no registered
+    /// models.
+    NoModels,
+    /// A query, workload stream, or SLO override referenced a model that
+    /// is not registered.
+    UnknownModel {
+        /// The model name that failed to resolve.
+        model: String,
+    },
+    /// A batch run was asked to serve an empty query stream.
+    EmptyWorkload,
+    /// A submitted query's arrival time was NaN or infinite.
+    NonFiniteArrival {
+        /// The rejected arrival time, seconds of session clock.
+        at_s: f64,
+    },
+    /// An SLO override was not a positive, finite latency target.
+    InvalidSlo {
+        /// The model the override targeted.
+        model: String,
+        /// The rejected QoS target, seconds.
+        qos_s: f64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NoModels => {
+                write!(f, "the engine has no registered models")
+            }
+            EngineError::UnknownModel { model } => {
+                write!(f, "model {model} is not registered with the engine")
+            }
+            EngineError::EmptyWorkload => {
+                write!(f, "cannot serve an empty query stream")
+            }
+            EngineError::NonFiniteArrival { at_s } => {
+                write!(f, "arrival times must be finite, got {at_s}")
+            }
+            EngineError::InvalidSlo { model, qos_s } => {
+                write!(
+                    f,
+                    "SLO overrides must be positive and finite: {model} got {qos_s} s"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::UnknownModel { model } => EngineError::UnknownModel { model },
+            SimError::EmptyWorkload => EngineError::EmptyWorkload,
+            SimError::NonFiniteArrival { arrival_s } => {
+                EngineError::NonFiniteArrival { at_s: arrival_s }
+            }
+        }
+    }
+}
+
+/// Validated, fluent construction of a [`ServingEngine`].
+///
+/// ```
+/// use veltair_core::{Policy, ServingEngine};
+/// use veltair_compiler::{compile_model, CompilerOptions};
+/// use veltair_sim::MachineConfig;
+///
+/// let machine = MachineConfig::threadripper_3990x();
+/// let engine = ServingEngine::builder()
+///     .machine(machine.clone())
+///     .policy(Policy::VeltairFull)
+///     .model(compile_model(
+///         &veltair_models::mobilenet_v2(),
+///         &machine,
+///         &CompilerOptions::fast(),
+///     ))
+///     .slo("mobilenet_v2", 0.05)
+///     .build()
+///     .expect("valid engine");
+/// assert_eq!(engine.models().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    machine: MachineConfig,
+    policy: Policy,
+    models: Vec<CompiledModel>,
+    proxy: Option<InterferenceProxy>,
+    slo_overrides: Vec<(String, f64)>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self {
+            machine: MachineConfig::threadripper_3990x(),
+            policy: Policy::VeltairFull,
+            models: Vec::new(),
+            proxy: None,
+            slo_overrides: Vec::new(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Sets the machine to serve on (default: the paper's 64-core
+    /// Threadripper testbed).
+    #[must_use]
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets the scheduling/compilation policy (default: VELTAIR-FULL).
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Registers a compiled model, replacing any previous model of the
+    /// same name.
+    #[must_use]
+    pub fn model(mut self, model: CompiledModel) -> Self {
+        self.models.retain(|m| m.name != model.name);
+        self.models.push(model);
+        self
+    }
+
+    /// Installs a trained interference proxy (otherwise the engine
+    /// monitors with the oracle pressure).
+    #[must_use]
+    pub fn proxy(mut self, proxy: InterferenceProxy) -> Self {
+        self.proxy = Some(proxy);
+        self
+    }
+
+    /// Overrides a registered model's end-to-end SLO (QoS latency target,
+    /// seconds). Applied at [`build`](EngineBuilder::build) time to the
+    /// accounting target and the temporal policies' priority normalizer;
+    /// the per-layer compilation budget keeps the compile-time target
+    /// (re-compile to change it).
+    #[must_use]
+    pub fn slo(mut self, model: &str, qos_s: f64) -> Self {
+        self.slo_overrides.push((model.to_string(), qos_s));
+        self
+    }
+
+    /// Finalizes the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoModels`] if no model was registered,
+    /// [`EngineError::UnknownModel`] if an SLO override names an
+    /// unregistered model, and [`EngineError::InvalidSlo`] if an override
+    /// is not a positive, finite latency.
+    pub fn build(self) -> Result<ServingEngine, EngineError> {
+        let Self {
+            machine,
+            policy,
+            mut models,
+            proxy,
+            slo_overrides,
+        } = self;
+        if models.is_empty() {
+            return Err(EngineError::NoModels);
+        }
+        for (name, qos_s) in slo_overrides {
+            if !(qos_s.is_finite() && qos_s > 0.0) {
+                return Err(EngineError::InvalidSlo { model: name, qos_s });
+            }
+            let model = models
+                .iter_mut()
+                .find(|m| m.name == name)
+                .ok_or(EngineError::UnknownModel { model: name })?;
+            model.qos_s = qos_s;
+        }
+        Ok(ServingEngine {
+            machine,
+            policy,
+            models,
+            proxy,
+        })
+    }
+}
 
 /// Compile-once, serve-many facade: holds the machine, the policy, the
 /// compiled model registry, and (optionally) a trained interference proxy.
@@ -28,6 +234,14 @@ impl ServingEngine {
         }
     }
 
+    /// Starts validated, fluent construction: machine, policy, models,
+    /// proxy, and SLO overrides, checked at
+    /// [`build`](EngineBuilder::build).
+    #[must_use]
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
     /// Registers a compiled model, replacing any previous model of the
     /// same name.
     pub fn register(&mut self, model: CompiledModel) {
@@ -41,7 +255,9 @@ impl ServingEngine {
         self.proxy = Some(proxy);
     }
 
-    /// Changes the serving policy (models stay registered).
+    /// Changes the serving policy (models stay registered). Affects
+    /// subsequent runs and sessions; live sessions hot-swap independently
+    /// via [`ServingSession::set_policy`].
     pub fn set_policy(&mut self, policy: Policy) {
         self.policy = policy;
     }
@@ -58,25 +274,274 @@ impl ServingEngine {
         &self.machine
     }
 
-    /// Serves a workload's query stream and returns the report.
-    ///
-    /// The engine constructs the scheduler-core dispatcher for its policy
-    /// explicitly (via [`runtime::for_policy`]) and hands it to the
-    /// policy-agnostic event loop, so embedders can follow the same path
-    /// with a custom [`runtime::Dispatcher`] implementation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the workload references unregistered models.
+    /// The engine's current policy.
     #[must_use]
-    pub fn run(&self, workload: &WorkloadSpec, seed: u64) -> ServingReport {
-        let queries = workload.generate(seed);
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::new(self.machine.clone(), self.policy);
         if let Some(p) = &self.proxy {
             cfg = cfg.with_proxy(p.clone());
         }
+        cfg
+    }
+
+    /// Serves a workload's query stream and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload references unregistered models; use
+    /// [`ServingEngine::try_run`] to handle invalid input gracefully.
+    #[must_use]
+    pub fn run(&self, workload: &WorkloadSpec, seed: u64) -> ServingReport {
+        self.try_run(workload, seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Serves a workload's query stream, surfacing invalid input as a
+    /// typed [`EngineError`].
+    ///
+    /// The engine constructs the scheduler-core dispatcher for its policy
+    /// explicitly (via [`runtime::for_policy`]) and hands it to the
+    /// driver-backed batch loop, so embedders can follow the same path
+    /// with a custom [`runtime::Dispatcher`] implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownModel`] if the workload references
+    /// unregistered models and [`EngineError::EmptyWorkload`] if it
+    /// generates no queries.
+    pub fn try_run(
+        &self,
+        workload: &WorkloadSpec,
+        seed: u64,
+    ) -> Result<ServingReport, EngineError> {
+        let queries = workload.generate(seed);
         let dispatcher = runtime::for_policy(self.policy);
-        simulate_with_dispatcher(&self.models, &queries, &cfg, dispatcher)
+        let (report, _trace) =
+            runtime::try_run(&self.models, &queries, &self.sim_config(), dispatcher)?;
+        Ok(report)
+    }
+
+    /// Opens a resumable serving session: an open-loop simulation over
+    /// this engine's registry that accepts arrivals, policy changes, and
+    /// snapshot reads while the clock runs. The session borrows the
+    /// engine's models; the engine itself stays immutable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoModels`] if no model is registered.
+    pub fn session(&self) -> Result<ServingSession<'_>, EngineError> {
+        if self.models.is_empty() {
+            return Err(EngineError::NoModels);
+        }
+        Ok(ServingSession {
+            driver: Driver::open(&self.models, self.sim_config()),
+            poll_cursor: 0,
+        })
+    }
+}
+
+/// One finished query, as reported by [`ServingSession::poll`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The session-assigned query id (returned by
+    /// [`ServingSession::submit`]).
+    pub query: usize,
+    /// The model the query targeted.
+    pub model: String,
+    /// Arrival time, seconds of session clock.
+    pub arrival_s: f64,
+    /// Completion time, seconds of session clock.
+    pub finish_s: f64,
+    /// End-to-end latency, seconds.
+    pub latency_s: f64,
+    /// Whether the latency met the model's QoS target.
+    pub qos_met: bool,
+}
+
+/// A point-in-time view of a live session, from
+/// [`ServingSession::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSnapshot {
+    /// Session clock, seconds.
+    pub now_s: f64,
+    /// Queries submitted so far (completed or not).
+    pub submitted: usize,
+    /// Queries completed so far.
+    pub completed: usize,
+    /// Scheduling units currently holding cores.
+    pub in_flight: usize,
+    /// Queries waiting in the admission queues.
+    pub queued: usize,
+    /// The accumulating serving report over the completed queries, with
+    /// derived fields finalized.
+    pub report: ServingReport,
+}
+
+/// A resumable serving run: streaming arrivals in, incremental results
+/// out, with mid-run control. Created by [`ServingEngine::session`].
+#[derive(Debug)]
+pub struct ServingSession<'e> {
+    driver: Driver<'e>,
+    poll_cursor: usize,
+}
+
+impl ServingSession<'_> {
+    /// Session clock, seconds.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.driver.now().0
+    }
+
+    /// The session's active policy.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.driver.policy()
+    }
+
+    /// Whether every submitted query has completed.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.driver.is_idle()
+    }
+
+    /// Submits one query arriving at `at_s` seconds of session clock
+    /// (clamped to *now* if already past). Returns the query id used in
+    /// [`Completion::query`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownModel`] if `model` is not registered
+    /// and [`EngineError::NonFiniteArrival`] if `at_s` is NaN or
+    /// infinite.
+    pub fn submit(&mut self, model: &str, at_s: f64) -> Result<usize, EngineError> {
+        let id = self.driver.inject(&QuerySpec {
+            model: model.to_string(),
+            arrival: SimTime(at_s),
+        })?;
+        Ok(id)
+    }
+
+    /// Submits a whole workload's generated stream, with every arrival
+    /// offset by the session's current clock — so a burst "starts now"
+    /// regardless of how long the session has been running. Returns the
+    /// ids in arrival order.
+    ///
+    /// Atomic: the stream's model names are validated up front, so an
+    /// error means *nothing* was submitted — a caller may correct the
+    /// workload and resubmit without double-injecting arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownModel`] if the workload references
+    /// unregistered models.
+    pub fn submit_stream(
+        &mut self,
+        workload: &WorkloadSpec,
+        seed: u64,
+    ) -> Result<Vec<usize>, EngineError> {
+        let registry = &self.driver.state().models;
+        if let Some((name, _)) = workload
+            .streams
+            .iter()
+            .find(|(name, _)| !registry.iter().any(|m| &m.name == name))
+        {
+            return Err(EngineError::UnknownModel {
+                model: name.clone(),
+            });
+        }
+        let base = self.now_s();
+        let mut ids = Vec::with_capacity(workload.total_queries);
+        for q in workload.generate(seed) {
+            ids.push(self.submit(&q.model, base + q.arrival.0)?);
+        }
+        Ok(ids)
+    }
+
+    /// Processes the next pending event; `false` when the session is
+    /// idle.
+    pub fn step(&mut self) -> bool {
+        self.driver.step().is_some()
+    }
+
+    /// Runs the session up to `t_s` seconds of session clock.
+    pub fn run_until(&mut self, t_s: f64) {
+        self.driver.run_until(SimTime(t_s));
+    }
+
+    /// Runs the session for another `dt_s` seconds of session clock.
+    pub fn run_for(&mut self, dt_s: f64) {
+        let target = self.driver.now().after(dt_s);
+        self.driver.run_until(target);
+    }
+
+    /// Hot-swaps the scheduling policy at the current dispatch boundary:
+    /// queued work is immediately re-offered to the new discipline, while
+    /// in-flight units keep their allocations until their next natural
+    /// boundary.
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.driver.set_policy(policy);
+    }
+
+    /// Returns the queries that completed since the last `poll` (or since
+    /// the session opened), in completion order. Non-blocking: an empty
+    /// vector means nothing new finished, not that the session is done.
+    pub fn poll(&mut self) -> Vec<Completion> {
+        let state = self.driver.state();
+        let new: Vec<Completion> = self.driver.completions()[self.poll_cursor..]
+            .iter()
+            .map(|&q| {
+                let st = &state.queries[q];
+                let model = &state.models[st.model];
+                let finish = st
+                    .finish
+                    .expect("completion log only holds finished queries");
+                let latency = finish.since(st.arrival);
+                Completion {
+                    query: q,
+                    model: model.name.clone(),
+                    arrival_s: st.arrival.0,
+                    finish_s: finish.0,
+                    latency_s: latency,
+                    qos_met: latency <= model.qos_s,
+                }
+            })
+            .collect();
+        self.poll_cursor += new.len();
+        new
+    }
+
+    /// Runs the session to completion and returns every not-yet-polled
+    /// completion.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        self.driver.run_to_completion();
+        self.poll()
+    }
+
+    /// Incremental per-model QoS/latency statistics over the queries
+    /// completed so far, plus live queue depths. Does not perturb the
+    /// run; snapshots may be taken at any cadence.
+    #[must_use]
+    pub fn snapshot(&self) -> ReportSnapshot {
+        ReportSnapshot {
+            now_s: self.now_s(),
+            submitted: self.driver.state().queries.len(),
+            completed: self.driver.completions().len(),
+            in_flight: self.driver.in_flight(),
+            queued: self.driver.queued(),
+            report: self.driver.snapshot(),
+        }
+    }
+
+    /// Finishes the session: drains all outstanding work and returns the
+    /// final report.
+    #[must_use]
+    pub fn finish(mut self) -> ServingReport {
+        self.driver.run_to_completion();
+        self.driver.finish().0
     }
 }
 
@@ -124,5 +589,170 @@ mod tests {
         e.set_policy(Policy::Prema);
         let prema = e.run(&WorkloadSpec::single("tiny_yolo_v2", 400.0, 60), 2);
         assert_ne!(full, prema);
+    }
+
+    #[test]
+    fn try_run_surfaces_typed_errors() {
+        let e = engine();
+        assert_eq!(
+            e.try_run(&WorkloadSpec::single("resnet50", 10.0, 5), 1),
+            Err(EngineError::UnknownModel {
+                model: "resnet50".into()
+            })
+        );
+        let ok = e
+            .try_run(&WorkloadSpec::single("tiny_yolo_v2", 30.0, 10), 1)
+            .expect("valid");
+        assert_eq!(ok.total_queries(), 10);
+    }
+
+    #[test]
+    fn builder_validates_models_and_slos() {
+        assert_eq!(
+            ServingEngine::builder().build().unwrap_err(),
+            EngineError::NoModels
+        );
+
+        let machine = MachineConfig::threadripper_3990x();
+        let compiled = compile_model(
+            &veltair_models::tiny_yolo_v2(),
+            &machine,
+            &CompilerOptions::fast(),
+        );
+        assert_eq!(
+            ServingEngine::builder()
+                .model(compiled.clone())
+                .slo("resnet50", 0.1)
+                .build()
+                .unwrap_err(),
+            EngineError::UnknownModel {
+                model: "resnet50".into()
+            }
+        );
+        assert!(matches!(
+            ServingEngine::builder()
+                .model(compiled.clone())
+                .slo("tiny_yolo_v2", -1.0)
+                .build()
+                .unwrap_err(),
+            EngineError::InvalidSlo { .. }
+        ));
+
+        let engine = ServingEngine::builder()
+            .machine(machine)
+            .policy(Policy::Prema)
+            .model(compiled)
+            .slo("tiny_yolo_v2", 0.25)
+            .build()
+            .expect("valid");
+        assert_eq!(engine.policy(), Policy::Prema);
+        assert!((engine.models()[0].qos_s - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_streams_polls_and_snapshots() {
+        let e = engine();
+        let mut s = e.session().expect("has models");
+        assert!(s.poll().is_empty());
+        for i in 0..20 {
+            s.submit("tiny_yolo_v2", f64::from(i) * 0.01)
+                .expect("registered");
+        }
+        assert!(matches!(
+            s.submit("bert_large", 0.0),
+            Err(EngineError::UnknownModel { .. })
+        ));
+
+        s.run_until(0.1);
+        let snap = s.snapshot();
+        assert_eq!(snap.submitted, 20);
+        assert!(snap.completed <= 20);
+        assert!((snap.now_s - 0.1).abs() < 1e-12);
+        let early = s.poll();
+        assert_eq!(early.len(), snap.completed);
+
+        let rest = s.drain();
+        assert_eq!(early.len() + rest.len(), 20);
+        assert!(s.is_idle());
+        let report = s.finish();
+        assert_eq!(report.total_queries(), 20);
+        // The poll stream and the report agree on QoS accounting.
+        let satisfied = early
+            .iter()
+            .chain(rest.iter())
+            .filter(|c| c.qos_met)
+            .count();
+        assert_eq!(satisfied, report.per_model["tiny_yolo_v2"].satisfied);
+    }
+
+    #[test]
+    fn non_finite_arrivals_are_rejected_not_panicking() {
+        let e = engine();
+        let mut s = e.session().expect("has models");
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    s.submit("tiny_yolo_v2", bad),
+                    Err(EngineError::NonFiniteArrival { .. })
+                ),
+                "arrival {bad} was not rejected"
+            );
+        }
+        assert_eq!(s.snapshot().submitted, 0);
+        s.submit("tiny_yolo_v2", 0.0).expect("finite arrival");
+        assert_eq!(s.finish().total_queries(), 1);
+    }
+
+    #[test]
+    fn submit_stream_is_atomic_on_unknown_models() {
+        let e = engine();
+        let mut s = e.session().expect("has models");
+        let bad = WorkloadSpec::mix(&[("tiny_yolo_v2", 50.0), ("resnet50", 50.0)], 20);
+        assert_eq!(
+            s.submit_stream(&bad, 1),
+            Err(EngineError::UnknownModel {
+                model: "resnet50".into()
+            })
+        );
+        // Nothing leaked in: a corrected resubmission starts clean.
+        assert_eq!(s.snapshot().submitted, 0);
+        s.submit_stream(&WorkloadSpec::single("tiny_yolo_v2", 50.0, 20), 1)
+            .expect("valid");
+        assert_eq!(s.finish().total_queries(), 20);
+    }
+
+    #[test]
+    fn session_batch_equivalence() {
+        // A session fed a workload's exact arrival times reproduces the
+        // batch run bit for bit.
+        let e = engine();
+        let w = WorkloadSpec::single("tiny_yolo_v2", 120.0, 30);
+        let batch = e.run(&w, 5);
+        let mut s = e.session().expect("has models");
+        s.submit_stream(&w, 5).expect("valid stream");
+        assert_eq!(s.finish(), batch);
+    }
+
+    #[test]
+    fn session_policy_hot_swap_mid_run() {
+        let e = engine();
+        let mut s = e.session().expect("has models");
+        s.submit_stream(&WorkloadSpec::single("tiny_yolo_v2", 500.0, 40), 8)
+            .expect("valid");
+        s.run_until(0.05);
+        s.set_policy(Policy::Prema);
+        assert_eq!(s.policy(), Policy::Prema);
+        s.submit_stream(&WorkloadSpec::single("tiny_yolo_v2", 500.0, 20), 9)
+            .expect("valid");
+        let report = s.finish();
+        assert_eq!(report.total_queries(), 60);
+        let sat = report.overall_satisfaction();
+        assert!((0.0..=1.0).contains(&sat));
+    }
+
+    #[test]
+    fn empty_engine_cannot_open_sessions() {
+        let e = ServingEngine::new(MachineConfig::threadripper_3990x(), Policy::VeltairFull);
+        assert!(matches!(e.session(), Err(EngineError::NoModels)));
     }
 }

@@ -2,8 +2,13 @@
 //!
 //! This crate ties the whole reproduction together:
 //!
-//! * [`engine`] — [`ServingEngine`]: compile-once, serve-many facade over
-//!   the compiler, proxy, and scheduler crates;
+//! * [`engine`] — the serving API: [`ServingEngine`] (compile-once,
+//!   serve-many facade over the compiler, proxy, and scheduler crates),
+//!   its validated [`EngineBuilder`], and the resumable
+//!   [`ServingSession`] for online serving — streaming
+//!   [`submit`](ServingSession::submit), incremental
+//!   [`poll`](ServingSession::poll)/[`snapshot`](ServingSession::snapshot),
+//!   and mid-run [`set_policy`](ServingSession::set_policy);
 //! * [`dataset`] — co-location episode generation used to train the
 //!   interference proxy exactly the way the deployed monitor observes the
 //!   system;
@@ -13,7 +18,7 @@
 //! * [`experiments`] — one function per figure/table of the paper,
 //!   returning typed rows that the bench harness prints.
 //!
-//! # Example
+//! # Example: builder → session → snapshot
 //!
 //! ```
 //! use veltair_core::{Policy, ServingEngine, WorkloadSpec};
@@ -21,14 +26,31 @@
 //! use veltair_sim::MachineConfig;
 //!
 //! let machine = MachineConfig::threadripper_3990x();
-//! let mut engine = ServingEngine::new(machine.clone(), Policy::VeltairFull);
-//! engine.register(compile_model(
-//!     &veltair_models::mobilenet_v2(),
-//!     &machine,
-//!     &CompilerOptions::fast(),
-//! ));
-//! let report = engine.run(&WorkloadSpec::single("mobilenet_v2", 40.0, 60), 7);
+//! let engine = ServingEngine::builder()
+//!     .machine(machine.clone())
+//!     .policy(Policy::VeltairFull)
+//!     .model(compile_model(
+//!         &veltair_models::mobilenet_v2(),
+//!         &machine,
+//!         &CompilerOptions::fast(),
+//!     ))
+//!     .build()?;
+//!
+//! // Open-loop serving: submit while the clock runs, read stats mid-run.
+//! let mut session = engine.session()?;
+//! session.submit_stream(&WorkloadSpec::single("mobilenet_v2", 40.0, 60), 7)?;
+//! session.run_until(0.5);
+//! let snapshot = session.snapshot();
+//! assert!(snapshot.completed <= 60);
+//! let report = session.finish();
 //! assert_eq!(report.total_queries(), 60);
+//!
+//! // The one-shot batch path is a wrapper over the same driver. (An
+//! // *unpaused* session reproduces it bit for bit; the pause above may
+//! // split floating-point accumulation intervals, so compare outcomes.)
+//! let batch = engine.try_run(&WorkloadSpec::single("mobilenet_v2", 40.0, 60), 7)?;
+//! assert_eq!(batch.total_queries(), report.total_queries());
+//! # Ok::<(), veltair_core::EngineError>(())
 //! ```
 
 pub mod dataset;
@@ -37,7 +59,9 @@ pub mod experiments;
 pub mod metrics;
 
 pub use dataset::{co_location_dataset, train_proxy};
-pub use engine::ServingEngine;
+pub use engine::{
+    Completion, EngineBuilder, EngineError, ReportSnapshot, ServingEngine, ServingSession,
+};
 pub use metrics::{max_qps_at_qos, QpsResult, QpsSearchConfig};
 // Re-export the user-facing vocabulary so downstream users need one import.
-pub use veltair_sched::{Policy, ServingReport, WorkloadError, WorkloadSpec};
+pub use veltair_sched::{Policy, ServingReport, SimError, WorkloadError, WorkloadSpec};

@@ -140,7 +140,7 @@ const BOOST_SLACK: f64 = 0.05;
 /// implementing §4.2's rule that a lightly loaded system should let each
 /// block "use as many cores as possible" — but only while the cores still
 /// buy latency. Among allocations in `[min_cores, cap]` the smallest one
-/// within [`BOOST_SLACK`] of the best achievable latency is chosen, which
+/// within `BOOST_SLACK` of the best achievable latency is chosen, which
 /// looks *through* wave-quantization plateaus instead of stopping at the
 /// first flat step.
 #[must_use]

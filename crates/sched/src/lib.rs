@@ -11,17 +11,20 @@
 //! * [`layer_block`] — Algorithm 2: dynamic-threshold layer-block
 //!   formation and block core-requirement calculation;
 //! * [`runtime`] — the scheduler-core runtime: a policy-agnostic
-//!   progress-based discrete-event loop ([`runtime::run`]) over pluggable
+//!   progress-based discrete-event loop over pluggable
 //!   [`runtime::Dispatcher`] families (spatial layer-block, temporal
 //!   PREMA/AI-MT, partitioned Parties), with the oracle and counter-proxy
-//!   interference paths unified behind [`runtime::Monitor`];
-//! * [`simulator`] — the stable entry points over that runtime:
-//!   [`SimConfig`] and [`simulate`] / [`simulate_with_trace`] /
-//!   [`simulate_with_dispatcher`];
-//! * [`report`] — per-model QoS satisfaction, latency, conflict and CPU
-//!   usage statistics.
+//!   interference paths unified behind [`runtime::Monitor`]. Its heart is
+//!   the resumable [`runtime::Driver`]: the event loop inverted into a
+//!   stepper with open-loop arrival injection, mid-run policy hot-swap,
+//!   and incremental report snapshots;
+//! * [`simulator`] — the batch entry points, all thin wrappers over the
+//!   driver: [`SimConfig`] and [`simulate`] / [`try_simulate`] /
+//!   [`simulate_with_trace`] / [`simulate_with_dispatcher`];
+//! * [`report`] — per-model QoS satisfaction, latency (mean and p95/p99
+//!   tails), conflict and CPU usage statistics.
 //!
-//! # Example
+//! # Batch example
 //!
 //! ```
 //! use veltair_compiler::{compile_model, CompilerOptions};
@@ -38,6 +41,40 @@
 //! let report = simulate(&compiled, &queries, &SimConfig::new(machine, Policy::VeltairFull));
 //! assert_eq!(report.total_queries(), 100);
 //! ```
+//!
+//! # Streaming example
+//!
+//! The same simulation, driven openly: queries are injected while the
+//! clock runs, the policy is swapped mid-stream, and statistics are read
+//! incrementally. Stepping a [`runtime::Driver`] to exhaustion is
+//! bit-identical to [`simulate`] on the same inputs.
+//!
+//! ```
+//! use veltair_compiler::{compile_model, CompilerOptions};
+//! use veltair_sched::runtime::Driver;
+//! use veltair_sched::{Policy, QuerySpec, SimConfig};
+//! use veltair_sim::{MachineConfig, SimTime};
+//!
+//! let machine = MachineConfig::threadripper_3990x();
+//! let compiled = vec![compile_model(
+//!     &veltair_models::mobilenet_v2(),
+//!     &machine,
+//!     &CompilerOptions::fast(),
+//! )];
+//! let mut driver = Driver::open(&compiled, SimConfig::new(machine, Policy::VeltairFull));
+//! for i in 0..10 {
+//!     driver.inject(&QuerySpec {
+//!         model: "mobilenet_v2".into(),
+//!         arrival: SimTime(f64::from(i) * 0.01),
+//!     })?;
+//! }
+//! driver.run_until(SimTime(0.05));
+//! driver.set_policy(Policy::Prema); // A/B the scheduler mid-stream
+//! driver.run_to_completion();
+//! let (report, _trace) = driver.finish();
+//! assert_eq!(report.total_queries(), 10);
+//! # Ok::<(), veltair_sched::runtime::SimError>(())
+//! ```
 
 pub mod layer_block;
 pub mod policy;
@@ -49,6 +86,8 @@ pub mod workload;
 pub use layer_block::{block_core_requirement, find_first_pivot, form_blocks, BlockPlan};
 pub use policy::{Granularity, Policy};
 pub use report::{ModelStats, ServingReport};
-pub use runtime::{Dispatcher, Monitor};
-pub use simulator::{simulate, simulate_with_dispatcher, simulate_with_trace, SimConfig};
+pub use runtime::{Dispatcher, Driver, Monitor, SimError};
+pub use simulator::{
+    simulate, simulate_with_dispatcher, simulate_with_trace, try_simulate, SimConfig,
+};
 pub use workload::{QuerySpec, WorkloadError, WorkloadSpec};

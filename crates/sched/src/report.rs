@@ -15,6 +15,10 @@ pub struct ModelStats {
     pub latency_sum_s: f64,
     /// Maximum observed query latency.
     pub latency_max_s: f64,
+    /// Every completed query's latency, in completion order. Production
+    /// serving is judged on tails, so the raw samples are kept for the
+    /// percentile accessors rather than a lossy sketch.
+    pub latencies_s: Vec<f64>,
 }
 
 impl ModelStats {
@@ -36,6 +40,41 @@ impl ModelStats {
         } else {
             self.latency_sum_s / self.queries as f64
         }
+    }
+
+    /// Latency at percentile `p` (nearest-rank over the completed
+    /// queries), in seconds. Zero when no queries completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < p <= 100.0`.
+    #[must_use]
+    pub fn percentile_latency_s(&self, p: f64) -> f64 {
+        assert!(
+            p > 0.0 && p <= 100.0,
+            "percentile must be in (0, 100], got {p}"
+        );
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_s.clone();
+        sorted.sort_by(f64::total_cmp);
+        // Nearest-rank: the smallest sample with at least p% of the
+        // distribution at or below it.
+        let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// 95th-percentile query latency, seconds.
+    #[must_use]
+    pub fn p95_latency_s(&self) -> f64 {
+        self.percentile_latency_s(95.0)
+    }
+
+    /// 99th-percentile query latency, seconds.
+    #[must_use]
+    pub fn p99_latency_s(&self) -> f64 {
+        self.percentile_latency_s(99.0)
     }
 }
 
@@ -97,6 +136,40 @@ impl ServingReport {
             .map_or(0.0, ModelStats::avg_latency_s)
     }
 
+    /// 95th-percentile latency for one model, seconds (0 when unseen).
+    #[must_use]
+    pub fn p95_latency_s(&self, model: &str) -> f64 {
+        self.per_model
+            .get(model)
+            .map_or(0.0, ModelStats::p95_latency_s)
+    }
+
+    /// 99th-percentile latency for one model, seconds (0 when unseen).
+    #[must_use]
+    pub fn p99_latency_s(&self, model: &str) -> f64 {
+        self.per_model
+            .get(model)
+            .map_or(0.0, ModelStats::p99_latency_s)
+    }
+
+    /// Latency at percentile `p` across *all* completed queries, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < p <= 100.0`.
+    #[must_use]
+    pub fn overall_percentile_latency_s(&self, p: f64) -> f64 {
+        let merged = ModelStats {
+            latencies_s: self
+                .per_model
+                .values()
+                .flat_map(|m| m.latencies_s.iter().copied())
+                .collect(),
+            ..ModelStats::default()
+        };
+        merged.percentile_latency_s(p)
+    }
+
     /// Mean latency across all completed queries, seconds.
     #[must_use]
     pub fn overall_avg_latency_s(&self) -> f64 {
@@ -148,6 +221,7 @@ mod tests {
                 satisfied: 9,
                 latency_sum_s: 1.0,
                 latency_max_s: 0.3,
+                ..ModelStats::default()
             },
         );
         r.per_model.insert(
@@ -157,6 +231,7 @@ mod tests {
                 satisfied: 5,
                 latency_sum_s: 3.0,
                 latency_max_s: 0.9,
+                ..ModelStats::default()
             },
         );
         assert_eq!(r.total_queries(), 20);
@@ -183,5 +258,59 @@ mod tests {
             ..Default::default()
         };
         assert!((r.conflict_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let stats = ModelStats {
+            queries: 100,
+            latencies_s: (1..=100).rev().map(|i| i as f64 / 100.0).collect(),
+            ..ModelStats::default()
+        };
+        assert!((stats.percentile_latency_s(50.0) - 0.50).abs() < 1e-12);
+        assert!((stats.p95_latency_s() - 0.95).abs() < 1e-12);
+        assert!((stats.p99_latency_s() - 0.99).abs() < 1e-12);
+        assert!((stats.percentile_latency_s(100.0) - 1.0).abs() < 1e-12);
+        // A tiny percentile still returns the smallest sample.
+        assert!((stats.percentile_latency_s(0.1) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_of_empty_stats_are_zero() {
+        let stats = ModelStats::default();
+        assert_eq!(stats.p95_latency_s(), 0.0);
+        assert_eq!(stats.p99_latency_s(), 0.0);
+        let r = ServingReport::default();
+        assert_eq!(r.p99_latency_s("missing"), 0.0);
+        assert_eq!(r.overall_percentile_latency_s(99.0), 0.0);
+    }
+
+    #[test]
+    fn overall_percentile_merges_models() {
+        let mut r = ServingReport::default();
+        r.per_model.insert(
+            "fast".into(),
+            ModelStats {
+                queries: 9,
+                latencies_s: vec![0.1; 9],
+                ..ModelStats::default()
+            },
+        );
+        r.per_model.insert(
+            "slow".into(),
+            ModelStats {
+                queries: 1,
+                latencies_s: vec![5.0],
+                ..ModelStats::default()
+            },
+        );
+        assert!((r.overall_percentile_latency_s(90.0) - 0.1).abs() < 1e-12);
+        assert!((r.overall_percentile_latency_s(99.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 100]")]
+    fn out_of_range_percentile_panics() {
+        let _ = ModelStats::default().percentile_latency_s(0.0);
     }
 }

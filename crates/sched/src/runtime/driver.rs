@@ -1,0 +1,276 @@
+//! The resumable simulation driver: the closed `while let Some(ev) = pop`
+//! loop of [`runtime::run`](super::run) inverted into a stepper that the
+//! caller owns.
+//!
+//! A [`Driver`] holds the complete simulation — [`SimState`] plus the
+//! policy's [`Dispatcher`] — and exposes the event loop one event at a
+//! time. Between steps the caller may [`inject`](Driver::inject) open-loop
+//! arrivals, [hot-swap the policy](Driver::set_policy) at a dispatch
+//! boundary, or take an incremental [`snapshot`](Driver::snapshot) of the
+//! accumulating report. Stepping a driver to exhaustion reproduces
+//! [`simulate`](crate::simulate) bit for bit: both run the exact same loop
+//! body, so the batch entry points are thin wrappers over this type.
+
+use veltair_compiler::CompiledModel;
+use veltair_sim::SimTime;
+
+use super::dispatcher::{for_policy, Dispatcher};
+use super::state::{Event, SimState};
+use crate::policy::Policy;
+use crate::report::ServingReport;
+use crate::simulator::SimConfig;
+use crate::workload::QuerySpec;
+
+/// Why a simulation could not be constructed or resumed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A query referenced a model absent from the compiled registry.
+    UnknownModel {
+        /// The model name the query asked for.
+        model: String,
+    },
+    /// A batch entry point was handed an empty query stream. (Streaming
+    /// drivers may start empty — see [`Driver::open`].)
+    EmptyWorkload,
+    /// A query's arrival time was not finite. (`SimTime` arithmetic
+    /// treats non-finite times as programming errors and panics, so the
+    /// fallible paths reject them up front.)
+    NonFiniteArrival {
+        /// The rejected arrival time, seconds.
+        arrival_s: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownModel { model } => {
+                write!(f, "model {model} was not compiled")
+            }
+            SimError::EmptyWorkload => {
+                write!(f, "cannot simulate an empty query stream")
+            }
+            SimError::NonFiniteArrival { arrival_s } => {
+                write!(f, "arrival times must be finite, got {arrival_s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A resumable serving simulation: the event loop, paused between events.
+///
+/// Lifetimes: the driver borrows the compiled-model registry (models are
+/// large and shared across runs) and owns everything else, including its
+/// [`SimConfig`] — which is what makes [`set_policy`](Driver::set_policy)
+/// possible mid-run.
+#[derive(Debug)]
+pub struct Driver<'a> {
+    state: SimState<'a>,
+    dispatcher: Box<dyn Dispatcher>,
+}
+
+impl<'a> Driver<'a> {
+    /// Builds a driver over a closed initial workload, validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyWorkload`] if `queries` is empty and
+    /// [`SimError::UnknownModel`] if any query targets a model absent from
+    /// `models`.
+    pub fn new(
+        models: &'a [CompiledModel],
+        queries: &[QuerySpec],
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        if queries.is_empty() {
+            return Err(SimError::EmptyWorkload);
+        }
+        let dispatcher = for_policy(cfg.policy);
+        Self::with_dispatcher(models, queries, cfg, dispatcher)
+    }
+
+    /// Builds a driver over a closed initial workload with an explicitly
+    /// constructed dispatcher (the hook for custom scheduling disciplines
+    /// outside the [`Policy`] table).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownModel`] if any query targets a model
+    /// absent from `models`. An empty `queries` slice is accepted here —
+    /// this constructor also backs [`Driver::open`].
+    pub fn with_dispatcher(
+        models: &'a [CompiledModel],
+        queries: &[QuerySpec],
+        cfg: SimConfig,
+        dispatcher: Box<dyn Dispatcher>,
+    ) -> Result<Self, SimError> {
+        let state = SimState::try_new(models, queries, cfg)?;
+        Ok(Self { state, dispatcher })
+    }
+
+    /// Builds an *open-loop* driver with no initial workload: every query
+    /// arrives later through [`inject`](Driver::inject). This is the
+    /// streaming-session entry point, so an empty event queue here is a
+    /// valid idle state, not an error.
+    #[must_use]
+    pub fn open(models: &'a [CompiledModel], cfg: SimConfig) -> Self {
+        let dispatcher = for_policy(cfg.policy);
+        let state = SimState::try_new(models, &[], cfg)
+            .expect("an empty workload has no model references to validate");
+        Self { state, dispatcher }
+    }
+
+    // --- Streaming input --------------------------------------------------
+
+    /// Injects one open-loop arrival. Arrival times in the past are
+    /// clamped to [`now`](Driver::now) (the query arrives immediately).
+    /// Returns the query's stable index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownModel`] if the spec targets a model the
+    /// driver was not built with and [`SimError::NonFiniteArrival`] if
+    /// the arrival time is NaN or infinite.
+    pub fn inject(&mut self, spec: &QuerySpec) -> Result<usize, SimError> {
+        self.state.admit_query(spec)
+    }
+
+    /// Swaps the scheduling policy at the current dispatch boundary. The
+    /// new policy's dispatcher is installed and immediately offered the
+    /// pending queues (a policy change is a material scheduling event:
+    /// work that the old policy left waiting may be dispatchable under the
+    /// new one). In-flight units keep their allocations until their next
+    /// natural boundary — allocations are never revoked retroactively.
+    pub fn set_policy(&mut self, policy: Policy) {
+        self.state.cfg.policy = policy;
+        self.dispatcher = for_policy(policy);
+        self.state.expand_conflicted();
+        self.dispatcher.dispatch(&mut self.state);
+        self.state.refresh_conditions();
+    }
+
+    // --- Stepping ---------------------------------------------------------
+
+    /// Processes the next pending event, returning its timestamp, or
+    /// `None` when the event queue is exhausted (the simulation is idle:
+    /// every admitted query has completed).
+    ///
+    /// This is the loop body of [`runtime::run`](super::run), verbatim:
+    /// stale unit checks (superseded by a re-rate) are consumed without
+    /// side effects, and only material events — arrivals and block
+    /// transitions — trigger expansion, dispatch, and re-rating.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (t, ev) = self.state.events.pop()?;
+        let material = match ev {
+            Event::Arrival(q) => {
+                self.state.advance_to(t);
+                self.state.admit_arrival(q);
+                true
+            }
+            Event::UnitCheck { slot, gen } => {
+                if !self
+                    .state
+                    .running
+                    .get(slot)
+                    .is_some_and(|r| r.active && r.gen == gen)
+                {
+                    return Some(t);
+                }
+                self.state.advance_to(t);
+                self.state.check_unit(slot, self.dispatcher.as_ref())
+            }
+        };
+        if material {
+            self.state.expand_conflicted();
+            self.dispatcher.dispatch(&mut self.state);
+            self.state.refresh_conditions();
+        }
+        Some(t)
+    }
+
+    /// Processes every event scheduled at or before `t`, then advances the
+    /// clock to exactly `t` (accruing progress and core-seconds for the
+    /// tail interval). After this call [`now`](Driver::now) equals `t`
+    /// unless the simulation already ran past it, in which case the clock
+    /// is left where the last processed event put it.
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.state.events.peek_time().is_some_and(|next| next <= t) {
+            self.step();
+        }
+        if t > self.state.now {
+            self.state.advance_to(t);
+        }
+    }
+
+    /// Runs the event loop to exhaustion (the batch path).
+    pub fn run_to_completion(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    // --- Observation ------------------------------------------------------
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.state.now
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.state.cfg.policy
+    }
+
+    /// Whether the event queue is exhausted (no arrivals pending, nothing
+    /// in flight).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.state.events.is_empty()
+    }
+
+    /// Number of units currently holding cores.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.state.running.iter().filter(|r| r.active).count()
+    }
+
+    /// Number of queries waiting in the admission queues.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.state.continuations.len() + self.state.arrivals.len() + self.state.best_effort.len()
+    }
+
+    /// Read access to the full simulation state (queries, running units,
+    /// queues) for dispatch-level introspection.
+    #[must_use]
+    pub fn state(&self) -> &SimState<'a> {
+        &self.state
+    }
+
+    /// A point-in-time copy of the accumulating report with derived fields
+    /// finalized — per-model QoS satisfaction and latency statistics over
+    /// the queries completed *so far*.
+    #[must_use]
+    pub fn snapshot(&self) -> ServingReport {
+        self.state.snapshot_report()
+    }
+
+    /// Completion log: indices of finished queries in completion order.
+    /// Grows monotonically, so pollers can keep a cursor into it.
+    #[must_use]
+    pub fn completions(&self) -> &[usize] {
+        &self.state.completed
+    }
+
+    /// Consumes the driver, returning the final report and the
+    /// `(time, busy cores)` allocation trace (empty unless
+    /// `cfg.record_alloc_trace` was set).
+    #[must_use]
+    pub fn finish(self) -> (ServingReport, Vec<(f64, u32)>) {
+        let mut state = self.state;
+        let trace = std::mem::take(&mut state.alloc_trace);
+        (state.finish_report(), trace)
+    }
+}

@@ -12,6 +12,11 @@
 //! * [`state`] — the shared unit-state machine: queries, in-flight units,
 //!   pending queues, time advancement, unit lifecycle, fixed-point
 //!   re-rating, and report accumulation. Policy-free.
+//! * [`driver`] — the resumable [`Driver`]: the event loop inverted into
+//!   a stepper with open-loop [`inject`](Driver::inject), mid-run
+//!   [`set_policy`](Driver::set_policy), and incremental
+//!   [`snapshot`](Driver::snapshot). The batch entry points ([`run`],
+//!   [`simulate`](crate::simulate)) are thin wrappers over it.
 //! * [`monitor`] — the [`Monitor`] abstraction unifying the oracle and
 //!   counter-proxy interference paths.
 //! * [`dispatcher`] — the [`Dispatcher`] trait and the policy→family map.
@@ -25,6 +30,7 @@
 //! [`dispatcher::for_policy`]; the event loop below never changes.
 
 pub mod dispatcher;
+pub mod driver;
 pub mod monitor;
 pub mod partitioned;
 pub mod spatial;
@@ -32,6 +38,7 @@ pub mod state;
 pub mod temporal;
 
 pub use dispatcher::{for_policy, Dispatcher};
+pub use driver::{Driver, SimError};
 pub use monitor::{CounterProxyMonitor, Monitor, OracleMonitor};
 pub use partitioned::PartitionedDispatcher;
 pub use spatial::SpatialDispatcher;
@@ -47,52 +54,44 @@ use veltair_compiler::CompiledModel;
 /// returning the report and the `(time, busy cores)` allocation trace
 /// (empty unless `cfg.record_alloc_trace` is set).
 ///
-/// This is the whole event loop — note the absence of any policy
-/// inspection: policies act only through `dispatcher` and the planning
-/// code it calls.
+/// This is a thin wrapper over [`Driver`]: it constructs one and steps it
+/// to exhaustion, so the batch and streaming paths share one loop body.
+/// Note the absence of any policy inspection: policies act only through
+/// `dispatcher` and the planning code it calls.
 ///
 /// # Panics
 ///
 /// Panics if a query references a model that was not compiled, or if
-/// `queries` is empty.
+/// `queries` is empty; use [`try_run`] to handle invalid input
+/// gracefully.
 #[must_use]
 pub fn run(
     models: &[CompiledModel],
     queries: &[QuerySpec],
     cfg: &SimConfig,
-    mut dispatcher: Box<dyn Dispatcher>,
+    dispatcher: Box<dyn Dispatcher>,
 ) -> (ServingReport, Vec<(f64, u32)>) {
-    let mut state = SimState::new(models, queries, cfg);
-    while let Some((t, ev)) = state.events.pop() {
-        // Stale unit checks (superseded by a re-rate) are skipped
-        // entirely: processing them would trigger refresh cascades that
-        // can livelock the queue under overload.
-        let material = match ev {
-            Event::Arrival(q) => {
-                state.advance_to(t);
-                state.admit_arrival(q);
-                true
-            }
-            Event::UnitCheck { slot, gen } => {
-                if !state
-                    .running
-                    .get(slot)
-                    .is_some_and(|r| r.active && r.gen == gen)
-                {
-                    continue;
-                }
-                state.advance_to(t);
-                state.check_unit(slot, dispatcher.as_ref())
-            }
-        };
-        // Only material events — arrivals and block transitions — can
-        // change the co-location; re-rating is pointless otherwise.
-        if material {
-            state.expand_conflicted();
-            dispatcher.dispatch(&mut state);
-            state.refresh_conditions();
-        }
+    try_run(models, queries, cfg, dispatcher).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run`]: the same driver-backed batch simulation,
+/// surfacing invalid input as a typed [`SimError`].
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownModel`] if a query references a model that
+/// was not compiled and [`SimError::EmptyWorkload`] if `queries` is
+/// empty.
+pub fn try_run(
+    models: &[CompiledModel],
+    queries: &[QuerySpec],
+    cfg: &SimConfig,
+    dispatcher: Box<dyn Dispatcher>,
+) -> Result<(ServingReport, Vec<(f64, u32)>), SimError> {
+    if queries.is_empty() {
+        return Err(SimError::EmptyWorkload);
     }
-    let trace = std::mem::take(&mut state.alloc_trace);
-    (state.finish_report(), trace)
+    let mut driver = Driver::with_dispatcher(models, queries, cfg.clone(), dispatcher)?;
+    driver.run_to_completion();
+    Ok(driver.finish())
 }

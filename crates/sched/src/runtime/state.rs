@@ -1,13 +1,13 @@
 //! Shared unit-state for the scheduler-core runtime: queries, in-flight
 //! units, pending queues, and the progress-based bookkeeping every
-//! [`Dispatcher`](super::Dispatcher) implementation operates on.
+//! [`Dispatcher`] implementation operates on.
 //!
 //! Nothing in this module consults [`Policy`](crate::Policy): the state
 //! machine (arrival intake, time advancement, unit lifecycle, re-rating)
 //! is identical for every scheduling discipline. Policy-specific decisions
 //! enter only through the dispatcher (who runs next, with how many cores)
 //! and, at one block-internal boundary, through
-//! [`Dispatcher::should_yield`](super::Dispatcher::should_yield).
+//! [`Dispatcher::should_yield`].
 
 use std::collections::VecDeque;
 
@@ -17,6 +17,7 @@ use veltair_sim::{
     UnitProgress,
 };
 
+use super::driver::SimError;
 use super::monitor::{self, Monitor};
 use super::Dispatcher;
 use crate::report::ServingReport;
@@ -98,7 +99,9 @@ pub struct Pending {
 /// The complete mutable state of one serving simulation.
 pub struct SimState<'a> {
     /// Simulation configuration (machine, policy, monitor settings).
-    pub cfg: &'a SimConfig,
+    /// Owned so a [`Driver`](super::Driver) can hot-swap the policy while
+    /// the clock is running.
+    pub cfg: SimConfig,
     /// The compiled-model registry queries index into.
     pub models: &'a [CompiledModel],
     /// Per-query lifecycle state.
@@ -125,6 +128,9 @@ pub struct SimState<'a> {
     pub report: ServingReport,
     /// `(time, busy cores)` samples when `cfg.record_alloc_trace` is set.
     pub alloc_trace: Vec<(f64, u32)>,
+    /// Completion log: query indices in the order they finished. Sessions
+    /// poll this incrementally; the runtime only appends.
+    pub completed: Vec<usize>,
     /// The interference monitor (oracle or trained counter proxy).
     pub monitor: Box<dyn Monitor>,
 }
@@ -147,43 +153,98 @@ impl<'a> SimState<'a> {
     /// # Panics
     ///
     /// Panics if a query references a model that was not compiled, or if
-    /// `queries` is empty.
+    /// `queries` is empty. Use [`SimState::try_new`] to handle invalid
+    /// input gracefully.
     #[must_use]
-    pub fn new(models: &'a [CompiledModel], queries: &[QuerySpec], cfg: &'a SimConfig) -> Self {
+    pub fn new(models: &'a [CompiledModel], queries: &[QuerySpec], cfg: &SimConfig) -> Self {
         assert!(!queries.is_empty(), "cannot simulate an empty query stream");
-        let states: Vec<QueryState> = queries
-            .iter()
-            .map(|q| QueryState {
-                model: models
-                    .iter()
-                    .position(|m| m.name == q.model)
-                    .unwrap_or_else(|| panic!("model {} was not compiled", q.model)),
-                arrival: q.arrival,
-                next_unit: 0,
-                finish: None,
-            })
-            .collect();
+        Self::try_new(models, queries, cfg.clone()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the initial state and schedules every arrival, validating
+    /// that each query targets a compiled model.
+    ///
+    /// An empty `queries` slice is accepted: a streaming
+    /// [`Driver`](super::Driver) starts with no closed workload and feeds
+    /// arrivals through [`SimState::admit_query`] while the clock runs.
+    /// Batch entry points reject empty streams before calling this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownModel`] if a query references a model
+    /// that is not in `models`.
+    pub fn try_new(
+        models: &'a [CompiledModel],
+        queries: &[QuerySpec],
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        let free_cores = cfg.machine.cores;
+        let monitor = monitor::for_config(&cfg);
         let mut state = Self {
             cfg,
             models,
-            queries: states,
+            queries: Vec::with_capacity(queries.len()),
             running: Vec::new(),
             free_slots: Vec::new(),
             events: EventQueue::new(),
             now: SimTime::ZERO,
             last_advance: SimTime::ZERO,
-            free_cores: cfg.machine.cores,
+            free_cores,
             continuations: VecDeque::new(),
             arrivals: VecDeque::new(),
             best_effort: VecDeque::new(),
             report: ServingReport::default(),
             alloc_trace: Vec::new(),
-            monitor: monitor::for_config(cfg),
+            completed: Vec::new(),
+            monitor,
         };
-        for (i, q) in queries.iter().enumerate() {
-            state.events.push(q.arrival, Event::Arrival(i));
+        for q in queries {
+            state.admit_query(q)?;
         }
-        state
+        Ok(state)
+    }
+
+    /// Registers a new query and schedules its arrival event. This is the
+    /// open-loop injection path: it may be called at any point of the
+    /// simulation, including after events have been processed. Arrival
+    /// times already in the past are clamped to the current clock (the
+    /// query arrives "now").
+    ///
+    /// Returns the query's index, stable for the lifetime of the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownModel`] if `spec.model` is not among the
+    /// compiled models and [`SimError::NonFiniteArrival`] if the arrival
+    /// time is NaN or infinite (SimTime arithmetic would panic on it
+    /// later, deep inside the event loop).
+    pub fn admit_query(&mut self, spec: &QuerySpec) -> Result<usize, SimError> {
+        if !spec.arrival.0.is_finite() {
+            return Err(SimError::NonFiniteArrival {
+                arrival_s: spec.arrival.0,
+            });
+        }
+        let model = self
+            .models
+            .iter()
+            .position(|m| m.name == spec.model)
+            .ok_or_else(|| SimError::UnknownModel {
+                model: spec.model.clone(),
+            })?;
+        let arrival = if spec.arrival < self.now {
+            self.now
+        } else {
+            spec.arrival
+        };
+        let id = self.queries.len();
+        self.queries.push(QueryState {
+            model,
+            arrival,
+            next_unit: 0,
+            finish: None,
+        });
+        self.events.push(arrival, Event::Arrival(id));
+        Ok(id)
     }
 
     // --- Time advancement -------------------------------------------------
@@ -462,7 +523,9 @@ impl<'a> SimState<'a> {
         }
         stats.latency_sum_s += latency;
         stats.latency_max_s = stats.latency_max_s.max(latency);
+        stats.latencies_s.push(latency);
         self.report.makespan_s = self.report.makespan_s.max(self.now.0);
+        self.completed.push(query);
     }
 
     /// Re-rates all in-flight units under the new co-location and re-arms
@@ -470,8 +533,8 @@ impl<'a> SimState<'a> {
     ///
     /// A unit's latency depends on its co-runners' demands and vice versa,
     /// so re-rating is a fixed point: we iterate Jacobi sweeps in place
-    /// (bounded by [`MAX_REFRESH_SWEEPS`]) until the largest relative
-    /// latency change drops below [`REFRESH_TOL`], then arm exactly one
+    /// (bounded by `MAX_REFRESH_SWEEPS`) until the largest relative
+    /// latency change drops below `REFRESH_TOL`, then arm exactly one
     /// fresh event per changed unit. Converging *here* — instead of one
     /// sweep per event — keeps the event queue from ping-ponging between
     /// coupled units, which livelocks the simulation under overload.
@@ -534,5 +597,25 @@ impl<'a> SimState<'a> {
             self.report.avg_cores = self.report.core_seconds / self.report.makespan_s;
         }
         self.report
+    }
+
+    /// A point-in-time copy of the accumulating report with the derived
+    /// fields (`avg_cores`) finalized, for incremental mid-run statistics.
+    /// The underlying accumulation is untouched, so snapshots may be taken
+    /// at any cadence without perturbing the final report.
+    ///
+    /// Mid-run, `core_seconds` has accrued up to the current clock while
+    /// `makespan_s` only reaches the last *completion*, so the average is
+    /// taken over the elapsed time (the larger of the two); at exhaustion
+    /// the clock sits on the final completion and this coincides with
+    /// [`SimState::finish_report`].
+    #[must_use]
+    pub fn snapshot_report(&self) -> ServingReport {
+        let mut r = self.report.clone();
+        let elapsed = self.now.0.max(r.makespan_s);
+        if elapsed > 0.0 {
+            r.avg_cores = r.core_seconds / elapsed;
+        }
+        r
     }
 }

@@ -9,7 +9,7 @@
 //!   waited normalized by the QoS target, so tight-deadline tenants
 //!   accumulate tokens faster); a pending tenant with strictly more tokens
 //!   preempts at the next unit boundary via
-//!   [`Dispatcher::should_yield`](super::Dispatcher::should_yield).
+//!   [`Dispatcher::should_yield`].
 //! * **AI-MT** dispatches one *layer* at a time, picking the query with the
 //!   least relative progress (arrival order breaks ties) — its finer
 //!   temporal multiplexing without the accelerator's compute/memory

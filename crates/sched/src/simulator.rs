@@ -1,8 +1,8 @@
 //! The serving simulator's stable entry points (Algorithm 3).
 //!
-//! The actual machinery lives in the [`runtime`](crate::runtime) module
+//! The actual machinery lives in the [`runtime`] module
 //! family: a policy-agnostic discrete-event loop over pluggable
-//! [`Dispatcher`](crate::runtime::Dispatcher) implementations — spatial
+//! [`Dispatcher`] implementations — spatial
 //! layer-block sharing, temporal PREMA/AI-MT multiplexing, and Parties
 //! partitioning — with the oracle/proxy interference paths unified behind
 //! [`Monitor`](crate::runtime::Monitor). This module keeps the public
@@ -16,7 +16,7 @@ use veltair_sim::MachineConfig;
 
 use crate::policy::Policy;
 use crate::report::ServingReport;
-use crate::runtime::{self, Dispatcher};
+use crate::runtime::{self, Dispatcher, SimError};
 use crate::workload::QuerySpec;
 
 /// Simulation configuration.
@@ -74,11 +74,29 @@ impl SimConfig {
 /// # Panics
 ///
 /// Panics if a query references a model that was not compiled, or if
-/// `queries` is empty.
+/// `queries` is empty; use [`try_simulate`] to handle invalid input
+/// gracefully.
 #[must_use]
 pub fn simulate(models: &[CompiledModel], queries: &[QuerySpec], cfg: &SimConfig) -> ServingReport {
     let dispatcher = runtime::for_policy(cfg.policy);
     simulate_with_dispatcher(models, queries, cfg, dispatcher)
+}
+
+/// Fallible variant of [`simulate`], surfacing invalid input as a typed
+/// [`SimError`] instead of panicking (mirroring `WorkloadSpec::try_*`).
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownModel`] if a query references a model that
+/// was not compiled and [`SimError::EmptyWorkload`] if `queries` is
+/// empty.
+pub fn try_simulate(
+    models: &[CompiledModel],
+    queries: &[QuerySpec],
+    cfg: &SimConfig,
+) -> Result<ServingReport, SimError> {
+    let dispatcher = runtime::for_policy(cfg.policy);
+    runtime::try_run(models, queries, cfg, dispatcher).map(|(report, _)| report)
 }
 
 /// Runs the serving simulation under an explicitly constructed dispatcher

@@ -128,7 +128,7 @@ impl WorkloadSpec {
 
     /// Splits a total rate across models with frequency inversely
     /// proportional to their QoS targets (the paper's mixed workload
-    /// follows [53]: tighter-QoS tasks arrive more often), validated.
+    /// follows \[53\]: tighter-QoS tasks arrive more often), validated.
     ///
     /// # Errors
     ///
@@ -209,7 +209,7 @@ impl WorkloadSpec {
 
     /// Splits a total rate across models with frequency inversely
     /// proportional to their QoS targets (the paper's mixed workload
-    /// follows [53]: tighter-QoS tasks arrive more often).
+    /// follows \[53\]: tighter-QoS tasks arrive more often).
     ///
     /// # Panics
     ///

@@ -1,0 +1,251 @@
+//! Batch-vs-stepped equivalence and streaming determinism for the
+//! resumable [`Driver`].
+//!
+//! The API-redesign contract: the batch entry points are thin wrappers
+//! over the driver, so stepping a driver one event at a time to
+//! exhaustion must produce a *bit-identical* `ServingReport` to
+//! `simulate()` on the same inputs — for every policy family — and
+//! open-loop `inject`/`set_policy` sequences must be deterministic.
+
+use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
+use veltair_sched::runtime::Driver;
+use veltair_sched::{
+    simulate, try_simulate, Policy, QuerySpec, ServingReport, SimConfig, SimError, WorkloadSpec,
+};
+use veltair_sim::{MachineConfig, SimTime};
+
+fn machine() -> MachineConfig {
+    MachineConfig::threadripper_3990x()
+}
+
+fn compiled_pair() -> Vec<CompiledModel> {
+    let machine = machine();
+    let opts = CompilerOptions::fast();
+    vec![
+        compile_model(&veltair_models::mobilenet_v2(), &machine, &opts),
+        compile_model(&veltair_models::tiny_yolo_v2(), &machine, &opts),
+    ]
+}
+
+/// All nine evaluated policies: the extended comparison set plus the
+/// model-FCFS and fixed-block baselines.
+fn all_nine() -> Vec<Policy> {
+    let mut policies = Policy::extended_set().to_vec();
+    policies.push(Policy::ModelFcfs);
+    policies.push(Policy::FixedBlock(6));
+    policies
+}
+
+#[test]
+fn stepped_driver_is_bit_identical_to_batch_simulate() {
+    let models = compiled_pair();
+    let queries =
+        WorkloadSpec::mix(&[("mobilenet_v2", 120.0), ("tiny_yolo_v2", 40.0)], 80).generate(42);
+    for policy in all_nine() {
+        let cfg = SimConfig::new(machine(), policy);
+        let batch = simulate(&models, &queries, &cfg);
+
+        let mut driver = Driver::new(&models, &queries, cfg.clone()).expect("valid workload");
+        let mut steps = 0u64;
+        while driver.step().is_some() {
+            steps += 1;
+        }
+        let (stepped, _trace) = driver.finish();
+
+        assert!(steps > 0, "{}: driver processed no events", policy.name());
+        assert_eq!(
+            batch,
+            stepped,
+            "{}: stepped driver diverged from batch simulate",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn preloaded_and_injected_arrivals_are_equivalent() {
+    let models = compiled_pair();
+    let queries = WorkloadSpec::single("mobilenet_v2", 150.0, 50).generate(7);
+    let cfg = SimConfig::new(machine(), Policy::VeltairFull);
+
+    let mut preloaded = Driver::new(&models, &queries, cfg.clone()).expect("valid");
+    preloaded.run_to_completion();
+
+    let mut streamed = Driver::open(&models, cfg);
+    for q in &queries {
+        streamed.inject(q).expect("registered model");
+    }
+    streamed.run_to_completion();
+
+    assert_eq!(preloaded.finish().0, streamed.finish().0);
+}
+
+#[test]
+fn run_until_pauses_and_resumes_without_losing_queries() {
+    let models = compiled_pair();
+    let queries =
+        WorkloadSpec::mix(&[("mobilenet_v2", 200.0), ("tiny_yolo_v2", 60.0)], 60).generate(3);
+    let cfg = SimConfig::new(machine(), Policy::VeltairFull);
+    let batch = simulate(&models, &queries, &cfg);
+
+    let mut driver = Driver::new(&models, &queries, cfg).expect("valid");
+    // Pause at several wall-clock points; snapshots must be monotone in
+    // completed queries and never exceed the final count.
+    let mut last_completed = 0;
+    for t in [0.05, 0.1, 0.2, 0.4] {
+        driver.run_until(SimTime(t));
+        assert!(driver.now() >= SimTime(t));
+        let snap = driver.snapshot();
+        let completed = snap.total_queries();
+        assert!(completed >= last_completed, "completions went backwards");
+        assert!(completed <= 60);
+        let sat = snap.overall_satisfaction();
+        assert!(
+            (0.0..=1.0).contains(&sat),
+            "satisfaction {sat} out of range"
+        );
+        assert!(
+            snap.avg_cores <= 64.0 + 1e-9,
+            "mid-run avg_cores {} exceeds the machine",
+            snap.avg_cores
+        );
+        last_completed = completed;
+    }
+    driver.run_to_completion();
+    let (report, _) = driver.finish();
+    assert_eq!(report.total_queries(), batch.total_queries());
+    // Pausing splits time advancement into extra sub-intervals, which can
+    // perturb floating-point accumulation in the last ulp; the scheduling
+    // outcome itself must not drift.
+    assert_eq!(
+        report.per_model.keys().collect::<Vec<_>>(),
+        batch.per_model.keys().collect::<Vec<_>>()
+    );
+    for (name, stats) in &report.per_model {
+        assert_eq!(stats.queries, batch.per_model[name].queries, "{name}");
+    }
+}
+
+/// A scripted open-loop session: bursts injected while the clock runs and
+/// the policy hot-swapped twice mid-stream.
+fn scripted_session(models: &[CompiledModel]) -> ServingReport {
+    let cfg = SimConfig::new(machine(), Policy::VeltairFull);
+    let mut driver = Driver::open(models, cfg);
+    let burst =
+        WorkloadSpec::mix(&[("mobilenet_v2", 300.0), ("tiny_yolo_v2", 100.0)], 30).generate(11);
+    for q in &burst {
+        driver.inject(q).expect("registered");
+    }
+    driver.run_until(SimTime(0.04));
+    driver.set_policy(Policy::Prema);
+    // A second burst, shifted into the session's present.
+    for q in &burst {
+        driver
+            .inject(&QuerySpec {
+                model: q.model.clone(),
+                arrival: driver.now().after(q.arrival.0),
+            })
+            .expect("registered");
+    }
+    driver.run_until(SimTime(0.12));
+    driver.set_policy(Policy::VeltairAs);
+    // Late stragglers with arrivals already in the past: clamped to now.
+    for _ in 0..5 {
+        driver
+            .inject(&QuerySpec {
+                model: "tiny_yolo_v2".into(),
+                arrival: SimTime::ZERO,
+            })
+            .expect("registered");
+    }
+    driver.run_to_completion();
+    driver.finish().0
+}
+
+#[test]
+fn mid_run_inject_and_set_policy_are_deterministic() {
+    let models = compiled_pair();
+    let a = scripted_session(&models);
+    let b = scripted_session(&models);
+    assert_eq!(a, b, "scripted session is not reproducible");
+
+    // Report invariants survive the churn.
+    assert_eq!(a.total_queries(), 30 + 30 + 5);
+    let sat = a.overall_satisfaction();
+    assert!((0.0..=1.0).contains(&sat));
+    for stats in a.per_model.values() {
+        assert!(stats.satisfied <= stats.queries);
+        assert_eq!(stats.latencies_s.len(), stats.queries);
+        assert!(stats.latency_max_s >= stats.avg_latency_s());
+        assert!(stats.p99_latency_s() >= stats.p95_latency_s());
+        assert!(stats.latency_max_s >= stats.p99_latency_s());
+    }
+}
+
+#[test]
+fn set_policy_between_steps_changes_the_discipline() {
+    let models = compiled_pair();
+    let queries = WorkloadSpec::single("mobilenet_v2", 500.0, 40).generate(9);
+    let cfg = SimConfig::new(machine(), Policy::VeltairFull);
+
+    let mut swapped = Driver::new(&models, &queries, cfg.clone()).expect("valid");
+    swapped.run_until(SimTime(0.02));
+    swapped.set_policy(Policy::Prema);
+    assert_eq!(swapped.policy(), Policy::Prema);
+    swapped.run_to_completion();
+    let (swapped, _) = swapped.finish();
+
+    let unswapped = simulate(&models, &queries, &cfg);
+    assert_eq!(swapped.total_queries(), unswapped.total_queries());
+    assert_ne!(
+        swapped, unswapped,
+        "a mid-run swap to PREMA should alter the outcome under overload"
+    );
+}
+
+#[test]
+fn driver_construction_reports_typed_errors() {
+    let models = compiled_pair();
+    let cfg = SimConfig::new(machine(), Policy::VeltairFull);
+
+    let unknown = WorkloadSpec::single("resnet50", 10.0, 5).generate(1);
+    match Driver::new(&models, &unknown, cfg.clone()) {
+        Err(SimError::UnknownModel { model }) => assert_eq!(model, "resnet50"),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    assert!(matches!(
+        Driver::new(&models, &[], cfg.clone()),
+        Err(SimError::EmptyWorkload)
+    ));
+    assert!(matches!(
+        try_simulate(&models, &[], &cfg),
+        Err(SimError::EmptyWorkload)
+    ));
+    assert_eq!(
+        try_simulate(&models, &unknown, &cfg),
+        Err(SimError::UnknownModel {
+            model: "resnet50".into()
+        })
+    );
+
+    // Injection into a live driver is validated the same way.
+    let mut driver = Driver::open(&models, cfg);
+    assert!(matches!(
+        driver.inject(&QuerySpec {
+            model: "bert_large".into(),
+            arrival: SimTime::ZERO,
+        }),
+        Err(SimError::UnknownModel { .. })
+    ));
+}
+
+#[test]
+fn try_simulate_matches_simulate_on_valid_input() {
+    let models = compiled_pair();
+    let queries = WorkloadSpec::single("tiny_yolo_v2", 40.0, 30).generate(2);
+    let cfg = SimConfig::new(machine(), Policy::Planaria);
+    assert_eq!(
+        try_simulate(&models, &queries, &cfg).expect("valid"),
+        simulate(&models, &queries, &cfg)
+    );
+}

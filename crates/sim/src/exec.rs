@@ -120,7 +120,7 @@ impl UnitProgress {
 /// `flops / (effective_cores x peak x efficiency)` including a wave-
 /// quantization imbalance factor; memory time is cache-share-dependent DRAM
 /// traffic divided by the bandwidth left over by co-runners. The two terms
-/// overlap imperfectly ([`OVERLAP_RESIDUAL`]).
+/// overlap imperfectly (`OVERLAP_RESIDUAL`).
 ///
 /// # Panics
 ///

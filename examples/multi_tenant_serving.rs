@@ -33,8 +33,8 @@ fn main() {
     println!("interference proxy r2 = {:.3}\n", proxy.r2);
 
     println!(
-        "{:<14} {:>12} {:>12} {:>10} {:>10}",
-        "policy", "satisfied", "latency(ms)", "conflicts", "avg cores"
+        "{:<14} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "satisfied", "latency(ms)", "p95(ms)", "p99(ms)", "conflicts", "avg cores"
     );
     for policy in [
         Policy::ModelFcfs,
@@ -51,10 +51,12 @@ fn main() {
         engine.set_proxy(proxy.clone());
         let report = engine.run(&workload, 3);
         println!(
-            "{:<14} {:>11.1}% {:>12.2} {:>10} {:>10.1}",
+            "{:<14} {:>11.1}% {:>12.2} {:>10.2} {:>10.2} {:>10} {:>10.1}",
             policy.name(),
             report.overall_satisfaction() * 100.0,
             report.overall_avg_latency_s() * 1e3,
+            report.overall_percentile_latency_s(95.0) * 1e3,
+            report.overall_percentile_latency_s(99.0) * 1e3,
             report.conflicts,
             report.avg_cores
         );

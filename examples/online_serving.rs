@@ -1,0 +1,112 @@
+//! Online serving through the resumable session API: bursty open-loop
+//! arrivals, a mid-run policy hot-swap, and periodic incremental
+//! snapshots — the scenario the batch `run(workload, seed)` path cannot
+//! express.
+//!
+//! ```text
+//! cargo run --release --example online_serving
+//! ```
+
+use veltair::prelude::*;
+
+fn print_snapshot(label: &str, snap: &ReportSnapshot) {
+    println!(
+        "t={:>6.0}ms  [{label}]  submitted {:>3}  done {:>3}  in-flight {:>2}  queued {:>3}",
+        snap.now_s * 1e3,
+        snap.submitted,
+        snap.completed,
+        snap.in_flight,
+        snap.queued,
+    );
+    for (model, stats) in &snap.report.per_model {
+        println!(
+            "    {:<14} {:>4} done  {:>5.1}% QoS  avg {:>7.2}ms  p95 {:>7.2}ms  p99 {:>7.2}ms",
+            model,
+            stats.queries,
+            stats.satisfaction() * 100.0,
+            stats.avg_latency_s() * 1e3,
+            stats.p95_latency_s() * 1e3,
+            stats.p99_latency_s() * 1e3,
+        );
+    }
+}
+
+fn main() -> Result<(), EngineError> {
+    let machine = MachineConfig::threadripper_3990x();
+    let opts = CompilerOptions::fast();
+    let names = ["mobilenet_v2", "tiny_yolo_v2", "resnet50"];
+    println!("compiling {} models...", names.len());
+
+    let mut builder = ServingEngine::builder()
+        .machine(machine.clone())
+        .policy(Policy::VeltairFull);
+    for name in names {
+        builder = builder.model(compile_model(
+            &by_name(name).expect("zoo model"),
+            &machine,
+            &opts,
+        ));
+    }
+    let engine = builder.build()?;
+
+    let mut session = engine.session()?;
+    println!("session open under {}\n", session.policy().name());
+
+    // Phase 1: a steady trickle plus a sharp mobilenet burst at t=0.
+    session.submit_stream(&WorkloadSpec::mix(&[("resnet50", 40.0)], 40), 7)?;
+    for i in 0..60 {
+        session.submit("mobilenet_v2", f64::from(i) * 0.0005)?;
+    }
+    for t_ms in [50.0, 100.0] {
+        session.run_until(t_ms / 1e3);
+        print_snapshot(&session.policy().name(), &session.snapshot());
+        println!("    poll: +{} completions", session.poll().len());
+    }
+
+    // Phase 2: hot-swap the scheduler mid-stream (policy A/B) and throw a
+    // second, mixed burst at it while the first is still draining.
+    session.set_policy(Policy::VeltairAs);
+    println!(
+        "\n-- policy hot-swapped to {} --\n",
+        session.policy().name()
+    );
+    session.submit_stream(
+        &WorkloadSpec::mix(&[("tiny_yolo_v2", 200.0), ("mobilenet_v2", 100.0)], 60),
+        11,
+    )?;
+    for t_ms in [150.0, 250.0, 400.0] {
+        session.run_until(t_ms / 1e3);
+        print_snapshot(&session.policy().name(), &session.snapshot());
+        println!("    poll: +{} completions", session.poll().len());
+    }
+
+    // Drain: collect the straggler completions one by one.
+    let stragglers = session.drain();
+    println!("\ndrained {} straggler completions", stragglers.len());
+    if let Some(worst) = stragglers
+        .iter()
+        .max_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+    {
+        println!(
+            "slowest straggler: {} query #{} at {:.2}ms ({})",
+            worst.model,
+            worst.query,
+            worst.latency_s * 1e3,
+            if worst.qos_met {
+                "within QoS"
+            } else {
+                "QoS miss"
+            },
+        );
+    }
+
+    let report = session.finish();
+    println!(
+        "\nfinal: {} queries, {:.1}% QoS, makespan {:.0}ms, avg {:.1} cores",
+        report.total_queries(),
+        report.overall_satisfaction() * 100.0,
+        report.makespan_s * 1e3,
+        report.avg_cores,
+    );
+    Ok(())
+}

@@ -27,16 +27,25 @@
 //! ```
 //! use veltair::prelude::*;
 //!
-//! // Compile a model once, offline.
+//! // Compile a model once, offline, and build a validated engine.
 //! let machine = MachineConfig::threadripper_3990x();
 //! let spec = veltair::models::mobilenet_v2();
-//! let compiled = compile_model(&spec, &machine, &CompilerOptions::fast());
+//! let engine = ServingEngine::builder()
+//!     .machine(machine.clone())
+//!     .policy(Policy::VeltairFull)
+//!     .model(compile_model(&spec, &machine, &CompilerOptions::fast()))
+//!     .build()?;
 //!
-//! // Serve a Poisson query stream with the full VELTAIR policy.
-//! let mut engine = ServingEngine::new(machine, Policy::VeltairFull);
-//! engine.register(compiled);
-//! let report = engine.run(&WorkloadSpec::single("mobilenet_v2", 50.0, 50), 42);
+//! // Serve a Poisson stream through a resumable session: arrivals go in
+//! // while the clock runs, per-model stats come out mid-run.
+//! let mut session = engine.session()?;
+//! session.submit_stream(&WorkloadSpec::single("mobilenet_v2", 50.0, 50), 42)?;
+//! session.run_until(0.25);
+//! let live = session.snapshot();
+//! assert!(live.completed <= 50);
+//! let report = session.finish();
 //! assert_eq!(report.total_queries(), 50);
+//! # Ok::<(), veltair::core::EngineError>(())
 //! ```
 
 pub use veltair_compiler as compiler;
@@ -51,11 +60,12 @@ pub use veltair_tensor as tensor;
 pub mod prelude {
     pub use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
     pub use veltair_core::{
-        max_qps_at_qos, train_proxy, Policy, QpsResult, QpsSearchConfig, ServingEngine,
-        ServingReport, WorkloadError, WorkloadSpec,
+        max_qps_at_qos, train_proxy, Completion, EngineBuilder, EngineError, Policy, QpsResult,
+        QpsSearchConfig, ReportSnapshot, ServingEngine, ServingReport, ServingSession, SimError,
+        WorkloadError, WorkloadSpec,
     };
     pub use veltair_models::{all_models, by_name, ModelSpec, WorkloadClass};
-    pub use veltair_sched::runtime::Dispatcher;
-    pub use veltair_sched::SimConfig;
-    pub use veltair_sim::{Interference, MachineConfig};
+    pub use veltair_sched::runtime::{Dispatcher, Driver};
+    pub use veltair_sched::{QuerySpec, SimConfig};
+    pub use veltair_sim::{Interference, MachineConfig, SimTime};
 }

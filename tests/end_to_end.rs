@@ -101,6 +101,44 @@ fn adaptive_compilation_switches_versions_under_pressure() {
 }
 
 #[test]
+fn session_lifecycle_through_the_facade() {
+    // The full builder → session → snapshot lifecycle, as a downstream
+    // user of the `veltair` facade sees it.
+    let m = machine();
+    let compiled = compile(&["mobilenet_v2", "tiny_yolo_v2"]);
+    let mut builder = ServingEngine::builder()
+        .machine(m)
+        .policy(Policy::VeltairFull)
+        .slo("tiny_yolo_v2", 0.5);
+    for c in compiled {
+        builder = builder.model(c);
+    }
+    let engine = builder.build().expect("valid engine");
+    assert!((engine.models()[1].qos_s - 0.5).abs() < 1e-12);
+
+    let mut session = engine.session().expect("has models");
+    session
+        .submit_stream(
+            &WorkloadSpec::mix(&[("mobilenet_v2", 150.0), ("tiny_yolo_v2", 50.0)], 80),
+            21,
+        )
+        .expect("valid stream");
+    // Drive in slices, swapping policy mid-run; the relaxed yolo SLO
+    // keeps its satisfaction high even under PREMA serialization.
+    session.run_until(0.05);
+    session.set_policy(Policy::Prema);
+    let mid = session.snapshot();
+    assert_eq!(mid.submitted, 80);
+    assert!(mid.completed <= 80);
+    let completions = session.drain();
+    assert_eq!(completions.len(), 80);
+    let report = session.finish();
+    assert_eq!(report.total_queries(), 80);
+    assert!(report.qos_satisfaction("tiny_yolo_v2") > 0.9);
+    assert!(report.p99_latency_s("tiny_yolo_v2") >= report.p95_latency_s("tiny_yolo_v2"));
+}
+
+#[test]
 fn report_cpu_accounting_is_bounded() {
     let compiled = compile(&["googlenet"]);
     let mut engine = ServingEngine::new(machine(), Policy::VeltairAs);
