@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the cluster layer's hot paths: the
+//! per-event `Driver::step` loop every node spins on, the per-query
+//! router decision, and a whole fleet run — the three costs that bound
+//! how much virtual traffic a fleet simulation can push per wall-second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veltair_cluster::{AdmissionKind, Fleet, NodeLoad, NodeSpec, RouterKind};
+use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
+use veltair_sched::runtime::Driver;
+use veltair_sched::{Policy, QuerySpec, SimConfig, WorkloadSpec};
+use veltair_sim::{MachineConfig, SimTime};
+
+fn compiled_mobilenet() -> Vec<CompiledModel> {
+    let machine = MachineConfig::threadripper_3990x();
+    vec![compile_model(
+        &veltair_models::mobilenet_v2(),
+        &machine,
+        &CompilerOptions::fast(),
+    )]
+}
+
+/// The per-node event loop: how fast one driver chews through a queued
+/// 50-query burst, one `step()` at a time.
+fn bench_driver_step(c: &mut Criterion) {
+    let models = compiled_mobilenet();
+    let machine = MachineConfig::threadripper_3990x();
+    let queries = WorkloadSpec::single("mobilenet_v2", 400.0, 50).generate(7);
+    c.bench_function("driver_step_50_query_burst", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::new(machine.clone(), Policy::VeltairFull);
+            let mut driver = Driver::new(&models, &queries, cfg).expect("valid workload");
+            let mut events = 0u64;
+            while driver.step().is_some() {
+                events += 1;
+            }
+            events
+        })
+    });
+}
+
+/// The per-query routing decision against a 16-node load table (pure
+/// computation; the load views are fixed).
+fn bench_router_decisions(c: &mut Criterion) {
+    let models = compiled_mobilenet();
+    let loads: Vec<NodeLoad> = (0..16)
+        .map(|i| NodeLoad {
+            node: i,
+            outstanding: (i * 7) % 13,
+            queued: (i * 3) % 5,
+            in_flight: i % 4,
+            busy_cores: ((i * 11) % 64) as u32,
+            total_cores: if i % 3 == 0 { 8 } else { 64 },
+            occupancy: (i as f64) / 16.0,
+            pressure: ((i * 5) % 16) as f64 / 16.0,
+        })
+        .collect();
+    let query = QuerySpec {
+        model: "mobilenet_v2".into(),
+        arrival: SimTime(0.0),
+    };
+    for kind in [
+        RouterKind::RoundRobin,
+        RouterKind::LeastOutstanding,
+        RouterKind::PowerOfTwoChoices { seed: 1 },
+        RouterKind::InterferenceAware,
+    ] {
+        let mut router = kind.build();
+        c.bench_function(&format!("route_16_nodes/{}", kind.name()), |b| {
+            b.iter(|| router.route(std::hint::black_box(&loads), &models[0], &query))
+        });
+    }
+}
+
+/// A whole fleet run: routing + lockstep advancement + per-node event
+/// loops for a 60-query burst over four heterogeneous nodes.
+fn bench_fleet_run(c: &mut Criterion) {
+    let models = compiled_mobilenet();
+    let big = MachineConfig::threadripper_3990x();
+    let edge = MachineConfig::desktop_8core();
+    let nodes = vec![
+        NodeSpec::new("big-0", big.clone(), Policy::VeltairFull),
+        NodeSpec::new("big-1", big, Policy::VeltairFull),
+        NodeSpec::new("edge-0", edge.clone(), Policy::Prema),
+        NodeSpec::new("edge-1", edge, Policy::Planaria),
+    ];
+    let workload = WorkloadSpec::single("mobilenet_v2", 300.0, 60);
+    c.bench_function("fleet_serve_60_queries_4_nodes", |b| {
+        b.iter(|| {
+            let mut fleet = Fleet::new(
+                &models,
+                &nodes,
+                RouterKind::InterferenceAware.build(),
+                AdmissionKind::AdmitAll.build(),
+            )
+            .expect("valid fleet");
+            fleet.submit_stream(&workload, 5).expect("registered");
+            fleet.finish()
+        })
+    });
+}
+
+criterion_group! {
+    name = cluster_hot_path;
+    config = Criterion::default().sample_size(10);
+    targets = bench_driver_step, bench_router_decisions, bench_fleet_run
+}
+criterion_main!(cluster_hot_path);

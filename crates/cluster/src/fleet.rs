@@ -1,0 +1,490 @@
+//! The fleet runtime: N per-node serving drivers behind one front door.
+//!
+//! A [`Fleet`] composes independent per-node
+//! [`Driver`]s and advances them in lockstep
+//! virtual time. Arrivals enter through the fleet, not the nodes: each
+//! query is held until the fleet clock reaches its arrival, every node is
+//! advanced to that instant, and the router then picks a node using the
+//! *live* load views — so routing decisions see exactly the state a real
+//! front-end load balancer would observe at that moment. An admission
+//! controller sits behind the router and may shed or defer the query
+//! instead of injecting it.
+//!
+//! Determinism: nodes are independent simulations, arrival processing is
+//! totally ordered by `(arrival time, submission order)`, and every
+//! built-in router/controller is deterministic for a fixed configuration
+//! — so a fleet run is a pure function of (models, node specs, router
+//! kind, admission kind, workload, seed).
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use veltair_compiler::CompiledModel;
+use veltair_sched::runtime::Driver;
+use veltair_sched::{QuerySpec, WorkloadSpec};
+use veltair_sim::SimTime;
+
+use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::node::{NodeLoad, NodeSpec};
+use crate::report::{merge_reports, FleetReport};
+use crate::router::Router;
+
+/// Why a fleet could not be built or a query could not be submitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The fleet was configured with no nodes.
+    NoNodes,
+    /// The fleet was configured with an empty model registry.
+    NoModels,
+    /// A query or workload stream referenced an unregistered model.
+    UnknownModel {
+        /// The model name that failed to resolve.
+        model: String,
+    },
+    /// A submitted query's arrival time was NaN or infinite.
+    NonFiniteArrival {
+        /// The rejected arrival time, seconds.
+        arrival_s: f64,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoNodes => write!(f, "a fleet needs at least one node"),
+            ClusterError::NoModels => write!(f, "a fleet needs at least one compiled model"),
+            ClusterError::UnknownModel { model } => {
+                write!(f, "model {model} is not in the fleet's registry")
+            }
+            ClusterError::NonFiniteArrival { arrival_s } => {
+                write!(f, "arrival times must be finite, got {arrival_s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Fleet-imposed ceiling on deferrals of a single query, applied on top
+/// of whatever the admission controller decides. A controller that keeps
+/// returning `Defer` regardless of the `attempts` counter (a buggy or
+/// adversarial implementation of the public trait) would otherwise spin
+/// [`Fleet::run_to_completion`] forever; at the cap the query is shed.
+const DEFER_HARD_CAP: u32 = 32;
+
+/// A query waiting at the fleet front door for its routing instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PendingQuery {
+    /// When the query is next offered to the router: the submitted
+    /// arrival time, pushed later by each admission deferral.
+    due: SimTime,
+    /// The originally submitted arrival time. Latency accounting runs
+    /// from here, so deferral hold time counts against the SLO.
+    arrival: SimTime,
+    /// Tie-break: fleet submission order, so equal-time arrivals are
+    /// processed deterministically.
+    seq: u64,
+    /// Index into the fleet's model registry.
+    model: usize,
+    /// Deferral count so far.
+    attempts: u32,
+}
+
+impl Ord for PendingQuery {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+impl PartialOrd for PendingQuery {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A point-in-time view of one fleet node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot {
+    /// The node's display name.
+    pub name: String,
+    /// The node's live load view (what routers see).
+    pub load: NodeLoad,
+    /// Queries routed into this node so far.
+    pub routed: u64,
+    /// Queries this node has completed so far.
+    pub completed: usize,
+}
+
+/// A point-in-time view of a live fleet, from [`Fleet::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// Fleet clock, seconds.
+    pub now_s: f64,
+    /// Queries submitted to the fleet so far.
+    pub submitted: u64,
+    /// Queries completed across all nodes.
+    pub completed: usize,
+    /// Queries still waiting at the front door (arrival in the future or
+    /// held by a deferral).
+    pub front_door: usize,
+    /// Queries refused by admission control so far.
+    pub shed: u64,
+    /// Deferral events so far.
+    pub deferrals: u64,
+    /// Per-node views, in fleet node order.
+    pub nodes: Vec<NodeSnapshot>,
+    /// The pooled fleet-wide report over queries completed so far.
+    pub report: veltair_sched::ServingReport,
+}
+
+/// N per-node serving drivers composed behind a router and an admission
+/// controller, advancing in lockstep virtual time.
+pub struct Fleet<'a> {
+    models: &'a [CompiledModel],
+    names: Vec<String>,
+    drivers: Vec<Driver<'a>>,
+    router: Box<dyn Router>,
+    admission: Box<dyn AdmissionController>,
+    pending: std::collections::BinaryHeap<PendingQuery>,
+    now: SimTime,
+    next_seq: u64,
+    routed: Vec<u64>,
+    shed: u64,
+    shed_per_model: BTreeMap<String, u64>,
+    deferrals: u64,
+}
+
+impl std::fmt::Debug for Fleet<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("now", &self.now)
+            .field("nodes", &self.names)
+            .field("router", &self.router.name())
+            .field("admission", &self.admission.name())
+            .field("front_door", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Fleet<'a> {
+    /// Builds a fleet over a shared compiled-model registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoNodes`] if `specs` is empty and
+    /// [`ClusterError::NoModels`] if `models` is.
+    pub fn new(
+        models: &'a [CompiledModel],
+        specs: &[NodeSpec],
+        router: Box<dyn Router>,
+        admission: Box<dyn AdmissionController>,
+    ) -> Result<Self, ClusterError> {
+        if specs.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
+        if models.is_empty() {
+            return Err(ClusterError::NoModels);
+        }
+        let drivers: Vec<Driver<'a>> = specs
+            .iter()
+            .map(|s| Driver::open(models, s.sim_config()))
+            .collect();
+        Ok(Self {
+            models,
+            names: specs.iter().map(|s| s.name.clone()).collect(),
+            routed: vec![0; drivers.len()],
+            drivers,
+            router,
+            admission,
+            pending: std::collections::BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            shed: 0,
+            shed_per_model: BTreeMap::new(),
+            deferrals: 0,
+        })
+    }
+
+    // --- Observation ------------------------------------------------------
+
+    /// Fleet clock, seconds.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.now.0
+    }
+
+    /// Number of member nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// The shared compiled-model registry.
+    #[must_use]
+    pub fn models(&self) -> &'a [CompiledModel] {
+        self.models
+    }
+
+    /// Whether every routed query has completed and the front door is
+    /// empty.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.drivers.iter().all(Driver::is_idle)
+    }
+
+    /// Live load views for every node, in fleet order — what the router
+    /// is shown at a routing decision (with the pressure field populated;
+    /// routing skips it when nothing consumes it).
+    #[must_use]
+    pub fn loads(&self) -> Vec<NodeLoad> {
+        self.loads_inner(true)
+    }
+
+    fn loads_inner(&self, want_pressure: bool) -> Vec<NodeLoad> {
+        self.drivers
+            .iter()
+            .enumerate()
+            .map(|(i, d)| NodeLoad {
+                node: i,
+                outstanding: d.outstanding(),
+                queued: d.queued(),
+                in_flight: d.in_flight(),
+                busy_cores: d.busy_cores(),
+                total_cores: d.total_cores(),
+                occupancy: d.occupancy(),
+                pressure: if want_pressure { d.pressure() } else { 0.0 },
+            })
+            .collect()
+    }
+
+    /// A point-in-time fleet view: per-node loads and routed/completed
+    /// counts plus the pooled mid-run report. Does not perturb the run.
+    #[must_use]
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let nodes: Vec<NodeSnapshot> = self
+            .loads()
+            .into_iter()
+            .zip(&self.drivers)
+            .map(|(load, d)| NodeSnapshot {
+                name: self.names[load.node].clone(),
+                routed: self.routed[load.node],
+                completed: d.completions().len(),
+                load,
+            })
+            .collect();
+        let report = merge_reports(
+            &self
+                .drivers
+                .iter()
+                .map(Driver::snapshot)
+                .collect::<Vec<_>>(),
+        );
+        FleetSnapshot {
+            now_s: self.now.0,
+            submitted: self.next_seq,
+            completed: self.drivers.iter().map(|d| d.completions().len()).sum(),
+            front_door: self.pending.len(),
+            shed: self.shed,
+            deferrals: self.deferrals,
+            nodes,
+            report,
+        }
+    }
+
+    // --- Input ------------------------------------------------------------
+
+    /// Submits one query to the fleet front door. The query is routed when
+    /// the fleet clock reaches its arrival (clamped to *now* if already
+    /// past). Returns the fleet-level submission sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownModel`] if the model is not in the
+    /// registry and [`ClusterError::NonFiniteArrival`] for NaN/infinite
+    /// arrival times.
+    pub fn submit(&mut self, spec: &QuerySpec) -> Result<u64, ClusterError> {
+        if !spec.arrival.0.is_finite() {
+            return Err(ClusterError::NonFiniteArrival {
+                arrival_s: spec.arrival.0,
+            });
+        }
+        let model = self
+            .models
+            .iter()
+            .position(|m| m.name == spec.model)
+            .ok_or_else(|| ClusterError::UnknownModel {
+                model: spec.model.clone(),
+            })?;
+        let arrival = if spec.arrival < self.now {
+            self.now
+        } else {
+            spec.arrival
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(PendingQuery {
+            due: arrival,
+            arrival,
+            seq,
+            model,
+            attempts: 0,
+        });
+        Ok(seq)
+    }
+
+    /// Submits a whole workload's generated stream, every arrival offset
+    /// by the fleet's current clock. Atomic: stream model names are
+    /// validated up front, so an error means nothing was submitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownModel`] if the workload references
+    /// a model outside the registry.
+    pub fn submit_stream(
+        &mut self,
+        workload: &WorkloadSpec,
+        seed: u64,
+    ) -> Result<Vec<u64>, ClusterError> {
+        if let Some((name, _)) = workload
+            .streams
+            .iter()
+            .find(|(name, _)| !self.models.iter().any(|m| &m.name == name))
+        {
+            return Err(ClusterError::UnknownModel {
+                model: name.clone(),
+            });
+        }
+        let base = self.now.0;
+        workload
+            .generate(seed)
+            .iter()
+            .map(|q| {
+                self.submit(&QuerySpec {
+                    model: q.model.clone(),
+                    arrival: SimTime(base + q.arrival.0),
+                })
+            })
+            .collect()
+    }
+
+    // --- Time -------------------------------------------------------------
+
+    /// Advances every node to `t` in lockstep and moves the fleet clock.
+    fn advance_nodes_to(&mut self, t: SimTime) {
+        for d in &mut self.drivers {
+            d.run_until(t);
+        }
+        self.now = t;
+    }
+
+    /// Routes every front-door query due at or before `t`, advancing the
+    /// fleet to each routing instant so routing sees live load.
+    fn route_due(&mut self, t: SimTime) {
+        // Pressure is the one load signal that costs real work to read
+        // (a monitor pass over every running unit, per node); skip it
+        // when neither the router nor the admission controller consumes
+        // it.
+        let want_pressure = self.router.needs_pressure() || self.admission.needs_pressure();
+        while let Some(p) = self.pending.peek() {
+            if p.due > t {
+                break;
+            }
+            let p = self.pending.pop().expect("peeked entry exists");
+            self.advance_nodes_to(p.due);
+            let loads = self.loads_inner(want_pressure);
+            let model = &self.models[p.model];
+            // The spec carries the *submitted* arrival: after a deferral
+            // it lies in the past, and `inject_held` keeps it as the
+            // latency baseline so hold time counts against the SLO.
+            let query = QuerySpec {
+                model: model.name.clone(),
+                arrival: p.arrival,
+            };
+            let node = self
+                .router
+                .route(&loads, model, &query)
+                .min(loads.len() - 1);
+            let decision = if p.attempts >= DEFER_HARD_CAP {
+                AdmissionDecision::Shed
+            } else {
+                self.admission.decide(&loads[node], model, p.attempts)
+            };
+            match decision {
+                AdmissionDecision::Admit => {
+                    self.drivers[node]
+                        .inject_held(&query)
+                        .expect("model validated at submission");
+                    self.routed[node] += 1;
+                }
+                AdmissionDecision::Defer { delay_s } => {
+                    self.deferrals += 1;
+                    self.pending.push(PendingQuery {
+                        // Clamp so a zero-delay controller still makes
+                        // progress through its `attempts` counter.
+                        due: p.due.after(delay_s.max(1e-9)),
+                        arrival: p.arrival,
+                        seq: p.seq,
+                        model: p.model,
+                        attempts: p.attempts + 1,
+                    });
+                }
+                AdmissionDecision::Shed => {
+                    self.shed += 1;
+                    *self.shed_per_model.entry(model.name.clone()).or_default() += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs the fleet up to `t` seconds: routes every due arrival at its
+    /// own instant, then advances all nodes to exactly `t`.
+    pub fn run_until(&mut self, t_s: f64) {
+        let t = SimTime(t_s);
+        self.route_due(t);
+        if t > self.now {
+            self.advance_nodes_to(t);
+        }
+    }
+
+    /// Runs the fleet for another `dt_s` seconds.
+    pub fn run_for(&mut self, dt_s: f64) {
+        self.run_until(self.now.after(dt_s).0);
+    }
+
+    /// Routes every remaining arrival and drains all nodes.
+    pub fn run_to_completion(&mut self) {
+        while let Some(p) = self.pending.peek() {
+            let t = p.due;
+            self.run_until(t.0);
+        }
+        for d in &mut self.drivers {
+            d.run_to_completion();
+        }
+        let end = self
+            .drivers
+            .iter()
+            .map(|d| d.now())
+            .max()
+            .unwrap_or(self.now);
+        self.now = self.now.max(end);
+    }
+
+    /// Finishes the fleet: drains everything and returns the final
+    /// [`FleetReport`] with per-node and pooled statistics.
+    #[must_use]
+    pub fn finish(mut self) -> FleetReport {
+        self.run_to_completion();
+        let per_node: Vec<veltair_sched::ServingReport> =
+            self.drivers.into_iter().map(|d| d.finish().0).collect();
+        FleetReport {
+            merged: merge_reports(&per_node),
+            per_node,
+            node_names: self.names,
+            routed_per_node: self.routed,
+            shed: self.shed,
+            shed_per_model: self.shed_per_model,
+            deferrals: self.deferrals,
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Cluster serving: a multi-machine fleet runtime with SLO-aware routing
+//! and admission control.
+//!
+//! VELTAIR (ASPLOS 2022) packs multi-tenant DNN queries onto *one* CPU
+//! server; production traffic is sharded across many. This crate adds
+//! that layer: a [`Fleet`] composes N per-node serving drivers (each a
+//! full single-machine simulation from `veltair-sched`, with its own
+//! machine, scheduling policy, and interference monitor) behind a
+//! front-end with pluggable [`Router`] policies and an
+//! [`AdmissionController`] that sheds or defers queries when their
+//! projected SLO violation probability crosses a threshold.
+//!
+//! The module family:
+//!
+//! * [`node`] — [`NodeSpec`] (machine + policy + optional proxy per
+//!   member) and [`NodeLoad`], the live load view routers consume;
+//! * [`router`] — the [`Router`] trait with round-robin,
+//!   least-outstanding, power-of-two-choices, and interference-aware
+//!   routing (the fleet-level consumer of each node's monitor/proxy
+//!   pressure signal);
+//! * [`admission`] — the [`AdmissionController`] trait, the no-op
+//!   [`AdmitAll`], and the SLO-projection [`SloAdmission`];
+//! * [`fleet`] — the [`Fleet`] runtime: lockstep virtual time across
+//!   nodes, arrival-instant routing, streaming submission, snapshots;
+//! * [`report`] — [`FleetReport`] and [`merge_reports`], which pools
+//!   latency samples so fleet p95/p99 are computed over the union of
+//!   node samples (never averaged percentiles).
+//!
+//! Fleets may be heterogeneous in both hardware and policy — a fleet can
+//! mix Veltair-FULL flagships with PREMA or Planaria legacy nodes — and
+//! every run is bit-deterministic for a fixed configuration and seed.
+//!
+//! # Example
+//!
+//! ```
+//! use veltair_cluster::{AdmissionKind, Fleet, NodeSpec, RouterKind};
+//! use veltair_compiler::{compile_model, CompilerOptions};
+//! use veltair_sched::{Policy, WorkloadSpec};
+//! use veltair_sim::MachineConfig;
+//!
+//! let machine = MachineConfig::threadripper_3990x();
+//! let models = vec![compile_model(
+//!     &veltair_models::mobilenet_v2(),
+//!     &machine,
+//!     &CompilerOptions::fast(),
+//! )];
+//! let nodes = vec![
+//!     NodeSpec::new("node-0", machine.clone(), Policy::VeltairFull),
+//!     NodeSpec::new("node-1", MachineConfig::desktop_8core(), Policy::Prema),
+//! ];
+//! let mut fleet = Fleet::new(
+//!     &models,
+//!     &nodes,
+//!     RouterKind::LeastOutstanding.build(),
+//!     AdmissionKind::AdmitAll.build(),
+//! )?;
+//! fleet.submit_stream(&WorkloadSpec::single("mobilenet_v2", 60.0, 40), 7)?;
+//! fleet.run_until(0.25);
+//! let live = fleet.snapshot();
+//! assert_eq!(live.nodes.len(), 2);
+//! let report = fleet.finish();
+//! assert_eq!(report.merged.total_queries() + report.shed as usize, 40);
+//! # Ok::<(), veltair_cluster::ClusterError>(())
+//! ```
+
+pub mod admission;
+pub mod fleet;
+pub mod node;
+pub mod report;
+pub mod router;
+
+pub use admission::{
+    AdmissionController, AdmissionDecision, AdmissionKind, AdmitAll, SloAdmission,
+    SloAdmissionConfig,
+};
+pub use fleet::{ClusterError, Fleet, FleetSnapshot, NodeSnapshot};
+pub use node::{NodeLoad, NodeSpec};
+pub use report::{merge_reports, FleetReport};
+pub use router::{
+    InterferenceAware, LeastOutstanding, PowerOfTwoChoices, RoundRobin, Router, RouterKind,
+};

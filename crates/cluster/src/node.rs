@@ -1,0 +1,89 @@
+//! Fleet member configuration and the per-node load view routers consume.
+
+use serde::{Deserialize, Serialize};
+use veltair_proxy::InterferenceProxy;
+use veltair_sched::{Policy, SimConfig};
+use veltair_sim::MachineConfig;
+
+/// Configuration of one fleet member: a machine, the scheduling policy it
+/// runs, and (optionally) a trained interference proxy for its monitor.
+///
+/// Nodes are independent — a fleet may mix big and small machines and
+/// heterogeneous policies (e.g. Veltair-FULL flagships next to PREMA
+/// legacy boxes); the routing layer sees them only through [`NodeLoad`].
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Display name used in fleet snapshots and example tables.
+    pub name: String,
+    /// The machine this node serves on.
+    pub machine: MachineConfig,
+    /// The scheduling/compilation policy this node runs.
+    pub policy: Policy,
+    /// Optional trained interference proxy (otherwise the node's monitor
+    /// is the oracle).
+    pub proxy: Option<InterferenceProxy>,
+}
+
+impl NodeSpec {
+    /// A node with the oracle monitor.
+    #[must_use]
+    pub fn new(name: &str, machine: MachineConfig, policy: Policy) -> Self {
+        Self {
+            name: name.to_string(),
+            machine,
+            policy,
+            proxy: None,
+        }
+    }
+
+    /// Installs a trained interference proxy on this node.
+    #[must_use]
+    pub fn with_proxy(mut self, proxy: InterferenceProxy) -> Self {
+        self.proxy = Some(proxy);
+        self
+    }
+
+    /// The node's driver configuration.
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::new(self.machine.clone(), self.policy);
+        if let Some(p) = &self.proxy {
+            cfg = cfg.with_proxy(p.clone());
+        }
+        cfg
+    }
+}
+
+/// A point-in-time view of one node's load, read off its driver at a
+/// routing decision. This is the whole routing interface: routers and
+/// admission controllers see nothing else, so any signal a policy needs
+/// must be exported here (and, transitively, from `Driver`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeLoad {
+    /// Index of the node within the fleet.
+    pub node: usize,
+    /// Queries admitted to this node but not yet completed.
+    pub outstanding: usize,
+    /// Queries waiting in the node's admission queues.
+    pub queued: usize,
+    /// Scheduling units currently holding cores.
+    pub in_flight: usize,
+    /// Cores currently granted to in-flight units.
+    pub busy_cores: u32,
+    /// The node machine's total cores.
+    pub total_cores: u32,
+    /// `busy_cores / total_cores`, in `[0, 1]`.
+    pub occupancy: f64,
+    /// The co-runner pressure a new tenant would face on this node, as
+    /// estimated by the node's own monitor (oracle or counter proxy).
+    pub pressure: f64,
+}
+
+impl NodeLoad {
+    /// Outstanding queries per core: the queue-depth signal normalized so
+    /// big and small machines compare fairly in heterogeneous fleets.
+    #[must_use]
+    pub fn outstanding_per_core(&self) -> f64 {
+        self.outstanding as f64 / f64::from(self.total_cores.max(1))
+    }
+}

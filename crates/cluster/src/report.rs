@@ -1,0 +1,181 @@
+//! Fleet-level serving statistics: per-node reports plus a correctly
+//! pooled merge.
+//!
+//! The merge is sample-pooling, not statistic-averaging: tail latency
+//! percentiles are *not* linear, so a fleet p99 must be computed over the
+//! union of every node's latency samples — averaging per-node p99s
+//! understates the tail whenever nodes are unevenly loaded (and fleet
+//! routing exists precisely because they are).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use veltair_sched::ServingReport;
+
+/// Pools per-node [`ServingReport`]s into one fleet-wide report.
+///
+/// Counters (queries, satisfied, conflicts, dispatches, preemptions,
+/// core-seconds, latency sums and samples) add; `makespan_s` is the last
+/// completion anywhere in the fleet; `peak_cores` sums the per-node peaks
+/// (an upper bound on coincident usage — node-local peaks need not line
+/// up in time); `avg_cores` is re-derived from the pooled core-seconds
+/// over the fleet makespan. Latency samples are concatenated in node
+/// order, so percentile accessors on the merged report operate on the
+/// pooled distribution.
+#[must_use]
+pub fn merge_reports(reports: &[ServingReport]) -> ServingReport {
+    let mut merged = ServingReport::default();
+    for r in reports {
+        for (name, stats) in &r.per_model {
+            let m = merged.per_model.entry(name.clone()).or_default();
+            m.queries += stats.queries;
+            m.satisfied += stats.satisfied;
+            m.latency_sum_s += stats.latency_sum_s;
+            m.latency_max_s = m.latency_max_s.max(stats.latency_max_s);
+            m.latencies_s.extend_from_slice(&stats.latencies_s);
+        }
+        merged.conflicts += r.conflicts;
+        merged.dispatches += r.dispatches;
+        merged.preemptions += r.preemptions;
+        merged.core_seconds += r.core_seconds;
+        merged.makespan_s = merged.makespan_s.max(r.makespan_s);
+        merged.peak_cores += r.peak_cores;
+    }
+    if merged.makespan_s > 0.0 {
+        merged.avg_cores = merged.core_seconds / merged.makespan_s;
+    }
+    merged
+}
+
+/// The final statistics of one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// The pooled fleet-wide report (see [`merge_reports`]).
+    pub merged: ServingReport,
+    /// Each node's own report, in fleet node order.
+    pub per_node: Vec<ServingReport>,
+    /// Node display names, parallel to `per_node`.
+    pub node_names: Vec<String>,
+    /// Queries routed into each node, parallel to `per_node`.
+    pub routed_per_node: Vec<u64>,
+    /// Queries refused by admission control, never served.
+    pub shed: u64,
+    /// Shed counts by model name.
+    pub shed_per_model: BTreeMap<String, u64>,
+    /// Deferral events (one query held twice counts twice).
+    pub deferrals: u64,
+}
+
+impl FleetReport {
+    /// Queries offered to the fleet: completed plus shed.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.merged.total_queries() + self.shed as usize
+    }
+
+    /// Fraction of *offered* queries that missed their SLO — a shed query
+    /// was never served, so it counts as a violation here. This is the
+    /// end-user metric: shedding must buy enough tail latency for the
+    /// admitted majority to pay for the refusals.
+    #[must_use]
+    pub fn slo_violation_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            return 0.0;
+        }
+        let satisfied: usize = self.merged.per_model.values().map(|m| m.satisfied).sum();
+        1.0 - satisfied as f64 / offered as f64
+    }
+
+    /// QoS-satisfied queries per second of fleet makespan ("goodput"):
+    /// queries that were both served and on time.
+    #[must_use]
+    pub fn goodput_qps(&self) -> f64 {
+        if self.merged.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        let satisfied: usize = self.merged.per_model.values().map(|m| m.satisfied).sum();
+        satisfied as f64 / self.merged.makespan_s
+    }
+
+    /// Fraction of offered queries refused by admission control.
+    #[must_use]
+    pub fn shed_fraction(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veltair_sched::ModelStats;
+
+    fn report_with(latencies: &[f64], qos_s: f64) -> ServingReport {
+        let mut r = ServingReport::default();
+        r.per_model.insert(
+            "m".into(),
+            ModelStats {
+                queries: latencies.len(),
+                satisfied: latencies.iter().filter(|&&l| l <= qos_s).count(),
+                latency_sum_s: latencies.iter().sum(),
+                latency_max_s: latencies.iter().fold(0.0, |a: f64, &b| a.max(b)),
+                latencies_s: latencies.to_vec(),
+            },
+        );
+        r.makespan_s = 1.0;
+        r
+    }
+
+    #[test]
+    fn merge_pools_counts_and_sums() {
+        let a = report_with(&[0.1, 0.2], 0.15);
+        let b = report_with(&[0.3], 0.15);
+        let m = merge_reports(&[a, b]);
+        let stats = &m.per_model["m"];
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.satisfied, 1);
+        assert!((stats.latency_sum_s - 0.6).abs() < 1e-12);
+        assert!((stats.latency_max_s - 0.3).abs() < 1e-12);
+        assert_eq!(stats.latencies_s.len(), 3);
+    }
+
+    #[test]
+    fn fleet_report_rates_include_shed() {
+        let fr = FleetReport {
+            merged: report_with(&[0.1, 0.1, 0.9, 0.9], 0.5),
+            per_node: vec![],
+            node_names: vec![],
+            routed_per_node: vec![],
+            shed: 4,
+            shed_per_model: BTreeMap::new(),
+            deferrals: 1,
+        };
+        assert_eq!(fr.offered(), 8);
+        // 2 satisfied of 8 offered -> 75 % violation.
+        assert!((fr.slo_violation_rate() - 0.75).abs() < 1e-12);
+        assert!((fr.shed_fraction() - 0.5).abs() < 1e-12);
+        assert!((fr.goodput_qps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fleet_report_is_benign() {
+        let fr = FleetReport {
+            merged: ServingReport::default(),
+            per_node: vec![],
+            node_names: vec![],
+            routed_per_node: vec![],
+            shed: 0,
+            shed_per_model: BTreeMap::new(),
+            deferrals: 0,
+        };
+        assert_eq!(fr.offered(), 0);
+        assert_eq!(fr.slo_violation_rate(), 0.0);
+        assert_eq!(fr.goodput_qps(), 0.0);
+        assert_eq!(fr.shed_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Pluggable fleet routing policies: which node a query lands on.
+//!
+//! Routing is where multi-machine serving wins or loses: GACER-style
+//! runtime-aware placement shows the biggest gains come from using *live*
+//! load and interference signals at the moment a query arrives, rather
+//! than static assignment. All four built-in policies are deterministic
+//! for a fixed configuration (power-of-two-choices draws from its own
+//! seeded generator), which keeps whole-fleet runs bit-reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use veltair_compiler::CompiledModel;
+use veltair_sched::QuerySpec;
+
+use crate::node::NodeLoad;
+
+/// A fleet routing policy. `route` picks the node index a query is
+/// offered to; the admission controller then decides whether that node
+/// may actually take it.
+pub trait Router: std::fmt::Debug + Send {
+    /// Display name used in snapshots and comparison tables.
+    fn name(&self) -> &'static str;
+
+    /// Picks a node for `query` (targeting the compiled `model`) given
+    /// every node's live load. `loads` is never empty and is indexed by
+    /// fleet node order.
+    fn route(&mut self, loads: &[NodeLoad], model: &CompiledModel, query: &QuerySpec) -> usize;
+
+    /// Whether this router reads [`NodeLoad::pressure`]. The pressure
+    /// estimate is the one load signal that costs real work (a monitor
+    /// pass over each node's running units per routing decision), so the
+    /// fleet skips computing it when no configured policy consumes it.
+    /// Defaults to `true`: a custom router gets correct signals unless it
+    /// explicitly opts out.
+    fn needs_pressure(&self) -> bool {
+        true
+    }
+}
+
+/// Declarative router selection, used by cluster builders so a fleet
+/// configuration stays `Clone` and re-buildable (each session gets a
+/// fresh router with identical behaviour — the key to bit-deterministic
+/// reruns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Cycle through nodes in order, ignoring load.
+    RoundRobin,
+    /// Route to the node with the fewest outstanding queries per core.
+    LeastOutstanding,
+    /// Power-of-two-choices on queue depth: sample two nodes from a
+    /// seeded generator, route to the less loaded of the pair.
+    PowerOfTwoChoices {
+        /// Seed for the sampling generator.
+        seed: u64,
+    },
+    /// Route by the nodes' monitored interference pressure plus queue
+    /// depth — the fleet-level use of the per-node monitor/proxy signal.
+    InterferenceAware,
+}
+
+impl RouterKind {
+    /// Builds a fresh router of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Router> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobin::default()),
+            RouterKind::LeastOutstanding => Box::new(LeastOutstanding),
+            RouterKind::PowerOfTwoChoices { seed } => Box::new(PowerOfTwoChoices::new(seed)),
+            RouterKind::InterferenceAware => Box::new(InterferenceAware),
+        }
+    }
+
+    /// Display name (matches the built router's `name`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterKind::RoundRobin => "round-robin",
+            RouterKind::LeastOutstanding => "least-outstanding",
+            RouterKind::PowerOfTwoChoices { .. } => "power-of-two",
+            RouterKind::InterferenceAware => "interference-aware",
+        }
+    }
+}
+
+/// Load-blind rotation over the fleet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, loads: &[NodeLoad], _model: &CompiledModel, _query: &QuerySpec) -> usize {
+        let pick = self.next % loads.len();
+        self.next = (self.next + 1) % loads.len();
+        pick
+    }
+
+    fn needs_pressure(&self) -> bool {
+        false
+    }
+}
+
+/// Route to the node with the fewest outstanding queries per core
+/// (normalized so an 8-core edge box is not judged by a 64-core
+/// flagship's yardstick). Ties break toward the lower index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastOutstanding;
+
+impl Router for LeastOutstanding {
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+
+    fn route(&mut self, loads: &[NodeLoad], _model: &CompiledModel, _query: &QuerySpec) -> usize {
+        pick_min_by(loads, NodeLoad::outstanding_per_core)
+    }
+
+    fn needs_pressure(&self) -> bool {
+        false
+    }
+}
+
+/// Power-of-two-choices on queue depth: sample two distinct nodes with
+/// probability proportional to their core counts, route to the one with
+/// fewer outstanding queries per core. Keeps the classic "sampled pair"
+/// structure (constant-time comparisons, no full scan) while adapting it
+/// to heterogeneous fleets — uniform sampling would offer an 8-core edge
+/// box as often as a 64-core flagship, and the pair comparison cannot
+/// recover from two bad candidates.
+#[derive(Debug, Clone)]
+pub struct PowerOfTwoChoices {
+    rng: StdRng,
+}
+
+impl PowerOfTwoChoices {
+    /// A sampler whose node choices are a pure function of `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples a node index with probability proportional to core count,
+    /// excluding `skip` (pass `usize::MAX` to exclude nothing).
+    fn sample_weighted(&mut self, loads: &[NodeLoad], skip: usize) -> usize {
+        let total: u64 = loads
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, l)| u64::from(l.total_cores.max(1)))
+            .sum();
+        let mut ticket = self.rng.gen_range(0..total);
+        for (i, l) in loads.iter().enumerate() {
+            if i == skip {
+                continue;
+            }
+            let w = u64::from(l.total_cores.max(1));
+            if ticket < w {
+                return i;
+            }
+            ticket -= w;
+        }
+        unreachable!("ticket was drawn below the total weight")
+    }
+}
+
+impl Router for PowerOfTwoChoices {
+    fn name(&self) -> &'static str {
+        "power-of-two"
+    }
+
+    fn route(&mut self, loads: &[NodeLoad], _model: &CompiledModel, _query: &QuerySpec) -> usize {
+        if loads.len() == 1 {
+            return 0;
+        }
+        let a = self.sample_weighted(loads, usize::MAX);
+        let b = self.sample_weighted(loads, a);
+        if loads[b].outstanding_per_core() < loads[a].outstanding_per_core() {
+            b
+        } else {
+            a
+        }
+    }
+
+    fn needs_pressure(&self) -> bool {
+        false
+    }
+}
+
+/// Interference-aware routing: score every node by its per-core queue
+/// depth *refined by its monitored co-runner pressure*, route to the
+/// minimum.
+///
+/// The score is `outstanding/cores + β · pressure`. The first term is
+/// the least-outstanding signal (per-core depth, so heterogeneous
+/// machines compare fairly); the pressure term is the same monitor/proxy
+/// signal the node's own block planner uses (§4.3), exported
+/// fleet-level: two nodes at equal queue depth are distinguished by
+/// *what* runs on them — a node packed with cache-hungry tenants scores
+/// worse than one running compute-bound work. β is deliberately small
+/// (`0.02`, roughly one queued query per flagship of full-scale
+/// pressure): queue depth is the primary congestion signal, and the
+/// pressure refinement steers only between near-equally loaded nodes.
+/// Larger weights let the (laggier) pressure estimate override real
+/// backlog and measurably hurt tail latency on bursty mixes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterferenceAware;
+
+/// Pressure weight in the interference-aware score (see the type docs).
+const PRESSURE_WEIGHT: f64 = 0.02;
+
+impl Router for InterferenceAware {
+    fn name(&self) -> &'static str {
+        "interference-aware"
+    }
+
+    fn route(&mut self, loads: &[NodeLoad], _model: &CompiledModel, _query: &QuerySpec) -> usize {
+        pick_min_by(loads, |l| {
+            l.outstanding_per_core() + PRESSURE_WEIGHT * l.pressure
+        })
+    }
+}
+
+/// Index of the minimum-scoring node, ties toward the lower index.
+fn pick_min_by(loads: &[NodeLoad], score: impl Fn(&NodeLoad) -> f64) -> usize {
+    let mut best = 0;
+    let mut best_score = score(&loads[0]);
+    for (i, l) in loads.iter().enumerate().skip(1) {
+        let s = score(l);
+        if s < best_score {
+            best = i;
+            best_score = s;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veltair_compiler::{compile_model, CompilerOptions};
+    use veltair_sim::MachineConfig;
+
+    fn load(node: usize, outstanding: usize, cores: u32, pressure: f64) -> NodeLoad {
+        NodeLoad {
+            node,
+            outstanding,
+            queued: 0,
+            in_flight: 0,
+            busy_cores: 0,
+            total_cores: cores,
+            occupancy: 0.0,
+            pressure,
+        }
+    }
+
+    fn model() -> CompiledModel {
+        let machine = MachineConfig::threadripper_3990x();
+        compile_model(
+            &veltair_models::mobilenet_v2(),
+            &machine,
+            &CompilerOptions::fast(),
+        )
+    }
+
+    fn query() -> QuerySpec {
+        QuerySpec {
+            model: "m".into(),
+            arrival: veltair_sim::SimTime(0.0),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let loads = [
+            load(0, 9, 64, 0.9),
+            load(1, 0, 64, 0.0),
+            load(2, 0, 64, 0.0),
+        ];
+        let m = model();
+        let mut r = RoundRobin::default();
+        let picks: Vec<usize> = (0..6).map(|_| r.route(&loads, &m, &query())).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_normalizes_by_cores() {
+        // 4 outstanding on 64 cores is lighter than 2 on 8 cores.
+        let loads = [load(0, 4, 64, 0.0), load(1, 2, 8, 0.0)];
+        let m = model();
+        let mut r = LeastOutstanding;
+        assert_eq!(r.route(&loads, &m, &query()), 0);
+    }
+
+    #[test]
+    fn interference_aware_prefers_quiet_nodes() {
+        // Equal queue depth and size: the monitored pressure decides.
+        let loads = [load(0, 3, 64, 0.9), load(1, 3, 64, 0.0)];
+        let m = model();
+        let mut r = InterferenceAware;
+        assert_eq!(r.route(&loads, &m, &query()), 1);
+    }
+
+    #[test]
+    fn interference_aware_keeps_depth_primary() {
+        // The pressure refinement must not override a real backlog gap: a
+        // calm node drowning in queued work loses to a loud but shallow
+        // one.
+        let loads = [load(0, 32, 64, 0.0), load(1, 2, 64, 1.0)];
+        let m = model();
+        let mut r = InterferenceAware;
+        assert_eq!(r.route(&loads, &m, &query()), 1);
+    }
+
+    #[test]
+    fn power_of_two_is_deterministic_per_seed() {
+        let loads = [
+            load(0, 5, 64, 0.0),
+            load(1, 1, 64, 0.0),
+            load(2, 9, 64, 0.0),
+            load(3, 0, 64, 0.0),
+        ];
+        let m = model();
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut r = PowerOfTwoChoices::new(seed);
+            (0..32).map(|_| r.route(&loads, &m, &query())).collect()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+    }
+
+    #[test]
+    fn power_of_two_picks_the_lighter_of_the_pair() {
+        // With two nodes the sampled pair is always {0, 1}; the lighter
+        // node must win every draw.
+        let loads = [load(0, 50, 64, 0.0), load(1, 0, 64, 0.0)];
+        let m = model();
+        let mut r = PowerOfTwoChoices::new(3);
+        for _ in 0..16 {
+            assert_eq!(r.route(&loads, &m, &query()), 1);
+        }
+    }
+
+    #[test]
+    fn kinds_build_matching_names() {
+        for kind in [
+            RouterKind::RoundRobin,
+            RouterKind::LeastOutstanding,
+            RouterKind::PowerOfTwoChoices { seed: 1 },
+            RouterKind::InterferenceAware,
+        ] {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! The cluster serving facade: fleet construction and resumable cluster
+//! sessions, mirroring the single-machine builder → session → snapshot
+//! API of [`engine`](crate::engine).
+//!
+//! Three layers, from offline to online:
+//!
+//! * [`ClusterBuilder`] — validated construction: a shared compiled-model
+//!   registry, N (possibly heterogeneous) [`NodeSpec`]s, a
+//!   [`RouterKind`], an [`AdmissionKind`], and per-model SLO overrides.
+//! * [`ClusterEngine`] — compile-once, serve-many: batch fleet runs
+//!   ([`ClusterEngine::run`] / [`ClusterEngine::try_run`]) and session
+//!   creation. `Clone`-able and immutable, like
+//!   [`ServingEngine`](crate::ServingEngine).
+//! * [`ClusterSession`] — the open-loop path: queries are submitted while
+//!   the fleet clock runs, per-node load and pooled statistics are read
+//!   mid-run via [`snapshot`](ClusterSession::snapshot), and
+//!   [`finish`](ClusterSession::finish) returns the final
+//!   [`FleetReport`].
+
+use veltair_cluster::{
+    AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeSpec, RouterKind,
+};
+use veltair_compiler::CompiledModel;
+use veltair_sched::{QuerySpec, WorkloadSpec};
+use veltair_sim::SimTime;
+
+use crate::engine::EngineError;
+
+impl From<ClusterError> for EngineError {
+    fn from(e: ClusterError) -> Self {
+        match e {
+            ClusterError::NoNodes => EngineError::NoNodes,
+            ClusterError::NoModels => EngineError::NoModels,
+            ClusterError::UnknownModel { model } => EngineError::UnknownModel { model },
+            ClusterError::NonFiniteArrival { arrival_s } => {
+                EngineError::NonFiniteArrival { at_s: arrival_s }
+            }
+        }
+    }
+}
+
+/// Validated, fluent construction of a [`ClusterEngine`].
+///
+/// ```
+/// use veltair_core::{ClusterEngine, NodeSpec, Policy, RouterKind};
+/// use veltair_compiler::{compile_model, CompilerOptions};
+/// use veltair_sim::MachineConfig;
+///
+/// let machine = MachineConfig::threadripper_3990x();
+/// let engine = ClusterEngine::builder()
+///     .model(compile_model(
+///         &veltair_models::mobilenet_v2(),
+///         &machine,
+///         &CompilerOptions::fast(),
+///     ))
+///     .node(NodeSpec::new("big-0", machine.clone(), Policy::VeltairFull))
+///     .node(NodeSpec::new("edge-0", MachineConfig::desktop_8core(), Policy::Prema))
+///     .router(RouterKind::InterferenceAware)
+///     .build()
+///     .expect("valid cluster");
+/// assert_eq!(engine.nodes().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    models: Vec<CompiledModel>,
+    nodes: Vec<NodeSpec>,
+    router: RouterKind,
+    admission: AdmissionKind,
+    slo_overrides: Vec<(String, f64)>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self {
+            models: Vec::new(),
+            nodes: Vec::new(),
+            router: RouterKind::InterferenceAware,
+            admission: AdmissionKind::AdmitAll,
+            slo_overrides: Vec::new(),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Registers a compiled model in the shared fleet registry, replacing
+    /// any previous model of the same name.
+    #[must_use]
+    pub fn model(mut self, model: CompiledModel) -> Self {
+        self.models.retain(|m| m.name != model.name);
+        self.models.push(model);
+        self
+    }
+
+    /// Adds a fleet member. Nodes may differ in machine *and* policy.
+    #[must_use]
+    pub fn node(mut self, spec: NodeSpec) -> Self {
+        self.nodes.push(spec);
+        self
+    }
+
+    /// Sets the routing policy (default: interference-aware).
+    #[must_use]
+    pub fn router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Sets the admission policy (default: admit everything).
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionKind) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Overrides a registered model's end-to-end SLO (QoS latency target,
+    /// seconds), applied at [`build`](ClusterBuilder::build) time — the
+    /// same semantics as
+    /// [`EngineBuilder::slo`](crate::EngineBuilder::slo).
+    #[must_use]
+    pub fn slo(mut self, model: &str, qos_s: f64) -> Self {
+        self.slo_overrides.push((model.to_string(), qos_s));
+        self
+    }
+
+    /// Finalizes the cluster engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoModels`] if no model was registered,
+    /// [`EngineError::NoNodes`] if no node was added,
+    /// [`EngineError::UnknownModel`] if an SLO override names an
+    /// unregistered model, and [`EngineError::InvalidSlo`] if an override
+    /// is not a positive, finite latency.
+    pub fn build(self) -> Result<ClusterEngine, EngineError> {
+        let Self {
+            mut models,
+            nodes,
+            router,
+            admission,
+            slo_overrides,
+        } = self;
+        if models.is_empty() {
+            return Err(EngineError::NoModels);
+        }
+        if nodes.is_empty() {
+            return Err(EngineError::NoNodes);
+        }
+        crate::engine::apply_slo_overrides(&mut models, slo_overrides)?;
+        Ok(ClusterEngine {
+            models,
+            nodes,
+            router,
+            admission,
+        })
+    }
+}
+
+/// Compile-once, serve-many fleet facade: the shared model registry, the
+/// node specifications, and the routing/admission configuration.
+///
+/// The engine is immutable and `Clone`; every [`session`] builds a fresh
+/// [`Fleet`] with identical behaviour, which is what makes fleet runs
+/// reproducible: same engine + same workload + same seed = bit-identical
+/// [`FleetReport`].
+///
+/// [`session`]: ClusterEngine::session
+#[derive(Debug, Clone)]
+pub struct ClusterEngine {
+    models: Vec<CompiledModel>,
+    nodes: Vec<NodeSpec>,
+    router: RouterKind,
+    admission: AdmissionKind,
+}
+
+impl ClusterEngine {
+    /// Starts validated, fluent construction.
+    #[must_use]
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// The shared compiled-model registry.
+    #[must_use]
+    pub fn models(&self) -> &[CompiledModel] {
+        &self.models
+    }
+
+    /// The fleet members.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The configured routing policy.
+    #[must_use]
+    pub fn router(&self) -> RouterKind {
+        self.router
+    }
+
+    /// The configured admission policy.
+    #[must_use]
+    pub fn admission(&self) -> AdmissionKind {
+        self.admission
+    }
+
+    /// Opens a resumable cluster session: a fleet over this engine's
+    /// registry and nodes, accepting arrivals and snapshot reads while
+    /// the lockstep clock runs. The session borrows the engine's models;
+    /// the engine itself stays immutable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoModels`] / [`EngineError::NoNodes`] if
+    /// the engine was constructed without validation (both are unreachable
+    /// through [`ClusterBuilder::build`]).
+    pub fn session(&self) -> Result<ClusterSession<'_>, EngineError> {
+        let fleet = Fleet::new(
+            &self.models,
+            &self.nodes,
+            self.router.build(),
+            self.admission.build(),
+        )?;
+        Ok(ClusterSession { fleet })
+    }
+
+    /// Serves a workload's query stream across the fleet and returns the
+    /// final report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload references unregistered models; use
+    /// [`ClusterEngine::try_run`] to handle invalid input gracefully.
+    #[must_use]
+    pub fn run(&self, workload: &WorkloadSpec, seed: u64) -> FleetReport {
+        self.try_run(workload, seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Serves a workload's query stream across the fleet, surfacing
+    /// invalid input as a typed [`EngineError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownModel`] if the workload references
+    /// unregistered models.
+    pub fn try_run(&self, workload: &WorkloadSpec, seed: u64) -> Result<FleetReport, EngineError> {
+        let mut session = self.session()?;
+        session.submit_stream(workload, seed)?;
+        Ok(session.finish())
+    }
+}
+
+/// A resumable fleet run: streaming arrivals in, per-node load and pooled
+/// statistics out, with the lockstep clock under caller control. Created
+/// by [`ClusterEngine::session`].
+#[derive(Debug)]
+pub struct ClusterSession<'e> {
+    fleet: Fleet<'e>,
+}
+
+impl ClusterSession<'_> {
+    /// Fleet clock, seconds.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.fleet.now_s()
+    }
+
+    /// Whether every submitted query has been resolved (completed or
+    /// shed) and the front door is empty.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.fleet.is_idle()
+    }
+
+    /// Submits one query arriving at `at_s` seconds of fleet clock
+    /// (clamped to *now* if already past). Returns the fleet-level
+    /// submission sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownModel`] if `model` is not registered
+    /// and [`EngineError::NonFiniteArrival`] if `at_s` is NaN or
+    /// infinite.
+    pub fn submit(&mut self, model: &str, at_s: f64) -> Result<u64, EngineError> {
+        Ok(self.fleet.submit(&QuerySpec {
+            model: model.to_string(),
+            arrival: SimTime(at_s),
+        })?)
+    }
+
+    /// Submits a whole workload's generated stream, offset by the fleet's
+    /// current clock. Atomic: an error means nothing was submitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownModel`] if the workload references
+    /// unregistered models.
+    pub fn submit_stream(
+        &mut self,
+        workload: &WorkloadSpec,
+        seed: u64,
+    ) -> Result<Vec<u64>, EngineError> {
+        Ok(self.fleet.submit_stream(workload, seed)?)
+    }
+
+    /// Runs the fleet up to `t_s` seconds of fleet clock: every due
+    /// arrival is routed at its own instant, then all nodes advance to
+    /// exactly `t_s` in lockstep.
+    pub fn run_until(&mut self, t_s: f64) {
+        self.fleet.run_until(t_s);
+    }
+
+    /// Runs the fleet for another `dt_s` seconds of fleet clock.
+    pub fn run_for(&mut self, dt_s: f64) {
+        self.fleet.run_for(dt_s);
+    }
+
+    /// A point-in-time fleet view: per-node loads, routed/completed
+    /// counts, shed/deferral totals, and the pooled mid-run report. Does
+    /// not perturb the run.
+    #[must_use]
+    pub fn snapshot(&self) -> FleetSnapshot {
+        self.fleet.snapshot()
+    }
+
+    /// Finishes the session: routes every remaining arrival, drains all
+    /// nodes, and returns the final [`FleetReport`].
+    #[must_use]
+    pub fn finish(self) -> FleetReport {
+        self.fleet.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veltair_cluster::SloAdmissionConfig;
+    use veltair_compiler::{compile_model, CompilerOptions};
+    use veltair_sched::Policy;
+    use veltair_sim::MachineConfig;
+
+    fn compiled(name: &str) -> CompiledModel {
+        let machine = MachineConfig::threadripper_3990x();
+        compile_model(
+            &veltair_models::by_name(name).expect("zoo model"),
+            &machine,
+            &CompilerOptions::fast(),
+        )
+    }
+
+    fn two_node_engine() -> ClusterEngine {
+        ClusterEngine::builder()
+            .model(compiled("mobilenet_v2"))
+            .node(NodeSpec::new(
+                "big-0",
+                MachineConfig::threadripper_3990x(),
+                Policy::VeltairFull,
+            ))
+            .node(NodeSpec::new(
+                "edge-0",
+                MachineConfig::desktop_8core(),
+                Policy::Prema,
+            ))
+            .router(RouterKind::LeastOutstanding)
+            .build()
+            .expect("valid cluster")
+    }
+
+    #[test]
+    fn builder_validates_models_nodes_and_slos() {
+        assert_eq!(
+            ClusterEngine::builder().build().unwrap_err(),
+            EngineError::NoModels
+        );
+        assert_eq!(
+            ClusterEngine::builder()
+                .model(compiled("mobilenet_v2"))
+                .build()
+                .unwrap_err(),
+            EngineError::NoNodes
+        );
+        assert!(matches!(
+            ClusterEngine::builder()
+                .model(compiled("mobilenet_v2"))
+                .node(NodeSpec::new(
+                    "n",
+                    MachineConfig::threadripper_3990x(),
+                    Policy::VeltairFull
+                ))
+                .slo("mobilenet_v2", f64::NAN)
+                .build()
+                .unwrap_err(),
+            EngineError::InvalidSlo { .. }
+        ));
+        let e = ClusterEngine::builder()
+            .model(compiled("mobilenet_v2"))
+            .node(NodeSpec::new(
+                "n",
+                MachineConfig::threadripper_3990x(),
+                Policy::VeltairFull,
+            ))
+            .slo("mobilenet_v2", 0.2)
+            .build()
+            .expect("valid");
+        assert!((e.models()[0].qos_s - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_run_serves_every_query_without_admission_control() {
+        let e = two_node_engine();
+        let w = WorkloadSpec::single("mobilenet_v2", 80.0, 60);
+        let report = e.run(&w, 3);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.merged.total_queries(), 60);
+        assert_eq!(report.per_node.len(), 2);
+        assert_eq!(report.routed_per_node.iter().sum::<u64>(), 60);
+        // Both nodes did real work under least-outstanding routing.
+        assert!(report.routed_per_node.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn session_mirrors_engine_run() {
+        let e = two_node_engine();
+        let w = WorkloadSpec::single("mobilenet_v2", 80.0, 40);
+        let batch = e.run(&w, 9);
+        let mut s = e.session().expect("valid");
+        s.submit_stream(&w, 9).expect("registered");
+        assert_eq!(s.finish(), batch);
+    }
+
+    #[test]
+    fn session_snapshots_track_per_node_state() {
+        let e = two_node_engine();
+        let mut s = e.session().expect("valid");
+        s.submit_stream(&WorkloadSpec::single("mobilenet_v2", 200.0, 50), 5)
+            .expect("registered");
+        s.run_until(0.1);
+        let snap = s.snapshot();
+        assert!((snap.now_s - 0.1).abs() < 1e-12);
+        assert_eq!(snap.nodes.len(), 2);
+        assert_eq!(snap.nodes[0].name, "big-0");
+        assert_eq!(snap.submitted, 50);
+        assert!(snap.completed <= 50);
+        let report = s.finish();
+        assert_eq!(report.merged.total_queries(), 50);
+    }
+
+    #[test]
+    fn unknown_models_are_rejected_atomically() {
+        let e = two_node_engine();
+        let mut s = e.session().expect("valid");
+        assert!(matches!(
+            s.submit("bert_large", 0.0),
+            Err(EngineError::UnknownModel { .. })
+        ));
+        let bad = WorkloadSpec::mix(&[("mobilenet_v2", 10.0), ("bert_large", 10.0)], 10);
+        assert!(matches!(
+            s.submit_stream(&bad, 1),
+            Err(EngineError::UnknownModel { .. })
+        ));
+        assert_eq!(s.snapshot().submitted, 0);
+    }
+
+    #[test]
+    fn slo_admission_sheds_under_crushing_load() {
+        let e = ClusterEngine::builder()
+            .model(compiled("mobilenet_v2"))
+            .node(NodeSpec::new(
+                "solo",
+                MachineConfig::desktop_8core(),
+                Policy::VeltairFull,
+            ))
+            .router(RouterKind::RoundRobin)
+            .admission(AdmissionKind::SloAware(SloAdmissionConfig::default()))
+            .build()
+            .expect("valid");
+        // A small edge node offered far more than it can serve: admission
+        // control must shed rather than queue without bound.
+        let report = e.run(&WorkloadSpec::single("mobilenet_v2", 2000.0, 300), 7);
+        assert!(report.shed > 0, "no shedding under crushing load");
+        assert_eq!(report.offered(), 300);
+        // The queries that *were* admitted fared far better than the
+        // admit-all counterfactual.
+        let admit_all = ClusterEngine::builder()
+            .model(compiled("mobilenet_v2"))
+            .node(NodeSpec::new(
+                "solo",
+                MachineConfig::desktop_8core(),
+                Policy::VeltairFull,
+            ))
+            .router(RouterKind::RoundRobin)
+            .build()
+            .expect("valid")
+            .run(&WorkloadSpec::single("mobilenet_v2", 2000.0, 300), 7);
+        assert!(
+            report.merged.overall_satisfaction() >= admit_all.merged.overall_satisfaction(),
+            "shedding did not protect admitted queries: {} vs {}",
+            report.merged.overall_satisfaction(),
+            admit_all.merged.overall_satisfaction()
+        );
+    }
+}

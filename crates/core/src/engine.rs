@@ -27,6 +27,8 @@ pub enum EngineError {
     /// The builder was finalized (or a session opened) with no registered
     /// models.
     NoModels,
+    /// A cluster builder was finalized with no fleet nodes.
+    NoNodes,
     /// A query, workload stream, or SLO override referenced a model that
     /// is not registered.
     UnknownModel {
@@ -54,6 +56,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::NoModels => {
                 write!(f, "the engine has no registered models")
+            }
+            EngineError::NoNodes => {
+                write!(f, "a cluster engine needs at least one node")
             }
             EngineError::UnknownModel { model } => {
                 write!(f, "model {model} is not registered with the engine")
@@ -86,6 +91,32 @@ impl From<SimError> for EngineError {
             }
         }
     }
+}
+
+/// Validates and applies per-model SLO overrides to a registry, shared by
+/// [`EngineBuilder::build`] and
+/// [`ClusterBuilder::build`](crate::ClusterBuilder::build).
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidSlo`] for a non-positive or non-finite
+/// target and [`EngineError::UnknownModel`] when the named model is not
+/// registered.
+pub(crate) fn apply_slo_overrides(
+    models: &mut [CompiledModel],
+    overrides: Vec<(String, f64)>,
+) -> Result<(), EngineError> {
+    for (name, qos_s) in overrides {
+        if !(qos_s.is_finite() && qos_s > 0.0) {
+            return Err(EngineError::InvalidSlo { model: name, qos_s });
+        }
+        let model = models
+            .iter_mut()
+            .find(|m| m.name == name)
+            .ok_or(EngineError::UnknownModel { model: name })?;
+        model.qos_s = qos_s;
+    }
+    Ok(())
 }
 
 /// Validated, fluent construction of a [`ServingEngine`].
@@ -193,16 +224,7 @@ impl EngineBuilder {
         if models.is_empty() {
             return Err(EngineError::NoModels);
         }
-        for (name, qos_s) in slo_overrides {
-            if !(qos_s.is_finite() && qos_s > 0.0) {
-                return Err(EngineError::InvalidSlo { model: name, qos_s });
-            }
-            let model = models
-                .iter_mut()
-                .find(|m| m.name == name)
-                .ok_or(EngineError::UnknownModel { model: name })?;
-            model.qos_s = qos_s;
-        }
+        apply_slo_overrides(&mut models, slo_overrides)?;
         Ok(ServingEngine {
             machine,
             policy,

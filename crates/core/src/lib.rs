@@ -9,6 +9,10 @@
 //!   [`submit`](ServingSession::submit), incremental
 //!   [`poll`](ServingSession::poll)/[`snapshot`](ServingSession::snapshot),
 //!   and mid-run [`set_policy`](ServingSession::set_policy);
+//! * [`cluster`] — the fleet surface: [`ClusterEngine`] composes N
+//!   (possibly heterogeneous) nodes behind pluggable routing and
+//!   admission control, with [`ClusterSession`] mirroring the
+//!   builder → session → snapshot shape at fleet scale;
 //! * [`dataset`] — co-location episode generation used to train the
 //!   interference proxy exactly the way the deployed monitor observes the
 //!   system;
@@ -53,15 +57,21 @@
 //! # Ok::<(), veltair_core::EngineError>(())
 //! ```
 
+pub mod cluster;
 pub mod dataset;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
 
+pub use cluster::{ClusterBuilder, ClusterEngine, ClusterSession};
 pub use dataset::{co_location_dataset, train_proxy};
 pub use engine::{
     Completion, EngineBuilder, EngineError, ReportSnapshot, ServingEngine, ServingSession,
 };
 pub use metrics::{max_qps_at_qos, QpsResult, QpsSearchConfig};
 // Re-export the user-facing vocabulary so downstream users need one import.
+pub use veltair_cluster::{
+    AdmissionKind, ClusterError, FleetReport, FleetSnapshot, NodeLoad, NodeSpec, RouterKind,
+    SloAdmissionConfig,
+};
 pub use veltair_sched::{Policy, ServingReport, SimError, WorkloadError, WorkloadSpec};

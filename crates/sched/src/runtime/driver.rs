@@ -137,6 +137,21 @@ impl<'a> Driver<'a> {
         self.state.admit_query(spec)
     }
 
+    /// Injects a query that was *held* above this driver (e.g. at a fleet
+    /// front door by admission-control deferral): the query enters the
+    /// node now, but its recorded arrival — the baseline for latency
+    /// accounting and temporal-policy priority — keeps `spec.arrival`,
+    /// which may lie in the past, so the hold time counts against the
+    /// SLO. For arrival times at or after [`now`](Driver::now) this is
+    /// identical to [`inject`](Driver::inject).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`inject`](Driver::inject).
+    pub fn inject_held(&mut self, spec: &QuerySpec) -> Result<usize, SimError> {
+        self.state.admit_query_held(spec)
+    }
+
     /// Swaps the scheduling policy at the current dispatch boundary. The
     /// new policy's dispatcher is installed and immediately offered the
     /// pending queues (a policy change is a material scheduling event:
@@ -240,6 +255,56 @@ impl<'a> Driver<'a> {
     #[must_use]
     pub fn queued(&self) -> usize {
         self.state.continuations.len() + self.state.arrivals.len() + self.state.best_effort.len()
+    }
+
+    // --- Load/occupancy/pressure (exported for fleet-level routing) -------
+
+    /// Total cores of the machine this driver simulates.
+    #[must_use]
+    pub fn total_cores(&self) -> u32 {
+        self.state.cfg.machine.cores
+    }
+
+    /// Cores not currently granted to any in-flight unit.
+    #[must_use]
+    pub fn free_cores(&self) -> u32 {
+        self.state.free_cores
+    }
+
+    /// Cores currently granted to in-flight units.
+    #[must_use]
+    pub fn busy_cores(&self) -> u32 {
+        self.state.cfg.machine.cores - self.state.free_cores
+    }
+
+    /// Fraction of the machine's cores currently granted, in `[0, 1]`.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        f64::from(self.busy_cores()) / f64::from(self.total_cores().max(1))
+    }
+
+    /// Queries admitted but not yet completed (in flight or waiting) — the
+    /// "outstanding requests" signal of least-loaded request routing.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.state.queries.len() - self.state.completed.len()
+    }
+
+    /// The co-runner pressure a newly arriving tenant would face, as
+    /// estimated by this driver's configured monitor (oracle or counter
+    /// proxy) under the soon-to-finish rule. This is the per-node signal
+    /// interference-aware fleet routing consumes: it already reflects
+    /// *which* models run here, not just how many cores they hold.
+    #[must_use]
+    pub fn pressure(&self) -> f64 {
+        self.state.monitored().1
+    }
+
+    /// Timestamp of the next pending event, if any — the fleet clock uses
+    /// this to advance member nodes in lockstep without overshooting.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.state.events.peek_time()
     }
 
     /// Read access to the full simulation state (queries, running units,

@@ -219,6 +219,26 @@ impl<'a> SimState<'a> {
     /// time is NaN or infinite (SimTime arithmetic would panic on it
     /// later, deep inside the event loop).
     pub fn admit_query(&mut self, spec: &QuerySpec) -> Result<usize, SimError> {
+        self.admit_query_inner(spec, false)
+    }
+
+    /// Like [`SimState::admit_query`], but for a query that was *held*
+    /// above this node (e.g. at a fleet front door by admission-control
+    /// deferral): the arrival event still fires no earlier than the
+    /// current clock, but the query's recorded arrival — the baseline for
+    /// latency accounting, temporal-policy priority, and FCFS ordering —
+    /// keeps `spec.arrival`, which may lie in the past. The hold time
+    /// therefore counts against the SLO, exactly as a real client would
+    /// experience it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimState::admit_query`].
+    pub fn admit_query_held(&mut self, spec: &QuerySpec) -> Result<usize, SimError> {
+        self.admit_query_inner(spec, true)
+    }
+
+    fn admit_query_inner(&mut self, spec: &QuerySpec, held: bool) -> Result<usize, SimError> {
         if !spec.arrival.0.is_finite() {
             return Err(SimError::NonFiniteArrival {
                 arrival_s: spec.arrival.0,
@@ -231,11 +251,12 @@ impl<'a> SimState<'a> {
             .ok_or_else(|| SimError::UnknownModel {
                 model: spec.model.clone(),
             })?;
-        let arrival = if spec.arrival < self.now {
+        let event_time = if spec.arrival < self.now {
             self.now
         } else {
             spec.arrival
         };
+        let arrival = if held { spec.arrival } else { event_time };
         let id = self.queries.len();
         self.queries.push(QueryState {
             model,
@@ -243,7 +264,7 @@ impl<'a> SimState<'a> {
             next_unit: 0,
             finish: None,
         });
-        self.events.push(arrival, Event::Arrival(id));
+        self.events.push(event_time, Event::Arrival(id));
         Ok(id)
     }
 

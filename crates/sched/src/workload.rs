@@ -15,7 +15,7 @@ pub struct QuerySpec {
 }
 
 /// Arrival process shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalProcess {
     /// Exponential inter-arrival times (MLPerf server default; Alg. 3's
     /// dispatcher "sends tasks following Poisson distribution").
@@ -24,6 +24,20 @@ pub enum ArrivalProcess {
     /// granularity study (§3.2 runs 30 000 ResNet-50 queries with
     /// "identical uniform arriving times").
     Uniform,
+    /// On/off bursty arrivals (a two-state MMPP): the stream alternates
+    /// between exponentially distributed ON periods, during which queries
+    /// arrive as a Poisson process, and OFF periods with no arrivals at
+    /// all. The ON-period rate is inflated by the inverse duty cycle so
+    /// the stream's *long-run average* rate still equals its nominal
+    /// queries-per-second — a `Bursty` workload is directly comparable to
+    /// the `Poisson` one at the same rate, it just concentrates the same
+    /// traffic into surges.
+    Bursty {
+        /// Mean ON-period duration, seconds.
+        on_s: f64,
+        /// Mean OFF-period duration, seconds.
+        off_s: f64,
+    },
 }
 
 /// Why a workload specification was rejected at construction.
@@ -41,6 +55,14 @@ pub enum WorkloadError {
         /// The rejected value.
         rate: f64,
     },
+    /// A bursty process phase duration (mean ON or OFF period) is zero,
+    /// negative, or not finite.
+    InvalidBurstPhase {
+        /// Which phase was rejected (`"on"` or `"off"`).
+        phase: &'static str,
+        /// The rejected mean duration, seconds.
+        seconds: f64,
+    },
 }
 
 impl std::fmt::Display for WorkloadError {
@@ -52,6 +74,12 @@ impl std::fmt::Display for WorkloadError {
                 write!(
                     f,
                     "stream rates must be positive and finite: {model} has rate {rate}"
+                )
+            }
+            WorkloadError::InvalidBurstPhase { phase, seconds } => {
+                write!(
+                    f,
+                    "bursty {phase}-period durations must be positive and finite, got {seconds} s"
                 )
             }
         }
@@ -123,6 +151,60 @@ impl WorkloadSpec {
         Ok(Self {
             process: ArrivalProcess::Uniform,
             ..Self::try_single(model, qps, total_queries)?
+        })
+    }
+
+    /// An on/off bursty (two-state MMPP) single-tenant stream: Poisson
+    /// surges with mean `on_s` seconds of traffic separated by mean
+    /// `off_s` seconds of silence, averaging `qps` overall. Validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] under the same conditions as
+    /// [`WorkloadSpec::try_single`], plus
+    /// [`WorkloadError::InvalidBurstPhase`] if either phase duration is
+    /// non-positive or non-finite.
+    pub fn try_bursty(
+        model: &str,
+        qps: f64,
+        total_queries: usize,
+        on_s: f64,
+        off_s: f64,
+    ) -> Result<Self, WorkloadError> {
+        Self::try_bursty_mix(&[(model, qps)], total_queries, on_s, off_s)
+    }
+
+    /// A multi-tenant bursty mix: every stream alternates its own
+    /// ON/OFF phases (independent surges per tenant), each averaging its
+    /// nominal rate. Validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] under the same conditions as
+    /// [`WorkloadSpec::try_mix`], plus
+    /// [`WorkloadError::InvalidBurstPhase`] if either phase duration is
+    /// non-positive or non-finite.
+    pub fn try_bursty_mix(
+        streams: &[(&str, f64)],
+        total_queries: usize,
+        on_s: f64,
+        off_s: f64,
+    ) -> Result<Self, WorkloadError> {
+        if !(on_s.is_finite() && on_s > 0.0) {
+            return Err(WorkloadError::InvalidBurstPhase {
+                phase: "on",
+                seconds: on_s,
+            });
+        }
+        if !(off_s.is_finite() && off_s > 0.0) {
+            return Err(WorkloadError::InvalidBurstPhase {
+                phase: "off",
+                seconds: off_s,
+            });
+        }
+        Ok(Self {
+            process: ArrivalProcess::Bursty { on_s, off_s },
+            ..Self::try_mix(streams, total_queries)?
         })
     }
 
@@ -258,15 +340,35 @@ impl WorkloadSpec {
             .min(remaining);
             remaining -= count;
             let mut t = 0.0;
+            // Bursty phase state: every stream starts in an ON period and
+            // draws arrivals at the duty-cycle-inflated rate, so the
+            // long-run average matches the nominal stream rate.
+            let (mut phase_end, burst_rate) = match self.process {
+                ArrivalProcess::Bursty { on_s, off_s } => {
+                    (exp_sample(&mut rng, on_s), rate * (on_s + off_s) / on_s)
+                }
+                _ => (f64::INFINITY, *rate),
+            };
             for _ in 0..count {
-                let dt = match self.process {
+                match self.process {
                     ArrivalProcess::Poisson => {
-                        let u: f64 = rng.gen_range(1e-12..1.0);
-                        -u.ln() / rate
+                        t += exp_sample(&mut rng, 1.0 / rate);
                     }
-                    ArrivalProcess::Uniform => 1.0 / rate,
-                };
-                t += dt;
+                    ArrivalProcess::Uniform => t += 1.0 / rate,
+                    ArrivalProcess::Bursty { on_s, off_s } => loop {
+                        let dt = exp_sample(&mut rng, 1.0 / burst_rate);
+                        if t + dt <= phase_end {
+                            t += dt;
+                            break;
+                        }
+                        // The candidate falls past the ON period: silence
+                        // for an OFF gap, then restart the clock at the
+                        // head of the next ON period. (Memorylessness of
+                        // the exponential makes the re-draw exact.)
+                        t = phase_end + exp_sample(&mut rng, off_s);
+                        phase_end = t + exp_sample(&mut rng, on_s);
+                    },
+                }
                 queries.push(QuerySpec {
                     model: model.clone(),
                     arrival: SimTime(t),
@@ -276,6 +378,13 @@ impl WorkloadSpec {
         queries.sort_by_key(|a| a.arrival);
         queries
     }
+}
+
+/// One exponential sample with the given mean (inverse-CDF transform;
+/// the `1e-12` floor keeps `ln` finite).
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -u.ln() * mean
 }
 
 #[cfg(test)]
@@ -411,6 +520,79 @@ mod tests {
             WorkloadSpec::mix(&[("a", 1.0)], 3),
             WorkloadSpec::try_mix(&[("a", 1.0)], 3).unwrap()
         );
+    }
+
+    #[test]
+    fn bursty_long_run_rate_matches_nominal() {
+        // The ON-rate inflation must make the long-run average of the
+        // bursty stream equal its nominal rate (loose tolerance: an
+        // on/off process has much higher variance than Poisson).
+        let w = WorkloadSpec::try_bursty("m", 100.0, 20_000, 0.5, 0.5).expect("valid");
+        let q = w.generate(7);
+        let span = q.last().unwrap().arrival.0;
+        let rate = 20_000.0 / span;
+        assert!((rate - 100.0).abs() / 100.0 < 0.2, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn bursty_interarrivals_are_overdispersed() {
+        // The squared coefficient of variation of inter-arrival times is 1
+        // for Poisson; on/off bursts push it well above.
+        let scv = |q: &[QuerySpec]| {
+            let dts: Vec<f64> = q
+                .windows(2)
+                .map(|p| p[1].arrival.since(p[0].arrival))
+                .collect();
+            let mean = dts.iter().sum::<f64>() / dts.len() as f64;
+            let var = dts.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dts.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = WorkloadSpec::single("m", 200.0, 5000).generate(13);
+        let bursty = WorkloadSpec::try_bursty("m", 200.0, 5000, 0.2, 0.8)
+            .expect("valid")
+            .generate(13);
+        assert!(
+            scv(&bursty) > 2.0 * scv(&poisson),
+            "bursty SCV {} not far above Poisson SCV {}",
+            scv(&bursty),
+            scv(&poisson)
+        );
+    }
+
+    #[test]
+    fn bursty_generation_is_deterministic_and_sorted() {
+        let w = WorkloadSpec::try_bursty_mix(&[("a", 50.0), ("b", 20.0)], 800, 0.3, 0.7)
+            .expect("valid");
+        let q = w.generate(4);
+        assert_eq!(q, w.generate(4));
+        assert_eq!(q.len(), 800);
+        assert!(q.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+
+    #[test]
+    fn try_bursty_rejects_bad_phases() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    WorkloadSpec::try_bursty("m", 10.0, 5, bad, 1.0),
+                    Err(WorkloadError::InvalidBurstPhase { phase: "on", .. })
+                ),
+                "on-phase {bad} was not rejected"
+            );
+        }
+        assert!(matches!(
+            WorkloadSpec::try_bursty("m", 10.0, 5, 1.0, -2.0),
+            Err(WorkloadError::InvalidBurstPhase { phase: "off", .. })
+        ));
+        // Stream validation still applies underneath.
+        assert!(matches!(
+            WorkloadSpec::try_bursty("m", 0.0, 5, 1.0, 1.0),
+            Err(WorkloadError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::try_bursty_mix(&[], 5, 1.0, 1.0),
+            Err(WorkloadError::NoStreams)
+        ));
     }
 
     #[test]

@@ -155,3 +155,39 @@ fn adaptive_compilation_uses_multiple_versions_at_runtime() {
         "AC must behave differently from AS under pressure"
     );
 }
+
+#[test]
+fn inject_held_charges_hold_time_against_latency() {
+    // A query held above the node (e.g. by fleet admission deferral) and
+    // injected with its original arrival in the past must be charged the
+    // hold: latency runs from the submitted arrival, not from injection.
+    let models = compiled(&["mobilenet_v2"]);
+    let cfg = SimConfig::new(machine(), Policy::VeltairFull);
+    let spec = QuerySpec {
+        model: "mobilenet_v2".into(),
+        arrival: SimTime(0.0),
+    };
+
+    let mut held = veltair_sched::runtime::Driver::open(&models, cfg.clone());
+    held.run_until(SimTime(0.5));
+    held.inject_held(&spec).expect("registered model");
+    held.run_to_completion();
+    let (held_report, _) = held.finish();
+
+    let mut clamped = veltair_sched::runtime::Driver::open(&models, cfg);
+    clamped.run_until(SimTime(0.5));
+    clamped.inject(&spec).expect("registered model");
+    clamped.run_to_completion();
+    let (clamped_report, _) = clamped.finish();
+
+    let held_lat = held_report.avg_latency_s("mobilenet_v2");
+    let clamped_lat = clamped_report.avg_latency_s("mobilenet_v2");
+    assert!(
+        held_lat >= 0.5,
+        "hold time missing from latency: {held_lat}"
+    );
+    assert!(
+        (held_lat - (0.5 + clamped_lat)).abs() < 1e-9,
+        "held latency {held_lat} should be the hold plus the service time {clamped_lat}"
+    );
+}

@@ -19,6 +19,10 @@
 //!   runtime (Algorithm 3): a policy-agnostic event loop over pluggable
 //!   `Dispatcher` families, plus the Planaria / PREMA / AI-MT / Parties
 //!   baselines;
+//! * [`cluster`] — the multi-machine fleet runtime: per-node serving
+//!   drivers behind pluggable SLO-aware routing (round-robin,
+//!   least-outstanding, power-of-two-choices, interference-aware) and
+//!   admission control;
 //! * [`core`] — the serving engine, evaluation metrics, and the experiment
 //!   harness that regenerates every figure and table of the paper.
 //!
@@ -48,6 +52,7 @@
 //! # Ok::<(), veltair::core::EngineError>(())
 //! ```
 
+pub use veltair_cluster as cluster;
 pub use veltair_compiler as compiler;
 pub use veltair_core as core;
 pub use veltair_models as models;
@@ -58,11 +63,15 @@ pub use veltair_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use veltair_cluster::{
+        AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeLoad, NodeSpec, Router,
+        RouterKind, SloAdmissionConfig,
+    };
     pub use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
     pub use veltair_core::{
-        max_qps_at_qos, train_proxy, Completion, EngineBuilder, EngineError, Policy, QpsResult,
-        QpsSearchConfig, ReportSnapshot, ServingEngine, ServingReport, ServingSession, SimError,
-        WorkloadError, WorkloadSpec,
+        max_qps_at_qos, train_proxy, ClusterBuilder, ClusterEngine, ClusterSession, Completion,
+        EngineBuilder, EngineError, Policy, QpsResult, QpsSearchConfig, ReportSnapshot,
+        ServingEngine, ServingReport, ServingSession, SimError, WorkloadError, WorkloadSpec,
     };
     pub use veltair_models::{all_models, by_name, ModelSpec, WorkloadClass};
     pub use veltair_sched::runtime::{Dispatcher, Driver};

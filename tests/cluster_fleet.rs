@@ -1,0 +1,251 @@
+//! Fleet-level behaviour the cluster subsystem guarantees: bit-exact
+//! determinism for a fixed configuration, correctly pooled tail
+//! percentiles across nodes, and the routing win that justifies the
+//! whole layer (load/interference-aware placement beats load-blind
+//! round-robin at the SLO).
+
+use veltair::prelude::*;
+
+fn compiled_mix() -> Vec<CompiledModel> {
+    let machine = MachineConfig::threadripper_3990x();
+    let opts = CompilerOptions::fast();
+    ["mobilenet_v2", "tiny_yolo_v2", "resnet50", "googlenet"]
+        .iter()
+        .map(|n| compile_model(&by_name(n).expect("zoo model"), &machine, &opts))
+        .collect()
+}
+
+/// The `cluster_serving` example's heterogeneous five-node fleet.
+fn heterogeneous_nodes() -> Vec<NodeSpec> {
+    let big = MachineConfig::threadripper_3990x();
+    let edge = MachineConfig::desktop_8core();
+    vec![
+        NodeSpec::new("big-0", big.clone(), Policy::VeltairFull),
+        NodeSpec::new("big-1", big.clone(), Policy::VeltairFull),
+        NodeSpec::new("legacy-0", big, Policy::Prema),
+        NodeSpec::new("edge-0", edge.clone(), Policy::VeltairFull),
+        NodeSpec::new("edge-1", edge, Policy::Planaria),
+    ]
+}
+
+fn bursty_mix_workload(total_queries: usize, qps: f64) -> WorkloadSpec {
+    let names = ["mobilenet_v2", "tiny_yolo_v2", "resnet50", "googlenet"];
+    let specs: Vec<ModelSpec> = names.iter().map(|n| by_name(n).unwrap()).collect();
+    let streams: Vec<(&str, f64)> = specs
+        .iter()
+        .map(|s| (s.graph.name.as_str(), 1.0 / s.qos_ms))
+        .collect();
+    WorkloadSpec::try_bursty_mix(&streams, total_queries, 0.3, 0.7)
+        .expect("valid bursty mix")
+        .scaled_to(qps)
+}
+
+fn engine(models: &[CompiledModel], router: RouterKind) -> ClusterEngine {
+    let mut builder = ClusterEngine::builder()
+        .router(router)
+        .admission(AdmissionKind::SloAware(SloAdmissionConfig::default()));
+    for m in models {
+        builder = builder.model(m.clone());
+    }
+    for n in heterogeneous_nodes() {
+        builder = builder.node(n);
+    }
+    builder.build().expect("valid cluster")
+}
+
+#[test]
+fn fleet_runs_are_bit_deterministic_for_a_fixed_seed() {
+    // The full stack — bursty arrivals, seeded power-of-two routing,
+    // SLO-aware admission with deferrals, five heterogeneous nodes — must
+    // reproduce bit for bit when the same configuration runs twice.
+    let models = compiled_mix();
+    let workload = bursty_mix_workload(250, 300.0);
+    let run = || engine(&models, RouterKind::PowerOfTwoChoices { seed: 11 }).run(&workload, 42);
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "identical configs diverged");
+    assert!(first.merged.total_queries() > 0, "nothing was served");
+
+    // A different workload seed must actually change the outcome (the
+    // equality above is not comparing constants).
+    let third = engine(&models, RouterKind::PowerOfTwoChoices { seed: 11 }).run(&workload, 43);
+    assert_ne!(first, third, "workload seed had no effect");
+}
+
+#[test]
+fn merged_percentiles_equal_percentiles_of_pooled_samples() {
+    // Fleet p95/p99 must be the percentile of the union of node samples,
+    // never an average of per-node percentiles.
+    let models = compiled_mix();
+    let report =
+        engine(&models, RouterKind::LeastOutstanding).run(&bursty_mix_workload(250, 300.0), 7);
+
+    for model in report.merged.per_model.keys() {
+        // Pool the raw samples from every node by hand.
+        let pooled: Vec<f64> = report
+            .per_node
+            .iter()
+            .filter_map(|r| r.per_model.get(model))
+            .flat_map(|m| m.latencies_s.iter().copied())
+            .collect();
+        assert_eq!(
+            pooled.len(),
+            report.merged.per_model[model].queries,
+            "sample pooling lost queries for {model}"
+        );
+        for p in [50.0, 95.0, 99.0] {
+            let mut sorted = pooled.clone();
+            sorted.sort_by(f64::total_cmp);
+            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+            let expected = sorted[rank.clamp(1, sorted.len()) - 1];
+            let got = report.merged.per_model[model].percentile_latency_s(p);
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "{model} p{p}: merged {got} != pooled {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn averaging_node_percentiles_would_be_wrong() {
+    // The canonical aggregation bug, pinned with synthetic per-node
+    // latency sets: a lightly loaded node full of fast completions pulls
+    // an *averaged* p99 far below the pooled tail.
+    use veltair::sched::ModelStats;
+    use veltair::sched::ServingReport;
+
+    let node = |latencies: &[f64]| {
+        let mut r = ServingReport::default();
+        r.per_model.insert(
+            "m".into(),
+            ModelStats {
+                queries: latencies.len(),
+                satisfied: 0,
+                latency_sum_s: latencies.iter().sum(),
+                latency_max_s: latencies.iter().fold(0.0, |a: f64, &b| a.max(b)),
+                latencies_s: latencies.to_vec(),
+            },
+        );
+        r
+    };
+    // Node A: 99 fast queries. Node B: 99 slow ones.
+    let fast: Vec<f64> = (1..=99).map(|i| 0.001 * i as f64).collect();
+    let slow: Vec<f64> = (1..=99).map(|i| 1.0 + 0.001 * i as f64).collect();
+    let a = node(&fast);
+    let b = node(&slow);
+
+    let merged = veltair::cluster::merge_reports(&[a.clone(), b.clone()]);
+    let pooled_p99 = merged.per_model["m"].p99_latency_s();
+    let averaged_p99 = (a.per_model["m"].p99_latency_s() + b.per_model["m"].p99_latency_s()) / 2.0;
+
+    // Pooled p99 sits in the slow node's range; the average of per-node
+    // p99s does not.
+    assert!(pooled_p99 > 1.0, "pooled p99 {pooled_p99} lost the tail");
+    assert!(
+        (averaged_p99 - pooled_p99).abs() > 0.4,
+        "this synthetic case should separate the two aggregations"
+    );
+    // And the pooled value is exactly the percentile of the union.
+    let mut union: Vec<f64> = fast.iter().chain(slow.iter()).copied().collect();
+    union.sort_by(f64::total_cmp);
+    let rank = (0.99 * union.len() as f64).ceil() as usize;
+    assert!((pooled_p99 - union[rank - 1]).abs() < 1e-12);
+}
+
+#[test]
+fn interference_aware_routing_beats_round_robin_on_slo() {
+    // The acceptance bar for the cluster layer, pinned as a regression:
+    // on the heterogeneous bursty example mix, interference-aware routing
+    // must beat load-blind round-robin on SLO violation rate.
+    let models = compiled_mix();
+    let workload = bursty_mix_workload(600, 350.0);
+    let rr = engine(&models, RouterKind::RoundRobin).run(&workload, 42);
+    let ia = engine(&models, RouterKind::InterferenceAware).run(&workload, 42);
+    assert!(
+        ia.slo_violation_rate() < rr.slo_violation_rate(),
+        "interference-aware {:.3} did not beat round-robin {:.3}",
+        ia.slo_violation_rate(),
+        rr.slo_violation_rate()
+    );
+    assert!(
+        ia.goodput_qps() > rr.goodput_qps(),
+        "interference-aware goodput {:.1} did not beat round-robin {:.1}",
+        ia.goodput_qps(),
+        rr.goodput_qps()
+    );
+}
+
+#[test]
+fn shed_and_served_account_for_every_offered_query() {
+    let models = compiled_mix();
+    let workload = bursty_mix_workload(250, 500.0);
+    let report = engine(&models, RouterKind::LeastOutstanding).run(&workload, 9);
+    assert_eq!(report.offered(), 250, "queries leaked");
+    assert_eq!(
+        report.merged.total_queries(),
+        report
+            .per_node
+            .iter()
+            .map(|r| r.total_queries())
+            .sum::<usize>()
+    );
+    assert_eq!(
+        report.routed_per_node.iter().sum::<u64>() as usize,
+        report.merged.total_queries(),
+        "every routed query must complete"
+    );
+    let shed_by_model: u64 = report.shed_per_model.values().sum();
+    assert_eq!(shed_by_model, report.shed);
+}
+
+#[test]
+fn deferral_hold_time_counts_against_the_slo() {
+    // A controller that always defers (until its budget runs out) must
+    // not flatter the latency statistics: the hold is real client wait,
+    // so the measured latency includes it.
+    let machine = MachineConfig::threadripper_3990x();
+    let model = compile_model(
+        &by_name("mobilenet_v2").expect("zoo model"),
+        &machine,
+        &CompilerOptions::fast(),
+    );
+    let build = |admission: AdmissionKind| {
+        ClusterEngine::builder()
+            .model(model.clone())
+            .node(NodeSpec::new(
+                "solo",
+                MachineConfig::threadripper_3990x(),
+                Policy::VeltairFull,
+            ))
+            .router(RouterKind::RoundRobin)
+            .admission(admission)
+            .build()
+            .expect("valid cluster")
+    };
+    // defer_threshold 0.0 defers every query (projection is never
+    // negative) for max_defers rounds of 0.1 s before admitting.
+    let deferred = build(AdmissionKind::SloAware(SloAdmissionConfig {
+        shed_threshold: 1.1,
+        defer_threshold: 0.0,
+        defer_s: 0.1,
+        max_defers: 2,
+    }));
+    let plain = build(AdmissionKind::AdmitAll);
+    let workload = WorkloadSpec::single("mobilenet_v2", 20.0, 10);
+    let held = deferred.run(&workload, 4);
+    let direct = plain.run(&workload, 4);
+    assert_eq!(held.deferrals, 20, "2 deferrals per query expected");
+    assert_eq!(held.shed, 0);
+    let held_avg = held.merged.avg_latency_s("mobilenet_v2");
+    let direct_avg = direct.merged.avg_latency_s("mobilenet_v2");
+    assert!(
+        held_avg >= direct_avg + 0.2 - 1e-9,
+        "0.2 s of hold vanished from latency: held {held_avg}, direct {direct_avg}"
+    );
+    // mobilenet's 10 ms QoS cannot survive a 200 ms hold.
+    assert_eq!(
+        held.merged.per_model["mobilenet_v2"].satisfied, 0,
+        "deferred queries counted as SLO-satisfied"
+    );
+}

@@ -129,6 +129,73 @@ fn adaptive_granularity_outlasts_static_granularities() {
     }
 }
 
+/// Seed-averaged overall satisfaction of `policy` on the paper's
+/// inverse-QoS four-model mix at an overloaded aggregate rate.
+fn overload_mix_satisfaction(policy: Policy) -> f64 {
+    let names = ["mobilenet_v2", "tiny_yolo_v2", "resnet50", "googlenet"];
+    let e = engine(policy, &names);
+    let specs: Vec<ModelSpec> = names.iter().map(|n| by_name(n).unwrap()).collect();
+    let streams: Vec<(&str, f64)> = specs
+        .iter()
+        .map(|s| (s.graph.name.as_str(), 1.0 / s.qos_ms))
+        .collect();
+    // 200 QPS aggregate is past the single-machine capacity point for
+    // this mix: every policy misses deadlines, which is exactly where
+    // Fig. 12's policy separation shows.
+    let workload = WorkloadSpec::mix(&streams, 300).scaled_to(200.0);
+    [3u64, 17, 42]
+        .iter()
+        .map(|&s| e.run(&workload, s).overall_satisfaction())
+        .sum::<f64>()
+        / 3.0
+}
+
+#[test]
+fn overload_mix_pins_full_as_ac_planaria_ordering() {
+    // Fig. 12's direction on the mixed workload at overload: adaptive
+    // scheduling + compilation (FULL) leads, adaptive scheduling alone
+    // (AS) follows, adaptive compilation alone (AC) is next, and
+    // layer-wise Planaria trails. This is the regression pin for the
+    // seed-averaged ordering; see the #[ignore]d companion below for the
+    // part of the paper's separation we do not reproduce yet.
+    let full = overload_mix_satisfaction(Policy::VeltairFull);
+    let adaptive_sched = overload_mix_satisfaction(Policy::VeltairAs);
+    let ac = overload_mix_satisfaction(Policy::VeltairAc);
+    let planaria = overload_mix_satisfaction(Policy::Planaria);
+    assert!(
+        full > adaptive_sched,
+        "FULL {full:.3} did not beat AS {adaptive_sched:.3}"
+    );
+    assert!(
+        adaptive_sched > ac,
+        "AS {adaptive_sched:.3} did not beat AC {ac:.3}"
+    );
+    assert!(
+        ac > planaria,
+        "AC {ac:.3} did not beat Planaria {planaria:.3}"
+    );
+}
+
+#[test]
+#[ignore = "known Veltair-AC calibration gap, see ROADMAP open items"]
+fn veltair_ac_should_sit_well_clear_of_planaria() {
+    // ROADMAP open item: Veltair-AC (adaptive compilation, layer-wise)
+    // underperforms the paper's ordering at overload — it lands *near
+    // Planaria* instead of between AS and FULL. The paper's Fig. 12 has
+    // AC clearly separated from the layer-wise baseline; until AC's
+    // version switching under pressure gets its tuning pass, its margin
+    // over Planaria is a few points where it should be at least halfway
+    // up to AS. This assertion documents the target; un-ignore it once
+    // the calibration lands.
+    let adaptive_sched = overload_mix_satisfaction(Policy::VeltairAs);
+    let ac = overload_mix_satisfaction(Policy::VeltairAc);
+    let planaria = overload_mix_satisfaction(Policy::Planaria);
+    assert!(
+        ac >= (planaria + adaptive_sched) / 2.0,
+        "AC {ac:.3} still lands near Planaria {planaria:.3} (AS at {adaptive_sched:.3})"
+    );
+}
+
 #[test]
 fn per_layer_envelope_is_heterogeneous_under_pressure() {
     // §3.2 / Fig. 4b: under co-location pressure the per-layer core
