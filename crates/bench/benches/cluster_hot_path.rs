@@ -4,7 +4,7 @@
 //! how much virtual traffic a fleet simulation can push per wall-second.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use veltair_cluster::{AdmissionKind, Fleet, NodeLoad, NodeSpec, RouterKind};
+use veltair_cluster::{AdmissionKind, Fleet, NodeLoad, NodeSpec, RouterKind, StepMode};
 use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
 use veltair_sched::runtime::Driver;
 use veltair_sched::{Policy, QuerySpec, SimConfig, WorkloadSpec};
@@ -99,9 +99,61 @@ fn bench_fleet_run(c: &mut Criterion) {
     });
 }
 
+/// The fleet stepper head to head: one 256-node fleet serving four
+/// synchronized traffic waves, advanced sequentially vs by the
+/// work-stealing pool at several worker counts. Same simulation bit for
+/// bit (pinned by `tests/parallel_equivalence.rs`); only wall-clock may
+/// differ, and on a multicore host the parallel rows should sit well
+/// under the sequential one.
+fn bench_fleet_stepper_scaling(c: &mut Criterion) {
+    let models = compiled_mobilenet();
+    let big = MachineConfig::threadripper_3990x();
+    let edge = MachineConfig::desktop_8core();
+    let nodes: Vec<NodeSpec> = (0..256)
+        .map(|i| {
+            let (machine, name) = if i % 8 == 0 {
+                (big.clone(), format!("big-{i}"))
+            } else {
+                (edge.clone(), format!("edge-{i}"))
+            };
+            NodeSpec::new(&name, machine, Policy::VeltairFull)
+        })
+        .collect();
+    let run = |mode: StepMode| {
+        let mut fleet = Fleet::new(
+            &models,
+            &nodes,
+            RouterKind::LeastOutstanding.build(),
+            AdmissionKind::AdmitAll.build(),
+        )
+        .expect("valid fleet")
+        .with_step_mode(mode);
+        for wave in 0..4 {
+            for _ in 0..256 {
+                fleet
+                    .submit(&QuerySpec {
+                        model: "mobilenet_v2".into(),
+                        arrival: SimTime(wave as f64 * 0.25),
+                    })
+                    .expect("registered");
+            }
+        }
+        fleet.finish()
+    };
+    c.bench_function("fleet_stepper_256_nodes/sequential", |b| {
+        b.iter(|| run(StepMode::Sequential))
+    });
+    for threads in [2, 8] {
+        c.bench_function(&format!("fleet_stepper_256_nodes/parallel{threads}"), |b| {
+            b.iter(|| run(StepMode::Parallel { threads }))
+        });
+    }
+}
+
 criterion_group! {
     name = cluster_hot_path;
     config = Criterion::default().sample_size(10);
-    targets = bench_driver_step, bench_router_decisions, bench_fleet_run
+    targets = bench_driver_step, bench_router_decisions, bench_fleet_run,
+        bench_fleet_stepper_scaling
 }
 criterion_main!(cluster_hot_path);

@@ -14,7 +14,11 @@
 //! totally ordered by `(arrival time, submission order)`, and every
 //! built-in router/controller is deterministic for a fixed configuration
 //! — so a fleet run is a pure function of (models, node specs, router
-//! kind, admission kind, workload, seed).
+//! kind, admission kind, workload, seed). The
+//! [`StepMode`] — sequential or work-stealing parallel
+//! node advancement — is deliberately *not* part of that tuple: both
+//! modes produce bit-identical results, because routing stays on the
+//! coordinator thread and node advancement commutes across nodes.
 
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
@@ -26,6 +30,7 @@ use veltair_sim::SimTime;
 
 use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::node::{NodeLoad, NodeSpec};
+use crate::parallel::{StepMode, StepperPool};
 use crate::report::{merge_reports, FleetReport};
 use crate::router::Router;
 
@@ -46,6 +51,14 @@ pub enum ClusterError {
         /// The rejected arrival time, seconds.
         arrival_s: f64,
     },
+    /// [`Fleet::run_for`] was asked to advance by a non-positive or
+    /// non-finite duration. Silently accepting these either rewinds the
+    /// fleet clock (negative), spins forever (NaN comparisons), or jumps
+    /// to infinity — all three are caller bugs worth surfacing.
+    InvalidDuration {
+        /// The rejected duration, seconds.
+        dt_s: f64,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -59,6 +72,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::NonFiniteArrival { arrival_s } => {
                 write!(f, "arrival times must be finite, got {arrival_s}")
             }
+            ClusterError::InvalidDuration { dt_s } => {
+                write!(f, "run durations must be positive and finite, got {dt_s}")
+            }
         }
     }
 }
@@ -70,7 +86,8 @@ impl std::error::Error for ClusterError {}
 /// returning `Defer` regardless of the `attempts` counter (a buggy or
 /// adversarial implementation of the public trait) would otherwise spin
 /// [`Fleet::run_to_completion`] forever; at the cap the query is shed.
-const DEFER_HARD_CAP: u32 = 32;
+/// Public so admission-invariant property tests can pin the bound.
+pub const DEFER_HARD_CAP: u32 = 32;
 
 /// A query waiting at the fleet front door for its routing instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,6 +170,10 @@ pub struct Fleet<'a> {
     shed: u64,
     shed_per_model: BTreeMap<String, u64>,
     deferrals: u64,
+    step_mode: StepMode,
+    /// Lazily built when the mode switches to parallel; dropped (workers
+    /// joined) when it switches back.
+    pool: Option<StepperPool>,
 }
 
 impl std::fmt::Debug for Fleet<'_> {
@@ -162,6 +183,7 @@ impl std::fmt::Debug for Fleet<'_> {
             .field("nodes", &self.names)
             .field("router", &self.router.name())
             .field("admission", &self.admission.name())
+            .field("step_mode", &self.step_mode)
             .field("front_door", &self.pending.len())
             .finish_non_exhaustive()
     }
@@ -203,7 +225,41 @@ impl<'a> Fleet<'a> {
             shed: 0,
             shed_per_model: BTreeMap::new(),
             deferrals: 0,
+            step_mode: StepMode::Sequential,
+            pool: None,
         })
+    }
+
+    /// Sets the node-advancement mode at construction time:
+    /// `Fleet::new(..)?.with_step_mode(StepMode::Parallel { threads: 8 })`.
+    #[must_use]
+    pub fn with_step_mode(mut self, mode: StepMode) -> Self {
+        self.set_step_mode(mode);
+        self
+    }
+
+    /// Switches how member nodes advance between routing instants. Safe
+    /// at any point in a run — both modes produce bit-identical results
+    /// (see [`StepMode`]) — so a caller may, say, go parallel for a bulk
+    /// replay and drop back to sequential for fine-grained stepping.
+    /// Switching to parallel spawns the worker pool; switching away joins
+    /// it.
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.step_mode = mode;
+        match mode.worker_threads() {
+            Some(threads) => {
+                if self.pool.as_ref().map(StepperPool::threads) != Some(threads) {
+                    self.pool = Some(StepperPool::new(threads));
+                }
+            }
+            None => self.pool = None,
+        }
+    }
+
+    /// The active node-advancement mode.
+    #[must_use]
+    pub fn step_mode(&self) -> StepMode {
+        self.step_mode
     }
 
     // --- Observation ------------------------------------------------------
@@ -371,9 +427,36 @@ impl<'a> Fleet<'a> {
     // --- Time -------------------------------------------------------------
 
     /// Advances every node to `t` in lockstep and moves the fleet clock.
+    ///
+    /// Nodes are independent between routing instants, so the parallel
+    /// mode farms the per-node event loops out to the stepper pool; the
+    /// sequential mode runs them in fleet order on this thread. Either
+    /// way every node has reached exactly `t` on return, which is what
+    /// keeps the two modes bit-identical: the next routing decision sees
+    /// the same per-node state regardless of which thread advanced each
+    /// node.
     fn advance_nodes_to(&mut self, t: SimTime) {
-        for d in &mut self.drivers {
-            d.run_until(t);
+        if t > self.now {
+            match &self.pool {
+                Some(pool) => pool.advance(&mut self.drivers, t),
+                None => {
+                    for d in &mut self.drivers {
+                        d.run_until(t);
+                    }
+                }
+            }
+        } else {
+            // Same-instant routing (a batch of arrivals at one `t`):
+            // there is no time to advance, but events scheduled exactly
+            // at `t` — e.g. the arrival injected for the previous
+            // same-instant query — must still be processed so routing
+            // sees live load. That is a cheap event-queue peek per node,
+            // kept on the coordinator in *both* modes (identical calls,
+            // identical thread ⇒ trivially bit-identical), instead of a
+            // worker-pool round trip per query.
+            for d in &mut self.drivers {
+                d.run_until(t);
+            }
         }
         self.now = t;
     }
@@ -448,18 +531,35 @@ impl<'a> Fleet<'a> {
     }
 
     /// Runs the fleet for another `dt_s` seconds.
-    pub fn run_for(&mut self, dt_s: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidDuration`] if `dt_s` is NaN,
+    /// infinite, or not strictly positive — silently accepting those
+    /// would rewind the fleet clock or advance it to infinity.
+    pub fn run_for(&mut self, dt_s: f64) -> Result<(), ClusterError> {
+        if !dt_s.is_finite() || dt_s <= 0.0 {
+            return Err(ClusterError::InvalidDuration { dt_s });
+        }
         self.run_until(self.now.after(dt_s).0);
+        Ok(())
     }
 
-    /// Routes every remaining arrival and drains all nodes.
+    /// Routes every remaining arrival and drains all nodes (in parallel
+    /// when a stepper pool is active — the drain is embarrassingly
+    /// parallel, and on large fleets it is most of the serving work).
     pub fn run_to_completion(&mut self) {
         while let Some(p) = self.pending.peek() {
             let t = p.due;
             self.run_until(t.0);
         }
-        for d in &mut self.drivers {
-            d.run_to_completion();
+        match &self.pool {
+            Some(pool) => pool.drain(&mut self.drivers),
+            None => {
+                for d in &mut self.drivers {
+                    d.run_to_completion();
+                }
+            }
         }
         let end = self
             .drivers

@@ -22,6 +22,9 @@
 //!   [`AdmitAll`], and the SLO-projection [`SloAdmission`];
 //! * [`fleet`] — the [`Fleet`] runtime: lockstep virtual time across
 //!   nodes, arrival-instant routing, streaming submission, snapshots;
+//! * [`parallel`] — the work-stealing fleet stepper: [`StepMode`] selects
+//!   sequential or parallel node advancement between routing instants,
+//!   with bit-identical results either way;
 //! * [`report`] — [`FleetReport`] and [`merge_reports`], which pools
 //!   latency samples so fleet p95/p99 are computed over the union of
 //!   node samples (never averaged percentiles).
@@ -66,6 +69,7 @@
 pub mod admission;
 pub mod fleet;
 pub mod node;
+pub mod parallel;
 pub mod report;
 pub mod router;
 
@@ -73,8 +77,9 @@ pub use admission::{
     AdmissionController, AdmissionDecision, AdmissionKind, AdmitAll, SloAdmission,
     SloAdmissionConfig,
 };
-pub use fleet::{ClusterError, Fleet, FleetSnapshot, NodeSnapshot};
+pub use fleet::{ClusterError, Fleet, FleetSnapshot, NodeSnapshot, DEFER_HARD_CAP};
 pub use node::{NodeLoad, NodeSpec};
+pub use parallel::StepMode;
 pub use report::{merge_reports, FleetReport};
 pub use router::{
     InterferenceAware, LeastOutstanding, PowerOfTwoChoices, RoundRobin, Router, RouterKind,

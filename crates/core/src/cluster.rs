@@ -18,7 +18,7 @@
 //!   [`FleetReport`].
 
 use veltair_cluster::{
-    AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeSpec, RouterKind,
+    AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeSpec, RouterKind, StepMode,
 };
 use veltair_compiler::CompiledModel;
 use veltair_sched::{QuerySpec, WorkloadSpec};
@@ -35,6 +35,7 @@ impl From<ClusterError> for EngineError {
             ClusterError::NonFiniteArrival { arrival_s } => {
                 EngineError::NonFiniteArrival { at_s: arrival_s }
             }
+            ClusterError::InvalidDuration { dt_s } => EngineError::InvalidDuration { dt_s },
         }
     }
 }
@@ -66,6 +67,7 @@ pub struct ClusterBuilder {
     nodes: Vec<NodeSpec>,
     router: RouterKind,
     admission: AdmissionKind,
+    step_mode: StepMode,
     slo_overrides: Vec<(String, f64)>,
 }
 
@@ -76,6 +78,7 @@ impl Default for ClusterBuilder {
             nodes: Vec::new(),
             router: RouterKind::InterferenceAware,
             admission: AdmissionKind::AdmitAll,
+            step_mode: StepMode::Sequential,
             slo_overrides: Vec::new(),
         }
     }
@@ -112,6 +115,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets how fleet nodes advance between routing instants (default:
+    /// sequential). [`StepMode::Parallel`] farms node advancement out to
+    /// a work-stealing pool with **bit-identical** results — it changes
+    /// wall-clock time, never the simulation.
+    #[must_use]
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
+        self
+    }
+
     /// Overrides a registered model's end-to-end SLO (QoS latency target,
     /// seconds), applied at [`build`](ClusterBuilder::build) time — the
     /// same semantics as
@@ -137,6 +150,7 @@ impl ClusterBuilder {
             nodes,
             router,
             admission,
+            step_mode,
             slo_overrides,
         } = self;
         if models.is_empty() {
@@ -151,6 +165,7 @@ impl ClusterBuilder {
             nodes,
             router,
             admission,
+            step_mode,
         })
     }
 }
@@ -170,6 +185,7 @@ pub struct ClusterEngine {
     nodes: Vec<NodeSpec>,
     router: RouterKind,
     admission: AdmissionKind,
+    step_mode: StepMode,
 }
 
 impl ClusterEngine {
@@ -203,6 +219,12 @@ impl ClusterEngine {
         self.admission
     }
 
+    /// The configured node-advancement mode.
+    #[must_use]
+    pub fn step_mode(&self) -> StepMode {
+        self.step_mode
+    }
+
     /// Opens a resumable cluster session: a fleet over this engine's
     /// registry and nodes, accepting arrivals and snapshot reads while
     /// the lockstep clock runs. The session borrows the engine's models;
@@ -219,7 +241,8 @@ impl ClusterEngine {
             &self.nodes,
             self.router.build(),
             self.admission.build(),
-        )?;
+        )?
+        .with_step_mode(self.step_mode);
         Ok(ClusterSession { fleet })
     }
 
@@ -311,8 +334,26 @@ impl ClusterSession<'_> {
     }
 
     /// Runs the fleet for another `dt_s` seconds of fleet clock.
-    pub fn run_for(&mut self, dt_s: f64) {
-        self.fleet.run_for(dt_s);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidDuration`] if `dt_s` is NaN,
+    /// infinite, or not strictly positive.
+    pub fn run_for(&mut self, dt_s: f64) -> Result<(), EngineError> {
+        Ok(self.fleet.run_for(dt_s)?)
+    }
+
+    /// Switches how this session's fleet advances its nodes between
+    /// routing instants, at any point in the run. Both modes are
+    /// bit-identical (see [`StepMode`]).
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.fleet.set_step_mode(mode);
+    }
+
+    /// The session's active node-advancement mode.
+    #[must_use]
+    pub fn step_mode(&self) -> StepMode {
+        self.fleet.step_mode()
     }
 
     /// A point-in-time fleet view: per-node loads, routed/completed
@@ -426,6 +467,66 @@ mod tests {
         let mut s = e.session().expect("valid");
         s.submit_stream(&w, 9).expect("registered");
         assert_eq!(s.finish(), batch);
+    }
+
+    #[test]
+    fn parallel_step_mode_threads_through_the_builder() {
+        let e = two_node_engine();
+        assert_eq!(e.step_mode(), StepMode::Sequential);
+        let w = WorkloadSpec::single("mobilenet_v2", 80.0, 40);
+        let sequential = e.run(&w, 9);
+
+        let mut builder = ClusterEngine::builder()
+            .model(compiled("mobilenet_v2"))
+            .router(RouterKind::LeastOutstanding)
+            .step_mode(StepMode::Parallel { threads: 3 });
+        for n in [
+            NodeSpec::new(
+                "big-0",
+                MachineConfig::threadripper_3990x(),
+                Policy::VeltairFull,
+            ),
+            NodeSpec::new("edge-0", MachineConfig::desktop_8core(), Policy::Prema),
+        ] {
+            builder = builder.node(n);
+        }
+        let parallel_engine = builder.build().expect("valid cluster");
+        assert_eq!(
+            parallel_engine.step_mode(),
+            StepMode::Parallel { threads: 3 }
+        );
+        let parallel = parallel_engine.run(&w, 9);
+        assert_eq!(parallel, sequential, "step mode changed the simulation");
+
+        // Mid-session switching is also allowed and harmless.
+        let mut s = e.session().expect("valid");
+        s.submit_stream(&w, 9).expect("registered");
+        s.run_until(0.05);
+        s.set_step_mode(StepMode::Parallel { threads: 2 });
+        assert_eq!(s.step_mode(), StepMode::Parallel { threads: 2 });
+        s.run_until(0.1);
+        s.set_step_mode(StepMode::Sequential);
+        assert_eq!(s.finish(), sequential);
+    }
+
+    #[test]
+    fn run_for_rejects_invalid_durations() {
+        let e = two_node_engine();
+        let mut s = e.session().expect("valid");
+        s.submit_stream(&WorkloadSpec::single("mobilenet_v2", 80.0, 10), 2)
+            .expect("registered");
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(s.run_for(bad), Err(EngineError::InvalidDuration { .. })),
+                "duration {bad} was accepted"
+            );
+        }
+        assert!(
+            (s.now_s() - 0.0).abs() < 1e-12,
+            "rejected run moved the clock"
+        );
+        s.run_for(0.25).expect("positive finite duration");
+        assert!((s.now_s() - 0.25).abs() < 1e-12);
     }
 
     #[test]

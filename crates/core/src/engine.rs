@@ -49,6 +49,12 @@ pub enum EngineError {
         /// The rejected QoS target, seconds.
         qos_s: f64,
     },
+    /// A session was asked to run for a non-positive or non-finite
+    /// duration.
+    InvalidDuration {
+        /// The rejected duration, seconds.
+        dt_s: f64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -74,6 +80,9 @@ impl std::fmt::Display for EngineError {
                     f,
                     "SLO overrides must be positive and finite: {model} got {qos_s} s"
                 )
+            }
+            EngineError::InvalidDuration { dt_s } => {
+                write!(f, "run durations must be positive and finite, got {dt_s}")
             }
         }
     }
@@ -495,9 +504,19 @@ impl ServingSession<'_> {
     }
 
     /// Runs the session for another `dt_s` seconds of session clock.
-    pub fn run_for(&mut self, dt_s: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidDuration`] if `dt_s` is NaN,
+    /// infinite, or not strictly positive (mirroring
+    /// [`ClusterSession::run_for`](crate::ClusterSession::run_for)).
+    pub fn run_for(&mut self, dt_s: f64) -> Result<(), EngineError> {
+        if !dt_s.is_finite() || dt_s <= 0.0 {
+            return Err(EngineError::InvalidDuration { dt_s });
+        }
         let target = self.driver.now().after(dt_s);
         self.driver.run_until(target);
+        Ok(())
     }
 
     /// Hot-swaps the scheduling policy at the current dispatch boundary:
@@ -705,6 +724,25 @@ mod tests {
             .filter(|c| c.qos_met)
             .count();
         assert_eq!(satisfied, report.per_model["tiny_yolo_v2"].satisfied);
+    }
+
+    #[test]
+    fn session_run_for_rejects_invalid_durations() {
+        let e = engine();
+        let mut s = e.session().expect("has models");
+        s.submit("tiny_yolo_v2", 0.0).expect("registered");
+        for bad in [0.0, -0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(s.run_for(bad), Err(EngineError::InvalidDuration { .. })),
+                "duration {bad} was accepted"
+            );
+        }
+        assert!(
+            (s.now_s() - 0.0).abs() < 1e-12,
+            "rejected run moved the clock"
+        );
+        s.run_for(0.2).expect("positive finite duration");
+        assert!((s.now_s() - 0.2).abs() < 1e-12);
     }
 
     #[test]

@@ -72,6 +72,6 @@ pub use metrics::{max_qps_at_qos, QpsResult, QpsSearchConfig};
 // Re-export the user-facing vocabulary so downstream users need one import.
 pub use veltair_cluster::{
     AdmissionKind, ClusterError, FleetReport, FleetSnapshot, NodeLoad, NodeSpec, RouterKind,
-    SloAdmissionConfig,
+    SloAdmissionConfig, StepMode,
 };
 pub use veltair_sched::{Policy, ServingReport, SimError, WorkloadError, WorkloadSpec};

@@ -65,7 +65,7 @@ pub use veltair_tensor as tensor;
 pub mod prelude {
     pub use veltair_cluster::{
         AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeLoad, NodeSpec, Router,
-        RouterKind, SloAdmissionConfig,
+        RouterKind, SloAdmissionConfig, StepMode,
     };
     pub use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
     pub use veltair_core::{

@@ -1,0 +1,239 @@
+//! Seeded randomized tests of the admission-control invariants the fleet
+//! front door guarantees *regardless of what the controller does* — the
+//! `AdmissionController` trait is public, so these run adversarial and
+//! randomized controllers through it:
+//!
+//! * accounting never leaks: served + shed always equals submitted;
+//! * a single query is never deferred more than the fleet's hard cap
+//!   (`DEFER_HARD_CAP`), even against a controller that defers forever;
+//! * deferral hold time is charged into measured latency monotonically —
+//!   holding a query longer can only raise its recorded latency, by at
+//!   least the added hold.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veltair::cluster::{AdmissionController, AdmissionDecision, DEFER_HARD_CAP};
+use veltair::prelude::*;
+
+fn compiled_models() -> Vec<CompiledModel> {
+    let machine = MachineConfig::threadripper_3990x();
+    let opts = CompilerOptions::fast();
+    ["mobilenet_v2", "tiny_yolo_v2"]
+        .iter()
+        .map(|n| compile_model(&by_name(n).expect("zoo model"), &machine, &opts))
+        .collect()
+}
+
+/// A controller that draws every decision from a seeded generator —
+/// deterministic per seed, but exercising admit/defer/shed in arbitrary
+/// interleavings no hand-written policy would produce.
+#[derive(Debug)]
+struct RandomAdmission {
+    rng: StdRng,
+}
+
+impl AdmissionController for RandomAdmission {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn decide(
+        &mut self,
+        _load: &NodeLoad,
+        _model: &CompiledModel,
+        _attempts: u32,
+    ) -> AdmissionDecision {
+        match self.rng.gen_range(0u32..10) {
+            0..=5 => AdmissionDecision::Admit,
+            6..=8 => AdmissionDecision::Defer {
+                delay_s: self.rng.gen_range(0.001f64..0.05),
+            },
+            _ => AdmissionDecision::Shed,
+        }
+    }
+
+    fn needs_pressure(&self) -> bool {
+        false
+    }
+}
+
+/// The adversarial controller the hard cap exists for: defers every
+/// query, every time, ignoring the `attempts` counter.
+#[derive(Debug)]
+struct AlwaysDefer;
+
+impl AdmissionController for AlwaysDefer {
+    fn name(&self) -> &'static str {
+        "always-defer"
+    }
+
+    fn decide(
+        &mut self,
+        _load: &NodeLoad,
+        _model: &CompiledModel,
+        _attempts: u32,
+    ) -> AdmissionDecision {
+        AdmissionDecision::Defer { delay_s: 0.01 }
+    }
+
+    fn needs_pressure(&self) -> bool {
+        false
+    }
+}
+
+fn fleet_nodes(rng: &mut StdRng) -> Vec<NodeSpec> {
+    let machines = [
+        MachineConfig::threadripper_3990x(),
+        MachineConfig::desktop_8core(),
+    ];
+    let policies = [Policy::VeltairFull, Policy::Prema, Policy::Planaria];
+    (0..rng.gen_range(1usize..=4))
+        .map(|i| {
+            NodeSpec::new(
+                &format!("node-{i}"),
+                machines[rng.gen_range(0usize..machines.len())].clone(),
+                policies[rng.gen_range(0usize..policies.len())],
+            )
+        })
+        .collect()
+}
+
+/// Randomized fleets under a randomized controller: every offered query
+/// is either served or shed (never both, never lost), deferral counts
+/// respect the per-query hard cap, and per-model shed counts reconcile.
+#[test]
+fn served_plus_shed_always_equals_submitted() {
+    let models = compiled_models();
+    let mut rng = StdRng::seed_from_u64(0xad31_5510);
+    for case in 0..16 {
+        let nodes = fleet_nodes(&mut rng);
+        let queries = rng.gen_range(10usize..60);
+        let qps = rng.gen_range(30.0f64..400.0);
+        let workload_seed = rng.gen_range(0u64..10_000);
+        let controller_seed = rng.gen_range(0u64..10_000);
+        let mut fleet = Fleet::new(
+            &models,
+            &nodes,
+            RouterKind::LeastOutstanding.build(),
+            Box::new(RandomAdmission {
+                rng: StdRng::seed_from_u64(controller_seed),
+            }),
+        )
+        .expect("valid fleet");
+        fleet
+            .submit_stream(
+                &WorkloadSpec::mix(&[("mobilenet_v2", qps), ("tiny_yolo_v2", qps)], queries),
+                workload_seed,
+            )
+            .expect("registered");
+        let report = fleet.finish();
+        assert_eq!(
+            report.merged.total_queries() + report.shed as usize,
+            queries,
+            "case {case}: queries leaked (served {}, shed {}, submitted {queries})",
+            report.merged.total_queries(),
+            report.shed
+        );
+        assert_eq!(
+            report.shed_per_model.values().sum::<u64>(),
+            report.shed,
+            "case {case}: per-model shed counts do not reconcile"
+        );
+        assert_eq!(
+            report.routed_per_node.iter().sum::<u64>() as usize,
+            report.merged.total_queries(),
+            "case {case}: routed queries did not all complete"
+        );
+        assert!(
+            report.deferrals <= u64::from(DEFER_HARD_CAP) * queries as u64,
+            "case {case}: {} deferrals exceeds the hard cap budget",
+            report.deferrals
+        );
+    }
+}
+
+/// Against a controller that defers unconditionally, the fleet must
+/// terminate, shed everything, and spend *exactly* `DEFER_HARD_CAP`
+/// deferrals per query — pinning both the cap's value and the fact that
+/// it is enforced per query, not globally.
+#[test]
+fn always_defer_hits_the_hard_cap_exactly_then_sheds() {
+    let models = compiled_models();
+    let nodes = [NodeSpec::new(
+        "solo",
+        MachineConfig::threadripper_3990x(),
+        Policy::VeltairFull,
+    )];
+    let queries = 7usize;
+    let mut fleet = Fleet::new(
+        &models,
+        &nodes,
+        RouterKind::RoundRobin.build(),
+        Box::new(AlwaysDefer),
+    )
+    .expect("valid fleet");
+    fleet
+        .submit_stream(&WorkloadSpec::single("mobilenet_v2", 50.0, queries), 3)
+        .expect("registered");
+    fleet.run_to_completion();
+    let report = fleet.finish();
+    assert_eq!(report.shed as usize, queries, "every query must be shed");
+    assert_eq!(report.merged.total_queries(), 0, "nothing should be served");
+    assert_eq!(
+        report.deferrals,
+        u64::from(DEFER_HARD_CAP) * queries as u64,
+        "each query should burn exactly the hard cap in deferrals"
+    );
+}
+
+/// `inject_held` is the primitive deferral stands on: a query held above
+/// the driver keeps its original arrival as the latency baseline, so the
+/// measured latency (a) includes at least the full hold and (b) grows
+/// monotonically — and by at least the delta — as the hold grows.
+#[test]
+fn inject_held_hold_time_is_monotonically_charged_into_latency() {
+    let models = compiled_models();
+    let machine = MachineConfig::threadripper_3990x();
+    let mut rng = StdRng::seed_from_u64(0xad31_5511);
+    let mut holds: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0f64..0.5)).collect();
+    holds.push(0.0);
+    holds.sort_by(f64::total_cmp);
+
+    let mut prev: Option<(f64, f64)> = None; // (hold, avg latency)
+    for &hold in &holds {
+        let mut driver = Driver::open(
+            &models,
+            SimConfig::new(machine.clone(), Policy::VeltairFull),
+        );
+        driver.run_until(SimTime(hold));
+        driver
+            .inject_held(&QuerySpec {
+                model: "mobilenet_v2".into(),
+                arrival: SimTime(0.0),
+            })
+            .expect("registered model");
+        driver.run_to_completion();
+        let (report, _) = driver.finish();
+        let avg = report.avg_latency_s("mobilenet_v2");
+        assert!(
+            avg >= hold - 1e-12,
+            "hold {hold}: latency {avg} lost part of the hold"
+        );
+        if let Some((prev_hold, prev_avg)) = prev {
+            assert!(
+                avg >= prev_avg - 1e-12,
+                "latency fell from {prev_avg} to {avg} as hold grew {prev_hold} -> {hold}"
+            );
+            // The service time is identical in every iteration (same
+            // model, same empty machine), so the latency delta must be
+            // exactly the hold delta.
+            assert!(
+                (avg - prev_avg - (hold - prev_hold)).abs() < 1e-9,
+                "hold delta {} was not charged 1:1 into latency (got {})",
+                hold - prev_hold,
+                avg - prev_avg
+            );
+        }
+        prev = Some((hold, avg));
+    }
+}

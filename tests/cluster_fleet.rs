@@ -200,6 +200,49 @@ fn shed_and_served_account_for_every_offered_query() {
 }
 
 #[test]
+fn run_for_rejects_nonpositive_and_nonfinite_durations() {
+    // Regression: `run_for` used to forward bad durations straight into
+    // clock arithmetic — a negative duration could rewind the fleet
+    // clock, NaN poisoned every time comparison, and +inf jumped the
+    // clock to infinity. All of them are now a typed error that leaves
+    // the fleet untouched.
+    let machine = MachineConfig::threadripper_3990x();
+    let models = [compile_model(
+        &by_name("mobilenet_v2").expect("zoo model"),
+        &machine,
+        &CompilerOptions::fast(),
+    )];
+    let nodes = [NodeSpec::new("solo", machine, Policy::VeltairFull)];
+    let mut fleet = Fleet::new(
+        &models,
+        &nodes,
+        RouterKind::RoundRobin.build(),
+        AdmissionKind::AdmitAll.build(),
+    )
+    .expect("valid fleet");
+    fleet
+        .submit_stream(&WorkloadSpec::single("mobilenet_v2", 50.0, 8), 2)
+        .expect("registered");
+    fleet.run_for(0.05).expect("positive finite duration");
+    let before = fleet.snapshot();
+    for bad in [0.0, -0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        match fleet.run_for(bad) {
+            Err(ClusterError::InvalidDuration { dt_s }) => {
+                assert!(dt_s == bad || (dt_s.is_nan() && bad.is_nan()));
+            }
+            other => panic!("duration {bad} produced {other:?} instead of InvalidDuration"),
+        }
+    }
+    assert_eq!(
+        fleet.snapshot(),
+        before,
+        "a rejected duration must not perturb the fleet"
+    );
+    let report = fleet.finish();
+    assert_eq!(report.merged.total_queries(), 8);
+}
+
+#[test]
 fn deferral_hold_time_counts_against_the_slo() {
     // A controller that always defers (until its budget runs out) must
     // not flatter the latency statistics: the hold is real client wait,
