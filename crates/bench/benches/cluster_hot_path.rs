@@ -5,10 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use veltair_cluster::{AdmissionKind, Fleet, NodeLoad, NodeSpec, RouterKind, StepMode};
-use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
+use veltair_compiler::{
+    compile_model, CompiledModel, CompilerOptions, HysteresisConfig, SelectionContext, SelectorKind,
+};
 use veltair_sched::runtime::Driver;
 use veltair_sched::{Policy, QuerySpec, SimConfig, WorkloadSpec};
-use veltair_sim::{MachineConfig, SimTime};
+use veltair_sim::{Interference, MachineConfig, SimTime};
 
 fn compiled_mobilenet() -> Vec<CompiledModel> {
     let machine = MachineConfig::threadripper_3990x();
@@ -150,10 +152,41 @@ fn bench_fleet_stepper_scaling(c: &mut Criterion) {
     }
 }
 
+/// The per-planning-decision version-selection cost: every adaptive
+/// block plan walks the selector, so its `select` call sits directly on
+/// the dispatch hot path. Levels sweep a sawtooth so the hysteresis
+/// ladder exercises both its hold (cache-hit) and re-rank paths.
+fn bench_selector_hot_path(c: &mut Criterion) {
+    let machine = MachineConfig::threadripper_3990x();
+    let model = &compiled_mobilenet()[0];
+    for kind in [
+        SelectorKind::StaticLevel { level: 0.0 },
+        SelectorKind::PressureLadder,
+        SelectorKind::Hysteresis(HysteresisConfig::default()),
+    ] {
+        let mut selector = kind.build();
+        let mut tick = 0u32;
+        c.bench_function(&format!("selector_select/{}", kind.name()), |b| {
+            b.iter(|| {
+                let level = f64::from(tick % 10) / 10.0;
+                tick += 1;
+                let ctx = SelectionContext {
+                    model_index: 0,
+                    pressure: Interference::level(level),
+                    level,
+                    now_s: f64::from(tick) * 1e-4,
+                    expected_cores: model.model_core_requirement(level).max(1),
+                };
+                selector.select(std::hint::black_box(model), &ctx, &machine)
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = cluster_hot_path;
     config = Criterion::default().sample_size(10);
     targets = bench_driver_step, bench_router_decisions, bench_fleet_run,
-        bench_fleet_stepper_scaling
+        bench_fleet_stepper_scaling, bench_selector_hot_path
 }
 criterion_main!(cluster_hot_path);

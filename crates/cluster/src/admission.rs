@@ -146,6 +146,17 @@ impl Default for SloAdmissionConfig {
 /// flat requirement exceeds the whole machine projects above one wave
 /// even on an idle node, which is exactly right — that node can never
 /// meet the deadline.
+///
+/// On *temporal* nodes (PREMA, AI-MT) `NodeLoad::pressure` reports
+/// occupancy rather than a spatial co-runner estimate (see
+/// `Driver::pressure`), so while such a node is serving anything this
+/// projection looks the flat requirement up at the max-interference bin
+/// even though an admitted query will eventually run alone. That makes
+/// the heuristic deliberately *conservative* there — a busy
+/// time-multiplexed node projects fewer free slots, which matches its
+/// real behaviour of serializing every admitted query behind the
+/// backlog. The projection is uncalibrated either way (ROADMAP open
+/// item); revisit this bin choice when it gets its calibration pass.
 #[derive(Debug, Clone, Copy)]
 pub struct SloAdmission {
     cfg: SloAdmissionConfig,

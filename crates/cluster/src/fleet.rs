@@ -59,6 +59,14 @@ pub enum ClusterError {
         /// The rejected duration, seconds.
         dt_s: f64,
     },
+    /// [`Fleet::with_node_registries`] was handed a registry list whose
+    /// length does not match the node list.
+    RegistryMismatch {
+        /// Number of nodes configured.
+        nodes: usize,
+        /// Number of per-node registries supplied.
+        registries: usize,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -74,6 +82,13 @@ impl std::fmt::Display for ClusterError {
             }
             ClusterError::InvalidDuration { dt_s } => {
                 write!(f, "run durations must be positive and finite, got {dt_s}")
+            }
+            ClusterError::RegistryMismatch { nodes, registries } => {
+                write!(
+                    f,
+                    "per-node registries must match the node list: {nodes} nodes, \
+                     {registries} registries"
+                )
             }
         }
     }
@@ -190,7 +205,9 @@ impl std::fmt::Debug for Fleet<'_> {
 }
 
 impl<'a> Fleet<'a> {
-    /// Builds a fleet over a shared compiled-model registry.
+    /// Builds a fleet over a shared compiled-model registry: every node
+    /// serves the same artifacts, typically compiled against the flagship
+    /// machine.
     ///
     /// # Errors
     ///
@@ -202,18 +219,62 @@ impl<'a> Fleet<'a> {
         router: Box<dyn Router>,
         admission: Box<dyn AdmissionController>,
     ) -> Result<Self, ClusterError> {
+        let node_models = vec![models; specs.len()];
+        Self::with_node_registries(models, node_models, specs, router, admission)
+    }
+
+    /// Builds a fleet whose nodes serve from *per-node* compiled
+    /// registries — the heterogeneous-hardware path: each node runs code
+    /// compiled for its own machine (see
+    /// `veltair_compiler::CompilerService`), while `catalog` is the
+    /// fleet-level model list the front door validates submissions
+    /// against and shows to the router (model identity — name, SLO,
+    /// class — is machine-independent, so any registry's copy serves).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoNodes`] / [`ClusterError::NoModels`] for
+    /// empty inputs, [`ClusterError::RegistryMismatch`] when
+    /// `node_models` and `specs` differ in length, and
+    /// [`ClusterError::UnknownModel`] when some node's registry is
+    /// missing a catalog model (every node must be able to serve every
+    /// model the front door accepts).
+    pub fn with_node_registries(
+        catalog: &'a [CompiledModel],
+        node_models: Vec<&'a [CompiledModel]>,
+        specs: &[NodeSpec],
+        router: Box<dyn Router>,
+        admission: Box<dyn AdmissionController>,
+    ) -> Result<Self, ClusterError> {
         if specs.is_empty() {
             return Err(ClusterError::NoNodes);
         }
-        if models.is_empty() {
+        if catalog.is_empty() {
             return Err(ClusterError::NoModels);
         }
-        let drivers: Vec<Driver<'a>> = specs
+        if node_models.len() != specs.len() {
+            return Err(ClusterError::RegistryMismatch {
+                nodes: specs.len(),
+                registries: node_models.len(),
+            });
+        }
+        for registry in &node_models {
+            if let Some(missing) = catalog
+                .iter()
+                .find(|m| !registry.iter().any(|r| r.name == m.name))
+            {
+                return Err(ClusterError::UnknownModel {
+                    model: missing.name.clone(),
+                });
+            }
+        }
+        let drivers: Vec<Driver<'a>> = node_models
             .iter()
-            .map(|s| Driver::open(models, s.sim_config()))
+            .zip(specs)
+            .map(|(models, s)| Driver::open(models, s.sim_config()))
             .collect();
         Ok(Self {
-            models,
+            models: catalog,
             names: specs.iter().map(|s| s.name.clone()).collect(),
             routed: vec![0; drivers.len()],
             drivers,
@@ -276,7 +337,9 @@ impl<'a> Fleet<'a> {
         self.drivers.len()
     }
 
-    /// The shared compiled-model registry.
+    /// The fleet-level model catalog submissions are validated against.
+    /// With per-node registries ([`Fleet::with_node_registries`]) the
+    /// nodes may serve different compilations of these models.
     #[must_use]
     pub fn models(&self) -> &'a [CompiledModel] {
         self.models

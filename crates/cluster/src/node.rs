@@ -1,6 +1,7 @@
 //! Fleet member configuration and the per-node load view routers consume.
 
 use serde::{Deserialize, Serialize};
+use veltair_compiler::SelectorKind;
 use veltair_proxy::InterferenceProxy;
 use veltair_sched::{Policy, SimConfig};
 use veltair_sim::MachineConfig;
@@ -22,6 +23,11 @@ pub struct NodeSpec {
     /// Optional trained interference proxy (otherwise the node's monitor
     /// is the oracle).
     pub proxy: Option<InterferenceProxy>,
+    /// The node's runtime version-selection policy (default: the
+    /// bit-identical [`SelectorKind::PressureLadder`]). Per-node, so a
+    /// fleet can run calibration candidates side by side with the
+    /// incumbent — only consulted when `policy` has adaptive compilation.
+    pub selector: SelectorKind,
 }
 
 impl NodeSpec {
@@ -33,6 +39,7 @@ impl NodeSpec {
             machine,
             policy,
             proxy: None,
+            selector: SelectorKind::PressureLadder,
         }
     }
 
@@ -43,10 +50,18 @@ impl NodeSpec {
         self
     }
 
+    /// Installs a runtime version-selection policy on this node.
+    #[must_use]
+    pub fn with_selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = selector;
+        self
+    }
+
     /// The node's driver configuration.
     #[must_use]
     pub fn sim_config(&self) -> SimConfig {
-        let mut cfg = SimConfig::new(self.machine.clone(), self.policy);
+        let mut cfg =
+            SimConfig::new(self.machine.clone(), self.policy).with_selector(self.selector);
         if let Some(p) = &self.proxy {
             cfg = cfg.with_proxy(p.clone());
         }
@@ -76,6 +91,9 @@ pub struct NodeLoad {
     pub occupancy: f64,
     /// The co-runner pressure a new tenant would face on this node, as
     /// estimated by the node's own monitor (oracle or counter proxy).
+    /// Temporal nodes (PREMA, AI-MT) report their occupancy instead: a
+    /// new tenant there faces whole-machine exclusion, not spatial
+    /// co-location (see `Driver::pressure`).
     pub pressure: f64,
 }
 

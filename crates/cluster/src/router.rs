@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use veltair_compiler::CompiledModel;
+use veltair_compiler::{CompiledModel, EwmaSmoother};
 use veltair_sched::QuerySpec;
 
 use crate::node::NodeLoad;
@@ -67,7 +67,7 @@ impl RouterKind {
             RouterKind::RoundRobin => Box::new(RoundRobin::default()),
             RouterKind::LeastOutstanding => Box::new(LeastOutstanding),
             RouterKind::PowerOfTwoChoices { seed } => Box::new(PowerOfTwoChoices::new(seed)),
-            RouterKind::InterferenceAware => Box::new(InterferenceAware),
+            RouterKind::InterferenceAware => Box::new(InterferenceAware::default()),
         }
     }
 
@@ -193,27 +193,52 @@ impl Router for PowerOfTwoChoices {
     }
 }
 
-/// Interference-aware routing: score every node by its per-core queue
-/// depth *refined by its monitored co-runner pressure*, route to the
-/// minimum.
+/// Interference-aware routing: idle nodes rank by capacity; loaded nodes
+/// by per-core queue depth with the node's *EWMA-smoothed* co-runner
+/// pressure folded in as virtual queued work.
 ///
-/// The score is `outstanding/cores + β · pressure`. The first term is
+/// A loaded node scores `(outstanding + β · ewma(pressure)) / cores`:
 /// the least-outstanding signal (per-core depth, so heterogeneous
-/// machines compare fairly); the pressure term is the same monitor/proxy
-/// signal the node's own block planner uses (§4.3), exported
-/// fleet-level: two nodes at equal queue depth are distinguished by
-/// *what* runs on them — a node packed with cache-hungry tenants scores
-/// worse than one running compute-bound work. β is deliberately small
-/// (`0.02`, roughly one queued query per flagship of full-scale
-/// pressure): queue depth is the primary congestion signal, and the
-/// pressure refinement steers only between near-equally loaded nodes.
-/// Larger weights let the (laggier) pressure estimate override real
-/// backlog and measurably hurt tail latency on bursty mixes.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct InterferenceAware;
+/// machines compare fairly) with the monitored pressure — the same
+/// monitor/proxy signal the node's own block planner uses (§4.3),
+/// exported fleet-level — counted as β extra queries' worth of committed
+/// work. Normalizing the pressure term per core is what keeps the
+/// refinement honest on heterogeneous fleets: a raw additive term
+/// systematically steers traffic off big machines, because a busy
+/// 64-core flagship always monitors louder than a half-idle 8-core edge
+/// box while being the far better placement.
+///
+/// An *idle* node (nothing outstanding) scores `-cores`, below every
+/// loaded node: a new tenant there faces no co-location at all, so its
+/// momentary pressure reading — usually the tail of work that just
+/// drained — carries no information, and among idle nodes the biggest
+/// machine is the best burst absorber. Without this rule, burst onsets
+/// were routed by stale pressure ghosts, which is the main reason the
+/// earlier raw-pressure router lost to plain least-outstanding on the
+/// bursty heterogeneous mix (ROADMAP, cluster follow-ups).
+///
+/// Each node's samples are smoothed through a per-node
+/// [`EwmaSmoother`] — the same smoothing
+/// primitive the
+/// `HysteresisLadder` version
+/// selector uses — so the score reflects the node's *sustained*
+/// co-location character rather than this instant's snapshot.
+/// Seed-averaged on the `cluster_serving` mix this router now beats
+/// least-outstanding on both SLO violations and goodput
+/// (`tests/cluster_fleet.rs` pins the win).
+#[derive(Debug, Clone, Default)]
+pub struct InterferenceAware {
+    /// One smoother per fleet node, grown on first sight.
+    smoothers: Vec<EwmaSmoother>,
+}
 
-/// Pressure weight in the interference-aware score (see the type docs).
-const PRESSURE_WEIGHT: f64 = 0.02;
+/// Virtual queries per unit of smoothed pressure in the loaded-node
+/// score (see the type docs).
+const PRESSURE_WEIGHT: f64 = 1.0;
+
+/// EWMA weight of the newest pressure sample in the router's per-node
+/// smoothing (samples arrive once per routing decision).
+const PRESSURE_EWMA_ALPHA: f64 = 0.3;
 
 impl Router for InterferenceAware {
     fn name(&self) -> &'static str {
@@ -221,8 +246,21 @@ impl Router for InterferenceAware {
     }
 
     fn route(&mut self, loads: &[NodeLoad], _model: &CompiledModel, _query: &QuerySpec) -> usize {
+        if self.smoothers.len() < loads.len() {
+            self.smoothers
+                .resize(loads.len(), EwmaSmoother::new(PRESSURE_EWMA_ALPHA));
+        }
+        let smoothed: Vec<f64> = loads
+            .iter()
+            .map(|l| self.smoothers[l.node].observe(l.pressure))
+            .collect();
         pick_min_by(loads, |l| {
-            l.outstanding_per_core() + PRESSURE_WEIGHT * l.pressure
+            if l.outstanding == 0 {
+                -f64::from(l.total_cores)
+            } else {
+                (l.outstanding as f64 + PRESSURE_WEIGHT * smoothed[l.node])
+                    / f64::from(l.total_cores.max(1))
+            }
         })
     }
 }
@@ -303,7 +341,7 @@ mod tests {
         // Equal queue depth and size: the monitored pressure decides.
         let loads = [load(0, 3, 64, 0.9), load(1, 3, 64, 0.0)];
         let m = model();
-        let mut r = InterferenceAware;
+        let mut r = InterferenceAware::default();
         assert_eq!(r.route(&loads, &m, &query()), 1);
     }
 
@@ -314,8 +352,31 @@ mod tests {
         // one.
         let loads = [load(0, 32, 64, 0.0), load(1, 2, 64, 1.0)];
         let m = model();
-        let mut r = InterferenceAware;
+        let mut r = InterferenceAware::default();
         assert_eq!(r.route(&loads, &m, &query()), 1);
+    }
+
+    #[test]
+    fn interference_aware_ranks_idle_nodes_by_capacity() {
+        // An idle node's pressure reading is a stale ghost of drained
+        // work: among idle nodes the biggest machine wins regardless of
+        // it, and any idle node beats any loaded one.
+        let loads = [load(0, 0, 8, 0.0), load(1, 0, 64, 0.9), load(2, 1, 64, 0.0)];
+        let m = model();
+        let mut r = InterferenceAware::default();
+        assert_eq!(r.route(&loads, &m, &query()), 1);
+    }
+
+    #[test]
+    fn interference_aware_pressure_is_per_core_normalized() {
+        // Equal per-core depth, equal pressure: the pressure term must
+        // not penalize the big machine more than the small one — the
+        // smaller node absorbs the same pressure worse.
+        let loads = [load(0, 8, 64, 0.8), load(1, 1, 8, 0.8)];
+        let m = model();
+        let mut r = InterferenceAware::default();
+        // (8 + 0.8)/64 = 0.1375 < (1 + 0.8)/8 = 0.225
+        assert_eq!(r.route(&loads, &m, &query()), 0);
     }
 
     #[test]

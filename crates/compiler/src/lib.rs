@@ -19,6 +19,18 @@
 //! The [`vendor`] module provides the MKL-DNN-like fixed-schedule library
 //! used as the comparison point of the paper's Fig. 2.
 //!
+//! Two modules carry the artifacts into serving:
+//!
+//! * [`service`] — [`CompilerService`], the compiler as a long-lived,
+//!   caching service that compiles each model *per machine* into a
+//!   deterministic [`ModelRegistry`] keyed by (model, machine fingerprint),
+//!   so heterogeneous fleet nodes run code compiled for their own
+//!   hardware;
+//! * [`selector`] — [`VersionSelector`], the pluggable runtime policy
+//!   that picks which retained version each unit runs under live
+//!   interference ([`PressureLadder`] raw re-ranking, [`StaticLevel`]
+//!   pinning, [`HysteresisLadder`] EWMA smoothing + switch hysteresis).
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +52,8 @@ pub mod multiversion;
 pub mod options;
 pub mod schedule;
 pub mod search;
+pub mod selector;
+pub mod service;
 pub mod vendor;
 
 pub use codegen::{generate as generate_code, LoopNestProgram};
@@ -47,8 +61,14 @@ pub use compiled::{compile_model, CompiledLayer, CompiledModel, CompiledVersion,
 pub use lower::{lower_gemm, lower_streaming};
 pub use multiversion::{extract_dominant, select_versions};
 pub use options::{
-    bin_for_level, interference_bins, CompilerOptions, NUM_INTERFERENCE_BINS, QOS_PLAN_MARGIN,
+    bin_for_level, interference_bins, CompilerError, CompilerOptions, NUM_INTERFERENCE_BINS,
+    QOS_PLAN_MARGIN,
 };
 pub use schedule::{tile_ladder, Schedule};
 pub use search::{search, Sample};
+pub use selector::{
+    EwmaSmoother, HysteresisConfig, HysteresisLadder, PressureLadder, SelectionContext,
+    SelectorKind, StaticLevel, VersionSelector,
+};
+pub use service::{machine_key, CompilerService, CompilerServiceBuilder, ModelRegistry};
 pub use vendor::vendor_profile;

@@ -24,6 +24,100 @@ pub fn interference_bins() -> [f64; NUM_INTERFERENCE_BINS] {
     bins
 }
 
+/// Why a compiler configuration — [`CompilerOptions`] or a version
+/// selector's ladder parameters — was rejected. The `try_*` constructors
+/// surface these instead of panicking, matching the
+/// `WorkloadSpec::try_*` convention of the scheduling layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompilerError {
+    /// The auto-scheduler was given zero trials.
+    InvalidSearchIterations {
+        /// The rejected trial count.
+        iterations: usize,
+    },
+    /// The version budget was zero.
+    InvalidMaxVersions {
+        /// The rejected budget.
+        max_versions: usize,
+    },
+    /// The pruning tolerance was below `1.0` or not finite (it is a
+    /// latency-envelope *factor*: `1.10` means "within 10 %").
+    InvalidPruneTolerance {
+        /// The rejected tolerance.
+        tolerance: f64,
+    },
+    /// The reference core count was zero.
+    InvalidReferenceCores {
+        /// The rejected core count.
+        cores: u32,
+    },
+    /// An EWMA weight was not finite or outside `(0, 1]`.
+    InvalidEwmaAlpha {
+        /// The rejected weight.
+        alpha: f64,
+    },
+    /// An anticipatory pressure gain was not finite or not positive.
+    InvalidGain {
+        /// The rejected gain.
+        gain: f64,
+    },
+    /// A switch-hysteresis margin was negative or not finite.
+    InvalidHysteresis {
+        /// The rejected margin.
+        hysteresis: f64,
+    },
+    /// A pinned interference level was not finite or outside `[0, 1]`.
+    InvalidStaticLevel {
+        /// The rejected level.
+        level: f64,
+    },
+}
+
+impl std::fmt::Display for CompilerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompilerError::InvalidSearchIterations { iterations } => {
+                write!(
+                    f,
+                    "at least one search iteration is required, got {iterations}"
+                )
+            }
+            CompilerError::InvalidMaxVersions { max_versions } => {
+                write!(f, "at least one version is required, got {max_versions}")
+            }
+            CompilerError::InvalidPruneTolerance { tolerance } => {
+                write!(
+                    f,
+                    "prune tolerance must be a finite factor >= 1.0, got {tolerance}"
+                )
+            }
+            CompilerError::InvalidReferenceCores { cores } => {
+                write!(f, "reference core count must be at least 1, got {cores}")
+            }
+            CompilerError::InvalidEwmaAlpha { alpha } => {
+                write!(f, "EWMA alpha must be finite and in (0, 1], got {alpha}")
+            }
+            CompilerError::InvalidGain { gain } => {
+                write!(f, "pressure gain must be finite and positive, got {gain}")
+            }
+            CompilerError::InvalidHysteresis { hysteresis } => {
+                write!(
+                    f,
+                    "hysteresis margin must be finite and non-negative, got {hysteresis}"
+                )
+            }
+            CompilerError::InvalidStaticLevel { level } => {
+                write!(
+                    f,
+                    "pinned interference level must be finite and in [0, 1], got {level}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompilerError {}
+
 /// Options controlling the auto-scheduler and the multi-version selection.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompilerOptions {
@@ -78,10 +172,64 @@ impl CompilerOptions {
 
     /// Same options with a different version budget (Fig. 14b sweep).
     #[must_use]
-    pub fn with_max_versions(mut self, v: usize) -> Self {
-        assert!(v >= 1, "at least one version is required");
+    pub fn with_max_versions(self, v: usize) -> Self {
+        self.try_with_max_versions(v)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`with_max_versions`](Self::with_max_versions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompilerError::InvalidMaxVersions`] when `v` is zero.
+    pub fn try_with_max_versions(mut self, v: usize) -> Result<Self, CompilerError> {
+        if v == 0 {
+            return Err(CompilerError::InvalidMaxVersions { max_versions: v });
+        }
         self.max_versions = v;
-        self
+        Ok(self)
+    }
+
+    /// Fully validated construction from raw parameters, matching the
+    /// `WorkloadSpec::try_*` convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns the matching [`CompilerError`] variant when
+    /// `search_iterations`, `max_versions`, or `reference_cores` is zero,
+    /// or when `prune_tolerance` is not a finite factor `>= 1.0`.
+    pub fn try_new(
+        search_iterations: usize,
+        max_versions: usize,
+        prune_tolerance: f64,
+        reference_cores: u32,
+        seed: u64,
+    ) -> Result<Self, CompilerError> {
+        if search_iterations == 0 {
+            return Err(CompilerError::InvalidSearchIterations {
+                iterations: search_iterations,
+            });
+        }
+        if max_versions == 0 {
+            return Err(CompilerError::InvalidMaxVersions { max_versions });
+        }
+        if !prune_tolerance.is_finite() || prune_tolerance < 1.0 {
+            return Err(CompilerError::InvalidPruneTolerance {
+                tolerance: prune_tolerance,
+            });
+        }
+        if reference_cores == 0 {
+            return Err(CompilerError::InvalidReferenceCores {
+                cores: reference_cores,
+            });
+        }
+        Ok(Self {
+            search_iterations,
+            max_versions,
+            prune_tolerance,
+            reference_cores,
+            seed,
+        })
     }
 }
 
@@ -131,5 +279,36 @@ mod tests {
     #[should_panic(expected = "at least one version")]
     fn zero_versions_panics() {
         let _ = CompilerOptions::fast().with_max_versions(0);
+    }
+
+    #[test]
+    fn try_constructors_reject_invalid_parameters() {
+        assert!(matches!(
+            CompilerOptions::fast().try_with_max_versions(0),
+            Err(CompilerError::InvalidMaxVersions { max_versions: 0 })
+        ));
+        assert!(matches!(
+            CompilerOptions::try_new(0, 5, 1.1, 16, 1),
+            Err(CompilerError::InvalidSearchIterations { .. })
+        ));
+        assert!(matches!(
+            CompilerOptions::try_new(64, 0, 1.1, 16, 1),
+            Err(CompilerError::InvalidMaxVersions { .. })
+        ));
+        assert!(matches!(
+            CompilerOptions::try_new(64, 5, 0.9, 16, 1),
+            Err(CompilerError::InvalidPruneTolerance { .. })
+        ));
+        assert!(matches!(
+            CompilerOptions::try_new(64, 5, f64::NAN, 16, 1),
+            Err(CompilerError::InvalidPruneTolerance { .. })
+        ));
+        assert!(matches!(
+            CompilerOptions::try_new(64, 5, 1.1, 0, 1),
+            Err(CompilerError::InvalidReferenceCores { .. })
+        ));
+        let ok = CompilerOptions::try_new(64, 3, 1.2, 8, 7).expect("valid options");
+        assert_eq!(ok.max_versions, 3);
+        assert_eq!(ok.reference_cores, 8);
     }
 }

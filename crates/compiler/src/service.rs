@@ -1,0 +1,286 @@
+//! The compiler as a long-lived service: per-machine compilation with a
+//! deterministic artifact cache.
+//!
+//! [`compile_model`] answers "compile this spec for
+//! this machine once"; a serving deployment asks a different question —
+//! "give every (model, machine) pair in my heterogeneous fleet the code
+//! compiled *for its own hardware*, and never compile the same pair
+//! twice". [`CompilerService`] (built via [`CompilerServiceBuilder`])
+//! owns that: it memoizes compiled artifacts keyed by
+//! `(model name, machine fingerprint)` and hands out whole
+//! [`ModelRegistry`]s — the per-machine model sets fleet nodes serve
+//! from. Compilation is deterministic (the auto-scheduler is seeded), so
+//! a cache hit and a fresh recompile are bit-identical — pinned by
+//! `tests/compiler_service.rs`.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use veltair_models::ModelSpec;
+use veltair_sim::MachineConfig;
+
+use crate::compiled::{compile_model, CompiledModel};
+use crate::options::CompilerOptions;
+
+/// A fingerprint of a [`MachineConfig`], used as the machine half of the
+/// service's cache key. Two configs share a fingerprint iff every field
+/// is bit-equal (`f64` fields are rendered with round-trippable shortest
+/// formatting), so distinct hardware never aliases in the cache.
+#[must_use]
+pub fn machine_key(machine: &MachineConfig) -> String {
+    format!("{machine:?}")
+}
+
+/// A content fingerprint of a [`ModelSpec`]: the deterministic hash of
+/// its full debug rendering (graph, shapes, QoS, class). Keying the
+/// cache by *content*, not just the model name, means editing a spec —
+/// a new QoS target, a changed layer — while keeping its name can never
+/// serve the stale artifact.
+fn spec_fingerprint(spec: &ModelSpec) -> u64 {
+    // DefaultHasher::new() uses fixed keys, so the fingerprint is stable
+    // across processes for identical content.
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    format!("{spec:?}").hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A compiled model set for one machine: what a fleet node actually
+/// serves from. Produced by [`CompilerService::registry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRegistry {
+    machine: MachineConfig,
+    machine_key: String,
+    models: Vec<CompiledModel>,
+}
+
+impl ModelRegistry {
+    /// Builds a registry directly from pre-compiled models (the escape
+    /// hatch for callers that compiled elsewhere).
+    #[must_use]
+    pub fn from_models(machine: MachineConfig, models: Vec<CompiledModel>) -> Self {
+        let machine_key = machine_key(&machine);
+        Self {
+            machine,
+            machine_key,
+            models,
+        }
+    }
+
+    /// The machine this registry was compiled for.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The machine fingerprint (the cache key's machine half).
+    #[must_use]
+    pub fn machine_key(&self) -> &str {
+        &self.machine_key
+    }
+
+    /// The compiled models, in registration order.
+    #[must_use]
+    pub fn models(&self) -> &[CompiledModel] {
+        &self.models
+    }
+
+    /// Looks a model up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&CompiledModel> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Whether a model of this name is present.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Number of models in the registry.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Consumes the registry, returning the compiled models.
+    #[must_use]
+    pub fn into_models(self) -> Vec<CompiledModel> {
+        self.models
+    }
+}
+
+/// Fluent construction of a [`CompilerService`].
+#[derive(Debug, Clone, Default)]
+pub struct CompilerServiceBuilder {
+    options: CompilerOptions,
+}
+
+impl CompilerServiceBuilder {
+    /// Sets the auto-scheduler/multi-versioning options every compilation
+    /// of this service uses (default: [`CompilerOptions::thorough`]).
+    #[must_use]
+    pub fn options(mut self, options: CompilerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Finalizes the service.
+    #[must_use]
+    pub fn build(self) -> CompilerService {
+        CompilerService {
+            options: self.options,
+            cache: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// A caching, per-machine compilation service.
+///
+/// ```no_run
+/// use veltair_compiler::{CompilerOptions, CompilerService};
+/// use veltair_sim::MachineConfig;
+///
+/// let mut service = CompilerService::builder()
+///     .options(CompilerOptions::fast())
+///     .build();
+/// let flagship = MachineConfig::threadripper_3990x();
+/// let edge = MachineConfig::desktop_8core();
+/// let specs = [veltair_models::mobilenet_v2(), veltair_models::resnet50()];
+/// // One registry per machine class; repeated (model, machine) pairs are
+/// // cache hits, not recompiles.
+/// let big_reg = service.registry(&specs, &flagship);
+/// let edge_reg = service.registry(&specs, &edge);
+/// assert_ne!(big_reg.machine_key(), edge_reg.machine_key());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompilerService {
+    options: CompilerOptions,
+    /// `(machine fingerprint, model name, spec content fingerprint) →
+    /// artifact`. A `BTreeMap` keeps iteration (and `Debug` output)
+    /// deterministic.
+    cache: BTreeMap<(String, String, u64), CompiledModel>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CompilerService {
+    /// A service compiling with the given options.
+    #[must_use]
+    pub fn new(options: CompilerOptions) -> Self {
+        CompilerServiceBuilder::default().options(options).build()
+    }
+
+    /// Starts fluent construction.
+    #[must_use]
+    pub fn builder() -> CompilerServiceBuilder {
+        CompilerServiceBuilder::default()
+    }
+
+    /// The options every compilation of this service uses.
+    #[must_use]
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// Compiles `spec` for `machine`, or returns the cached artifact if
+    /// this exact (spec content, machine) pair was compiled before.
+    /// Either way the result is bit-identical: compilation is
+    /// deterministic, and the cache key includes a content fingerprint of
+    /// the spec, so a *modified* spec reusing an old name recompiles
+    /// instead of serving the stale artifact.
+    pub fn compile(&mut self, spec: &ModelSpec, machine: &MachineConfig) -> CompiledModel {
+        let key = (
+            machine_key(machine),
+            spec.graph.name.clone(),
+            spec_fingerprint(spec),
+        );
+        if let Some(cached) = self.cache.get(&key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        let compiled = compile_model(spec, machine, &self.options);
+        self.misses += 1;
+        self.cache.insert(key, compiled.clone());
+        compiled
+    }
+
+    /// Compiles every spec for `machine` and returns the per-machine
+    /// [`ModelRegistry`], reusing cached artifacts where possible.
+    pub fn registry(&mut self, specs: &[ModelSpec], machine: &MachineConfig) -> ModelRegistry {
+        let models = specs.iter().map(|s| self.compile(s, machine)).collect();
+        ModelRegistry::from_models(machine.clone(), models)
+    }
+
+    /// Number of distinct (model, machine) artifacts held.
+    #[must_use]
+    pub fn cached_artifacts(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `(cache hits, cache misses)` over the service's lifetime. A miss
+    /// is a real compilation.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_keys_separate_distinct_hardware() {
+        let big = MachineConfig::threadripper_3990x();
+        let edge = MachineConfig::desktop_8core();
+        assert_ne!(machine_key(&big), machine_key(&edge));
+        assert_eq!(machine_key(&big), machine_key(&big.clone()));
+    }
+
+    #[test]
+    fn modified_spec_with_same_name_recompiles() {
+        let mut svc = CompilerService::new(CompilerOptions::fast());
+        let machine = MachineConfig::threadripper_3990x();
+        let spec = veltair_models::mobilenet_v2();
+        let original = svc.compile(&spec, &machine);
+        // Same name, different content: must miss the cache and produce
+        // a different artifact, never serve the stale one.
+        let mut changed = spec.clone();
+        changed.qos_ms *= 2.0;
+        let recompiled = svc.compile(&changed, &machine);
+        assert_eq!(
+            svc.cache_stats(),
+            (0, 2),
+            "a modified spec must recompile, not hit the stale artifact"
+        );
+        assert_ne!(original, recompiled);
+        // The unchanged spec still hits.
+        let hit = svc.compile(&spec, &machine);
+        assert_eq!(svc.cache_stats(), (1, 2));
+        assert_eq!(hit, original);
+    }
+
+    #[test]
+    fn registry_lookup_and_cache_accounting() {
+        let mut service = CompilerService::new(CompilerOptions::fast());
+        let machine = MachineConfig::threadripper_3990x();
+        let specs = [veltair_models::mobilenet_v2()];
+        let reg = service.registry(&specs, &machine);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.contains("mobilenet_v2"));
+        assert!(!reg.contains("resnet50"));
+        assert_eq!(service.cache_stats(), (0, 1));
+        // Second registry for the same machine: pure cache hits.
+        let again = service.registry(&specs, &machine);
+        assert_eq!(service.cache_stats(), (1, 1));
+        assert_eq!(reg, again, "cache hit diverged from the compilation");
+    }
+}

@@ -20,7 +20,8 @@
 use veltair_cluster::{
     AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeSpec, RouterKind, StepMode,
 };
-use veltair_compiler::CompiledModel;
+use veltair_compiler::{machine_key, CompiledModel, CompilerOptions, CompilerService};
+use veltair_models::ModelSpec;
 use veltair_sched::{QuerySpec, WorkloadSpec};
 use veltair_sim::SimTime;
 
@@ -36,6 +37,9 @@ impl From<ClusterError> for EngineError {
                 EngineError::NonFiniteArrival { at_s: arrival_s }
             }
             ClusterError::InvalidDuration { dt_s } => EngineError::InvalidDuration { dt_s },
+            ClusterError::RegistryMismatch { nodes, registries } => {
+                EngineError::RegistryMismatch { nodes, registries }
+            }
         }
     }
 }
@@ -64,6 +68,8 @@ impl From<ClusterError> for EngineError {
 #[derive(Debug, Clone)]
 pub struct ClusterBuilder {
     models: Vec<CompiledModel>,
+    specs: Vec<ModelSpec>,
+    compiler: CompilerOptions,
     nodes: Vec<NodeSpec>,
     router: RouterKind,
     admission: AdmissionKind,
@@ -75,6 +81,8 @@ impl Default for ClusterBuilder {
     fn default() -> Self {
         Self {
             models: Vec::new(),
+            specs: Vec::new(),
+            compiler: CompilerOptions::thorough(),
             nodes: Vec::new(),
             router: RouterKind::InterferenceAware,
             admission: AdmissionKind::AdmitAll,
@@ -86,11 +94,38 @@ impl Default for ClusterBuilder {
 
 impl ClusterBuilder {
     /// Registers a compiled model in the shared fleet registry, replacing
-    /// any previous model of the same name.
+    /// any previous model of the same name. Every node serves this exact
+    /// artifact regardless of its own machine — use
+    /// [`compile`](ClusterBuilder::compile) for per-node compilation.
     #[must_use]
     pub fn model(mut self, model: CompiledModel) -> Self {
         self.models.retain(|m| m.name != model.name);
+        self.specs.retain(|s| s.graph.name != model.name);
         self.models.push(model);
+        self
+    }
+
+    /// Registers a model *spec* for per-node compilation: at
+    /// [`build`](ClusterBuilder::build) time a
+    /// [`CompilerService`] compiles it once per distinct node machine, so
+    /// every fleet member serves code compiled for its own hardware
+    /// (replacing any previously registered model or spec of the same
+    /// name). Nodes sharing a machine configuration share one compilation
+    /// — the service caches by (model, machine fingerprint).
+    #[must_use]
+    pub fn compile(mut self, spec: ModelSpec) -> Self {
+        self.models.retain(|m| m.name != spec.graph.name);
+        self.specs.retain(|s| s.graph.name != spec.graph.name);
+        self.specs.push(spec);
+        self
+    }
+
+    /// Sets the compiler options used for per-node compilation of the
+    /// specs registered via [`compile`](ClusterBuilder::compile)
+    /// (default: [`CompilerOptions::thorough`]).
+    #[must_use]
+    pub fn compiler_options(mut self, options: CompilerOptions) -> Self {
+        self.compiler = options;
         self
     }
 
@@ -135,33 +170,72 @@ impl ClusterBuilder {
         self
     }
 
-    /// Finalizes the cluster engine.
+    /// Finalizes the cluster engine, compiling every spec registered via
+    /// [`compile`](ClusterBuilder::compile) once per distinct node
+    /// machine.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::NoModels`] if no model was registered,
-    /// [`EngineError::NoNodes`] if no node was added,
+    /// Returns [`EngineError::NoModels`] if no model or spec was
+    /// registered, [`EngineError::NoNodes`] if no node was added,
     /// [`EngineError::UnknownModel`] if an SLO override names an
     /// unregistered model, and [`EngineError::InvalidSlo`] if an override
     /// is not a positive, finite latency.
     pub fn build(self) -> Result<ClusterEngine, EngineError> {
         let Self {
-            mut models,
+            models,
+            specs,
+            compiler,
             nodes,
             router,
             admission,
             step_mode,
             slo_overrides,
         } = self;
-        if models.is_empty() {
+        if models.is_empty() && specs.is_empty() {
             return Err(EngineError::NoModels);
         }
         if nodes.is_empty() {
             return Err(EngineError::NoNodes);
         }
-        crate::engine::apply_slo_overrides(&mut models, slo_overrides)?;
+
+        let (mut registries, node_registry) = if specs.is_empty() {
+            // Shared-registry fleet: one registry, every node points at it.
+            (vec![models], vec![0; nodes.len()])
+        } else {
+            // Per-node compilation: one registry per distinct machine
+            // fingerprint (in first-seen node order), shared models cloned
+            // in as-is and specs compiled for that machine through the
+            // caching service.
+            let mut service = CompilerService::new(compiler);
+            let mut keys: Vec<String> = Vec::new();
+            let mut registries: Vec<Vec<CompiledModel>> = Vec::new();
+            let mut node_registry = Vec::with_capacity(nodes.len());
+            for node in &nodes {
+                let key = machine_key(&node.machine);
+                let idx = match keys.iter().position(|k| *k == key) {
+                    Some(i) => i,
+                    None => {
+                        let mut registry = models.clone();
+                        for spec in &specs {
+                            registry.push(service.compile(spec, &node.machine));
+                        }
+                        keys.push(key);
+                        registries.push(registry);
+                        registries.len() - 1
+                    }
+                };
+                node_registry.push(idx);
+            }
+            (registries, node_registry)
+        };
+
+        for registry in &mut registries {
+            crate::engine::apply_slo_overrides(registry, slo_overrides.clone())?;
+        }
         Ok(ClusterEngine {
-            models,
+            registries,
+            node_registry,
             nodes,
             router,
             admission,
@@ -170,8 +244,9 @@ impl ClusterBuilder {
     }
 }
 
-/// Compile-once, serve-many fleet facade: the shared model registry, the
-/// node specifications, and the routing/admission configuration.
+/// Compile-once, serve-many fleet facade: the per-machine compiled
+/// registries, the node specifications, and the routing/admission
+/// configuration.
 ///
 /// The engine is immutable and `Clone`; every [`session`] builds a fresh
 /// [`Fleet`] with identical behaviour, which is what makes fleet runs
@@ -181,7 +256,11 @@ impl ClusterBuilder {
 /// [`session`]: ClusterEngine::session
 #[derive(Debug, Clone)]
 pub struct ClusterEngine {
-    models: Vec<CompiledModel>,
+    /// One compiled registry per distinct node machine (a single shared
+    /// registry when everything was registered pre-compiled).
+    registries: Vec<Vec<CompiledModel>>,
+    /// Registry index per fleet node.
+    node_registry: Vec<usize>,
     nodes: Vec<NodeSpec>,
     router: RouterKind,
     admission: AdmissionKind,
@@ -195,10 +274,39 @@ impl ClusterEngine {
         ClusterBuilder::default()
     }
 
-    /// The shared compiled-model registry.
+    /// The fleet-level model catalog (the first node's registry):
+    /// submissions are validated against these names and SLOs. With
+    /// per-node compilation other nodes may serve different artifacts of
+    /// the same models — see
+    /// [`registry_for_node`](ClusterEngine::registry_for_node).
     #[must_use]
     pub fn models(&self) -> &[CompiledModel] {
-        &self.models
+        &self.registries[self.node_registry[0]]
+    }
+
+    /// The distinct per-machine compiled registries, in first-seen node
+    /// order. A single-element slice means every node shares one
+    /// registry.
+    #[must_use]
+    pub fn registries(&self) -> &[Vec<CompiledModel>] {
+        &self.registries
+    }
+
+    /// The compiled registry a given fleet node serves from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn registry_for_node(&self, node: usize) -> &[CompiledModel] {
+        &self.registries[self.node_registry[node]]
+    }
+
+    /// Whether nodes serve per-machine compiled artifacts (true once
+    /// [`ClusterBuilder::compile`] was used with heterogeneous machines).
+    #[must_use]
+    pub fn per_node_compilation(&self) -> bool {
+        self.registries.len() > 1
     }
 
     /// The fleet members.
@@ -236,8 +344,14 @@ impl ClusterEngine {
     /// the engine was constructed without validation (both are unreachable
     /// through [`ClusterBuilder::build`]).
     pub fn session(&self) -> Result<ClusterSession<'_>, EngineError> {
-        let fleet = Fleet::new(
-            &self.models,
+        let node_models: Vec<&[CompiledModel]> = self
+            .node_registry
+            .iter()
+            .map(|&i| self.registries[i].as_slice())
+            .collect();
+        let fleet = Fleet::with_node_registries(
+            self.models(),
+            node_models,
             &self.nodes,
             self.router.build(),
             self.admission.build(),

@@ -15,7 +15,7 @@
 //!   [`snapshot`](ServingSession::snapshot) reads per-model QoS/latency
 //!   statistics without stopping the run.
 
-use veltair_compiler::CompiledModel;
+use veltair_compiler::{CompiledModel, SelectorKind};
 use veltair_proxy::InterferenceProxy;
 use veltair_sched::runtime::{self, Driver};
 use veltair_sched::{Policy, QuerySpec, ServingReport, SimConfig, SimError, WorkloadSpec};
@@ -55,6 +55,15 @@ pub enum EngineError {
         /// The rejected duration, seconds.
         dt_s: f64,
     },
+    /// A fleet was handed per-node registries that do not match its node
+    /// list (unreachable through [`ClusterBuilder::build`](crate::ClusterBuilder::build),
+    /// which constructs matching registries).
+    RegistryMismatch {
+        /// Number of nodes configured.
+        nodes: usize,
+        /// Number of per-node registries supplied.
+        registries: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -83,6 +92,13 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::InvalidDuration { dt_s } => {
                 write!(f, "run durations must be positive and finite, got {dt_s}")
+            }
+            EngineError::RegistryMismatch { nodes, registries } => {
+                write!(
+                    f,
+                    "per-node registries must match the node list: {nodes} nodes, \
+                     {registries} registries"
+                )
             }
         }
     }
@@ -155,6 +171,7 @@ pub struct EngineBuilder {
     policy: Policy,
     models: Vec<CompiledModel>,
     proxy: Option<InterferenceProxy>,
+    selector: SelectorKind,
     slo_overrides: Vec<(String, f64)>,
 }
 
@@ -165,6 +182,7 @@ impl Default for EngineBuilder {
             policy: Policy::VeltairFull,
             models: Vec::new(),
             proxy: None,
+            selector: SelectorKind::PressureLadder,
             slo_overrides: Vec::new(),
         }
     }
@@ -203,6 +221,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the runtime version-selection policy consulted by
+    /// adaptive-compilation policies (default: the bit-identical
+    /// [`SelectorKind::PressureLadder`]).
+    #[must_use]
+    pub fn selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = selector;
+        self
+    }
+
     /// Overrides a registered model's end-to-end SLO (QoS latency target,
     /// seconds). Applied at [`build`](EngineBuilder::build) time to the
     /// accounting target and the temporal policies' priority normalizer;
@@ -228,6 +255,7 @@ impl EngineBuilder {
             policy,
             mut models,
             proxy,
+            selector,
             slo_overrides,
         } = self;
         if models.is_empty() {
@@ -239,6 +267,7 @@ impl EngineBuilder {
             policy,
             models,
             proxy,
+            selector,
         })
     }
 }
@@ -251,6 +280,7 @@ pub struct ServingEngine {
     policy: Policy,
     models: Vec<CompiledModel>,
     proxy: Option<InterferenceProxy>,
+    selector: SelectorKind,
 }
 
 impl ServingEngine {
@@ -262,6 +292,7 @@ impl ServingEngine {
             policy,
             models: Vec::new(),
             proxy: None,
+            selector: SelectorKind::PressureLadder,
         }
     }
 
@@ -293,6 +324,18 @@ impl ServingEngine {
         self.policy = policy;
     }
 
+    /// Changes the runtime version-selection policy. Affects subsequent
+    /// runs and sessions.
+    pub fn set_selector(&mut self, selector: SelectorKind) {
+        self.selector = selector;
+    }
+
+    /// The engine's version-selection policy.
+    #[must_use]
+    pub fn selector(&self) -> SelectorKind {
+        self.selector
+    }
+
     /// The registered models.
     #[must_use]
     pub fn models(&self) -> &[CompiledModel] {
@@ -312,7 +355,8 @@ impl ServingEngine {
     }
 
     fn sim_config(&self) -> SimConfig {
-        let mut cfg = SimConfig::new(self.machine.clone(), self.policy);
+        let mut cfg =
+            SimConfig::new(self.machine.clone(), self.policy).with_selector(self.selector);
         if let Some(p) = &self.proxy {
             cfg = cfg.with_proxy(p.clone());
         }

@@ -2,7 +2,8 @@
 //! growing core counts; (b) the core-allocation-over-time profile of one
 //! ResNet-50 inference under each scheduling granularity.
 
-use veltair_sched::layer_block::{form_blocks, versions_at_level};
+use veltair_compiler::selector::select_at_level;
+use veltair_sched::layer_block::form_blocks;
 use veltair_sim::{execute, Interference};
 
 use super::ExpContext;
@@ -58,7 +59,7 @@ pub fn run(ctx: &ExpContext) -> Fig04 {
     let total_ms = model.flat_latency_s(flat, 0.0, machine) * 1e3;
     allocation.push(("Model".to_string(), vec![(0.0, flat), (total_ms, flat)]));
     // Layer-wise: each unit at its own minimum.
-    let versions = versions_at_level(&model, 0.0, false);
+    let versions = select_at_level(&model, 0.0, false);
     let mut t = 0.0;
     let mut layer_series = Vec::new();
     for (i, layer) in model.layers.iter().enumerate() {

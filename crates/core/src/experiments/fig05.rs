@@ -1,7 +1,7 @@
 //! Figure 5: (a) scheduling conflict rate per granularity and arrival
 //! rate; (b) the per-layer conflict (thread-team expansion) overhead.
 
-use veltair_sched::layer_block::versions_at_level;
+use veltair_compiler::selector::select_at_level;
 use veltair_sim::{execute, Interference};
 
 use super::fig03::{self, Fig03};
@@ -64,7 +64,7 @@ pub fn run(ctx: &ExpContext, fig03: Option<&Fig03>) -> Fig05 {
     // the work, paying the team-growth overhead.
     let model = ctx.model("resnet50");
     let machine = &ctx.machine;
-    let versions = versions_at_level(&model, 0.0, false);
+    let versions = select_at_level(&model, 0.0, false);
     let mut overhead_us = Vec::new();
     for (i, layer) in model.layers.iter().enumerate() {
         let profile = layer.versions[versions[i]].profile;

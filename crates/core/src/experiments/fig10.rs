@@ -2,7 +2,8 @@
 //! (b) average and maximum CPU usage per scheduling granularity when
 //! co-locating two ResNet-50 streams.
 
-use veltair_sched::layer_block::{form_blocks, versions_at_level};
+use veltair_compiler::selector::select_at_level;
+use veltair_sched::layer_block::form_blocks;
 use veltair_sched::{Policy, WorkloadSpec};
 
 use super::ExpContext;
@@ -29,7 +30,7 @@ pub fn run(ctx: &ExpContext) -> Fig10 {
     let model = ctx.model("resnet50");
     let machine = &ctx.machine;
 
-    let versions = versions_at_level(&model, 0.0, false);
+    let versions = select_at_level(&model, 0.0, false);
     let layer_requirements: Vec<u32> = model
         .layers
         .iter()

@@ -180,36 +180,23 @@ pub fn boosted_block_cores(
 /// Chooses the code version for every unit of the model at an interference
 /// level (`adaptive = false` pins the solo-optimal version, i.e. static
 /// compilation).
-///
-/// Adaptive selection is judged at the model's flat core requirement for
-/// the level — the allocation a block will actually receive — because the
-/// winning version differs between a 2-core grant and a 16-core grant.
+#[deprecated(
+    since = "0.1.0",
+    note = "version choice is owned by the compilation layer now: use \
+            veltair_compiler::selector::select_at_level (or a VersionSelector)"
+)]
 #[must_use]
 pub fn versions_at_level(model: &CompiledModel, level: f64, adaptive: bool) -> Vec<usize> {
-    if !adaptive {
-        return model
-            .layers
-            .iter()
-            .map(|layer| layer.version_for_level(0.0))
-            .collect();
-    }
-    let expected_cores = model.model_core_requirement(level).max(1);
-    model
-        .layers
-        .iter()
-        .map(|layer| layer.version_for(level, expected_cores))
-        .collect()
+    veltair_compiler::selector::select_at_level(model, level, adaptive)
 }
 
 /// Chooses the code version for every unit of the model against the *live*
 /// ambient pressure pair at the expected allocation.
-///
-/// The compiled per-bin tables assume symmetric cache/bandwidth pressure
-/// (that is how the offline profiling ran); a real co-location can pin the
-/// whole L3 while using half the bandwidth, and collapsing that to a
-/// scalar mis-ranks versions near the crossover. The runtime therefore
-/// re-ranks the handful of retained versions under the monitored pair —
-/// a few dozen closed-form evaluations per plan.
+#[deprecated(
+    since = "0.1.0",
+    note = "version choice is owned by the compilation layer now: use \
+            veltair_compiler::selector::select_for_pressure (or a VersionSelector)"
+)]
 #[must_use]
 pub fn versions_for_pressure(
     model: &CompiledModel,
@@ -217,22 +204,7 @@ pub fn versions_for_pressure(
     expected_cores: u32,
     machine: &MachineConfig,
 ) -> Vec<usize> {
-    let cores = expected_cores.max(1);
-    model
-        .layers
-        .iter()
-        .map(|layer| {
-            (0..layer.versions.len())
-                .min_by(|&a, &b| {
-                    let la =
-                        execute(&layer.versions[a].profile, cores, pressure, machine).latency_s;
-                    let lb =
-                        execute(&layer.versions[b].profile, cores, pressure, machine).latency_s;
-                    la.total_cmp(&lb)
-                })
-                .unwrap_or(0)
-        })
-        .collect()
+    veltair_compiler::selector::select_for_pressure(model, pressure, expected_cores, machine)
 }
 
 /// Forms the complete block partition of a model for analysis and for the
@@ -245,7 +217,7 @@ pub fn form_blocks(
     thres: u32,
     machine: &MachineConfig,
 ) -> Vec<BlockPlan> {
-    let versions = versions_at_level(model, level, adaptive);
+    let versions = veltair_compiler::selector::select_at_level(model, level, adaptive);
     let avg_c = model.model_core_requirement(if adaptive { level } else { 0.0 });
     let pressure = Interference::level(level);
     let mut blocks = Vec::new();
@@ -315,7 +287,7 @@ mod tests {
     fn block_allocation_is_smoother_than_layerwise_peak() {
         // Fig. 10a/10b: block formation cuts the maximum core demand.
         let (m, machine) = compiled();
-        let versions = versions_at_level(&m, 0.0, true);
+        let versions = veltair_compiler::selector::select_at_level(&m, 0.0, true);
         let layer_peak = (0..m.layers.len())
             .map(|i| m.layers[i].core_requirement(versions[i], 0.0))
             .max()
@@ -332,7 +304,7 @@ mod tests {
     fn pivot_is_first_conflict_prone_layer() {
         let (m, machine) = compiled();
         let _ = &machine;
-        let versions = versions_at_level(&m, 0.0, true);
+        let versions = veltair_compiler::selector::select_at_level(&m, 0.0, true);
         let avg_c = m.model_core_requirement(0.0);
         if let Some(p) = find_first_pivot(&m, 0, &versions, 0.0, avg_c, 0) {
             assert!(m.layers[p].core_requirement(versions[p], 0.0) >= avg_c);

@@ -87,7 +87,11 @@ pub use layer_block::{block_core_requirement, find_first_pivot, form_blocks, Blo
 pub use policy::{Granularity, Policy};
 pub use report::{ModelStats, ServingReport};
 pub use runtime::{Dispatcher, Driver, Monitor, SimError};
+// Version choice is owned by the compilation layer; re-exported here
+// because `SimConfig::selector` is part of this crate's configuration
+// surface.
 pub use simulator::{
     simulate, simulate_with_dispatcher, simulate_with_trace, try_simulate, SimConfig,
 };
+pub use veltair_compiler::{SelectionContext, SelectorKind, VersionSelector};
 pub use workload::{QuerySpec, WorkloadError, WorkloadSpec};

@@ -166,6 +166,19 @@ impl<'a> Driver<'a> {
         self.state.refresh_conditions();
     }
 
+    /// Installs a version selector, replacing the one built from
+    /// `cfg.selector` — the injection point for
+    /// [`VersionSelector`](veltair_compiler::selector::VersionSelector)
+    /// implementations outside the
+    /// [`SelectorKind`](veltair_compiler::SelectorKind) table (mirroring
+    /// [`with_dispatcher`](Driver::with_dispatcher) for custom scheduling
+    /// disciplines). Takes effect at the next planning decision; any
+    /// state accumulated by the previous selector is dropped. Only
+    /// adaptive-compilation policies consult it.
+    pub fn set_selector(&mut self, selector: Box<dyn veltair_compiler::selector::VersionSelector>) {
+        self.state.selector = selector;
+    }
+
     // --- Stepping ---------------------------------------------------------
 
     /// Processes the next pending event, returning its timestamp, or
@@ -238,6 +251,13 @@ impl<'a> Driver<'a> {
         self.state.cfg.policy
     }
 
+    /// Display name of the active version selector (only consulted while
+    /// the policy has adaptive compilation).
+    #[must_use]
+    pub fn selector_name(&self) -> &'static str {
+        self.state.selector.name()
+    }
+
     /// Whether the event queue is exhausted (no arrivals pending, nothing
     /// in flight).
     #[must_use]
@@ -295,9 +315,23 @@ impl<'a> Driver<'a> {
     /// proxy) under the soon-to-finish rule. This is the per-node signal
     /// interference-aware fleet routing consumes: it already reflects
     /// *which* models run here, not just how many cores they hold.
+    ///
+    /// For temporal policies (PREMA, AI-MT) the spatial co-runner
+    /// estimate is structurally near zero — one tenant runs at a time —
+    /// yet a new tenant faces whole-machine *exclusion* while anything
+    /// runs. Reporting the monitor's estimate verbatim made
+    /// time-multiplexed nodes look like the quietest members of a fleet
+    /// exactly when they were serializing a backlog, so pressure-aware
+    /// routers over-routed them. A temporal node therefore reports its
+    /// occupancy: the fraction of the machine a new arrival is excluded
+    /// from.
     #[must_use]
     pub fn pressure(&self) -> f64 {
-        self.state.monitored().1
+        if self.state.cfg.policy.is_temporal() {
+            self.occupancy()
+        } else {
+            self.state.monitored().1
+        }
     }
 
     /// Timestamp of the next pending event, if any — the fleet clock uses

@@ -9,7 +9,6 @@ use std::collections::VecDeque;
 use super::spatial::scavenge_best_effort;
 use super::state::{Pending, SimState};
 use super::Dispatcher;
-use crate::layer_block::versions_at_level;
 
 /// Dispatcher for per-tenant core partitioning (Parties).
 #[derive(Debug, Clone, Copy, Default)]
@@ -91,14 +90,14 @@ impl Dispatcher for PartitionedDispatcher {
                 kept.push_back(p);
                 continue;
             }
-            let model = &state.models[m];
             // Resource partitioning: the tenant owns its partition and runs
             // its queue on all of it, one query at a time — cores are not
             // returned to a shared pool between queries.
             let request = parts[m].max(1);
             if used[m] + request <= parts[m] && request <= state.free_cores {
-                let n_units = model.layers.len();
-                let versions = versions_at_level(model, 0.0, false);
+                let n_units = state.models[m].layers.len();
+                let versions =
+                    state.plan_versions(m, veltair_sim::Interference::NONE, 0.0, request);
                 let begin = state.queries[query].next_unit;
                 state.free_cores -= request;
                 used[m] += request;

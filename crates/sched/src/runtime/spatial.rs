@@ -12,10 +12,7 @@
 
 use super::state::SimState;
 use super::Dispatcher;
-use crate::layer_block::{
-    block_core_requirement, boosted_block_cores, find_first_pivot, versions_at_level,
-    versions_for_pressure,
-};
+use crate::layer_block::{block_core_requirement, boosted_block_cores, find_first_pivot};
 use crate::policy::{Granularity, Policy};
 
 /// Dispatcher for all spatially shared policies.
@@ -114,10 +111,15 @@ pub(super) fn scavenge_best_effort(state: &mut SimState<'_>) {
 
 /// Plans the next block for `query`: how many units, which code versions,
 /// and the core request. Returns `(end_unit, versions, cores)`.
-pub(super) fn plan_block(state: &SimState<'_>, query: usize) -> (usize, Vec<usize>, u32) {
-    let q = &state.queries[query];
-    let model = &state.models[q.model];
-    let machine = &state.cfg.machine;
+///
+/// Takes the state mutably because version choice goes through the
+/// state's [`VersionSelector`](veltair_compiler::selector::VersionSelector)
+/// (via [`SimState::plan_versions`]), and selectors may be stateful.
+pub(super) fn plan_block(state: &mut SimState<'_>, query: usize) -> (usize, Vec<usize>, u32) {
+    let model_index = state.queries[query].model;
+    let begin = state.queries[query].next_unit;
+    let models = state.models;
+    let model = &models[model_index];
     let policy = state.cfg.policy;
     let adaptive = policy.adaptive_compilation();
     // Interference-oblivious baselines plan as if alone.
@@ -127,13 +129,9 @@ pub(super) fn plan_block(state: &SimState<'_>, query: usize) -> (usize, Vec<usiz
     } else {
         (veltair_sim::Interference::NONE, 0.0)
     };
-    let versions = if adaptive {
-        let expected = model.model_core_requirement(level).max(1);
-        versions_for_pressure(model, pressure, expected, machine)
-    } else {
-        versions_at_level(model, 0.0, false)
-    };
-    let begin = q.next_unit;
+    let expected = model.model_core_requirement(level).max(1);
+    let versions = state.plan_versions(model_index, pressure, level, expected);
+    let machine = &state.cfg.machine;
     let n = model.layers.len();
 
     match policy.granularity() {
@@ -182,7 +180,7 @@ pub(super) fn plan_block(state: &SimState<'_>, query: usize) -> (usize, Vec<usiz
                 // registered tenants keeps a momentarily idle machine
                 // from being hogged by one boosted heavy block while
                 // tight-QoS co-tenants arrive behind it.
-                let reserve = co_tenant_reserve(state, q.model);
+                let reserve = co_tenant_reserve(state, model_index);
                 let cap = hard_cap
                     .min(state.free_cores.max(min_cores))
                     .min(machine.cores.saturating_sub(reserve).max(min_cores));

@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 
+use veltair_compiler::selector::{solo_versions, SelectionContext, VersionSelector};
 use veltair_compiler::CompiledModel;
 use veltair_sim::{
     execute, EventQueue, Execution, Interference, PerfCounters, PressureDemand, SimTime,
@@ -133,6 +134,11 @@ pub struct SimState<'a> {
     pub completed: Vec<usize>,
     /// The interference monitor (oracle or trained counter proxy).
     pub monitor: Box<dyn Monitor>,
+    /// The runtime version-selection policy, built from
+    /// `cfg.selector`. Consulted (and advanced — selectors may be
+    /// stateful) at every block-planning decision of an
+    /// adaptive-compilation policy via [`SimState::plan_versions`].
+    pub selector: Box<dyn VersionSelector>,
 }
 
 impl std::fmt::Debug for SimState<'_> {
@@ -143,6 +149,7 @@ impl std::fmt::Debug for SimState<'_> {
             .field("queries", &self.queries.len())
             .field("running", &self.running.len())
             .field("monitor", &self.monitor)
+            .field("selector", &self.selector)
             .finish_non_exhaustive()
     }
 }
@@ -180,6 +187,7 @@ impl<'a> SimState<'a> {
     ) -> Result<Self, SimError> {
         let free_cores = cfg.machine.cores;
         let monitor = monitor::for_config(&cfg);
+        let selector = cfg.selector.build();
         let mut state = Self {
             cfg,
             models,
@@ -197,6 +205,7 @@ impl<'a> SimState<'a> {
             alloc_trace: Vec::new(),
             completed: Vec::new(),
             monitor,
+            selector,
         };
         for q in queries {
             state.admit_query(q)?;
@@ -344,6 +353,41 @@ impl<'a> SimState<'a> {
             .map(|(_, r)| &r.exec.demand)
             .collect();
         Interference::from_corunners(demands, &self.cfg.machine)
+    }
+
+    // --- Version selection --------------------------------------------------
+
+    /// Chooses the code version for every unit of a model at a planning
+    /// decision: adaptive-compilation policies consult the configured
+    /// [`VersionSelector`] under the observed conditions, every other
+    /// policy runs the solo-optimal (static compilation) versions.
+    ///
+    /// This is the single seam through which compiled-code choice enters
+    /// the runtime — every dispatcher family plans through it, so
+    /// swapping `cfg.selector` swaps the adaptive-compilation behaviour
+    /// of the whole simulation.
+    #[must_use]
+    pub fn plan_versions(
+        &mut self,
+        model_index: usize,
+        pressure: Interference,
+        level: f64,
+        expected_cores: u32,
+    ) -> Vec<usize> {
+        let models = self.models;
+        let model = &models[model_index];
+        if self.cfg.policy.adaptive_compilation() {
+            let ctx = SelectionContext {
+                model_index,
+                pressure,
+                level,
+                now_s: self.now.0,
+                expected_cores,
+            };
+            self.selector.select(model, &ctx, &self.cfg.machine)
+        } else {
+            solo_versions(model)
+        }
     }
 
     // --- Unit lifecycle -----------------------------------------------------

@@ -17,7 +17,6 @@
 
 use super::state::{Pending, SimState};
 use super::Dispatcher;
-use crate::layer_block::versions_at_level;
 
 /// Selection rule distinguishing the temporal baselines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,13 +111,20 @@ impl Dispatcher for TemporalDispatcher {
             state.continuations.push_back(p);
         }
         let query = chosen.query;
-        let st = &state.queries[query];
-        let model = &state.models[st.model];
-        let n = model.layers.len();
-        let versions = versions_at_level(model, 0.0, false);
-        let begin = st.next_unit;
-        let end = if layer_granular { begin + 1 } else { n };
+        let model_index = state.queries[query].model;
+        let begin = state.queries[query].next_unit;
+        let n = state.models[model_index].layers.len();
         let cores = state.cfg.machine.cores;
+        // Planning goes through the shared selector seam like every
+        // dispatcher family. Under the stock temporal policies (PREMA,
+        // AI-MT — not adaptive-compilation) this yields the static solo
+        // versions, exactly as before the seam existed; an explicit
+        // `Driver::with_dispatcher` pairing with an adaptive-compilation
+        // policy consults the configured selector at zero observed
+        // pressure instead, the uniform behaviour of the redesigned API.
+        let versions =
+            state.plan_versions(model_index, veltair_sim::Interference::NONE, 0.0, cores);
+        let end = if layer_granular { begin + 1 } else { n };
         state.free_cores = 0;
         state.start_block(query, end, versions[begin..end].to_vec(), cores, cores);
     }

@@ -10,7 +10,7 @@
 //! [`SimConfig`] plus [`simulate`] / [`simulate_with_trace`] /
 //! [`simulate_with_dispatcher`].
 
-use veltair_compiler::CompiledModel;
+use veltair_compiler::{CompiledModel, SelectorKind};
 use veltair_proxy::InterferenceProxy;
 use veltair_sim::MachineConfig;
 
@@ -38,6 +38,13 @@ pub struct SimConfig {
     /// queries only receive cores when no latency-critical work is
     /// waiting, and they never trigger conflicts or expansions.
     pub best_effort_models: Vec<String>,
+    /// The runtime version-selection policy consulted by
+    /// adaptive-compilation policies (`VeltairAc` / `VeltairFull`). The
+    /// default, [`SelectorKind::PressureLadder`], re-ranks versions under
+    /// the raw monitored pressure at every decision — the historical
+    /// behaviour, bit for bit. Non-adaptive policies always run
+    /// solo-optimal code and ignore this field.
+    pub selector: SelectorKind,
 }
 
 impl SimConfig {
@@ -51,6 +58,7 @@ impl SimConfig {
             soon_finish_frac: 0.1,
             record_alloc_trace: false,
             best_effort_models: Vec::new(),
+            selector: SelectorKind::PressureLadder,
         }
     }
 
@@ -58,6 +66,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_proxy(mut self, proxy: InterferenceProxy) -> Self {
         self.proxy = Some(proxy);
+        self
+    }
+
+    /// Installs a runtime version-selection policy (default: the
+    /// bit-identical [`SelectorKind::PressureLadder`]). Only consulted by
+    /// adaptive-compilation policies.
+    #[must_use]
+    pub fn with_selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = selector;
         self
     }
 

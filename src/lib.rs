@@ -67,7 +67,11 @@ pub mod prelude {
         AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeLoad, NodeSpec, Router,
         RouterKind, SloAdmissionConfig, StepMode,
     };
-    pub use veltair_compiler::{compile_model, CompiledModel, CompilerOptions};
+    pub use veltair_compiler::{
+        compile_model, CompiledModel, CompilerError, CompilerOptions, CompilerService,
+        EwmaSmoother, HysteresisConfig, HysteresisLadder, ModelRegistry, PressureLadder,
+        SelectionContext, SelectorKind, StaticLevel, VersionSelector,
+    };
     pub use veltair_core::{
         max_qps_at_qos, train_proxy, ClusterBuilder, ClusterEngine, ClusterSession, Completion,
         EngineBuilder, EngineError, Policy, QpsResult, QpsSearchConfig, ReportSnapshot,

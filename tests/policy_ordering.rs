@@ -130,10 +130,14 @@ fn adaptive_granularity_outlasts_static_granularities() {
 }
 
 /// Seed-averaged overall satisfaction of `policy` on the paper's
-/// inverse-QoS four-model mix at an overloaded aggregate rate.
-fn overload_mix_satisfaction(policy: Policy) -> f64 {
+/// inverse-QoS four-model mix at an overloaded aggregate rate, under the
+/// given version selector (`None` keeps the default `PressureLadder`).
+fn overload_mix_satisfaction_with(policy: Policy, selector: Option<SelectorKind>) -> f64 {
     let names = ["mobilenet_v2", "tiny_yolo_v2", "resnet50", "googlenet"];
-    let e = engine(policy, &names);
+    let mut e = engine(policy, &names);
+    if let Some(kind) = selector {
+        e.set_selector(kind);
+    }
     let specs: Vec<ModelSpec> = names.iter().map(|n| by_name(n).unwrap()).collect();
     let streams: Vec<(&str, f64)> = specs
         .iter()
@@ -150,6 +154,34 @@ fn overload_mix_satisfaction(policy: Policy) -> f64 {
         / 3.0
 }
 
+/// Seed-averaged satisfaction on the overload mix under the default
+/// `PressureLadder` selector.
+fn overload_mix_satisfaction(policy: Policy) -> f64 {
+    overload_mix_satisfaction_with(policy, None)
+}
+
+/// The Planaria / AS / raw-AC baselines are each ~12 compile+simulate
+/// units and are consumed by three tests in this file; computing them
+/// once keeps the (already slow, 1-CPU) tier-1 gate from paying for
+/// them per test.
+fn cached_overload_sat(policy: Policy, cell: &'static std::sync::OnceLock<f64>) -> f64 {
+    *cell.get_or_init(|| overload_mix_satisfaction(policy))
+}
+
+static PLANARIA_SAT: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+static AS_SAT: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+static AC_RAW_SAT: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+
+fn planaria_overload_sat() -> f64 {
+    cached_overload_sat(Policy::Planaria, &PLANARIA_SAT)
+}
+fn adaptive_sched_overload_sat() -> f64 {
+    cached_overload_sat(Policy::VeltairAs, &AS_SAT)
+}
+fn ac_raw_overload_sat() -> f64 {
+    cached_overload_sat(Policy::VeltairAc, &AC_RAW_SAT)
+}
+
 #[test]
 fn overload_mix_pins_full_as_ac_planaria_ordering() {
     // Fig. 12's direction on the mixed workload at overload: adaptive
@@ -159,9 +191,9 @@ fn overload_mix_pins_full_as_ac_planaria_ordering() {
     // seed-averaged ordering; see the #[ignore]d companion below for the
     // part of the paper's separation we do not reproduce yet.
     let full = overload_mix_satisfaction(Policy::VeltairFull);
-    let adaptive_sched = overload_mix_satisfaction(Policy::VeltairAs);
-    let ac = overload_mix_satisfaction(Policy::VeltairAc);
-    let planaria = overload_mix_satisfaction(Policy::Planaria);
+    let adaptive_sched = adaptive_sched_overload_sat();
+    let ac = ac_raw_overload_sat();
+    let planaria = planaria_overload_sat();
     assert!(
         full > adaptive_sched,
         "FULL {full:.3} did not beat AS {adaptive_sched:.3}"
@@ -177,22 +209,72 @@ fn overload_mix_pins_full_as_ac_planaria_ordering() {
 }
 
 #[test]
-#[ignore = "known Veltair-AC calibration gap, see ROADMAP open items"]
+#[ignore = "known Veltair-AC calibration gap on the default selector, see ROADMAP open items"]
 fn veltair_ac_should_sit_well_clear_of_planaria() {
-    // ROADMAP open item: Veltair-AC (adaptive compilation, layer-wise)
-    // underperforms the paper's ordering at overload — it lands *near
-    // Planaria* instead of between AS and FULL. The paper's Fig. 12 has
-    // AC clearly separated from the layer-wise baseline; until AC's
-    // version switching under pressure gets its tuning pass, its margin
-    // over Planaria is a few points where it should be at least halfway
-    // up to AS. This assertion documents the target; un-ignore it once
-    // the calibration lands.
-    let adaptive_sched = overload_mix_satisfaction(Policy::VeltairAs);
-    let ac = overload_mix_satisfaction(Policy::VeltairAc);
-    let planaria = overload_mix_satisfaction(Policy::Planaria);
+    // ROADMAP open item: under the *default* selector (the raw
+    // `PressureLadder`, kept default for bit-compatibility) Veltair-AC
+    // still underperforms the paper's ordering at overload — measured
+    // 0.681 against a 0.723 target (Planaria 0.626, AS 0.821;
+    // seed-averaged, release, fast-compile). The calibration itself has
+    // landed as the opt-in `HysteresisLadder` — see
+    // `hysteresis_ladder_closes_the_ac_calibration_gap`, which clears
+    // this exact inequality at 0.807. This default-path assertion stays
+    // ignored — and visible in the CI calibration-watch job — until the
+    // calibrated ladder is promoted to the default.
+    let adaptive_sched = adaptive_sched_overload_sat();
+    let ac = ac_raw_overload_sat();
+    let planaria = planaria_overload_sat();
     assert!(
         ac >= (planaria + adaptive_sched) / 2.0,
         "AC {ac:.3} still lands near Planaria {planaria:.3} (AS at {adaptive_sched:.3})"
+    );
+}
+
+#[test]
+fn hysteresis_ladder_closes_the_ac_calibration_gap() {
+    // The AC tuning pass: with the calibrated `HysteresisLadder`
+    // selector — EWMA smoothing (α = 0.25), 2.5× anticipatory gain
+    // compensating monitor lag, one-bin switch hysteresis — Veltair-AC
+    // clears the ROADMAP target of sitting at least halfway from
+    // Planaria up to AS.
+    //
+    // Measured on this mix (seed-averaged, release, fast-compile), from
+    // the tuning sweep that chose the defaults:
+    //
+    //   Planaria                 0.626
+    //   AC, raw PressureLadder   0.681   (the documented gap)
+    //   target midpoint          0.723
+    //   AC, HysteresisLadder     0.807   <- this test's subject
+    //   AS                       0.821
+    //   FULL                     0.851
+    //
+    // The decisive ingredient is the anticipatory gain: the monitor
+    // reports only in-flight co-runners (mean level ≈ 0.32 here, while
+    // versions ranked for 0.55–0.7 serve best under sustained
+    // overload); smoothing or hysteresis alone moved AC by at most
+    // ~1.5 points, and sweeping gains {1.5, 2, 2.5, 3} peaked at 2.5.
+    let adaptive_sched = adaptive_sched_overload_sat();
+    let planaria = planaria_overload_sat();
+    let ac_raw = ac_raw_overload_sat();
+    let ac_tuned = overload_mix_satisfaction_with(
+        Policy::VeltairAc,
+        Some(SelectorKind::Hysteresis(HysteresisConfig::default())),
+    );
+    assert!(
+        ac_tuned >= (planaria + adaptive_sched) / 2.0,
+        "tuned AC {ac_tuned:.3} below the calibration target \
+         (Planaria {planaria:.3}, AS {adaptive_sched:.3})"
+    );
+    assert!(
+        ac_tuned > ac_raw,
+        "the calibrated ladder regressed below the raw PressureLadder: \
+         {ac_tuned:.3} vs {ac_raw:.3}"
+    );
+    // The tuned point must still respect the paper's ordering: between
+    // the static baseline and adaptive scheduling, not above AS.
+    assert!(
+        ac_tuned < adaptive_sched,
+        "tuned AC {ac_tuned:.3} overtook AS {adaptive_sched:.3} — recheck the ordering pins"
     );
 }
 

@@ -7,9 +7,10 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use veltair::compiler::selector::select_at_level;
 use veltair::compiler::{extract_dominant, lower_gemm, search, CompilerOptions, Schedule};
 use veltair::prelude::*;
-use veltair::sched::layer_block::{form_blocks, versions_at_level};
+use veltair::sched::layer_block::form_blocks;
 use veltair::sim::{execute, KernelProfile};
 use veltair::tensor::{FeatureMap, FusedUnit, GemmView, Layer};
 
@@ -136,7 +137,7 @@ fn version_lookup_is_total() {
     );
     for _ in 0..CASES {
         let level = rng.gen_range(0.0f64..1.0);
-        let versions = versions_at_level(&compiled, level, true);
+        let versions = select_at_level(&compiled, level, true);
         for (i, layer) in compiled.layers.iter().enumerate() {
             assert!(versions[i] < layer.versions.len());
             let req = layer.core_requirement(versions[i], level);
