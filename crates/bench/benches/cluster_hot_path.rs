@@ -4,7 +4,9 @@
 //! how much virtual traffic a fleet simulation can push per wall-second.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use veltair_cluster::{AdmissionKind, Fleet, NodeLoad, NodeSpec, RouterKind, StepMode};
+use veltair_cluster::{
+    AdmissionKind, Fleet, NodeLoad, NodeSpec, RouterKind, RoutingMode, StepMode,
+};
 use veltair_compiler::{
     compile_model, CompiledModel, CompilerOptions, HysteresisConfig, SelectionContext, SelectorKind,
 };
@@ -152,6 +154,50 @@ fn bench_fleet_stepper_scaling(c: &mut Criterion) {
     }
 }
 
+/// The coordinator decision path head to head: the same fleet and
+/// workload routed through the O(n) scan and the O(log n) incremental
+/// index, at two fleet sizes. Results are bit-identical (pinned by
+/// `tests/index_equivalence.rs`); this measures the coordinator
+/// overhead, and the printed `CoordinatorStats` line per variant shows
+/// the op-count gap (examined loads per decision) that wall clock on a
+/// small host cannot resolve.
+fn bench_scan_vs_indexed_routing(c: &mut Criterion) {
+    let models = compiled_mobilenet();
+    let edge = MachineConfig::desktop_8core();
+    for node_count in [64usize, 512] {
+        let nodes: Vec<NodeSpec> = (0..node_count)
+            .map(|i| NodeSpec::new(&format!("n{i}"), edge.clone(), Policy::VeltairFull))
+            .collect();
+        let workload = WorkloadSpec::single("mobilenet_v2", 500.0, 64);
+        let run = |mode: RoutingMode| {
+            let mut fleet = Fleet::new(
+                &models,
+                &nodes,
+                RouterKind::LeastOutstanding.build(),
+                AdmissionKind::AdmitAll.build(),
+            )
+            .expect("valid fleet")
+            .with_routing_mode(mode);
+            fleet.submit_stream(&workload, 5).expect("registered");
+            fleet.finish()
+        };
+        for mode in [RoutingMode::Scan, RoutingMode::Indexed] {
+            let stats = run(mode).coordinator;
+            println!(
+                "fleet_routing_{node_count}_nodes/{}: {:.1} examined/decision, \
+                 {} index updates",
+                mode.name(),
+                stats.examined_per_decision(),
+                stats.index_updates
+            );
+            c.bench_function(
+                &format!("fleet_routing_{node_count}_nodes/{}", mode.name()),
+                |b| b.iter(|| run(mode)),
+            );
+        }
+    }
+}
+
 /// The per-planning-decision version-selection cost: every adaptive
 /// block plan walks the selector, so its `select` call sits directly on
 /// the dispatch hot path. Levels sweep a sawtooth so the hysteresis
@@ -187,6 +233,7 @@ criterion_group! {
     name = cluster_hot_path;
     config = Criterion::default().sample_size(10);
     targets = bench_driver_step, bench_router_decisions, bench_fleet_run,
-        bench_fleet_stepper_scaling, bench_selector_hot_path
+        bench_fleet_stepper_scaling, bench_scan_vs_indexed_routing,
+        bench_selector_hot_path
 }
 criterion_main!(cluster_hot_path);

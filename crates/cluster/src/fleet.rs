@@ -19,6 +19,17 @@
 //! node advancement — is deliberately *not* part of that tuple: both
 //! modes produce bit-identical results, because routing stays on the
 //! coordinator thread and node advancement commutes across nodes.
+//!
+//! Neither are the coordinator's two performance knobs. The
+//! [`RoutingMode`] selects between the O(log n) incrementally maintained
+//! [`LoadIndex`] and the O(n) reference scan — bit-identical by contract
+//! (same rank keys, ties to the lowest node index, identical sampler
+//! draw sequences), differing only in the
+//! [`CoordinatorStats`] op counts. The micro-batching
+//! epsilon ([`Fleet::set_batch_epsilon`]) absorbs routing instants whose
+//! inter-arrival gap is below it into an inline coordinator advance —
+//! the same `run_until` calls on another thread — saving stepper round
+//! trips without touching the simulation.
 
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
@@ -29,10 +40,11 @@ use veltair_sched::{QuerySpec, WorkloadSpec};
 use veltair_sim::SimTime;
 
 use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::index::{LoadIndex, RoutingMode};
 use crate::node::{NodeLoad, NodeSpec};
 use crate::parallel::{StepMode, StepperPool};
-use crate::report::{merge_reports, FleetReport};
-use crate::router::Router;
+use crate::report::{merge_reports, CoordinatorStats, FleetReport};
+use crate::router::{IndexSupport, Router};
 
 /// Why a fleet could not be built or a query could not be submitted.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,6 +180,29 @@ pub struct FleetSnapshot {
     pub nodes: Vec<NodeSnapshot>,
     /// The pooled fleet-wide report over queries completed so far.
     pub report: veltair_sched::ServingReport,
+    /// Coordinator work counters so far (see [`CoordinatorStats`]).
+    pub coordinator: CoordinatorStats,
+}
+
+/// Builds the live load view of one node — the single-node equivalent of
+/// the batch the scan path materializes. Reading `pressure` costs a
+/// monitor pass over the node's running units, so it is gated on
+/// `want_pressure`.
+fn load_of(driver: &Driver<'_>, node: usize, want_pressure: bool) -> NodeLoad {
+    NodeLoad {
+        node,
+        outstanding: driver.outstanding(),
+        queued: driver.queued(),
+        in_flight: driver.in_flight(),
+        busy_cores: driver.busy_cores(),
+        total_cores: driver.total_cores(),
+        occupancy: driver.occupancy(),
+        pressure: if want_pressure {
+            driver.pressure()
+        } else {
+            0.0
+        },
+    }
 }
 
 /// N per-node serving drivers composed behind a router and an admission
@@ -189,6 +224,31 @@ pub struct Fleet<'a> {
     /// Lazily built when the mode switches to parallel; dropped (workers
     /// joined) when it switches back.
     pool: Option<StepperPool>,
+    /// Whether the active router takes the O(log n) indexed decision
+    /// path, the legacy scan, or neither (round-robin). Captured from
+    /// [`Router::index_support`] at construction.
+    support: IndexSupport,
+    /// Decision-path selector for index-capable routers (see
+    /// [`RoutingMode`]); ignored by [`IndexSupport::Scan`] routers.
+    routing: RoutingMode,
+    /// Micro-batching epsilon, seconds: a routing instant whose gap from
+    /// the fleet clock is below this advances inline on the coordinator
+    /// instead of paying a stepper round trip. `0.0` disables batching.
+    batch_eps_s: f64,
+    /// The incrementally maintained rank index (see [`LoadIndex`]).
+    /// Kept fresh for `IndexSupport::Indexed` routers in *both* routing
+    /// modes, so mode switches mid-run are safe and `index_updates` is
+    /// mode-independent.
+    index: LoadIndex,
+    /// Last [`Driver::version`] folded into the index, per node.
+    /// Initialized to a sentinel that matches no real version so the
+    /// first refresh keys every node.
+    node_version: Vec<u64>,
+    /// Scratch buffer for the scan path's load batch, reused across
+    /// routing instants so the hot path allocates nothing.
+    scratch_loads: Vec<NodeLoad>,
+    /// Coordinator work counters for the run so far.
+    stats: CoordinatorStats,
 }
 
 impl std::fmt::Debug for Fleet<'_> {
@@ -273,10 +333,18 @@ impl<'a> Fleet<'a> {
             .zip(specs)
             .map(|(models, s)| Driver::open(models, s.sim_config()))
             .collect();
+        let support = router.index_support();
+        let index = LoadIndex::new(
+            drivers
+                .iter()
+                .map(|d| u64::from(d.total_cores()).max(1))
+                .collect(),
+        );
         Ok(Self {
             models: catalog,
             names: specs.iter().map(|s| s.name.clone()).collect(),
             routed: vec![0; drivers.len()],
+            node_version: vec![u64::MAX; drivers.len()],
             drivers,
             router,
             admission,
@@ -288,6 +356,12 @@ impl<'a> Fleet<'a> {
             deferrals: 0,
             step_mode: StepMode::Sequential,
             pool: None,
+            support,
+            routing: RoutingMode::default(),
+            batch_eps_s: 0.0,
+            index,
+            scratch_loads: Vec::new(),
+            stats: CoordinatorStats::default(),
         })
     }
 
@@ -323,6 +397,71 @@ impl<'a> Fleet<'a> {
         self.step_mode
     }
 
+    /// Sets the routing decision path at construction time:
+    /// `Fleet::new(..)?.with_routing_mode(RoutingMode::Scan)`.
+    #[must_use]
+    pub fn with_routing_mode(mut self, mode: RoutingMode) -> Self {
+        self.set_routing_mode(mode);
+        self
+    }
+
+    /// Switches between the O(log n) indexed decision path and the O(n)
+    /// scan reference path. Safe at any point in a run: the index is
+    /// maintained in both modes from the same update stream, and both
+    /// paths are bit-identical by contract (ties to the lowest node
+    /// index, identical sampler draw sequences), so only the
+    /// `nodes_examined` counter changes. Routers that do not support the
+    /// index ([`IndexSupport::Scan`]) ignore this entirely.
+    pub fn set_routing_mode(&mut self, mode: RoutingMode) {
+        self.routing = mode;
+    }
+
+    /// The active routing decision path.
+    #[must_use]
+    pub fn routing_mode(&self) -> RoutingMode {
+        self.routing
+    }
+
+    /// Sets the micro-batching epsilon at construction time:
+    /// `Fleet::new(..)?.with_batch_epsilon(50e-6)`.
+    #[must_use]
+    pub fn with_batch_epsilon(mut self, eps_s: f64) -> Self {
+        self.set_batch_epsilon(eps_s);
+        self
+    }
+
+    /// Sets the micro-batching epsilon, seconds. A routing instant whose
+    /// gap from the fleet clock is strictly below the epsilon is advanced
+    /// inline on the coordinator — one `run_until` per node, the same
+    /// calls the sequential stepper would make — instead of paying a
+    /// stepper-pool round trip, and is tallied in
+    /// [`CoordinatorStats::batched_instants`].
+    ///
+    /// Determinism contract: the epsilon changes *which thread* advances
+    /// the nodes, never what they compute, so any epsilon produces
+    /// results bit-identical to `0.0` (batching disabled, the default).
+    /// Non-finite or negative values are clamped to `0.0`.
+    pub fn set_batch_epsilon(&mut self, eps_s: f64) {
+        self.batch_eps_s = if eps_s.is_finite() && eps_s > 0.0 {
+            eps_s
+        } else {
+            0.0
+        };
+    }
+
+    /// The active micro-batching epsilon, seconds.
+    #[must_use]
+    pub fn batch_epsilon(&self) -> f64 {
+        self.batch_eps_s
+    }
+
+    /// Coordinator work counters accumulated so far (also on
+    /// [`FleetSnapshot`] and [`FleetReport`]).
+    #[must_use]
+    pub fn coordinator_stats(&self) -> CoordinatorStats {
+        self.stats
+    }
+
     // --- Observation ------------------------------------------------------
 
     /// Fleet clock, seconds.
@@ -354,26 +493,15 @@ impl<'a> Fleet<'a> {
 
     /// Live load views for every node, in fleet order — what the router
     /// is shown at a routing decision (with the pressure field populated;
-    /// routing skips it when nothing consumes it).
+    /// routing skips it when nothing consumes it). Allocates a fresh
+    /// `Vec` for the caller; the routing hot path itself reuses an
+    /// internal scratch buffer and never goes through here.
     #[must_use]
     pub fn loads(&self) -> Vec<NodeLoad> {
-        self.loads_inner(true)
-    }
-
-    fn loads_inner(&self, want_pressure: bool) -> Vec<NodeLoad> {
         self.drivers
             .iter()
             .enumerate()
-            .map(|(i, d)| NodeLoad {
-                node: i,
-                outstanding: d.outstanding(),
-                queued: d.queued(),
-                in_flight: d.in_flight(),
-                busy_cores: d.busy_cores(),
-                total_cores: d.total_cores(),
-                occupancy: d.occupancy(),
-                pressure: if want_pressure { d.pressure() } else { 0.0 },
-            })
+            .map(|(i, d)| load_of(d, i, true))
             .collect()
     }
 
@@ -408,6 +536,7 @@ impl<'a> Fleet<'a> {
             deferrals: self.deferrals,
             nodes,
             report,
+            coordinator: self.stats,
         }
     }
 
@@ -508,6 +637,9 @@ impl<'a> Fleet<'a> {
                     }
                 }
             }
+            // Counted by rule, not by pool presence, so Sequential and
+            // Parallel runs report identical coordinator stats.
+            self.stats.pool_round_trips += 1;
         } else {
             // Same-instant routing (a batch of arrivals at one `t`):
             // there is no time to advance, but events scheduled exactly
@@ -524,6 +656,48 @@ impl<'a> Fleet<'a> {
         self.now = t;
     }
 
+    /// Advances the fleet to the routing instant `due`, micro-batching
+    /// when the gap from the fleet clock is strictly below the epsilon:
+    /// the nodes are advanced inline on the coordinator — the exact
+    /// `run_until` calls the sequential stepper would make, so results
+    /// are bit-identical — and no stepper round trip is paid.
+    fn advance_for_routing(&mut self, due: SimTime) {
+        if due > self.now && due.0 - self.now.0 < self.batch_eps_s {
+            for d in &mut self.drivers {
+                d.run_until(due);
+            }
+            self.stats.batched_instants += 1;
+            self.now = due;
+        } else {
+            self.advance_nodes_to(due);
+        }
+    }
+
+    /// Folds every node whose [`Driver::version`] moved since the last
+    /// refresh back into the rank index. Only `IndexSupport::Indexed`
+    /// routers maintain keys; the refresh runs in *both* routing modes so
+    /// `index_updates` is mode-independent and mode switches are safe.
+    ///
+    /// The version compare itself is O(nodes) per routing instant — the
+    /// same order as the event-queue peek `advance_nodes_to` already does
+    /// — and is deliberately *not* tallied as examined nodes: the
+    /// counters measure decision work (loads read, keys compared), and
+    /// under steady load almost all compares are cheap no-ops while the
+    /// scan path would have materialized every load in full.
+    fn refresh_index(&mut self) {
+        let want_pressure = self.router.needs_pressure();
+        for (i, d) in self.drivers.iter().enumerate() {
+            let v = d.version();
+            if self.node_version[i] != v {
+                self.node_version[i] = v;
+                let load = load_of(d, i, want_pressure);
+                let key = self.router.rank(&load);
+                self.index.update(i, key);
+                self.stats.index_updates += 1;
+            }
+        }
+    }
+
     /// Routes every front-door query due at or before `t`, advancing the
     /// fleet to each routing instant so routing sees live load.
     fn route_due(&mut self, t: SimTime) {
@@ -537,8 +711,7 @@ impl<'a> Fleet<'a> {
                 break;
             }
             let p = self.pending.pop().expect("peeked entry exists");
-            self.advance_nodes_to(p.due);
-            let loads = self.loads_inner(want_pressure);
+            self.advance_for_routing(p.due);
             let model = &self.models[p.model];
             // The spec carries the *submitted* arrival: after a deferral
             // it lies in the past, and `inject_held` keeps it as the
@@ -547,14 +720,46 @@ impl<'a> Fleet<'a> {
                 model: model.name.clone(),
                 arrival: p.arrival,
             };
-            let node = self
-                .router
-                .route(&loads, model, &query)
-                .min(loads.len() - 1);
+            self.stats.routing_decisions += 1;
+            let node_count = self.drivers.len();
+            let (node, load) = match self.support {
+                IndexSupport::Scan => {
+                    // Legacy path for custom routers: materialize the
+                    // full load batch (into the reused scratch buffer)
+                    // and let the router scan it.
+                    let mut loads = std::mem::take(&mut self.scratch_loads);
+                    loads.clear();
+                    loads.extend(
+                        self.drivers
+                            .iter()
+                            .enumerate()
+                            .map(|(i, d)| load_of(d, i, want_pressure)),
+                    );
+                    let node = self.router.route(&loads, model, &query).min(node_count - 1);
+                    self.stats.nodes_examined += node_count as u64;
+                    let load = loads[node];
+                    self.scratch_loads = loads;
+                    (node, load)
+                }
+                IndexSupport::Indexed | IndexSupport::Oblivious => {
+                    if self.support == IndexSupport::Indexed {
+                        self.refresh_index();
+                    }
+                    let node = self
+                        .router
+                        .route_indexed(&self.index, self.routing, model, &query)
+                        .min(node_count - 1);
+                    self.stats.nodes_examined += self.index.take_examined();
+                    // Admission reads one node's load, not the batch.
+                    let load = load_of(&self.drivers[node], node, self.admission.needs_pressure());
+                    self.stats.nodes_examined += 1;
+                    (node, load)
+                }
+            };
             let decision = if p.attempts >= DEFER_HARD_CAP {
                 AdmissionDecision::Shed
             } else {
-                self.admission.decide(&loads[node], model, p.attempts)
+                self.admission.decide(&load, model, p.attempts)
             };
             match decision {
                 AdmissionDecision::Admit => {
@@ -624,6 +829,7 @@ impl<'a> Fleet<'a> {
                 }
             }
         }
+        self.stats.pool_round_trips += 1;
         let end = self
             .drivers
             .iter()
@@ -648,6 +854,7 @@ impl<'a> Fleet<'a> {
             shed: self.shed,
             shed_per_model: self.shed_per_model,
             deferrals: self.deferrals,
+            coordinator: self.stats,
         }
     }
 }

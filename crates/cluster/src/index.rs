@@ -1,0 +1,375 @@
+//! The incrementally maintained load index: O(log n) routing decisions
+//! over a fleet whose per-node rank keys change only when a node's load
+//! actually changes.
+//!
+//! The fleet's original coordinator rebuilt every node's
+//! [`NodeLoad`](crate::NodeLoad) view and linearly scanned all of them on
+//! *every* routing decision — O(nodes) loads materialized per query,
+//! which dominates coordinator cost at 10k+ nodes. [`LoadIndex`] replaces
+//! that with a **tournament tree** over one `f64` rank key per node
+//! (lower ranks win; the active [`Router`](crate::Router) defines the
+//! key via [`Router::rank`](crate::Router::rank)):
+//!
+//! * [`LoadIndex::update`] re-keys one node in O(log n) — called only for
+//!   nodes whose [`Driver::version`](veltair_sched::runtime::Driver::version)
+//!   changed since the last decision;
+//! * [`LoadIndex::min`] reads the winner in O(1);
+//! * [`LoadIndex::sample`]/[`LoadIndex::total_weight`] support
+//!   power-of-two-choices' core-weighted candidate sampling through
+//!   binary search over *static* prefix sums (core counts never change),
+//!   provably drawing the same node as the legacy linear walk for the
+//!   same ticket.
+//!
+//! **Bit-identity.** Ties break toward the lowest node index at every
+//! tree comparison (`right wins only if strictly smaller`), which is
+//! exactly the `pick_min_by` scan's "keep the earlier index unless
+//! strictly beaten" rule — so for identical keys the tree's winner *is*
+//! the scan's winner, and [`RoutingMode::Indexed`] runs are bit-identical
+//! to [`RoutingMode::Scan`] runs (pinned by `tests/index_equivalence.rs`).
+//! Keys must never be NaN; every built-in rank is a finite arithmetic
+//! combination of finite load signals.
+//!
+//! **Op counting.** The index tallies every key/load inspection in an
+//! internal counter the fleet drains into
+//! [`CoordinatorStats::nodes_examined`](crate::CoordinatorStats) — the
+//! 1-CPU-container-friendly way to demonstrate the O(n) → O(log n) drop
+//! (wall clock on a single core measures mostly noise).
+
+use std::cell::Cell;
+
+/// How the fleet coordinator turns the router's rank keys into a pick.
+///
+/// Both modes maintain the same keys from the same update stream and
+/// break ties identically, so they produce **bit-identical** fleet runs;
+/// only the per-decision op count differs. `Scan` exists as the measured
+/// baseline for the complexity comparison (and as a belt-and-braces
+/// fallback if the tree were ever suspected of a bug in production use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Tournament-tree decisions: O(1) winner reads, O(log n) weighted
+    /// sampling, after O(log n) per-change key updates.
+    #[default]
+    Indexed,
+    /// Flat decisions over the same keys: O(n) argmin scans and O(n)
+    /// weighted-sampling walks per decision (the legacy coordinator's op
+    /// profile).
+    Scan,
+}
+
+impl RoutingMode {
+    /// Display name used in tables and bench output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingMode::Indexed => "indexed",
+            RoutingMode::Scan => "scan",
+        }
+    }
+}
+
+/// Sentinel for empty tournament-tree slots (fleets are rarely exact
+/// powers of two).
+const NONE: u32 = u32::MAX;
+
+/// An incrementally maintained rank index over fleet nodes: a flat key
+/// table, a tournament tree over it, and static core-count prefix sums
+/// for weighted candidate sampling. See the module docs for the
+/// complexity and bit-identity contracts.
+#[derive(Debug)]
+pub struct LoadIndex {
+    /// Rank key per node (lower is better; never NaN).
+    keys: Vec<f64>,
+    /// Tournament tree in segment-tree layout: `tree[1]` holds the
+    /// overall winner's node index, leaves live at `[cap, cap + len)`,
+    /// and `tree[i]` is the winner of its two children under "right wins
+    /// only if strictly smaller" (ties to the lower node index).
+    tree: Vec<u32>,
+    /// Leaf capacity: `len` rounded up to a power of two.
+    cap: usize,
+    /// Static per-node sampling weight (`total_cores.max(1)`).
+    weights: Vec<u64>,
+    /// Inclusive prefix sums of `weights` (static, built once).
+    prefix: Vec<u64>,
+    /// Keys/loads inspected since the last [`LoadIndex::take_examined`];
+    /// a `Cell` so read-only routing methods can tally on `&self`.
+    examined: Cell<u64>,
+}
+
+impl LoadIndex {
+    /// Builds an index over `weights.len()` nodes, all keys zero. The
+    /// caller re-keys every node before the first decision (the fleet
+    /// seeds its per-node version cache with a sentinel so the first
+    /// refresh touches everything).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty (a fleet has at least one node).
+    #[must_use]
+    pub fn new(weights: Vec<u64>) -> Self {
+        assert!(!weights.is_empty(), "a load index needs at least one node");
+        let len = weights.len();
+        let cap = len.next_power_of_two();
+        let mut prefix = Vec::with_capacity(len);
+        let mut sum = 0u64;
+        for &w in &weights {
+            sum += w.max(1);
+            prefix.push(sum);
+        }
+        let mut index = Self {
+            keys: vec![0.0; len],
+            tree: vec![NONE; 2 * cap],
+            cap,
+            weights: weights.iter().map(|&w| w.max(1)).collect(),
+            prefix,
+            examined: Cell::new(0),
+        };
+        for i in 0..len {
+            index.tree[cap + i] = u32::try_from(i).expect("fleet sizes fit u32");
+        }
+        for i in (1..cap).rev() {
+            index.tree[i] = index.winner(index.tree[2 * i], index.tree[2 * i + 1]);
+        }
+        index
+    }
+
+    /// Number of indexed nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index covers zero nodes (never true for a fleet-built
+    /// index; present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The winner of two leaf/subtree entries: the right entry only if
+    /// its key is *strictly* smaller — the tie-to-lowest-index rule the
+    /// linear scan uses, since the left subtree always holds the lower
+    /// node indices.
+    fn winner(&self, a: u32, b: u32) -> u32 {
+        match (a, b) {
+            (NONE, w) | (w, NONE) => w,
+            (a, b) => {
+                if self.keys[b as usize] < self.keys[a as usize] {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
+    }
+
+    /// Re-keys node `i` and repairs its root path: O(log n), the *only*
+    /// maintenance the index ever needs. Debug-asserts the no-NaN key
+    /// contract.
+    pub fn update(&mut self, i: usize, key: f64) {
+        debug_assert!(!key.is_nan(), "rank keys must never be NaN");
+        self.keys[i] = key;
+        let mut p = (self.cap + i) >> 1;
+        while p >= 1 {
+            self.tree[p] = self.winner(self.tree[2 * p], self.tree[2 * p + 1]);
+            p >>= 1;
+        }
+    }
+
+    /// The node index with the smallest key (ties to the lowest index):
+    /// an O(1) root read in [`RoutingMode::Indexed`] (1 examination), a
+    /// full argmin scan in [`RoutingMode::Scan`] (n examinations).
+    #[must_use]
+    pub fn min(&self, mode: RoutingMode) -> usize {
+        match mode {
+            RoutingMode::Indexed => {
+                self.tally(1);
+                self.tree[1] as usize
+            }
+            RoutingMode::Scan => {
+                self.tally(self.keys.len() as u64);
+                let mut best = 0;
+                let mut best_key = self.keys[0];
+                for (i, &k) in self.keys.iter().enumerate().skip(1) {
+                    if k < best_key {
+                        best = i;
+                        best_key = k;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Node `i`'s current key (1 examination) — how power-of-two-choices
+    /// compares its sampled pair.
+    #[must_use]
+    pub fn key(&self, i: usize) -> f64 {
+        self.tally(1);
+        self.keys[i]
+    }
+
+    /// Total sampling weight excluding `skip`: O(1) off the static
+    /// prefix sums in indexed mode, an O(n) summing walk in scan mode
+    /// (the legacy sampler recomputed the total per draw).
+    #[must_use]
+    pub fn total_weight(&self, skip: Option<usize>, mode: RoutingMode) -> u64 {
+        let total = *self.prefix.last().expect("non-empty index");
+        let skipped = skip.map_or(0, |s| self.weights[s]);
+        if mode == RoutingMode::Scan {
+            self.tally(self.weights.len() as u64);
+        }
+        total - skipped
+    }
+
+    /// Maps a sampling ticket in `[0, total_weight(skip, ..))` to a node
+    /// index with probability proportional to core count, excluding
+    /// `skip`.
+    ///
+    /// Scan mode is the legacy linear walk (subtract weights until the
+    /// ticket lands; each stepped entry is one examination). Indexed mode
+    /// binary-searches the static prefix sums and, when the hit lands at
+    /// or past the skipped node, re-searches with the ticket shifted by
+    /// the skipped weight — equivalent because for `i ≥ skip` the
+    /// skip-excluded cumulative weight is the full cumulative minus
+    /// `weights[skip]`, and the shifted hit can never land back on `skip`
+    /// (the shifted ticket is at least the cumulative weight *through*
+    /// `skip`). Both modes return the identical node for the same ticket
+    /// (pinned by the randomized unit test below).
+    #[must_use]
+    pub fn sample(&self, ticket: u64, skip: Option<usize>, mode: RoutingMode) -> usize {
+        match mode {
+            RoutingMode::Scan => {
+                let mut remaining = ticket;
+                for (i, &w) in self.weights.iter().enumerate() {
+                    if Some(i) == skip {
+                        continue;
+                    }
+                    self.tally(1);
+                    if remaining < w {
+                        return i;
+                    }
+                    remaining -= w;
+                }
+                unreachable!("ticket was drawn below the total weight")
+            }
+            RoutingMode::Indexed => {
+                let probes = u64::from(self.prefix.len().max(1).ilog2()) + 1;
+                self.tally(probes);
+                let first = self.prefix.partition_point(|&c| c <= ticket);
+                match skip {
+                    Some(s) if first >= s => {
+                        self.tally(probes);
+                        self.prefix
+                            .partition_point(|&c| c <= ticket + self.weights[s])
+                    }
+                    _ => first,
+                }
+            }
+        }
+    }
+
+    /// Drains the examination tally (keys/loads inspected by `min`,
+    /// `key`, `total_weight`, and `sample` since the last drain). The
+    /// fleet calls this once per routing decision and accumulates into
+    /// [`CoordinatorStats::nodes_examined`](crate::CoordinatorStats).
+    pub fn take_examined(&self) -> u64 {
+        self.examined.take()
+    }
+
+    fn tally(&self, n: u64) {
+        self.examined.set(self.examined.get() + n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn scan_min(index: &LoadIndex) -> usize {
+        index.min(RoutingMode::Scan)
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_index() {
+        let mut index = LoadIndex::new(vec![1; 5]);
+        for i in 0..5 {
+            index.update(i, 0.5);
+        }
+        assert_eq!(index.min(RoutingMode::Indexed), 0);
+        assert_eq!(index.min(RoutingMode::Scan), 0);
+        index.update(3, 0.25);
+        index.update(1, 0.25);
+        assert_eq!(index.min(RoutingMode::Indexed), 1);
+        assert_eq!(index.min(RoutingMode::Scan), 1);
+    }
+
+    #[test]
+    fn signed_zero_ties_match_the_scan() {
+        // -0.0 < 0.0 is false in IEEE comparison, so both modes must
+        // treat them as a tie and keep the lower index.
+        let mut index = LoadIndex::new(vec![1; 3]);
+        index.update(0, 0.0);
+        index.update(1, -0.0);
+        index.update(2, 1.0);
+        assert_eq!(index.min(RoutingMode::Scan), 0);
+        assert_eq!(index.min(RoutingMode::Indexed), 0);
+    }
+
+    #[test]
+    fn randomized_churn_agrees_with_a_fresh_scan_after_every_event() {
+        // Seeded random key churn across awkward (non-power-of-two)
+        // sizes: after every single update the tree's winner must equal
+        // a from-scratch argmin over the key table.
+        for n in [1usize, 2, 3, 5, 7, 8, 9, 33, 100] {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE + n as u64);
+            let mut index = LoadIndex::new(vec![1; n]);
+            for _ in 0..500 {
+                let node = rng.gen_range(0..n as u64) as usize;
+                // Coarse grid so key collisions (ties) actually happen.
+                let key = f64::from(u32::try_from(rng.gen_range(0..16u64)).unwrap()) / 8.0;
+                index.update(node, key);
+                assert_eq!(
+                    index.min(RoutingMode::Indexed),
+                    scan_min(&index),
+                    "tree diverged from scan at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sampling_matches_the_linear_walk_for_every_ticket() {
+        // Heterogeneous weights, every skip choice, every valid ticket:
+        // the binary-search sampler must pick the same node as the legacy
+        // subtract-and-step walk.
+        let weights = vec![64u64, 8, 8, 64, 1, 8, 8];
+        let index = LoadIndex::new(weights.clone());
+        let mut skips: Vec<Option<usize>> = (0..weights.len()).map(Some).collect();
+        skips.push(None);
+        for skip in skips {
+            let total = index.total_weight(skip, RoutingMode::Indexed);
+            assert_eq!(total, index.total_weight(skip, RoutingMode::Scan));
+            for ticket in 0..total {
+                let walk = index.sample(ticket, skip, RoutingMode::Scan);
+                let search = index.sample(ticket, skip, RoutingMode::Indexed);
+                assert_eq!(walk, search, "ticket {ticket} skip {skip:?} diverged");
+                assert_ne!(Some(search), skip, "sampled the excluded node");
+            }
+        }
+    }
+
+    #[test]
+    fn examined_counts_scale_as_n_vs_log_n() {
+        let n = 1024;
+        let index = LoadIndex::new(vec![1; n]);
+        index.take_examined();
+        let _ = index.min(RoutingMode::Scan);
+        assert_eq!(index.take_examined(), n as u64);
+        let _ = index.min(RoutingMode::Indexed);
+        assert_eq!(index.take_examined(), 1);
+        let _ = index.sample(17, None, RoutingMode::Indexed);
+        assert!(index.take_examined() <= 1 + u64::from(n.ilog2()));
+    }
+}

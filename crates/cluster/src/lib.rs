@@ -20,8 +20,13 @@
 //!   pressure signal);
 //! * [`admission`] — the [`AdmissionController`] trait, the no-op
 //!   [`AdmitAll`], and the SLO-projection [`SloAdmission`];
+//! * [`index`] — [`LoadIndex`], the incrementally maintained tournament
+//!   tree the coordinator keeps keyed on the active router's rank signal,
+//!   and [`RoutingMode`], which selects the O(log n) indexed decision
+//!   path or the O(n) scan reference path (bit-identical by contract);
 //! * [`fleet`] — the [`Fleet`] runtime: lockstep virtual time across
-//!   nodes, arrival-instant routing, streaming submission, snapshots;
+//!   nodes, arrival-instant routing with optional micro-batching of
+//!   near-coincident arrivals, streaming submission, snapshots;
 //! * [`parallel`] — the work-stealing fleet stepper: [`StepMode`] selects
 //!   sequential or parallel node advancement between routing instants,
 //!   with bit-identical results either way;
@@ -68,6 +73,7 @@
 
 pub mod admission;
 pub mod fleet;
+pub mod index;
 pub mod node;
 pub mod parallel;
 pub mod report;
@@ -78,9 +84,11 @@ pub use admission::{
     SloAdmissionConfig,
 };
 pub use fleet::{ClusterError, Fleet, FleetSnapshot, NodeSnapshot, DEFER_HARD_CAP};
+pub use index::{LoadIndex, RoutingMode};
 pub use node::{NodeLoad, NodeSpec};
 pub use parallel::StepMode;
-pub use report::{merge_reports, FleetReport};
+pub use report::{merge_reports, CoordinatorStats, FleetReport};
 pub use router::{
-    InterferenceAware, LeastOutstanding, PowerOfTwoChoices, RoundRobin, Router, RouterKind,
+    IndexSupport, InterferenceAware, LeastOutstanding, PowerOfTwoChoices, RoundRobin, Router,
+    RouterKind,
 };

@@ -47,6 +47,77 @@ pub fn merge_reports(reports: &[ServingReport]) -> ServingReport {
     merged
 }
 
+/// Coordinator work counters: how much bookkeeping the fleet front door
+/// did to make its routing decisions.
+///
+/// These are *op counts*, not wall-clock timings — on a single-CPU host
+/// the O(n)→O(log n) coordinator win is invisible to a stopwatch at small
+/// n, but the operation counts scale exactly, so they are the primary
+/// scalability signal (and what the 100k-node demo and the CI scale-smoke
+/// budget assert on).
+///
+/// Counting contract (step-mode-agnostic by construction, so
+/// `Sequential` and `Parallel` runs produce identical counters):
+///
+/// * `routing_decisions` — one per query offered to the router,
+///   *including* re-offers of deferred queries.
+/// * `nodes_examined` — load entries / index keys inspected to make
+///   those decisions. A full scan argmin examines `n` nodes; a tournament
+///   tree minimum examines 1 (the cached root); each binary search over
+///   the weight prefix examines `⌊log2 n⌋ + 1` keys. The admission
+///   controller's load read counts as 1 on the indexed path (on the scan
+///   path the load is already part of the scanned batch). Version
+///   compares and same-instant event peeks are cheap coordinator work,
+///   not examinations.
+/// * `index_updates` — rank re-computations triggered by node state
+///   changes. The index is maintained in both routing modes from the
+///   same update stream, so this is identical for `Scan` and `Indexed`
+///   runs of the same workload — only `nodes_examined` differs.
+/// * `pool_round_trips` — time-advancing sweeps handed to the node
+///   stepper (pool dispatch in `Parallel`, in-place loop in
+///   `Sequential`; counted identically either way). Micro-batched
+///   instants advance inline on the coordinator and do *not* count.
+/// * `batched_instants` — routing instants absorbed by micro-batching
+///   (inter-arrival gap below the configured epsilon), i.e. round trips
+///   avoided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CoordinatorStats {
+    /// Routing decisions made (one per offer, including deferral re-offers).
+    pub routing_decisions: u64,
+    /// Load entries / index keys inspected across all decisions.
+    pub nodes_examined: u64,
+    /// Rank re-computations applied to the load index.
+    pub index_updates: u64,
+    /// Time-advancing sweeps handed to the node stepper.
+    pub pool_round_trips: u64,
+    /// Routing instants absorbed by micro-batching (round trips avoided).
+    pub batched_instants: u64,
+}
+
+impl CoordinatorStats {
+    /// Mean load entries examined per routing decision — ≈ `n` for the
+    /// scan path, ≤ `2·log2(n)` for indexed routers.
+    #[must_use]
+    pub fn examined_per_decision(&self) -> f64 {
+        if self.routing_decisions == 0 {
+            0.0
+        } else {
+            self.nodes_examined as f64 / self.routing_decisions as f64
+        }
+    }
+
+    /// Stepper round trips per 1000 routing decisions — micro-batching
+    /// pushes this below 1000 by absorbing near-coincident arrivals.
+    #[must_use]
+    pub fn round_trips_per_1k_decisions(&self) -> f64 {
+        if self.routing_decisions == 0 {
+            0.0
+        } else {
+            1000.0 * self.pool_round_trips as f64 / self.routing_decisions as f64
+        }
+    }
+}
+
 /// The final statistics of one fleet run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -64,6 +135,8 @@ pub struct FleetReport {
     pub shed_per_model: BTreeMap<String, u64>,
     /// Deferral events (one query held twice counts twice).
     pub deferrals: u64,
+    /// Coordinator work counters (see [`CoordinatorStats`]).
+    pub coordinator: CoordinatorStats,
 }
 
 impl FleetReport {
@@ -154,12 +227,29 @@ mod tests {
             shed: 4,
             shed_per_model: BTreeMap::new(),
             deferrals: 1,
+            coordinator: CoordinatorStats::default(),
         };
         assert_eq!(fr.offered(), 8);
         // 2 satisfied of 8 offered -> 75 % violation.
         assert!((fr.slo_violation_rate() - 0.75).abs() < 1e-12);
         assert!((fr.shed_fraction() - 0.5).abs() < 1e-12);
         assert!((fr.goodput_qps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordinator_ratios_guard_division_by_zero() {
+        let zero = CoordinatorStats::default();
+        assert_eq!(zero.examined_per_decision(), 0.0);
+        assert_eq!(zero.round_trips_per_1k_decisions(), 0.0);
+        let stats = CoordinatorStats {
+            routing_decisions: 1000,
+            nodes_examined: 17_000,
+            index_updates: 3,
+            pool_round_trips: 250,
+            batched_instants: 750,
+        };
+        assert!((stats.examined_per_decision() - 17.0).abs() < 1e-12);
+        assert!((stats.round_trips_per_1k_decisions() - 250.0).abs() < 1e-12);
     }
 
     #[test]
@@ -172,6 +262,7 @@ mod tests {
             shed: 0,
             shed_per_model: BTreeMap::new(),
             deferrals: 0,
+            coordinator: CoordinatorStats::default(),
         };
         assert_eq!(fr.offered(), 0);
         assert_eq!(fr.slo_violation_rate(), 0.0);

@@ -13,7 +13,28 @@ use rand::{Rng, SeedableRng};
 use veltair_compiler::{CompiledModel, EwmaSmoother};
 use veltair_sched::QuerySpec;
 
+use crate::index::{LoadIndex, RoutingMode};
 use crate::node::NodeLoad;
+
+/// How a router participates in the fleet's incremental load index (see
+/// [`LoadIndex`] and [`Router::index_support`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexSupport {
+    /// No indexed fast path: the fleet materializes every node's
+    /// [`NodeLoad`] and calls [`Router::route`] per decision — the
+    /// compatibility fallback for arbitrary custom routers (O(nodes) per
+    /// decision).
+    Scan,
+    /// The router defines a scalar [`Router::rank`] over node loads and
+    /// routes through [`Router::route_indexed`]; the fleet maintains the
+    /// rank keys incrementally and only re-keys nodes whose driver state
+    /// changed.
+    Indexed,
+    /// The router ignores load entirely (round-robin): the fleet skips
+    /// rank maintenance altogether and routes through
+    /// [`Router::route_indexed`] in O(1).
+    Oblivious,
+}
 
 /// A fleet routing policy. `route` picks the node index a query is
 /// offered to; the admission controller then decides whether that node
@@ -25,6 +46,12 @@ pub trait Router: std::fmt::Debug + Send {
     /// Picks a node for `query` (targeting the compiled `model`) given
     /// every node's live load. `loads` is never empty and is indexed by
     /// fleet node order.
+    ///
+    /// This is the full-scan entry point: the fleet only calls it for
+    /// routers whose [`index_support`](Router::index_support) is
+    /// [`IndexSupport::Scan`] (and it remains the convenient way to
+    /// exercise a policy directly against hand-built load tables, as the
+    /// unit tests below do).
     fn route(&mut self, loads: &[NodeLoad], model: &CompiledModel, query: &QuerySpec) -> usize;
 
     /// Whether this router reads [`NodeLoad::pressure`]. The pressure
@@ -35,6 +62,43 @@ pub trait Router: std::fmt::Debug + Send {
     /// explicitly opts out.
     fn needs_pressure(&self) -> bool {
         true
+    }
+
+    /// How this router participates in the fleet's incremental load
+    /// index. Defaults to [`IndexSupport::Scan`] so custom routers keep
+    /// today's full-materialization semantics unless they opt in.
+    fn index_support(&self) -> IndexSupport {
+        IndexSupport::Scan
+    }
+
+    /// The scalar rank key for one node's load — **lower is better**, and
+    /// the value must never be NaN. The fleet calls this exactly once per
+    /// *node state change* (not per decision), so a stateful rank (the
+    /// interference-aware router's EWMA) advances on the node's update
+    /// stream. Only consulted when
+    /// [`index_support`](Router::index_support) returns
+    /// [`IndexSupport::Indexed`].
+    fn rank(&mut self, load: &NodeLoad) -> f64 {
+        let _ = load;
+        panic!("rank() is only defined for IndexSupport::Indexed routers")
+    }
+
+    /// Picks a node off the maintained index (rank keys current as of the
+    /// last node state changes). Only consulted when
+    /// [`index_support`](Router::index_support) is *not*
+    /// [`IndexSupport::Scan`]. `mode` selects the tree fast path or the
+    /// flat-scan baseline over the same keys; implementations must return
+    /// the identical node either way (the bit-identity contract of
+    /// [`RoutingMode`]).
+    fn route_indexed(
+        &mut self,
+        index: &LoadIndex,
+        mode: RoutingMode,
+        model: &CompiledModel,
+        query: &QuerySpec,
+    ) -> usize {
+        let _ = (index, mode, model, query);
+        panic!("route_indexed() is only defined for indexed/oblivious routers")
     }
 }
 
@@ -103,6 +167,22 @@ impl Router for RoundRobin {
     fn needs_pressure(&self) -> bool {
         false
     }
+
+    fn index_support(&self) -> IndexSupport {
+        IndexSupport::Oblivious
+    }
+
+    fn route_indexed(
+        &mut self,
+        index: &LoadIndex,
+        _mode: RoutingMode,
+        _model: &CompiledModel,
+        _query: &QuerySpec,
+    ) -> usize {
+        let pick = self.next % index.len();
+        self.next = (self.next + 1) % index.len();
+        pick
+    }
 }
 
 /// Route to the node with the fewest outstanding queries per core
@@ -122,6 +202,24 @@ impl Router for LeastOutstanding {
 
     fn needs_pressure(&self) -> bool {
         false
+    }
+
+    fn index_support(&self) -> IndexSupport {
+        IndexSupport::Indexed
+    }
+
+    fn rank(&mut self, load: &NodeLoad) -> f64 {
+        load.outstanding_per_core()
+    }
+
+    fn route_indexed(
+        &mut self,
+        index: &LoadIndex,
+        mode: RoutingMode,
+        _model: &CompiledModel,
+        _query: &QuerySpec,
+    ) -> usize {
+        index.min(mode)
     }
 }
 
@@ -191,6 +289,41 @@ impl Router for PowerOfTwoChoices {
     fn needs_pressure(&self) -> bool {
         false
     }
+
+    fn index_support(&self) -> IndexSupport {
+        IndexSupport::Indexed
+    }
+
+    fn rank(&mut self, load: &NodeLoad) -> f64 {
+        load.outstanding_per_core()
+    }
+
+    /// The indexed pair-sampling path. The generator draw sequence is
+    /// *identical* to [`PowerOfTwoChoices::route`] — one
+    /// `gen_range(0..total)` per sample with the same totals — and the
+    /// index's prefix-sum sampler returns the same node per ticket as the
+    /// legacy linear walk (pinned in `index::tests`), so indexed and
+    /// full-scan fleets make bit-identical choices from the same seed.
+    fn route_indexed(
+        &mut self,
+        index: &LoadIndex,
+        mode: RoutingMode,
+        _model: &CompiledModel,
+        _query: &QuerySpec,
+    ) -> usize {
+        if index.len() == 1 {
+            return 0;
+        }
+        let total = index.total_weight(None, mode);
+        let a = index.sample(self.rng.gen_range(0..total), None, mode);
+        let total_b = index.total_weight(Some(a), mode);
+        let b = index.sample(self.rng.gen_range(0..total_b), Some(a), mode);
+        if index.key(b) < index.key(a) {
+            b
+        } else {
+            a
+        }
+    }
 }
 
 /// Interference-aware routing: idle nodes rank by capacity; loaded nodes
@@ -226,10 +359,41 @@ impl Router for PowerOfTwoChoices {
 /// Seed-averaged on the `cluster_serving` mix this router now beats
 /// least-outstanding on both SLO violations and goodput
 /// (`tests/cluster_fleet.rs` pins the win).
+///
+/// **Smoothing cadence.** Fleet-level routing feeds each node's smoother
+/// through [`Router::rank`], which the coordinator calls once per *node
+/// state change* — the update stream of the incremental load index — so
+/// the EWMA advances when a node's load actually moves, identically in
+/// indexed and scan routing modes (the bit-identity contract). The
+/// direct [`Router::route`] entry point keeps the original
+/// observe-every-node-per-decision cadence for callers driving the
+/// policy against hand-built load tables.
 #[derive(Debug, Clone, Default)]
 pub struct InterferenceAware {
     /// One smoother per fleet node, grown on first sight.
     smoothers: Vec<EwmaSmoother>,
+}
+
+impl InterferenceAware {
+    /// The loaded/idle score under this node's smoothed pressure (see the
+    /// type docs for the model).
+    fn score(load: &NodeLoad, smoothed: f64) -> f64 {
+        if load.outstanding == 0 {
+            -f64::from(load.total_cores)
+        } else {
+            (load.outstanding as f64 + PRESSURE_WEIGHT * smoothed)
+                / f64::from(load.total_cores.max(1))
+        }
+    }
+
+    /// The smoother for `node`, grown on first sight.
+    fn smoother(&mut self, node: usize) -> &mut EwmaSmoother {
+        if self.smoothers.len() <= node {
+            self.smoothers
+                .resize(node + 1, EwmaSmoother::new(PRESSURE_EWMA_ALPHA));
+        }
+        &mut self.smoothers[node]
+    }
 }
 
 /// Virtual queries per unit of smoothed pressure in the loaded-node
@@ -254,14 +418,31 @@ impl Router for InterferenceAware {
             .iter()
             .map(|l| self.smoothers[l.node].observe(l.pressure))
             .collect();
-        pick_min_by(loads, |l| {
-            if l.outstanding == 0 {
-                -f64::from(l.total_cores)
-            } else {
-                (l.outstanding as f64 + PRESSURE_WEIGHT * smoothed[l.node])
-                    / f64::from(l.total_cores.max(1))
-            }
-        })
+        pick_min_by(loads, |l| Self::score(l, smoothed[l.node]))
+    }
+
+    fn index_support(&self) -> IndexSupport {
+        IndexSupport::Indexed
+    }
+
+    /// Re-keys one changed node: its smoother observes the node's fresh
+    /// pressure reading (update-driven smoothing — see the type docs),
+    /// then the score folds it in. Idle nodes still feed their smoother
+    /// so the EWMA history stays continuous across idle gaps, even though
+    /// the idle score ignores the reading.
+    fn rank(&mut self, load: &NodeLoad) -> f64 {
+        let smoothed = self.smoother(load.node).observe(load.pressure);
+        Self::score(load, smoothed)
+    }
+
+    fn route_indexed(
+        &mut self,
+        index: &LoadIndex,
+        mode: RoutingMode,
+        _model: &CompiledModel,
+        _query: &QuerySpec,
+    ) -> usize {
+        index.min(mode)
     }
 }
 
@@ -405,6 +586,96 @@ mod tests {
         let mut r = PowerOfTwoChoices::new(3);
         for _ in 0..16 {
             assert_eq!(r.route(&loads, &m, &query()), 1);
+        }
+    }
+
+    /// Builds an index keyed by the given router's rank over `loads`.
+    fn keyed_index(router: &mut dyn Router, loads: &[NodeLoad]) -> LoadIndex {
+        let mut index = LoadIndex::new(loads.iter().map(|l| u64::from(l.total_cores)).collect());
+        for (i, l) in loads.iter().enumerate() {
+            let key = router.rank(l);
+            index.update(i, key);
+        }
+        index
+    }
+
+    #[test]
+    fn indexed_least_outstanding_matches_the_scan() {
+        let loads = [load(0, 4, 64, 0.0), load(1, 2, 8, 0.0), load(2, 1, 64, 0.0)];
+        let m = model();
+        let mut r = LeastOutstanding;
+        let index = keyed_index(&mut r, &loads);
+        let scan_pick = r.route(&loads, &m, &query());
+        for mode in [RoutingMode::Indexed, RoutingMode::Scan] {
+            assert_eq!(r.route_indexed(&index, mode, &m, &query()), scan_pick);
+        }
+    }
+
+    #[test]
+    fn indexed_round_robin_cycles_without_keys() {
+        let index = LoadIndex::new(vec![1; 3]);
+        let m = model();
+        let mut r = RoundRobin::default();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| r.route_indexed(&index, RoutingMode::Indexed, &m, &query()))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn indexed_power_of_two_matches_the_scan_router_draw_for_draw() {
+        // Same seed, same loads: the indexed sampler must reproduce the
+        // legacy router's picks exactly (identical generator draw
+        // sequence and identical ticket→node mapping).
+        let loads = [
+            load(0, 5, 64, 0.0),
+            load(1, 1, 8, 0.0),
+            load(2, 9, 8, 0.0),
+            load(3, 0, 64, 0.0),
+        ];
+        let m = model();
+        for mode in [RoutingMode::Indexed, RoutingMode::Scan] {
+            let mut legacy = PowerOfTwoChoices::new(11);
+            let mut indexed = PowerOfTwoChoices::new(11);
+            let index = keyed_index(&mut indexed, &loads);
+            for _ in 0..64 {
+                assert_eq!(
+                    indexed.route_indexed(&index, mode, &m, &query()),
+                    legacy.route(&loads, &m, &query()),
+                    "{} mode diverged from the legacy sampler",
+                    mode.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interference_aware_rank_matches_first_decision_scoring() {
+        // On the first observation the EWMA passes the sample through, so
+        // a freshly keyed index must agree with a fresh scan router.
+        let loads = [load(0, 3, 64, 0.9), load(1, 3, 64, 0.0), load(2, 0, 8, 0.5)];
+        let m = model();
+        let mut scan_router = InterferenceAware::default();
+        let mut idx_router = InterferenceAware::default();
+        let index = keyed_index(&mut idx_router, &loads);
+        assert_eq!(
+            idx_router.route_indexed(&index, RoutingMode::Indexed, &m, &query()),
+            scan_router.route(&loads, &m, &query())
+        );
+    }
+
+    #[test]
+    fn index_support_classifies_the_builtins() {
+        assert_eq!(
+            RouterKind::RoundRobin.build().index_support(),
+            IndexSupport::Oblivious
+        );
+        for kind in [
+            RouterKind::LeastOutstanding,
+            RouterKind::PowerOfTwoChoices { seed: 1 },
+            RouterKind::InterferenceAware,
+        ] {
+            assert_eq!(kind.build().index_support(), IndexSupport::Indexed);
         }
     }
 

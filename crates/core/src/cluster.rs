@@ -18,7 +18,8 @@
 //!   [`FleetReport`].
 
 use veltair_cluster::{
-    AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeSpec, RouterKind, StepMode,
+    AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeSpec, RouterKind,
+    RoutingMode, StepMode,
 };
 use veltair_compiler::{machine_key, CompiledModel, CompilerOptions, CompilerService};
 use veltair_models::ModelSpec;
@@ -74,6 +75,8 @@ pub struct ClusterBuilder {
     router: RouterKind,
     admission: AdmissionKind,
     step_mode: StepMode,
+    routing_mode: RoutingMode,
+    batch_eps_s: f64,
     slo_overrides: Vec<(String, f64)>,
 }
 
@@ -87,6 +90,8 @@ impl Default for ClusterBuilder {
             router: RouterKind::InterferenceAware,
             admission: AdmissionKind::AdmitAll,
             step_mode: StepMode::Sequential,
+            routing_mode: RoutingMode::Indexed,
+            batch_eps_s: 0.0,
             slo_overrides: Vec::new(),
         }
     }
@@ -160,6 +165,29 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets the coordinator's routing decision path (default:
+    /// [`RoutingMode::Indexed`], the O(log n) incrementally maintained
+    /// load index). [`RoutingMode::Scan`] forces the O(n) reference scan
+    /// — **bit-identical results**, it only changes the
+    /// `nodes_examined` op count.
+    #[must_use]
+    pub fn routing_mode(mut self, mode: RoutingMode) -> Self {
+        self.routing_mode = mode;
+        self
+    }
+
+    /// Sets the routing-instant micro-batching epsilon, seconds (default
+    /// `0.0`, disabled): arrivals whose inter-arrival gap is below the
+    /// epsilon are advanced inline on the coordinator instead of paying a
+    /// stepper-pool round trip. **Bit-identical results** for any
+    /// epsilon — it changes which thread advances the nodes, never what
+    /// they compute.
+    #[must_use]
+    pub fn batch_epsilon(mut self, eps_s: f64) -> Self {
+        self.batch_eps_s = eps_s;
+        self
+    }
+
     /// Overrides a registered model's end-to-end SLO (QoS latency target,
     /// seconds), applied at [`build`](ClusterBuilder::build) time — the
     /// same semantics as
@@ -190,6 +218,8 @@ impl ClusterBuilder {
             router,
             admission,
             step_mode,
+            routing_mode,
+            batch_eps_s,
             slo_overrides,
         } = self;
         if models.is_empty() && specs.is_empty() {
@@ -240,6 +270,8 @@ impl ClusterBuilder {
             router,
             admission,
             step_mode,
+            routing_mode,
+            batch_eps_s,
         })
     }
 }
@@ -265,6 +297,8 @@ pub struct ClusterEngine {
     router: RouterKind,
     admission: AdmissionKind,
     step_mode: StepMode,
+    routing_mode: RoutingMode,
+    batch_eps_s: f64,
 }
 
 impl ClusterEngine {
@@ -333,6 +367,18 @@ impl ClusterEngine {
         self.step_mode
     }
 
+    /// The configured routing decision path.
+    #[must_use]
+    pub fn routing_mode(&self) -> RoutingMode {
+        self.routing_mode
+    }
+
+    /// The configured micro-batching epsilon, seconds (`0.0` = disabled).
+    #[must_use]
+    pub fn batch_epsilon(&self) -> f64 {
+        self.batch_eps_s
+    }
+
     /// Opens a resumable cluster session: a fleet over this engine's
     /// registry and nodes, accepting arrivals and snapshot reads while
     /// the lockstep clock runs. The session borrows the engine's models;
@@ -356,7 +402,9 @@ impl ClusterEngine {
             self.router.build(),
             self.admission.build(),
         )?
-        .with_step_mode(self.step_mode);
+        .with_step_mode(self.step_mode)
+        .with_routing_mode(self.routing_mode)
+        .with_batch_epsilon(self.batch_eps_s);
         Ok(ClusterSession { fleet })
     }
 
@@ -468,6 +516,32 @@ impl ClusterSession<'_> {
     #[must_use]
     pub fn step_mode(&self) -> StepMode {
         self.fleet.step_mode()
+    }
+
+    /// Switches this session's fleet between the O(log n) indexed routing
+    /// path and the O(n) reference scan, at any point in the run. Both
+    /// are bit-identical (see [`RoutingMode`]); only op counts change.
+    pub fn set_routing_mode(&mut self, mode: RoutingMode) {
+        self.fleet.set_routing_mode(mode);
+    }
+
+    /// The session's active routing decision path.
+    #[must_use]
+    pub fn routing_mode(&self) -> RoutingMode {
+        self.fleet.routing_mode()
+    }
+
+    /// Sets this session's micro-batching epsilon, seconds (non-finite or
+    /// negative values clamp to `0.0` = disabled). Bit-identical for any
+    /// value; only stepper round-trip counts change.
+    pub fn set_batch_epsilon(&mut self, eps_s: f64) {
+        self.fleet.set_batch_epsilon(eps_s);
+    }
+
+    /// The session's active micro-batching epsilon, seconds.
+    #[must_use]
+    pub fn batch_epsilon(&self) -> f64 {
+        self.fleet.batch_epsilon()
     }
 
     /// A point-in-time fleet view: per-node loads, routed/completed
@@ -612,7 +686,10 @@ mod tests {
         let parallel = parallel_engine.run(&w, 9);
         assert_eq!(parallel, sequential, "step mode changed the simulation");
 
-        // Mid-session switching is also allowed and harmless.
+        // Mid-session switching is also allowed and harmless. The
+        // checkpointed run makes extra clock-advance sweeps, so its
+        // coordinator round-trip counter legitimately differs from the
+        // batch run's; the simulation outcome must not.
         let mut s = e.session().expect("valid");
         s.submit_stream(&w, 9).expect("registered");
         s.run_until(0.05);
@@ -620,7 +697,10 @@ mod tests {
         assert_eq!(s.step_mode(), StepMode::Parallel { threads: 2 });
         s.run_until(0.1);
         s.set_step_mode(StepMode::Sequential);
-        assert_eq!(s.finish(), sequential);
+        let mut stepped = s.finish();
+        assert!(stepped.coordinator.pool_round_trips >= sequential.coordinator.pool_round_trips);
+        stepped.coordinator = sequential.coordinator;
+        assert_eq!(stepped, sequential);
     }
 
     #[test]

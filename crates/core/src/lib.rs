@@ -71,7 +71,7 @@ pub use engine::{
 pub use metrics::{max_qps_at_qos, QpsResult, QpsSearchConfig};
 // Re-export the user-facing vocabulary so downstream users need one import.
 pub use veltair_cluster::{
-    AdmissionKind, ClusterError, FleetReport, FleetSnapshot, NodeLoad, NodeSpec, RouterKind,
-    SloAdmissionConfig, StepMode,
+    AdmissionKind, ClusterError, CoordinatorStats, FleetReport, FleetSnapshot, NodeLoad, NodeSpec,
+    RouterKind, RoutingMode, SloAdmissionConfig, StepMode,
 };
 pub use veltair_sched::{Policy, ServingReport, SimError, WorkloadError, WorkloadSpec};

@@ -69,6 +69,9 @@ impl std::error::Error for SimError {}
 pub struct Driver<'a> {
     state: SimState<'a>,
     dispatcher: Box<dyn Dispatcher>,
+    /// Change counter for the driver's externally visible load state (see
+    /// [`Driver::version`]).
+    version: u64,
 }
 
 impl<'a> Driver<'a> {
@@ -107,7 +110,11 @@ impl<'a> Driver<'a> {
         dispatcher: Box<dyn Dispatcher>,
     ) -> Result<Self, SimError> {
         let state = SimState::try_new(models, queries, cfg)?;
-        Ok(Self { state, dispatcher })
+        Ok(Self {
+            state,
+            dispatcher,
+            version: 0,
+        })
     }
 
     /// Builds an *open-loop* driver with no initial workload: every query
@@ -119,7 +126,11 @@ impl<'a> Driver<'a> {
         let dispatcher = for_policy(cfg.policy);
         let state = SimState::try_new(models, &[], cfg)
             .expect("an empty workload has no model references to validate");
-        Self { state, dispatcher }
+        Self {
+            state,
+            dispatcher,
+            version: 0,
+        }
     }
 
     // --- Streaming input --------------------------------------------------
@@ -134,7 +145,9 @@ impl<'a> Driver<'a> {
     /// driver was not built with and [`SimError::NonFiniteArrival`] if
     /// the arrival time is NaN or infinite.
     pub fn inject(&mut self, spec: &QuerySpec) -> Result<usize, SimError> {
-        self.state.admit_query(spec)
+        let idx = self.state.admit_query(spec)?;
+        self.version = self.version.wrapping_add(1);
+        Ok(idx)
     }
 
     /// Injects a query that was *held* above this driver (e.g. at a fleet
@@ -149,7 +162,9 @@ impl<'a> Driver<'a> {
     ///
     /// Same conditions as [`inject`](Driver::inject).
     pub fn inject_held(&mut self, spec: &QuerySpec) -> Result<usize, SimError> {
-        self.state.admit_query_held(spec)
+        let idx = self.state.admit_query_held(spec)?;
+        self.version = self.version.wrapping_add(1);
+        Ok(idx)
     }
 
     /// Swaps the scheduling policy at the current dispatch boundary. The
@@ -164,6 +179,7 @@ impl<'a> Driver<'a> {
         self.state.expand_conflicted();
         self.dispatcher.dispatch(&mut self.state);
         self.state.refresh_conditions();
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Installs a version selector, replacing the one built from
@@ -214,6 +230,7 @@ impl<'a> Driver<'a> {
             self.state.expand_conflicted();
             self.dispatcher.dispatch(&mut self.state);
             self.state.refresh_conditions();
+            self.version = self.version.wrapping_add(1);
         }
         Some(t)
     }
@@ -339,6 +356,25 @@ impl<'a> Driver<'a> {
     #[must_use]
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.state.events.peek_time()
+    }
+
+    /// Monotone change counter over this driver's externally visible load
+    /// state: bumped whenever a *material* scheduling event is processed
+    /// (an arrival, a block transition, a policy swap) or a query is
+    /// injected. Pure time advancement — which accrues progress but moves
+    /// no query between queues and (re)allocates no cores — does not bump
+    /// it, so a caller tracking many drivers (the fleet's incremental
+    /// load index) can compare versions to find the nodes whose
+    /// queue-depth/occupancy signals may have changed, in O(1) per node,
+    /// instead of rebuilding every load view per routing decision.
+    ///
+    /// The clock-dependent pressure estimate ([`Driver::pressure`]) can
+    /// drift *without* a version bump (the soon-to-finish filter is a
+    /// function of unit progress); consumers of this counter accept
+    /// pressure staleness between material events by design.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Read access to the full simulation state (queries, running units,

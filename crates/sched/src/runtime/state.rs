@@ -139,6 +139,13 @@ pub struct SimState<'a> {
     /// stateful) at every block-planning decision of an
     /// adaptive-compilation policy via [`SimState::plan_versions`].
     pub selector: Box<dyn VersionSelector>,
+    /// Scratch for [`SimState::refresh_conditions`]'s per-slot changed
+    /// flags, reused across calls so the re-rating fixed point allocates
+    /// nothing on the hot path (one refresh runs per material event).
+    refresh_changed: Vec<bool>,
+    /// Scratch for the Jacobi-sweep update list of
+    /// [`SimState::refresh_conditions`], reused across calls.
+    refresh_updates: Vec<(usize, Execution, f64)>,
 }
 
 impl std::fmt::Debug for SimState<'_> {
@@ -206,6 +213,8 @@ impl<'a> SimState<'a> {
             completed: Vec::new(),
             monitor,
             selector,
+            refresh_changed: Vec::new(),
+            refresh_updates: Vec::new(),
         };
         for q in queries {
             state.admit_query(q)?;
@@ -343,15 +352,16 @@ impl<'a> SimState<'a> {
     }
 
     /// Interference one unit experiences from all other active units.
+    /// Streams the co-runner demands straight into the aggregation —
+    /// this runs once per slot per Jacobi sweep, so it must not allocate.
     #[must_use]
     pub fn interference_for(&self, slot: usize) -> Interference {
-        let demands: Vec<&PressureDemand> = self
+        let demands = self
             .running
             .iter()
             .enumerate()
             .filter(|(i, r)| *i != slot && r.active)
-            .map(|(_, r)| &r.exec.demand)
-            .collect();
+            .map(|(_, r)| &r.exec.demand);
         Interference::from_corunners(demands, &self.cfg.machine)
     }
 
@@ -605,29 +615,37 @@ impl<'a> SimState<'a> {
     /// coupled units, which livelocks the simulation under overload.
     pub fn refresh_conditions(&mut self) {
         let machine = self.cfg.machine.clone();
-        let mut changed = vec![false; self.running.len()];
+        // Scratch reuse: refresh runs once per material event, so the
+        // changed-flag and update buffers live on the state and are
+        // cleared, never reallocated (allocation audit of `Driver::step`).
+        let mut changed = std::mem::take(&mut self.refresh_changed);
+        changed.clear();
+        changed.resize(self.running.len(), false);
+        let mut updates = std::mem::take(&mut self.refresh_updates);
         for _ in 0..MAX_REFRESH_SWEEPS {
             let mut max_rel = 0.0_f64;
             // Jacobi sweep: all new ratings computed from current demands.
-            let updates: Vec<(usize, Execution, f64)> = (0..self.running.len())
-                .filter(|&slot| self.running[slot].active)
-                .map(|slot| {
-                    let interference = self.interference_for(slot);
-                    let r = &self.running[slot];
-                    let model = &self.models[self.queries[r.query].model];
-                    let version = r.versions[r.unit - r.start];
-                    let exec = execute(
-                        &model.layers[r.unit].versions[version].profile,
-                        r.granted,
-                        interference,
-                        &machine,
-                    );
-                    let rel =
-                        (exec.latency_s - r.exec.latency_s).abs() / r.exec.latency_s.max(1e-12);
-                    (slot, exec, rel)
-                })
-                .collect();
-            for (slot, exec, rel) in updates {
+            updates.clear();
+            updates.extend(
+                (0..self.running.len())
+                    .filter(|&slot| self.running[slot].active)
+                    .map(|slot| {
+                        let interference = self.interference_for(slot);
+                        let r = &self.running[slot];
+                        let model = &self.models[self.queries[r.query].model];
+                        let version = r.versions[r.unit - r.start];
+                        let exec = execute(
+                            &model.layers[r.unit].versions[version].profile,
+                            r.granted,
+                            interference,
+                            &machine,
+                        );
+                        let rel =
+                            (exec.latency_s - r.exec.latency_s).abs() / r.exec.latency_s.max(1e-12);
+                        (slot, exec, rel)
+                    }),
+            );
+            for (slot, exec, rel) in updates.drain(..) {
                 if rel > REFRESH_TOL {
                     self.running[slot].exec = exec;
                     changed[slot] = true;
@@ -638,7 +656,7 @@ impl<'a> SimState<'a> {
                 break;
             }
         }
-        for (slot, was_changed) in changed.into_iter().enumerate() {
+        for (slot, was_changed) in changed.iter().copied().enumerate() {
             if !was_changed || !self.running[slot].active {
                 continue;
             }
@@ -648,6 +666,8 @@ impl<'a> SimState<'a> {
             let (gen, t) = (r.gen, self.now.after(eta.max(1e-9)));
             self.events.push(t, Event::UnitCheck { slot, gen });
         }
+        self.refresh_changed = changed;
+        self.refresh_updates = updates;
         let busy = self.cfg.machine.cores - self.free_cores;
         self.report.peak_cores = self.report.peak_cores.max(busy);
         if self.cfg.record_alloc_trace {

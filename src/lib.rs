@@ -64,8 +64,9 @@ pub use veltair_tensor as tensor;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use veltair_cluster::{
-        AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeLoad, NodeSpec, Router,
-        RouterKind, SloAdmissionConfig, StepMode,
+        AdmissionKind, ClusterError, CoordinatorStats, Fleet, FleetReport, FleetSnapshot,
+        IndexSupport, LoadIndex, NodeLoad, NodeSpec, Router, RouterKind, RoutingMode,
+        SloAdmissionConfig, StepMode,
     };
     pub use veltair_compiler::{
         compile_model, CompiledModel, CompilerError, CompilerOptions, CompilerService,

@@ -1,0 +1,352 @@
+//! The correctness artifact for the O(log n) routing index: indexed
+//! fleet runs must be **bit-identical** to the O(n) scan reference path —
+//! the same `FleetReport` (including pooled p95/p99 latencies), across
+//! every router, admission on and off, bursty and steady arrivals,
+//! multiple seeds, and both step modes. The only permitted difference is
+//! the coordinator op counters themselves: a scan decision examines every
+//! node, an indexed decision examines O(log n) keys, and the
+//! `nodes_examined` counter exists precisely to make that visible. So the
+//! comparison here zeroes the `coordinator` field before the whole-report
+//! `assert_eq!` and then pins the counter *relationships* separately
+//! (identical decision and update counts, scan examines at least as much
+//! as indexed).
+//!
+//! Micro-batching gets the same treatment: any batching epsilon must
+//! reproduce the unbatched run bit for bit — it only moves node
+//! advancement onto the coordinator thread — while strictly reducing
+//! stepper round trips on bursty arrivals.
+//!
+//! Thread counts for the parallel legs come from `VELTAIR_STEP_THREADS`
+//! (comma-separated) like `tests/parallel_equivalence.rs`, defaulting to
+//! {1, 2, 8}, so the CI worker-count matrix covers this suite too.
+
+use std::sync::OnceLock;
+
+use veltair::prelude::*;
+
+/// Worker-thread counts under test: `VELTAIR_STEP_THREADS` (comma
+/// separated) or the {1, 2, 8} default.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("VELTAIR_STEP_THREADS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("VELTAIR_STEP_THREADS: bad thread count {s:?}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// The shared compiled registry, built once per test process.
+fn compiled_mix() -> &'static [CompiledModel] {
+    static MODELS: OnceLock<Vec<CompiledModel>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let machine = MachineConfig::threadripper_3990x();
+        let opts = CompilerOptions::fast();
+        ["mobilenet_v2", "tiny_yolo_v2", "resnet50"]
+            .iter()
+            .map(|n| compile_model(&by_name(n).expect("zoo model"), &machine, &opts))
+            .collect()
+    })
+}
+
+/// A heterogeneous four-node fleet (same shape as the parallel
+/// equivalence suite): asymmetric enough that routing discriminates and
+/// index keys actually churn.
+fn nodes() -> Vec<NodeSpec> {
+    let big = MachineConfig::threadripper_3990x();
+    let edge = MachineConfig::desktop_8core();
+    vec![
+        NodeSpec::new("big-0", big.clone(), Policy::VeltairFull),
+        NodeSpec::new("legacy-0", big, Policy::Prema),
+        NodeSpec::new("edge-0", edge.clone(), Policy::VeltairFull),
+        NodeSpec::new("edge-1", edge, Policy::Planaria),
+    ]
+}
+
+fn bursty_workload(queries: usize) -> WorkloadSpec {
+    let streams: Vec<(&str, f64)> = ["mobilenet_v2", "tiny_yolo_v2", "resnet50"]
+        .iter()
+        .map(|n| (*n, 40.0))
+        .collect();
+    WorkloadSpec::try_bursty_mix(&streams, queries, 0.3, 0.7)
+        .expect("valid bursty mix")
+        .scaled_to(250.0)
+}
+
+fn steady_workload(queries: usize) -> WorkloadSpec {
+    WorkloadSpec::mix(&[("mobilenet_v2", 120.0), ("tiny_yolo_v2", 80.0)], queries)
+}
+
+fn engine(
+    router: RouterKind,
+    admission: AdmissionKind,
+    step: StepMode,
+    routing: RoutingMode,
+) -> ClusterEngine {
+    let mut builder = ClusterEngine::builder()
+        .router(router)
+        .admission(admission)
+        .step_mode(step)
+        .routing_mode(routing);
+    for m in compiled_mix() {
+        builder = builder.model(m.clone());
+    }
+    for n in nodes() {
+        builder = builder.node(n);
+    }
+    builder.build().expect("valid cluster")
+}
+
+const ROUTERS: [RouterKind; 4] = [
+    RouterKind::RoundRobin,
+    RouterKind::LeastOutstanding,
+    RouterKind::PowerOfTwoChoices { seed: 5 },
+    RouterKind::InterferenceAware,
+];
+
+const ADMISSIONS: [AdmissionKind; 2] = [
+    AdmissionKind::AdmitAll,
+    AdmissionKind::SloAware(SloAdmissionConfig {
+        shed_threshold: 0.9,
+        defer_threshold: 0.6,
+        defer_s: 0.05,
+        max_defers: 2,
+    }),
+];
+
+/// Strips the op counters so the simulation outcome can be compared
+/// whole-report; the counters are asserted on separately.
+fn outcome(mut report: FleetReport) -> FleetReport {
+    report.coordinator = CoordinatorStats::default();
+    report
+}
+
+/// The headline matrix: indexed routing is bit-identical to the scan
+/// reference across all 4 routers × admission on/off × bursty + steady
+/// arrivals × 3 seeds × both step modes. Counter relationships are
+/// pinned alongside: same decisions, same index updates, and the scan
+/// path examines at least as many loads per decision.
+#[test]
+fn indexed_routing_equals_the_scan_across_the_matrix() {
+    let workloads = [bursty_workload(60), steady_workload(60)];
+    for router in ROUTERS {
+        for admission in ADMISSIONS {
+            for workload in &workloads {
+                for seed in [11, 42, 97] {
+                    for step in [StepMode::Sequential, StepMode::Parallel { threads: 2 }] {
+                        let scan =
+                            engine(router, admission, step, RoutingMode::Scan).run(workload, seed);
+                        let indexed = engine(router, admission, step, RoutingMode::Indexed)
+                            .run(workload, seed);
+                        assert!(
+                            scan.merged.total_queries() > 0,
+                            "{}: the scan baseline served nothing",
+                            router.name()
+                        );
+                        assert_eq!(
+                            outcome(indexed.clone()),
+                            outcome(scan.clone()),
+                            "router={} admission={admission:?} seed={seed} step={step:?} diverged",
+                            router.name()
+                        );
+                        let (s, i) = (scan.coordinator, indexed.coordinator);
+                        assert_eq!(s.routing_decisions, i.routing_decisions);
+                        assert_eq!(s.index_updates, i.index_updates);
+                        assert_eq!(s.pool_round_trips, i.pool_round_trips);
+                        assert!(
+                            s.nodes_examined >= i.nodes_examined,
+                            "router={}: scan examined {} < indexed {}",
+                            router.name(),
+                            s.nodes_examined,
+                            i.nodes_examined
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The parallel legs of the matrix at every thread count under test:
+/// indexed + parallel must equal scan + sequential, the strongest cross
+/// pairing (two knobs flipped at once).
+#[test]
+fn indexed_parallel_equals_scan_sequential_at_every_thread_count() {
+    let workload = bursty_workload(50);
+    for router in ROUTERS {
+        for seed in [11, 42, 97] {
+            let reference = engine(
+                router,
+                ADMISSIONS[1],
+                StepMode::Sequential,
+                RoutingMode::Scan,
+            )
+            .run(&workload, seed);
+            for &t in &thread_counts() {
+                let crossed = engine(
+                    router,
+                    ADMISSIONS[1],
+                    StepMode::Parallel { threads: t },
+                    RoutingMode::Indexed,
+                )
+                .run(&workload, seed);
+                assert_eq!(
+                    outcome(crossed),
+                    outcome(reference.clone()),
+                    "router={} seed={seed} threads={t} diverged",
+                    router.name()
+                );
+            }
+        }
+    }
+}
+
+/// Switching the routing mode *mid-run* changes nothing: the index is
+/// maintained in both modes from the same update stream, so a session
+/// that flips between scan and indexed at every checkpoint finishes with
+/// the same report as either pure run.
+#[test]
+fn mid_run_mode_switches_change_nothing() {
+    let workload = bursty_workload(50);
+    for router in ROUTERS {
+        let reference = engine(
+            router,
+            ADMISSIONS[1],
+            StepMode::Sequential,
+            RoutingMode::Indexed,
+        )
+        .run(&workload, 23);
+        let flipping = engine(
+            router,
+            ADMISSIONS[1],
+            StepMode::Sequential,
+            RoutingMode::Indexed,
+        );
+        let mut session = flipping.session().expect("valid");
+        session.submit_stream(&workload, 23).expect("registered");
+        for (i, checkpoint) in [0.02, 0.05, 0.1, 0.25, 0.6].iter().enumerate() {
+            session.run_until(*checkpoint);
+            session.set_routing_mode(if i % 2 == 0 {
+                RoutingMode::Scan
+            } else {
+                RoutingMode::Indexed
+            });
+        }
+        let flipped = session.finish();
+        // The checkpointed run makes extra clock-advance sweeps and its
+        // scan checkpoints examine more nodes; the outcome must match.
+        assert_eq!(
+            outcome(flipped),
+            outcome(reference),
+            "router={} diverged under mid-run mode flips",
+            router.name()
+        );
+    }
+}
+
+/// Micro-batching determinism: any epsilon reproduces the unbatched run
+/// bit for bit (outcome-wise), and on bursty arrivals a generous epsilon
+/// strictly reduces stepper round trips by absorbing near-coincident
+/// routing instants.
+#[test]
+fn batching_epsilon_is_bit_identical_and_saves_round_trips() {
+    let workload = bursty_workload(60);
+    for router in [RouterKind::LeastOutstanding, RouterKind::InterferenceAware] {
+        for step in [StepMode::Sequential, StepMode::Parallel { threads: 2 }] {
+            let mut builder = ClusterEngine::builder()
+                .router(router)
+                .step_mode(step)
+                .routing_mode(RoutingMode::Indexed);
+            for m in compiled_mix() {
+                builder = builder.model(m.clone());
+            }
+            for n in nodes() {
+                builder = builder.node(n);
+            }
+            let unbatched = builder.clone().build().expect("valid").run(&workload, 42);
+            for eps in [1e-6, 1e-3, 0.05] {
+                let batched = builder
+                    .clone()
+                    .batch_epsilon(eps)
+                    .build()
+                    .expect("valid")
+                    .run(&workload, 42);
+                assert_eq!(
+                    outcome(batched.clone()),
+                    outcome(unbatched.clone()),
+                    "router={} step={step:?} eps={eps} changed the simulation",
+                    router.name()
+                );
+                let (b, u) = (batched.coordinator, unbatched.coordinator);
+                assert_eq!(
+                    b.pool_round_trips + b.batched_instants,
+                    u.pool_round_trips,
+                    "round-trip accounting broke at eps={eps}"
+                );
+            }
+            // A generous epsilon on bursty arrivals must actually batch.
+            let generous = builder
+                .clone()
+                .batch_epsilon(0.05)
+                .build()
+                .expect("valid")
+                .run(&workload, 42);
+            assert!(
+                generous.coordinator.batched_instants > 0,
+                "router={} step={step:?}: a 50 ms epsilon batched nothing on bursty arrivals",
+                router.name()
+            );
+        }
+    }
+}
+
+/// A seeded randomized churn run: after every routed query the fleet's
+/// incremental index must agree with a from-scratch scan of the live
+/// loads. Checked indirectly and strongly — the scan-mode twin run *is* a
+/// fresh scan at every decision, so per-checkpoint snapshot equality (per
+/// node: routed counts, loads, completions) after interleaved bursts of
+/// submissions pins the index against drift event by event.
+#[test]
+fn churning_index_agrees_with_a_fresh_scan_at_every_checkpoint() {
+    for seed in [3, 17, 71] {
+        let scan_engine = engine(
+            RouterKind::LeastOutstanding,
+            ADMISSIONS[1],
+            StepMode::Sequential,
+            RoutingMode::Scan,
+        );
+        let idx_engine = engine(
+            RouterKind::LeastOutstanding,
+            ADMISSIONS[1],
+            StepMode::Sequential,
+            RoutingMode::Indexed,
+        );
+        let mut scan = scan_engine.session().expect("valid");
+        let mut idx = idx_engine.session().expect("valid");
+        // Interleave stream submissions with stepping so the index sees
+        // injects, completions, and deferral re-offers between compares.
+        for (round, checkpoint) in [0.03, 0.08, 0.15, 0.3, 0.7].iter().enumerate() {
+            let burst = bursty_workload(15 + round * 5);
+            scan.submit_stream(&burst, seed + round as u64).expect("ok");
+            idx.submit_stream(&burst, seed + round as u64).expect("ok");
+            scan.run_until(*checkpoint);
+            idx.run_until(*checkpoint);
+            let (mut s, mut i) = (scan.snapshot(), idx.snapshot());
+            s.coordinator = CoordinatorStats::default();
+            i.coordinator = CoordinatorStats::default();
+            assert_eq!(
+                i, s,
+                "seed={seed}: index drifted from the fresh scan at t={checkpoint}"
+            );
+        }
+        assert_eq!(
+            outcome(idx.finish()),
+            outcome(scan.finish()),
+            "seed={seed}: final reports diverged"
+        );
+    }
+}
