@@ -198,6 +198,43 @@ fn bench_scan_vs_indexed_routing(c: &mut Criterion) {
     }
 }
 
+/// Elastic churn against a running fleet: a mid-run join, a graceful
+/// drain (queue re-routes, in-flight work finishes), and a crash-stop
+/// (everything re-enters the front door), at 64 and 512 nodes. The
+/// lifecycle operations themselves are O(log n) routability flips plus
+/// victim re-routing, so the cost per churn event should stay near-flat
+/// as the fleet grows.
+fn bench_fleet_churn(c: &mut Criterion) {
+    let models = compiled_mobilenet();
+    let edge = MachineConfig::desktop_8core();
+    for node_count in [64usize, 512] {
+        let nodes: Vec<NodeSpec> = (0..node_count)
+            .map(|i| NodeSpec::new(&format!("n{i}"), edge.clone(), Policy::VeltairFull))
+            .collect();
+        let workload = WorkloadSpec::single("mobilenet_v2", 500.0, 96);
+        c.bench_function(&format!("fleet_churn_{node_count}_nodes"), |b| {
+            b.iter(|| {
+                let mut fleet = Fleet::new(
+                    &models,
+                    &nodes,
+                    RouterKind::LeastOutstanding.build(),
+                    AdmissionKind::AdmitAll.build(),
+                )
+                .expect("valid fleet");
+                fleet.submit_stream(&workload, 5).expect("registered");
+                fleet.run_until(0.02);
+                let joiner =
+                    fleet.add_node(&NodeSpec::new("joiner", edge.clone(), Policy::VeltairFull));
+                fleet.run_until(0.04);
+                fleet.drain_node(0).expect("survivors remain");
+                fleet.run_until(0.06);
+                fleet.kill_node(joiner).expect("survivors remain");
+                fleet.finish()
+            })
+        });
+    }
+}
+
 /// The per-planning-decision version-selection cost: every adaptive
 /// block plan walks the selector, so its `select` call sits directly on
 /// the dispatch hot path. Levels sweep a sawtooth so the hysteresis
@@ -234,6 +271,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_driver_step, bench_router_decisions, bench_fleet_run,
         bench_fleet_stepper_scaling, bench_scan_vs_indexed_routing,
-        bench_selector_hot_path
+        bench_fleet_churn, bench_selector_hot_path
 }
 criterion_main!(cluster_hot_path);

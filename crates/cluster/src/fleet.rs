@@ -20,6 +20,19 @@
 //! modes produce bit-identical results, because routing stays on the
 //! coordinator thread and node advancement commutes across nodes.
 //!
+//! **Elasticity.** The roster is dynamic: nodes join
+//! ([`Fleet::add_node`]), drain gracefully ([`Fleet::drain_node`]), or
+//! crash-stop ([`Fleet::kill_node`]) at exact virtual instants; a
+//! [`FailurePlan`] injects deterministic crash/stall/drain schedules;
+//! and an attached [`ScalePolicy`] lets an [`Autoscaler`] grow and
+//! shrink capacity with a modeled provisioning delay. All control
+//! actions fire on one deterministic timeline interleaved with routing
+//! (failures, then stall recoveries, then provisioned joins, then the
+//! autoscaler tick, at each control instant; queries due *at* a control
+//! instant route after it), and departed nodes keep their roster slot —
+//! masked out of the index, never compacted — so node indices stay
+//! stable and elastic runs keep the full bit-determinism contract.
+//!
 //! Neither are the coordinator's two performance knobs. The
 //! [`RoutingMode`] selects between the O(log n) incrementally maintained
 //! [`LoadIndex`] and the O(n) reference scan — bit-identical by contract
@@ -31,8 +44,8 @@
 //! the same `run_until` calls on another thread — saving stepper round
 //! trips without touching the simulation.
 
-use std::cmp::Ordering;
-use std::collections::BTreeMap;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use veltair_compiler::CompiledModel;
 use veltair_sched::runtime::Driver;
@@ -40,11 +53,13 @@ use veltair_sched::{QuerySpec, WorkloadSpec};
 use veltair_sim::SimTime;
 
 use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::failure::{FailureEvent, FailureKind, FailurePlan};
 use crate::index::{LoadIndex, RoutingMode};
-use crate::node::{NodeLoad, NodeSpec};
+use crate::node::{NodeLoad, NodeSpec, NodeState};
 use crate::parallel::{StepMode, StepperPool};
 use crate::report::{merge_reports, CoordinatorStats, FleetReport};
 use crate::router::{IndexSupport, Router};
+use crate::scaling::{Autoscaler, ScaleDecision, ScalePolicy};
 
 /// Why a fleet could not be built or a query could not be submitted.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +94,27 @@ pub enum ClusterError {
         /// Number of per-node registries supplied.
         registries: usize,
     },
+    /// A node-lifecycle call ([`Fleet::drain_node`], [`Fleet::kill_node`])
+    /// referenced a node index outside the roster.
+    UnknownNode {
+        /// The out-of-range node index.
+        node: usize,
+    },
+    /// A drain or kill would leave the fleet with zero routable nodes. A
+    /// front door with nowhere to route is a configuration error, not a
+    /// simulation state, so direct lifecycle calls refuse it (scheduled
+    /// [`FailurePlan`] events that would do the same are silently
+    /// skipped instead — a plan is best-effort by design).
+    FleetEmpty,
+    /// An autoscaler or scale-policy parameter was outside its valid
+    /// range (see `AutoscalerConfig::try_new` and
+    /// [`ScalePolicy::try_new`]).
+    InvalidScalePolicy {
+        /// Which parameter was rejected.
+        field: &'static str,
+        /// The rejected value (integer fields are reported as `f64`).
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -101,6 +137,18 @@ impl std::fmt::Display for ClusterError {
                     "per-node registries must match the node list: {nodes} nodes, \
                      {registries} registries"
                 )
+            }
+            ClusterError::UnknownNode { node } => {
+                write!(f, "node {node} is not in the fleet roster")
+            }
+            ClusterError::FleetEmpty => {
+                write!(
+                    f,
+                    "the operation would leave the fleet with zero routable nodes"
+                )
+            }
+            ClusterError::InvalidScalePolicy { field, value } => {
+                write!(f, "scale policy parameter {field} is out of range: {value}")
             }
         }
     }
@@ -158,6 +206,8 @@ pub struct NodeSnapshot {
     pub routed: u64,
     /// Queries this node has completed so far.
     pub completed: usize,
+    /// The node's lifecycle state (see [`NodeState`]).
+    pub state: NodeState,
 }
 
 /// A point-in-time view of a live fleet, from [`Fleet::snapshot`].
@@ -165,8 +215,12 @@ pub struct NodeSnapshot {
 pub struct FleetSnapshot {
     /// Fleet clock, seconds.
     pub now_s: f64,
-    /// Queries submitted to the fleet so far.
+    /// Queries submitted to the fleet so far (client submissions only;
+    /// re-routes of orphaned queries are counted in `rerouted`, not
+    /// here).
     pub submitted: u64,
+    /// Front-door re-entries of queries orphaned by a drain or kill.
+    pub rerouted: u64,
     /// Queries completed across all nodes.
     pub completed: usize,
     /// Queries still waiting at the front door (arrival in the future or
@@ -182,6 +236,37 @@ pub struct FleetSnapshot {
     pub report: veltair_sched::ServingReport,
     /// Coordinator work counters so far (see [`CoordinatorStats`]).
     pub coordinator: CoordinatorStats,
+}
+
+impl FleetSnapshot {
+    /// Nodes currently in the given lifecycle state.
+    fn count_state(&self, state: NodeState) -> usize {
+        self.nodes.iter().filter(|n| n.state == state).count()
+    }
+
+    /// Routable, serving nodes.
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.count_state(NodeState::Live)
+    }
+
+    /// Temporarily unreachable nodes awaiting recovery.
+    #[must_use]
+    pub fn stalled_nodes(&self) -> usize {
+        self.count_state(NodeState::Stalled)
+    }
+
+    /// Nodes finishing in-flight work on their way out.
+    #[must_use]
+    pub fn draining_nodes(&self) -> usize {
+        self.count_state(NodeState::Draining)
+    }
+
+    /// Nodes that have left the fleet (drained dry or crash-killed).
+    #[must_use]
+    pub fn dead_nodes(&self) -> usize {
+        self.count_state(NodeState::Dead)
+    }
 }
 
 /// Builds the live load view of one node — the single-node equivalent of
@@ -205,6 +290,17 @@ fn load_of(driver: &Driver<'_>, node: usize, want_pressure: bool) -> NodeLoad {
     }
 }
 
+/// The autoscaling attachment: the policy, its built scaler, and the
+/// tick/provisioning bookkeeping (see [`ScalePolicy`]).
+struct ScaleState {
+    policy: ScalePolicy,
+    scaler: Box<dyn Autoscaler>,
+    /// Next autoscaler consultation instant.
+    next_tick: SimTime,
+    /// Nodes provisioned so far (names the next clone `template-{n}`).
+    spawned: u64,
+}
+
 /// N per-node serving drivers composed behind a router and an admission
 /// controller, advancing in lockstep virtual time.
 pub struct Fleet<'a> {
@@ -216,6 +312,11 @@ pub struct Fleet<'a> {
     pending: std::collections::BinaryHeap<PendingQuery>,
     now: SimTime,
     next_seq: u64,
+    /// Client submissions (decoupled from `next_seq`, which also tickets
+    /// re-routes of orphaned queries).
+    submitted: u64,
+    /// Front-door re-entries of queries orphaned by a drain or kill.
+    rerouted: u64,
     routed: Vec<u64>,
     shed: u64,
     shed_per_model: BTreeMap<String, u64>,
@@ -249,6 +350,24 @@ pub struct Fleet<'a> {
     scratch_loads: Vec<NodeLoad>,
     /// Coordinator work counters for the run so far.
     stats: CoordinatorStats,
+    /// Per-node lifecycle state, parallel to `drivers`. Departed nodes
+    /// keep their slot (see [`NodeState`]).
+    node_state: Vec<NodeState>,
+    /// Count of `Draining` nodes, gating the idle-promotion sweep so
+    /// churn-free runs pay nothing for it.
+    draining_count: usize,
+    /// The attached failure schedule, stably sorted by instant, walked by
+    /// `failure_cursor`.
+    failure_events: Vec<FailureEvent>,
+    failure_cursor: usize,
+    /// Scheduled stall recoveries, `(instant, node)`, earliest first.
+    stalls: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Provisioned nodes awaiting their join instant, in join order
+    /// (instants are monotone: every join is `decision + delay` with one
+    /// policy-fixed delay).
+    pending_joins: VecDeque<(SimTime, NodeSpec)>,
+    /// The autoscaling attachment, if any.
+    scale: Option<ScaleState>,
 }
 
 impl std::fmt::Debug for Fleet<'_> {
@@ -345,12 +464,15 @@ impl<'a> Fleet<'a> {
             names: specs.iter().map(|s| s.name.clone()).collect(),
             routed: vec![0; drivers.len()],
             node_version: vec![u64::MAX; drivers.len()],
+            node_state: vec![NodeState::Live; drivers.len()],
             drivers,
             router,
             admission,
             pending: std::collections::BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
+            submitted: 0,
+            rerouted: 0,
             shed: 0,
             shed_per_model: BTreeMap::new(),
             deferrals: 0,
@@ -362,6 +484,12 @@ impl<'a> Fleet<'a> {
             index,
             scratch_loads: Vec::new(),
             stats: CoordinatorStats::default(),
+            draining_count: 0,
+            failure_events: Vec::new(),
+            failure_cursor: 0,
+            stalls: BinaryHeap::new(),
+            pending_joins: VecDeque::new(),
+            scale: None,
         })
     }
 
@@ -462,6 +590,47 @@ impl<'a> Fleet<'a> {
         self.stats
     }
 
+    /// Attaches a deterministic failure schedule (replacing any previous
+    /// one): crash/stall/drain events fire at their scheduled instants as
+    /// the fleet clock passes them. Events aimed at out-of-range node
+    /// indices, already-dead nodes, or whose action would leave zero
+    /// routable nodes are skipped — a plan is best-effort, so it composes
+    /// with autoscaling changing the roster underneath it.
+    pub fn set_failure_plan(&mut self, plan: FailurePlan) {
+        self.failure_events = plan.into_sorted_events();
+        self.failure_cursor = 0;
+    }
+
+    /// Attaches a failure schedule at construction time:
+    /// `Fleet::new(..)?.with_failure_plan(plan)`.
+    #[must_use]
+    pub fn with_failure_plan(mut self, plan: FailurePlan) -> Self {
+        self.set_failure_plan(plan);
+        self
+    }
+
+    /// Attaches (or replaces) the autoscaling policy. The scaler's first
+    /// consultation is one policy interval after attachment; each tick
+    /// sees a live [`FleetSnapshot`] and its decision executes under the
+    /// policy guard rails (see [`ScalePolicy`]).
+    pub fn set_scale_policy(&mut self, policy: ScalePolicy) {
+        let scaler = policy.autoscaler.build();
+        self.scale = Some(ScaleState {
+            next_tick: self.now.after(policy.interval_s),
+            scaler,
+            policy,
+            spawned: 0,
+        });
+    }
+
+    /// Attaches the autoscaling policy at construction time:
+    /// `Fleet::new(..)?.with_scale_policy(policy)`.
+    #[must_use]
+    pub fn with_scale_policy(mut self, policy: ScalePolicy) -> Self {
+        self.set_scale_policy(policy);
+        self
+    }
+
     // --- Observation ------------------------------------------------------
 
     /// Fleet clock, seconds.
@@ -470,10 +639,23 @@ impl<'a> Fleet<'a> {
         self.now.0
     }
 
-    /// Number of member nodes.
+    /// Number of roster slots, living or not — departed nodes keep their
+    /// slot so indices stay stable under churn.
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.drivers.len()
+    }
+
+    /// Per-node lifecycle states, in fleet node order.
+    #[must_use]
+    pub fn node_states(&self) -> &[NodeState] {
+        &self.node_state
+    }
+
+    /// Count of live (routable) nodes.
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.index.live_len()
     }
 
     /// The fleet-level model catalog submissions are validated against.
@@ -517,6 +699,7 @@ impl<'a> Fleet<'a> {
                 name: self.names[load.node].clone(),
                 routed: self.routed[load.node],
                 completed: d.completions().len(),
+                state: self.node_state[load.node],
                 load,
             })
             .collect();
@@ -529,7 +712,8 @@ impl<'a> Fleet<'a> {
         );
         FleetSnapshot {
             now_s: self.now.0,
-            submitted: self.next_seq,
+            submitted: self.submitted,
+            rerouted: self.rerouted,
             completed: self.drivers.iter().map(|d| d.completions().len()).sum(),
             front_door: self.pending.len(),
             shed: self.shed,
@@ -571,6 +755,7 @@ impl<'a> Fleet<'a> {
         };
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.submitted += 1;
         self.pending.push(PendingQuery {
             due: arrival,
             arrival,
@@ -614,6 +799,312 @@ impl<'a> Fleet<'a> {
                 })
             })
             .collect()
+    }
+
+    // --- Elasticity -------------------------------------------------------
+
+    /// Adds a node to the roster at the current fleet instant, serving
+    /// the fleet-level catalog. The new driver's clock is synced to the
+    /// fleet clock and the node is immediately routable. Returns the new
+    /// node's index.
+    pub fn add_node(&mut self, spec: &NodeSpec) -> usize {
+        let node = self.drivers.len();
+        let mut driver = Driver::open(self.models, spec.sim_config());
+        driver.run_until(self.now);
+        self.index.push(u64::from(driver.total_cores()).max(1));
+        self.drivers.push(driver);
+        self.names.push(spec.name.clone());
+        self.routed.push(0);
+        self.node_version.push(u64::MAX);
+        self.node_state.push(NodeState::Live);
+        self.stats.nodes_added += 1;
+        node
+    }
+
+    /// Gracefully drains a node at the current fleet instant: it stops
+    /// receiving new work, its queued-but-unstarted queries re-enter the
+    /// front door (fresh routing, original arrival time — hold time
+    /// counts against the SLO), and its in-flight work finishes before
+    /// the node goes [`NodeState::Dead`]. Draining an already
+    /// draining/dead node is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for an out-of-range index
+    /// and [`ClusterError::FleetEmpty`] if the drain would leave zero
+    /// routable nodes.
+    pub fn drain_node(&mut self, node: usize) -> Result<(), ClusterError> {
+        if node >= self.drivers.len() {
+            return Err(ClusterError::UnknownNode { node });
+        }
+        if matches!(self.node_state[node], NodeState::Draining | NodeState::Dead) {
+            return Ok(());
+        }
+        if self.would_empty(node) {
+            return Err(ClusterError::FleetEmpty);
+        }
+        self.drain_node_inner(node);
+        Ok(())
+    }
+
+    /// Crash-stops a node at the current fleet instant: every incomplete
+    /// query on it — waiting *and* in-flight, with partial progress lost
+    /// — re-enters the front door (the client-retry model), and the node
+    /// goes [`NodeState::Dead`]. Work it already completed stays in the
+    /// report. Killing a dead node is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for an out-of-range index
+    /// and [`ClusterError::FleetEmpty`] if the kill would leave zero
+    /// routable nodes.
+    pub fn kill_node(&mut self, node: usize) -> Result<(), ClusterError> {
+        if node >= self.drivers.len() {
+            return Err(ClusterError::UnknownNode { node });
+        }
+        if self.node_state[node] == NodeState::Dead {
+            return Ok(());
+        }
+        if self.would_empty(node) {
+            return Err(ClusterError::FleetEmpty);
+        }
+        self.kill_node_inner(node);
+        Ok(())
+    }
+
+    /// Whether removing `node` from the routable set would leave it
+    /// empty. Only `Live` membership counts: stalled/draining nodes are
+    /// already unroutable.
+    fn would_empty(&self, node: usize) -> bool {
+        self.index.live_len() - usize::from(self.node_state[node] == NodeState::Live) == 0
+    }
+
+    fn drain_node_inner(&mut self, node: usize) {
+        self.node_state[node] = NodeState::Draining;
+        self.draining_count += 1;
+        self.index.set_routable(node, false);
+        let orphans = self.drivers[node].extract_waiting();
+        self.reroute(orphans);
+        self.stats.nodes_drained += 1;
+        if self.drivers[node].is_idle() {
+            self.node_state[node] = NodeState::Dead;
+            self.draining_count -= 1;
+        }
+    }
+
+    fn kill_node_inner(&mut self, node: usize) {
+        if self.node_state[node] == NodeState::Draining {
+            self.draining_count -= 1;
+        }
+        self.node_state[node] = NodeState::Dead;
+        self.index.set_routable(node, false);
+        let orphans = self.drivers[node].halt();
+        self.reroute(orphans);
+        self.stats.nodes_killed += 1;
+    }
+
+    /// Makes a node unreachable until `at + duration`: no new work routes
+    /// to it, in-flight work keeps executing (the network-partition
+    /// model). Recovery is scheduled on the control timeline. Only called
+    /// on `Live` nodes (plan application checks).
+    fn stall_node_inner(&mut self, node: usize, duration_s: f64, at: SimTime) {
+        self.node_state[node] = NodeState::Stalled;
+        self.index.set_routable(node, false);
+        self.stalls.push(Reverse((at.after(duration_s), node)));
+    }
+
+    /// Restores a stalled node to the routable set. A node that was
+    /// drained or killed mid-stall stays where the stronger transition
+    /// put it: the scheduled recovery becomes a no-op.
+    fn recover_node(&mut self, node: usize) {
+        if self.node_state[node] == NodeState::Stalled {
+            self.node_state[node] = NodeState::Live;
+            self.index.set_routable(node, true);
+            // Force a re-key at the next decision: the node's masked key
+            // went stale while routing could not observe it.
+            self.node_version[node] = u64::MAX;
+        }
+    }
+
+    /// Re-enters orphaned queries (from a drain or kill) at the front
+    /// door: fresh submission tickets, due immediately, original arrival
+    /// times (so the detour counts against their SLOs), deferral budget
+    /// reset.
+    fn reroute(&mut self, orphans: Vec<QuerySpec>) {
+        for spec in orphans {
+            let model = self
+                .models
+                .iter()
+                .position(|m| m.name == spec.model)
+                .expect("orphaned queries reference catalog models");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.rerouted += 1;
+            self.pending.push(PendingQuery {
+                due: self.now,
+                arrival: spec.arrival,
+                seq,
+                model,
+                attempts: 0,
+            });
+        }
+    }
+
+    /// Promotes drained-dry nodes to `Dead`. Gated on `draining_count`
+    /// so churn-free runs pay one integer compare; called at the
+    /// deterministic advance points of `run_until`, so the promotion
+    /// instant is a pure function of the run.
+    fn sweep_draining(&mut self) {
+        if self.draining_count == 0 {
+            return;
+        }
+        for (i, d) in self.drivers.iter().enumerate() {
+            if self.node_state[i] == NodeState::Draining && d.is_idle() {
+                self.node_state[i] = NodeState::Dead;
+                self.draining_count -= 1;
+            }
+        }
+    }
+
+    // --- The control timeline ---------------------------------------------
+
+    /// The earliest pending control instant: the next failure event,
+    /// stall recovery, provisioned join, or autoscaler tick.
+    fn next_control_time(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut fold = |t: SimTime| {
+            if next.is_none_or(|cur| t < cur) {
+                next = Some(t);
+            }
+        };
+        if let Some(ev) = self.failure_events.get(self.failure_cursor) {
+            fold(SimTime(ev.at_s));
+        }
+        if let Some(Reverse((t, _))) = self.stalls.peek() {
+            fold(*t);
+        }
+        if let Some((t, _)) = self.pending_joins.front() {
+            fold(*t);
+        }
+        if let Some(scale) = &self.scale {
+            fold(scale.next_tick);
+        }
+        next
+    }
+
+    /// Applies every control action due at `ct`, in the fixed order
+    /// failure events → stall recoveries → provisioned joins →
+    /// autoscaler tick. The order is part of the determinism contract:
+    /// within one instant, injected faults are observed by the recovery
+    /// and scaling machinery, and the autoscaler tick sees the
+    /// post-churn fleet.
+    fn process_control_at(&mut self, ct: SimTime) {
+        while let Some(ev) = self.failure_events.get(self.failure_cursor) {
+            if SimTime(ev.at_s) > ct {
+                break;
+            }
+            let ev = ev.clone();
+            self.failure_cursor += 1;
+            self.apply_failure(&ev, ct);
+        }
+        while let Some(&Reverse((t, node))) = self.stalls.peek() {
+            if t > ct {
+                break;
+            }
+            self.stalls.pop();
+            self.recover_node(node);
+        }
+        while let Some((t, _)) = self.pending_joins.front() {
+            if *t > ct {
+                break;
+            }
+            let (_, spec) = self.pending_joins.pop_front().expect("peeked entry exists");
+            self.add_node(&spec);
+        }
+        if self.scale.as_ref().is_some_and(|s| s.next_tick <= ct) {
+            self.autoscaler_tick(ct);
+        }
+    }
+
+    /// Applies one scheduled failure event, skipping it (by design, not
+    /// error) when its target is out of range, already departed, or the
+    /// last routable node — see [`Fleet::set_failure_plan`].
+    fn apply_failure(&mut self, ev: &FailureEvent, ct: SimTime) {
+        let node = ev.node;
+        if node >= self.drivers.len() {
+            return;
+        }
+        match ev.kind {
+            FailureKind::Crash => {
+                if self.node_state[node] != NodeState::Dead && !self.would_empty(node) {
+                    self.kill_node_inner(node);
+                }
+            }
+            FailureKind::Stall { duration_s } => {
+                if self.node_state[node] == NodeState::Live && !self.would_empty(node) {
+                    self.stall_node_inner(node, duration_s, ct);
+                }
+            }
+            FailureKind::Drain => {
+                if !matches!(self.node_state[node], NodeState::Draining | NodeState::Dead)
+                    && !self.would_empty(node)
+                {
+                    self.drain_node_inner(node);
+                }
+            }
+        }
+    }
+
+    /// One autoscaler consultation: decide over a live snapshot, execute
+    /// under the policy guard rails, schedule the next tick.
+    fn autoscaler_tick(&mut self, ct: SimTime) {
+        let snapshot = self.snapshot();
+        let Some(scale) = self.scale.as_mut() else {
+            return;
+        };
+        scale.next_tick = ct.after(scale.policy.interval_s);
+        match scale.scaler.decide(&snapshot) {
+            ScaleDecision::Hold => {}
+            ScaleDecision::ScaleOut { nodes } => {
+                // Cap counts capacity that exists or is on its way:
+                // live + stalled (they recover) + still-provisioning.
+                let present = self
+                    .node_state
+                    .iter()
+                    .filter(|s| matches!(s, NodeState::Live | NodeState::Stalled))
+                    .count()
+                    + self.pending_joins.len();
+                let room = scale.policy.max_nodes.saturating_sub(present);
+                let join_at = ct.after(scale.policy.provision_delay_s);
+                for _ in 0..nodes.min(room) {
+                    let mut spec = scale.policy.template.clone();
+                    spec.name = format!("{}-{}", scale.policy.template.name, scale.spawned);
+                    scale.spawned += 1;
+                    self.pending_joins.push_back((join_at, spec));
+                }
+            }
+            ScaleDecision::ScaleIn { nodes } => {
+                let allowed = self
+                    .index
+                    .live_len()
+                    .saturating_sub(scale.policy.min_nodes)
+                    .min(nodes);
+                // Newest capacity leaves first (highest roster index),
+                // mirroring how it arrived.
+                let targets: Vec<usize> = self
+                    .node_state
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .filter(|(_, s)| **s == NodeState::Live)
+                    .take(allowed)
+                    .map(|(i, _)| i)
+                    .collect();
+                for node in targets {
+                    self.drain_node_inner(node);
+                }
+            }
+        }
     }
 
     // --- Time -------------------------------------------------------------
@@ -687,6 +1178,13 @@ impl<'a> Fleet<'a> {
     fn refresh_index(&mut self) {
         let want_pressure = self.router.needs_pressure();
         for (i, d) in self.drivers.iter().enumerate() {
+            // Unroutable nodes are masked by the index (+inf keys), so
+            // their stale keys are unobservable; skipping them keeps
+            // drained/dead slots free — recovery forces a re-key by
+            // resetting the version cache.
+            if self.node_state[i] != NodeState::Live {
+                continue;
+            }
             let v = d.version();
             if self.node_version[i] != v {
                 self.node_version[i] = v;
@@ -698,16 +1196,18 @@ impl<'a> Fleet<'a> {
         }
     }
 
-    /// Routes every front-door query due at or before `t`, advancing the
-    /// fleet to each routing instant so routing sees live load.
-    fn route_due(&mut self, t: SimTime) {
+    /// Routes every front-door query due at or before `t` (strictly
+    /// before when `strict` — used to stop at a control instant, whose
+    /// action must be observed by queries due exactly then), advancing
+    /// the fleet to each routing instant so routing sees live load.
+    fn route_due_upto(&mut self, t: SimTime, strict: bool) {
         // Pressure is the one load signal that costs real work to read
         // (a monitor pass over every running unit, per node); skip it
         // when neither the router nor the admission controller consumes
         // it.
         let want_pressure = self.router.needs_pressure() || self.admission.needs_pressure();
         while let Some(p) = self.pending.peek() {
-            if p.due > t {
+            if p.due > t || (strict && p.due == t) {
                 break;
             }
             let p = self.pending.pop().expect("peeked entry exists");
@@ -725,19 +1225,27 @@ impl<'a> Fleet<'a> {
             let (node, load) = match self.support {
                 IndexSupport::Scan => {
                     // Legacy path for custom routers: materialize the
-                    // full load batch (into the reused scratch buffer)
-                    // and let the router scan it.
+                    // load batch (into the reused scratch buffer) and
+                    // let the router scan it. Only routable nodes are
+                    // materialized — scan routers pick a *position* in
+                    // the batch, mapped back through `NodeLoad::node`.
                     let mut loads = std::mem::take(&mut self.scratch_loads);
                     loads.clear();
+                    let states = &self.node_state;
                     loads.extend(
                         self.drivers
                             .iter()
                             .enumerate()
+                            .filter(|(i, _)| states[*i] == NodeState::Live)
                             .map(|(i, d)| load_of(d, i, want_pressure)),
                     );
-                    let node = self.router.route(&loads, model, &query).min(node_count - 1);
-                    self.stats.nodes_examined += node_count as u64;
-                    let load = loads[node];
+                    let pos = self
+                        .router
+                        .route(&loads, model, &query)
+                        .min(loads.len() - 1);
+                    let node = loads[pos].node;
+                    self.stats.nodes_examined += loads.len() as u64;
+                    let load = loads[pos];
                     self.scratch_loads = loads;
                     (node, load)
                 }
@@ -789,13 +1297,29 @@ impl<'a> Fleet<'a> {
     }
 
     /// Runs the fleet up to `t` seconds: routes every due arrival at its
-    /// own instant, then advances all nodes to exactly `t`.
+    /// own instant, fires every control action (failures, recoveries,
+    /// provisioned joins, autoscaler ticks) at its own instant, then
+    /// advances all nodes to exactly `t`. Queries due exactly at a
+    /// control instant route *after* it — a crash at `t` is observed by
+    /// arrivals at `t`, never the other way around.
     pub fn run_until(&mut self, t_s: f64) {
         let t = SimTime(t_s);
-        self.route_due(t);
+        while let Some(ct) = self.next_control_time() {
+            if ct > t {
+                break;
+            }
+            self.route_due_upto(ct, true);
+            if ct > self.now {
+                self.advance_nodes_to(ct);
+            }
+            self.sweep_draining();
+            self.process_control_at(ct);
+        }
+        self.route_due_upto(t, false);
         if t > self.now {
             self.advance_nodes_to(t);
         }
+        self.sweep_draining();
     }
 
     /// Runs the fleet for another `dt_s` seconds.
@@ -816,6 +1340,12 @@ impl<'a> Fleet<'a> {
     /// Routes every remaining arrival and drains all nodes (in parallel
     /// when a stepper pool is active — the drain is embarrassingly
     /// parallel, and on large fleets it is most of the serving work).
+    ///
+    /// Control actions fire only up to the last front-door instant:
+    /// failures, joins, and autoscaler ticks scheduled past the final
+    /// arrival have no work left to affect and never fire (stall
+    /// recoveries inside the drained span still complete, so a
+    /// fleet that merely finished its backlog is not left partitioned).
     pub fn run_to_completion(&mut self) {
         while let Some(p) = self.pending.peek() {
             let t = p.due;
@@ -837,6 +1367,14 @@ impl<'a> Fleet<'a> {
             .max()
             .unwrap_or(self.now);
         self.now = self.now.max(end);
+        while let Some(&Reverse((t, node))) = self.stalls.peek() {
+            if t > self.now {
+                break;
+            }
+            self.stalls.pop();
+            self.recover_node(node);
+        }
+        self.sweep_draining();
     }
 
     /// Finishes the fleet: drains everything and returns the final
@@ -851,6 +1389,9 @@ impl<'a> Fleet<'a> {
             per_node,
             node_names: self.names,
             routed_per_node: self.routed,
+            node_states: self.node_state,
+            submitted: self.submitted,
+            rerouted: self.rerouted,
             shed: self.shed,
             shed_per_model: self.shed_per_model,
             deferrals: self.deferrals,

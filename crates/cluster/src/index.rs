@@ -16,9 +16,16 @@
 //! * [`LoadIndex::min`] reads the winner in O(1);
 //! * [`LoadIndex::sample`]/[`LoadIndex::total_weight`] support
 //!   power-of-two-choices' core-weighted candidate sampling through
-//!   binary search over *static* prefix sums (core counts never change),
-//!   provably drawing the same node as the legacy linear walk for the
-//!   same ticket.
+//!   descent over a **Fenwick tree** of per-node weights, provably
+//!   drawing the same node as the legacy linear walk for the same
+//!   ticket;
+//! * **churn** stays O(log n): [`LoadIndex::push`] appends a node
+//!   (amortized — the tournament tree doubles like a `Vec`), and
+//!   [`LoadIndex::set_routable`] masks a draining/dead node out of both
+//!   decision structures without moving any other node's index — an
+//!   unroutable node's rank key reads as `+inf` and its sampling weight
+//!   as zero, so every decision path skips it while the index layout
+//!   (and therefore bit-determinism of everything else) is untouched.
 //!
 //! **Bit-identity.** Ties break toward the lowest node index at every
 //! tree comparison (`right wins only if strictly smaller`), which is
@@ -72,34 +79,42 @@ impl RoutingMode {
 const NONE: u32 = u32::MAX;
 
 /// An incrementally maintained rank index over fleet nodes: a flat key
-/// table, a tournament tree over it, and static core-count prefix sums
-/// for weighted candidate sampling. See the module docs for the
-/// complexity and bit-identity contracts.
+/// table, a tournament tree over it, a routability mask, and a Fenwick
+/// tree of per-node core weights for weighted candidate sampling. See
+/// the module docs for the complexity and bit-identity contracts.
 #[derive(Debug)]
 pub struct LoadIndex {
-    /// Rank key per node (lower is better; never NaN).
+    /// Rank key per node (lower is better; never NaN). Unroutable nodes
+    /// keep their last key but compare as `+inf` (see [`Self::eff_key`]).
     keys: Vec<f64>,
     /// Tournament tree in segment-tree layout: `tree[1]` holds the
     /// overall winner's node index, leaves live at `[cap, cap + len)`,
     /// and `tree[i]` is the winner of its two children under "right wins
     /// only if strictly smaller" (ties to the lower node index).
     tree: Vec<u32>,
-    /// Leaf capacity: `len` rounded up to a power of two.
+    /// Leaf capacity: a power of two ≥ `len`; doubles on overflow.
     cap: usize,
     /// Static per-node sampling weight (`total_cores.max(1)`).
     weights: Vec<u64>,
-    /// Inclusive prefix sums of `weights` (static, built once).
-    prefix: Vec<u64>,
+    /// Whether each node may receive new work. Draining/dead nodes stay
+    /// in place (stable indices) but are masked out of every decision.
+    routable: Vec<bool>,
+    /// Count of routable nodes.
+    live: usize,
+    /// 1-indexed Fenwick (binary indexed) tree over *effective* weights
+    /// (`weights[i]` when routable, else 0): O(log n) point updates on
+    /// churn, O(log n) prefix sums and ticket descent for sampling.
+    fen: Vec<u64>,
     /// Keys/loads inspected since the last [`LoadIndex::take_examined`];
     /// a `Cell` so read-only routing methods can tally on `&self`.
     examined: Cell<u64>,
 }
 
 impl LoadIndex {
-    /// Builds an index over `weights.len()` nodes, all keys zero. The
-    /// caller re-keys every node before the first decision (the fleet
-    /// seeds its per-node version cache with a sentinel so the first
-    /// refresh touches everything).
+    /// Builds an index over `weights.len()` nodes, all keys zero, all
+    /// nodes routable. The caller re-keys every node before the first
+    /// decision (the fleet seeds its per-node version cache with a
+    /// sentinel so the first refresh touches everything).
     ///
     /// # Panics
     ///
@@ -108,31 +123,34 @@ impl LoadIndex {
     pub fn new(weights: Vec<u64>) -> Self {
         assert!(!weights.is_empty(), "a load index needs at least one node");
         let len = weights.len();
-        let cap = len.next_power_of_two();
-        let mut prefix = Vec::with_capacity(len);
-        let mut sum = 0u64;
-        for &w in &weights {
-            sum += w.max(1);
-            prefix.push(sum);
+        let weights: Vec<u64> = weights.iter().map(|&w| w.max(1)).collect();
+        // O(n) Fenwick build: seed each leaf, then fold into parents.
+        let mut fen = vec![0u64; len + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            fen[i + 1] = w;
+        }
+        for i in 1..=len {
+            let j = i + (i & i.wrapping_neg());
+            if j <= len {
+                fen[j] += fen[i];
+            }
         }
         let mut index = Self {
             keys: vec![0.0; len],
-            tree: vec![NONE; 2 * cap],
-            cap,
-            weights: weights.iter().map(|&w| w.max(1)).collect(),
-            prefix,
+            tree: Vec::new(),
+            cap: 0,
+            weights,
+            routable: vec![true; len],
+            live: len,
+            fen,
             examined: Cell::new(0),
         };
-        for i in 0..len {
-            index.tree[cap + i] = u32::try_from(i).expect("fleet sizes fit u32");
-        }
-        for i in (1..cap).rev() {
-            index.tree[i] = index.winner(index.tree[2 * i], index.tree[2 * i + 1]);
-        }
+        index.rebuild_tree();
         index
     }
 
-    /// Number of indexed nodes.
+    /// Number of indexed nodes, routable or not (dead nodes keep their
+    /// slot so indices stay stable under churn).
     #[must_use]
     pub fn len(&self) -> usize {
         self.keys.len()
@@ -145,6 +163,38 @@ impl LoadIndex {
         self.keys.is_empty()
     }
 
+    /// Count of routable (live) nodes.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether node `i` may receive new work.
+    #[must_use]
+    pub fn routable(&self, i: usize) -> bool {
+        self.routable[i]
+    }
+
+    /// Node `i`'s key as decisions see it: the stored rank when
+    /// routable, `+inf` otherwise (so masked nodes lose every tournament
+    /// comparison without perturbing any other node).
+    fn eff_key(&self, i: usize) -> f64 {
+        if self.routable[i] {
+            self.keys[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Node `i`'s weight as the sampler sees it: zero when unroutable.
+    fn eff_weight(&self, i: usize) -> u64 {
+        if self.routable[i] {
+            self.weights[i]
+        } else {
+            0
+        }
+    }
+
     /// The winner of two leaf/subtree entries: the right entry only if
     /// its key is *strictly* smaller — the tie-to-lowest-index rule the
     /// linear scan uses, since the left subtree always holds the lower
@@ -153,7 +203,7 @@ impl LoadIndex {
         match (a, b) {
             (NONE, w) | (w, NONE) => w,
             (a, b) => {
-                if self.keys[b as usize] < self.keys[a as usize] {
+                if self.eff_key(b as usize) < self.eff_key(a as usize) {
                     b
                 } else {
                     a
@@ -162,12 +212,8 @@ impl LoadIndex {
         }
     }
 
-    /// Re-keys node `i` and repairs its root path: O(log n), the *only*
-    /// maintenance the index ever needs. Debug-asserts the no-NaN key
-    /// contract.
-    pub fn update(&mut self, i: usize, key: f64) {
-        debug_assert!(!key.is_nan(), "rank keys must never be NaN");
-        self.keys[i] = key;
+    /// Repairs the root path above leaf `i`: O(log n).
+    fn repair_path(&mut self, i: usize) {
         let mut p = (self.cap + i) >> 1;
         while p >= 1 {
             self.tree[p] = self.winner(self.tree[2 * p], self.tree[2 * p + 1]);
@@ -175,9 +221,81 @@ impl LoadIndex {
         }
     }
 
-    /// The node index with the smallest key (ties to the lowest index):
-    /// an O(1) root read in [`RoutingMode::Indexed`] (1 examination), a
-    /// full argmin scan in [`RoutingMode::Scan`] (n examinations).
+    /// Rebuilds the tournament tree from scratch (index construction and
+    /// capacity doubling only — never on the per-decision path).
+    fn rebuild_tree(&mut self) {
+        let len = self.keys.len();
+        self.cap = len.next_power_of_two();
+        self.tree = vec![NONE; 2 * self.cap];
+        for i in 0..len {
+            self.tree[self.cap + i] = u32::try_from(i).expect("fleet sizes fit u32");
+        }
+        for i in (1..self.cap).rev() {
+            self.tree[i] = self.winner(self.tree[2 * i], self.tree[2 * i + 1]);
+        }
+    }
+
+    /// Re-keys node `i` and repairs its root path: O(log n), the only
+    /// per-change maintenance the index ever needs. Debug-asserts the
+    /// no-NaN key contract.
+    pub fn update(&mut self, i: usize, key: f64) {
+        debug_assert!(!key.is_nan(), "rank keys must never be NaN");
+        self.keys[i] = key;
+        self.repair_path(i);
+    }
+
+    /// Appends a newly provisioned node with the given sampling weight
+    /// (key zero, routable): amortized O(log n) — the Fenwick leaf is
+    /// derived from two prefix sums and the tournament tree doubles its
+    /// capacity like a `Vec` when full. The caller re-keys the node
+    /// before its first decision.
+    pub fn push(&mut self, weight: u64) {
+        let w = weight.max(1);
+        let i = self.keys.len();
+        // Fenwick append: entry p covers positions (p - lowbit(p), p],
+        // so the new leaf's value is the new weight plus the effective
+        // weights of the tail it absorbs.
+        let p = i + 1;
+        let low = p & p.wrapping_neg();
+        let tail = self.fen_prefix(i).wrapping_sub(self.fen_prefix(p - low));
+        self.fen.push(w.wrapping_add(tail));
+        self.keys.push(0.0);
+        self.weights.push(w);
+        self.routable.push(true);
+        self.live += 1;
+        if i < self.cap {
+            self.tree[self.cap + i] = u32::try_from(i).expect("fleet sizes fit u32");
+            self.repair_path(i);
+        } else {
+            self.rebuild_tree();
+        }
+    }
+
+    /// Masks node `i` out of (or back into) every decision structure:
+    /// O(log n) — one Fenwick point update plus one tree path repair.
+    /// Unroutable nodes keep their slot, so no other node's index moves
+    /// and the determinism contract is unaffected.
+    pub fn set_routable(&mut self, i: usize, routable: bool) {
+        if self.routable[i] == routable {
+            return;
+        }
+        self.routable[i] = routable;
+        let delta = if routable {
+            self.live += 1;
+            self.weights[i]
+        } else {
+            self.live -= 1;
+            self.weights[i].wrapping_neg()
+        };
+        self.fen_add(i + 1, delta);
+        self.repair_path(i);
+    }
+
+    /// The routable node index with the smallest key (ties to the lowest
+    /// index): an O(1) root read in [`RoutingMode::Indexed`] (1
+    /// examination), a full argmin scan in [`RoutingMode::Scan`] (n
+    /// examinations). With zero routable nodes the result is meaningless
+    /// (the fleet never routes against an empty roster).
     #[must_use]
     pub fn min(&self, mode: RoutingMode) -> usize {
         match mode {
@@ -188,8 +306,9 @@ impl LoadIndex {
             RoutingMode::Scan => {
                 self.tally(self.keys.len() as u64);
                 let mut best = 0;
-                let mut best_key = self.keys[0];
-                for (i, &k) in self.keys.iter().enumerate().skip(1) {
+                let mut best_key = self.eff_key(0);
+                for i in 1..self.keys.len() {
+                    let k = self.eff_key(i);
                     if k < best_key {
                         best = i;
                         best_key = k;
@@ -201,49 +320,57 @@ impl LoadIndex {
     }
 
     /// Node `i`'s current key (1 examination) — how power-of-two-choices
-    /// compares its sampled pair.
+    /// compares its sampled pair. Reads `+inf` for unroutable nodes
+    /// (sampled candidates are always routable, so the mask is
+    /// unobservable there).
     #[must_use]
     pub fn key(&self, i: usize) -> f64 {
         self.tally(1);
-        self.keys[i]
+        self.eff_key(i)
     }
 
-    /// Total sampling weight excluding `skip`: O(1) off the static
-    /// prefix sums in indexed mode, an O(n) summing walk in scan mode
-    /// (the legacy sampler recomputed the total per draw).
+    /// Total sampling weight excluding `skip` (and every unroutable
+    /// node): O(log n) off the Fenwick tree in indexed mode, an O(n)
+    /// summing walk in scan mode (the legacy sampler recomputed the
+    /// total per draw).
     #[must_use]
     pub fn total_weight(&self, skip: Option<usize>, mode: RoutingMode) -> u64 {
-        let total = *self.prefix.last().expect("non-empty index");
-        let skipped = skip.map_or(0, |s| self.weights[s]);
+        let total = self.fen_prefix(self.keys.len());
+        let skipped = skip.map_or(0, |s| self.eff_weight(s));
         if mode == RoutingMode::Scan {
             self.tally(self.weights.len() as u64);
         }
         total - skipped
     }
 
-    /// Maps a sampling ticket in `[0, total_weight(skip, ..))` to a node
-    /// index with probability proportional to core count, excluding
-    /// `skip`.
+    /// Maps a sampling ticket in `[0, total_weight(skip, ..))` to a
+    /// routable node index with probability proportional to core count,
+    /// excluding `skip`.
     ///
     /// Scan mode is the legacy linear walk (subtract weights until the
-    /// ticket lands; each stepped entry is one examination). Indexed mode
-    /// binary-searches the static prefix sums and, when the hit lands at
-    /// or past the skipped node, re-searches with the ticket shifted by
-    /// the skipped weight — equivalent because for `i ≥ skip` the
-    /// skip-excluded cumulative weight is the full cumulative minus
-    /// `weights[skip]`, and the shifted hit can never land back on `skip`
-    /// (the shifted ticket is at least the cumulative weight *through*
-    /// `skip`). Both modes return the identical node for the same ticket
-    /// (pinned by the randomized unit test below).
+    /// ticket lands; each stepped entry is one examination; zero-weight
+    /// — unroutable — entries can never absorb the ticket). Indexed mode
+    /// descends the Fenwick tree to the last position whose cumulative
+    /// effective weight is ≤ the ticket (exactly the
+    /// `partition_point(|&c| c <= ticket)` rule the prefix-sum search
+    /// used) and, when the hit lands at or past the skipped node,
+    /// re-descends with the ticket shifted by the skipped weight —
+    /// equivalent because for `i ≥ skip` the skip-excluded cumulative
+    /// weight is the full cumulative minus `weights[skip]`, and the
+    /// shifted hit can never land back on `skip` (the shifted ticket is
+    /// at least the cumulative weight *through* `skip`). Both modes
+    /// return the identical node for the same ticket (pinned by the
+    /// randomized unit tests below, with and without masked nodes).
     #[must_use]
     pub fn sample(&self, ticket: u64, skip: Option<usize>, mode: RoutingMode) -> usize {
         match mode {
             RoutingMode::Scan => {
                 let mut remaining = ticket;
-                for (i, &w) in self.weights.iter().enumerate() {
+                for i in 0..self.weights.len() {
                     if Some(i) == skip {
                         continue;
                     }
+                    let w = self.eff_weight(i);
                     self.tally(1);
                     if remaining < w {
                         return i;
@@ -253,14 +380,13 @@ impl LoadIndex {
                 unreachable!("ticket was drawn below the total weight")
             }
             RoutingMode::Indexed => {
-                let probes = u64::from(self.prefix.len().max(1).ilog2()) + 1;
+                let probes = u64::from(self.keys.len().max(1).ilog2()) + 1;
                 self.tally(probes);
-                let first = self.prefix.partition_point(|&c| c <= ticket);
+                let first = self.fen_search(ticket);
                 match skip {
                     Some(s) if first >= s => {
                         self.tally(probes);
-                        self.prefix
-                            .partition_point(|&c| c <= ticket + self.weights[s])
+                        self.fen_search(ticket + self.eff_weight(s))
                     }
                     _ => first,
                 }
@@ -278,6 +404,47 @@ impl LoadIndex {
 
     fn tally(&self, n: u64) {
         self.examined.set(self.examined.get() + n);
+    }
+
+    /// Sum of the first `i` effective weights (1-based count).
+    fn fen_prefix(&self, mut i: usize) -> u64 {
+        let mut sum = 0u64;
+        while i > 0 {
+            sum = sum.wrapping_add(self.fen[i]);
+            i &= i - 1;
+        }
+        sum
+    }
+
+    /// Adds `delta` (wrapping, so negations round-trip exactly) to
+    /// effective weight `i` (1-based).
+    fn fen_add(&mut self, mut i: usize, delta: u64) {
+        while i < self.fen.len() {
+            self.fen[i] = self.fen[i].wrapping_add(delta);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// The last 0-based position whose cumulative effective weight is ≤
+    /// `ticket` — identical to
+    /// `prefix.partition_point(|&c| c <= ticket)` over inclusive prefix
+    /// sums, in O(log n) without materializing them. Never lands on a
+    /// zero-weight position for an in-range ticket (the cumulative sum
+    /// does not move across it).
+    fn fen_search(&self, ticket: u64) -> usize {
+        let n = self.keys.len();
+        let mut pos = 0usize;
+        let mut remaining = ticket;
+        let mut bit = if n == 0 { 0 } else { 1usize << n.ilog2() };
+        while bit > 0 {
+            let next = pos + bit;
+            if next <= n && self.fen[next] <= remaining {
+                pos = next;
+                remaining -= self.fen[next];
+            }
+            bit >>= 1;
+        }
+        pos
     }
 }
 
@@ -342,7 +509,7 @@ mod tests {
     #[test]
     fn prefix_sampling_matches_the_linear_walk_for_every_ticket() {
         // Heterogeneous weights, every skip choice, every valid ticket:
-        // the binary-search sampler must pick the same node as the legacy
+        // the Fenwick descent must pick the same node as the legacy
         // subtract-and-step walk.
         let weights = vec![64u64, 8, 8, 64, 1, 8, 8];
         let index = LoadIndex::new(weights.clone());
@@ -356,6 +523,120 @@ mod tests {
                 let search = index.sample(ticket, skip, RoutingMode::Indexed);
                 assert_eq!(walk, search, "ticket {ticket} skip {skip:?} diverged");
                 assert_ne!(Some(search), skip, "sampled the excluded node");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_nodes_never_win_and_never_sample() {
+        // Drain two of five nodes: the argmin must skip them in both
+        // modes, and every sampling ticket must land on a live node,
+        // with scan and indexed still agreeing ticket-for-ticket.
+        let weights = vec![16u64, 4, 32, 4, 8];
+        let mut index = LoadIndex::new(weights);
+        for i in 0..5 {
+            index.update(i, i as f64);
+        }
+        // Node 0 has the best key and node 2 the biggest weight — mask
+        // exactly those to make the masking observable.
+        index.set_routable(0, false);
+        index.set_routable(2, false);
+        assert_eq!(index.live_len(), 3);
+        assert!(!index.routable(0));
+        assert_eq!(index.min(RoutingMode::Indexed), 1);
+        assert_eq!(index.min(RoutingMode::Scan), 1);
+        for skip in [None, Some(1), Some(3), Some(4)] {
+            let total = index.total_weight(skip, RoutingMode::Indexed);
+            assert_eq!(total, index.total_weight(skip, RoutingMode::Scan));
+            for ticket in 0..total {
+                let walk = index.sample(ticket, skip, RoutingMode::Scan);
+                let search = index.sample(ticket, skip, RoutingMode::Indexed);
+                assert_eq!(walk, search, "ticket {ticket} skip {skip:?} diverged");
+                assert!(index.routable(search), "sampled a masked node");
+                assert_ne!(Some(search), skip);
+            }
+        }
+        // Restoring the best node restores its wins and its weight.
+        index.set_routable(0, true);
+        assert_eq!(index.live_len(), 4);
+        assert_eq!(index.min(RoutingMode::Indexed), 0);
+        assert_eq!(
+            index.total_weight(None, RoutingMode::Indexed),
+            16 + 4 + 4 + 8
+        );
+    }
+
+    #[test]
+    fn push_grows_the_index_like_a_fresh_build() {
+        // Append nodes one at a time across several capacity doublings;
+        // after every push the winner and the full sampling map must
+        // match an index built from scratch over the same weights.
+        let mut grown = LoadIndex::new(vec![3]);
+        grown.update(0, 0.5);
+        let mut weights = vec![3u64];
+        for step in 1..20u64 {
+            let w = 1 + (step * 7) % 5;
+            grown.push(w);
+            weights.push(w);
+            let mut fresh = LoadIndex::new(weights.clone());
+            for i in 0..weights.len() {
+                let key = (i as f64 * 0.37).sin();
+                grown.update(i, key);
+                fresh.update(i, key);
+            }
+            assert_eq!(grown.len(), weights.len());
+            assert_eq!(
+                grown.min(RoutingMode::Indexed),
+                fresh.min(RoutingMode::Indexed),
+                "winner diverged after push {step}"
+            );
+            let total = fresh.total_weight(None, RoutingMode::Indexed);
+            assert_eq!(total, grown.total_weight(None, RoutingMode::Indexed));
+            for ticket in 0..total {
+                assert_eq!(
+                    grown.sample(ticket, None, RoutingMode::Indexed),
+                    fresh.sample(ticket, None, RoutingMode::Indexed),
+                    "sampling diverged after push {step} at ticket {ticket}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn churned_masks_agree_with_scan_under_random_toggles() {
+        // Seeded random interleaving of key updates, pushes, and
+        // routability toggles: tree argmin and Fenwick sampling must
+        // agree with the scan reference after every event.
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        let mut index = LoadIndex::new(vec![2, 5, 1]);
+        for _ in 0..400 {
+            let n = index.len();
+            match rng.gen_range(0..10u64) {
+                0 if n < 40 => index.push(1 + rng.gen_range(0..8u64)),
+                1 => {
+                    let i = rng.gen_range(0..n as u64) as usize;
+                    // Keep at least one node routable.
+                    if index.routable(i) && index.live_len() > 1 {
+                        index.set_routable(i, false);
+                    } else {
+                        index.set_routable(i, true);
+                    }
+                }
+                _ => {
+                    let i = rng.gen_range(0..n as u64) as usize;
+                    let key = f64::from(u32::try_from(rng.gen_range(0..16u64)).unwrap()) / 8.0;
+                    index.update(i, key);
+                }
+            }
+            assert_eq!(index.min(RoutingMode::Indexed), scan_min(&index));
+            let total = index.total_weight(None, RoutingMode::Indexed);
+            assert_eq!(total, index.total_weight(None, RoutingMode::Scan));
+            if total > 0 {
+                let ticket = rng.gen_range(0..total);
+                assert_eq!(
+                    index.sample(ticket, None, RoutingMode::Indexed),
+                    index.sample(ticket, None, RoutingMode::Scan)
+                );
             }
         }
     }

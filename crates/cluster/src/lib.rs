@@ -30,6 +30,12 @@
 //! * [`parallel`] — the work-stealing fleet stepper: [`StepMode`] selects
 //!   sequential or parallel node advancement between routing instants,
 //!   with bit-identical results either way;
+//! * [`failure`] — [`FailurePlan`], deterministic seed-able schedules of
+//!   node crashes, stalls, and drains, applied on the fleet's control
+//!   timeline;
+//! * [`scaling`] — the [`Autoscaler`] trait, the hysteresis-banded
+//!   default implementation, and [`ScalePolicy`] (node template,
+//!   min/max rails, tick interval, modeled provisioning delay);
 //! * [`report`] — [`FleetReport`] and [`merge_reports`], which pools
 //!   latency samples so fleet p95/p99 are computed over the union of
 //!   node samples (never averaged percentiles).
@@ -72,23 +78,29 @@
 //! ```
 
 pub mod admission;
+pub mod failure;
 pub mod fleet;
 pub mod index;
 pub mod node;
 pub mod parallel;
 pub mod report;
 pub mod router;
+pub mod scaling;
 
 pub use admission::{
     AdmissionController, AdmissionDecision, AdmissionKind, AdmitAll, SloAdmission,
     SloAdmissionConfig,
 };
+pub use failure::{FailureEvent, FailureKind, FailurePlan};
 pub use fleet::{ClusterError, Fleet, FleetSnapshot, NodeSnapshot, DEFER_HARD_CAP};
 pub use index::{LoadIndex, RoutingMode};
-pub use node::{NodeLoad, NodeSpec};
+pub use node::{NodeLoad, NodeSpec, NodeState};
 pub use parallel::StepMode;
 pub use report::{merge_reports, CoordinatorStats, FleetReport};
 pub use router::{
     IndexSupport, InterferenceAware, LeastOutstanding, PowerOfTwoChoices, RoundRobin, Router,
     RouterKind,
+};
+pub use scaling::{
+    Autoscaler, AutoscalerConfig, AutoscalerKind, HysteresisAutoscaler, ScaleDecision, ScalePolicy,
 };

@@ -69,6 +69,50 @@ impl NodeSpec {
     }
 }
 
+/// Lifecycle state of a fleet member under elastic churn.
+///
+/// Nodes never leave the roster: a drained or killed node keeps its
+/// index (so per-node statistics, the load index layout, and therefore
+/// bit-determinism are unaffected) and is merely masked out of routing.
+///
+/// * `Live` — routable, serving.
+/// * `Stalled` — temporarily unreachable (fault injection): no new work
+///   is routed to it, but in-flight work keeps executing — the
+///   network-partition model, where the machine is healthy but the
+///   front door cannot reach it. Recovers to `Live` at a scheduled
+///   instant.
+/// * `Draining` — no new work; queued-but-unstarted queries were
+///   re-routed at drain time and in-flight work finishes here. Becomes
+///   `Dead` once idle.
+/// * `Dead` — gone. A killed node's incomplete queries (waiting *and*
+///   in-flight) were re-routed at kill time; its completed work stays in
+///   the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Routable and serving.
+    Live,
+    /// Temporarily unreachable; in-flight work continues, recovery is
+    /// scheduled.
+    Stalled,
+    /// Finishing in-flight work; unstarted work was re-routed.
+    Draining,
+    /// Removed from service (drain completed, or crash-killed).
+    Dead,
+}
+
+impl NodeState {
+    /// Display name used in tables and scenario output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeState::Live => "live",
+            NodeState::Stalled => "stalled",
+            NodeState::Draining => "draining",
+            NodeState::Dead => "dead",
+        }
+    }
+}
+
 /// A point-in-time view of one node's load, read off its driver at a
 /// routing decision. This is the whole routing interface: routers and
 /// admission controllers see nothing else, so any signal a policy needs

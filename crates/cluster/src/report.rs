@@ -12,6 +12,8 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 use veltair_sched::ServingReport;
 
+use crate::node::NodeState;
+
 /// Pools per-node [`ServingReport`]s into one fleet-wide report.
 ///
 /// Counters (queries, satisfied, conflicts, dispatches, preemptions,
@@ -80,6 +82,12 @@ pub fn merge_reports(reports: &[ServingReport]) -> ServingReport {
 /// * `batched_instants` — routing instants absorbed by micro-batching
 ///   (inter-arrival gap below the configured epsilon), i.e. round trips
 ///   avoided.
+/// * `nodes_added` / `nodes_drained` / `nodes_killed` — roster churn:
+///   one per lifecycle transition applied (manual calls, failure-plan
+///   events, and autoscaler actions all count; skipped plan events do
+///   not). A node drained and later killed counts once in each. All
+///   churn happens on the coordinator thread at deterministic control
+///   instants, so these too are step-mode-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CoordinatorStats {
     /// Routing decisions made (one per offer, including deferral re-offers).
@@ -92,6 +100,12 @@ pub struct CoordinatorStats {
     pub pool_round_trips: u64,
     /// Routing instants absorbed by micro-batching (round trips avoided).
     pub batched_instants: u64,
+    /// Nodes added to the roster (manual or autoscaled joins).
+    pub nodes_added: u64,
+    /// Graceful drains initiated (manual, planned, or scale-in).
+    pub nodes_drained: u64,
+    /// Crash-stops applied (manual or planned).
+    pub nodes_killed: u64,
 }
 
 impl CoordinatorStats {
@@ -129,6 +143,14 @@ pub struct FleetReport {
     pub node_names: Vec<String>,
     /// Queries routed into each node, parallel to `per_node`.
     pub routed_per_node: Vec<u64>,
+    /// Each node's final lifecycle state, parallel to `per_node` —
+    /// departed nodes keep their slot, so this records how each roster
+    /// entry ended the run.
+    pub node_states: Vec<NodeState>,
+    /// Client submissions to the front door (excludes re-routes).
+    pub submitted: u64,
+    /// Front-door re-entries of queries orphaned by a drain or kill.
+    pub rerouted: u64,
     /// Queries refused by admission control, never served.
     pub shed: u64,
     /// Shed counts by model name.
@@ -181,6 +203,35 @@ impl FleetReport {
             self.shed as f64 / offered as f64
         }
     }
+
+    /// Roster slots that ended the run in the given lifecycle state.
+    fn count_state(&self, state: NodeState) -> usize {
+        self.node_states.iter().filter(|s| **s == state).count()
+    }
+
+    /// Nodes that ended the run live (routable and serving).
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.count_state(NodeState::Live)
+    }
+
+    /// Nodes that ended the run stalled (partitioned, recovery pending).
+    #[must_use]
+    pub fn stalled_nodes(&self) -> usize {
+        self.count_state(NodeState::Stalled)
+    }
+
+    /// Nodes that ended the run still draining in-flight work.
+    #[must_use]
+    pub fn draining_nodes(&self) -> usize {
+        self.count_state(NodeState::Draining)
+    }
+
+    /// Nodes that left the fleet during the run (drained dry or killed).
+    #[must_use]
+    pub fn dead_nodes(&self) -> usize {
+        self.count_state(NodeState::Dead)
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +275,9 @@ mod tests {
             per_node: vec![],
             node_names: vec![],
             routed_per_node: vec![],
+            node_states: vec![],
+            submitted: 8,
+            rerouted: 0,
             shed: 4,
             shed_per_model: BTreeMap::new(),
             deferrals: 1,
@@ -247,6 +301,9 @@ mod tests {
             index_updates: 3,
             pool_round_trips: 250,
             batched_instants: 750,
+            nodes_added: 0,
+            nodes_drained: 0,
+            nodes_killed: 0,
         };
         assert!((stats.examined_per_decision() - 17.0).abs() < 1e-12);
         assert!((stats.round_trips_per_1k_decisions() - 250.0).abs() < 1e-12);
@@ -259,6 +316,9 @@ mod tests {
             per_node: vec![],
             node_names: vec![],
             routed_per_node: vec![],
+            node_states: vec![],
+            submitted: 0,
+            rerouted: 0,
             shed: 0,
             shed_per_model: BTreeMap::new(),
             deferrals: 0,

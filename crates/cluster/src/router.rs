@@ -179,9 +179,17 @@ impl Router for RoundRobin {
         _model: &CompiledModel,
         _query: &QuerySpec,
     ) -> usize {
-        let pick = self.next % index.len();
-        self.next = (self.next + 1) % index.len();
-        pick
+        // Probe forward past masked (stalled/draining/dead) slots; with
+        // a churn-free roster this is the single-step rotation it always
+        // was, so the pick sequence is unchanged.
+        for _ in 0..index.len() {
+            let pick = self.next % index.len();
+            self.next = (self.next + 1) % index.len();
+            if index.routable(pick) {
+                return pick;
+            }
+        }
+        unreachable!("the fleet never routes against zero routable nodes")
     }
 }
 
@@ -311,8 +319,15 @@ impl Router for PowerOfTwoChoices {
         _model: &CompiledModel,
         _query: &QuerySpec,
     ) -> usize {
-        if index.len() == 1 {
-            return 0;
+        if index.live_len() == 1 {
+            // Zero-draw early return, exactly the legacy single-node
+            // behavior (the generator must not advance); under churn the
+            // one routable node need not be index 0.
+            for i in 0..index.len() {
+                if index.routable(i) {
+                    return i;
+                }
+            }
         }
         let total = index.total_weight(None, mode);
         let a = index.sample(self.rng.gen_range(0..total), None, mode);

@@ -18,8 +18,8 @@
 //!   [`FleetReport`].
 
 use veltair_cluster::{
-    AdmissionKind, ClusterError, Fleet, FleetReport, FleetSnapshot, NodeSpec, RouterKind,
-    RoutingMode, StepMode,
+    AdmissionKind, ClusterError, FailurePlan, Fleet, FleetReport, FleetSnapshot, NodeSpec,
+    NodeState, RouterKind, RoutingMode, ScalePolicy, StepMode,
 };
 use veltair_compiler::{machine_key, CompiledModel, CompilerOptions, CompilerService};
 use veltair_models::ModelSpec;
@@ -40,6 +40,11 @@ impl From<ClusterError> for EngineError {
             ClusterError::InvalidDuration { dt_s } => EngineError::InvalidDuration { dt_s },
             ClusterError::RegistryMismatch { nodes, registries } => {
                 EngineError::RegistryMismatch { nodes, registries }
+            }
+            ClusterError::UnknownNode { node } => EngineError::UnknownNode { node },
+            ClusterError::FleetEmpty => EngineError::FleetEmpty,
+            ClusterError::InvalidScalePolicy { field, value } => {
+                EngineError::InvalidScalePolicy { field, value }
             }
         }
     }
@@ -78,6 +83,8 @@ pub struct ClusterBuilder {
     routing_mode: RoutingMode,
     batch_eps_s: f64,
     slo_overrides: Vec<(String, f64)>,
+    scale_policy: Option<ScalePolicy>,
+    failure_plan: Option<FailurePlan>,
 }
 
 impl Default for ClusterBuilder {
@@ -93,6 +100,8 @@ impl Default for ClusterBuilder {
             routing_mode: RoutingMode::Indexed,
             batch_eps_s: 0.0,
             slo_overrides: Vec::new(),
+            scale_policy: None,
+            failure_plan: None,
         }
     }
 }
@@ -198,6 +207,25 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches an autoscaling policy: every session's fleet consults the
+    /// policy's [`Autoscaler`](veltair_cluster::Autoscaler) at the
+    /// configured virtual-time cadence and grows or drains capacity under
+    /// its guard rails. Autoscaled runs stay bit-deterministic.
+    #[must_use]
+    pub fn autoscale(mut self, policy: ScalePolicy) -> Self {
+        self.scale_policy = Some(policy);
+        self
+    }
+
+    /// Attaches a failure-injection plan: every session's fleet replays
+    /// the plan's crash/stall/drain events at their exact virtual
+    /// instants. Seeded plans make chaos runs reproducible.
+    #[must_use]
+    pub fn failure_plan(mut self, plan: FailurePlan) -> Self {
+        self.failure_plan = Some(plan);
+        self
+    }
+
     /// Finalizes the cluster engine, compiling every spec registered via
     /// [`compile`](ClusterBuilder::compile) once per distinct node
     /// machine.
@@ -221,6 +249,8 @@ impl ClusterBuilder {
             routing_mode,
             batch_eps_s,
             slo_overrides,
+            scale_policy,
+            failure_plan,
         } = self;
         if models.is_empty() && specs.is_empty() {
             return Err(EngineError::NoModels);
@@ -272,6 +302,8 @@ impl ClusterBuilder {
             step_mode,
             routing_mode,
             batch_eps_s,
+            scale_policy,
+            failure_plan,
         })
     }
 }
@@ -299,6 +331,8 @@ pub struct ClusterEngine {
     step_mode: StepMode,
     routing_mode: RoutingMode,
     batch_eps_s: f64,
+    scale_policy: Option<ScalePolicy>,
+    failure_plan: Option<FailurePlan>,
 }
 
 impl ClusterEngine {
@@ -379,6 +413,18 @@ impl ClusterEngine {
         self.batch_eps_s
     }
 
+    /// The attached autoscaling policy, if any.
+    #[must_use]
+    pub fn scale_policy(&self) -> Option<&ScalePolicy> {
+        self.scale_policy.as_ref()
+    }
+
+    /// The attached failure-injection plan, if any.
+    #[must_use]
+    pub fn failure_plan(&self) -> Option<&FailurePlan> {
+        self.failure_plan.as_ref()
+    }
+
     /// Opens a resumable cluster session: a fleet over this engine's
     /// registry and nodes, accepting arrivals and snapshot reads while
     /// the lockstep clock runs. The session borrows the engine's models;
@@ -395,7 +441,7 @@ impl ClusterEngine {
             .iter()
             .map(|&i| self.registries[i].as_slice())
             .collect();
-        let fleet = Fleet::with_node_registries(
+        let mut fleet = Fleet::with_node_registries(
             self.models(),
             node_models,
             &self.nodes,
@@ -405,6 +451,12 @@ impl ClusterEngine {
         .with_step_mode(self.step_mode)
         .with_routing_mode(self.routing_mode)
         .with_batch_epsilon(self.batch_eps_s);
+        if let Some(policy) = &self.scale_policy {
+            fleet.set_scale_policy(policy.clone());
+        }
+        if let Some(plan) = &self.failure_plan {
+            fleet.set_failure_plan(plan.clone());
+        }
         Ok(ClusterSession { fleet })
     }
 
@@ -542,6 +594,52 @@ impl ClusterSession<'_> {
     #[must_use]
     pub fn batch_epsilon(&self) -> f64 {
         self.fleet.batch_epsilon()
+    }
+
+    /// Attaches a fresh node to the fleet at the current instant and
+    /// returns its roster index. The node serves the fleet catalog and
+    /// becomes routable immediately.
+    pub fn add_node(&mut self, spec: &NodeSpec) -> usize {
+        self.fleet.add_node(spec)
+    }
+
+    /// Gracefully drains a node at the current instant: it stops taking
+    /// new queries, its queued-but-unstarted work re-routes, and its
+    /// in-flight work runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownNode`] for an out-of-range index and
+    /// [`EngineError::FleetEmpty`] if the drain would leave zero routable
+    /// nodes.
+    pub fn drain_node(&mut self, node: usize) -> Result<(), EngineError> {
+        Ok(self.fleet.drain_node(node)?)
+    }
+
+    /// Kills a node at the current instant: all of its incomplete work
+    /// (queued *and* in-flight) re-routes to the survivors; only work it
+    /// already completed stays in the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownNode`] for an out-of-range index and
+    /// [`EngineError::FleetEmpty`] if the kill would leave zero routable
+    /// nodes.
+    pub fn kill_node(&mut self, node: usize) -> Result<(), EngineError> {
+        Ok(self.fleet.kill_node(node)?)
+    }
+
+    /// Per-roster-slot lifecycle states (departed nodes keep their
+    /// slots).
+    #[must_use]
+    pub fn node_states(&self) -> &[NodeState] {
+        self.fleet.node_states()
+    }
+
+    /// Live (routable) node count.
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.fleet.live_nodes()
     }
 
     /// A point-in-time fleet view: per-node loads, routed/completed

@@ -64,6 +64,21 @@ pub enum EngineError {
         /// Number of per-node registries supplied.
         registries: usize,
     },
+    /// A fleet lifecycle operation named a node index outside the roster.
+    UnknownNode {
+        /// The rejected node index.
+        node: usize,
+    },
+    /// A drain or kill would have left the fleet with zero routable
+    /// nodes.
+    FleetEmpty,
+    /// An autoscaling policy parameter was out of range.
+    InvalidScalePolicy {
+        /// Which parameter was rejected.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -99,6 +114,18 @@ impl std::fmt::Display for EngineError {
                     "per-node registries must match the node list: {nodes} nodes, \
                      {registries} registries"
                 )
+            }
+            EngineError::UnknownNode { node } => {
+                write!(f, "node {node} is not in the fleet roster")
+            }
+            EngineError::FleetEmpty => {
+                write!(
+                    f,
+                    "the operation would leave the fleet with zero routable nodes"
+                )
+            }
+            EngineError::InvalidScalePolicy { field, value } => {
+                write!(f, "scale policy parameter {field} is out of range: {value}")
             }
         }
     }

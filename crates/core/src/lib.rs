@@ -62,6 +62,7 @@ pub mod dataset;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
+pub mod scenarios;
 
 pub use cluster::{ClusterBuilder, ClusterEngine, ClusterSession};
 pub use dataset::{co_location_dataset, train_proxy};
@@ -69,9 +70,11 @@ pub use engine::{
     Completion, EngineBuilder, EngineError, ReportSnapshot, ServingEngine, ServingSession,
 };
 pub use metrics::{max_qps_at_qos, QpsResult, QpsSearchConfig};
+pub use scenarios::{all_scenarios, Scenario, SloExpectation};
 // Re-export the user-facing vocabulary so downstream users need one import.
 pub use veltair_cluster::{
-    AdmissionKind, ClusterError, CoordinatorStats, FleetReport, FleetSnapshot, NodeLoad, NodeSpec,
-    RouterKind, RoutingMode, SloAdmissionConfig, StepMode,
+    AdmissionKind, AutoscalerConfig, AutoscalerKind, ClusterError, CoordinatorStats, FailureKind,
+    FailurePlan, FleetReport, FleetSnapshot, NodeLoad, NodeSpec, NodeState, RouterKind,
+    RoutingMode, ScaleDecision, ScalePolicy, SloAdmissionConfig, StepMode,
 };
 pub use veltair_sched::{Policy, ServingReport, SimError, WorkloadError, WorkloadSpec};

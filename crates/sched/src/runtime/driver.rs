@@ -182,6 +182,30 @@ impl<'a> Driver<'a> {
         self.version = self.version.wrapping_add(1);
     }
 
+    /// Withdraws every query that has not yet started executing on this
+    /// node and returns its spec (original arrival time preserved) for
+    /// re-routing elsewhere — the fleet *drain* path: in-flight and
+    /// partially executed work stays here to finish. Bumps the load
+    /// [`version`](Driver::version) when anything was withdrawn.
+    pub fn extract_waiting(&mut self) -> Vec<QuerySpec> {
+        let specs = self.state.extract_waiting();
+        if !specs.is_empty() {
+            self.version = self.version.wrapping_add(1);
+        }
+        specs
+    }
+
+    /// Crash-stops the node: every incomplete query (waiting or
+    /// in-flight) is withdrawn and returned for re-submission elsewhere,
+    /// partial progress is lost, all cores are freed, and the event queue
+    /// empties — the fleet *kill* path. Completed queries stay in the
+    /// report. Always bumps the load [`version`](Driver::version).
+    pub fn halt(&mut self) -> Vec<QuerySpec> {
+        let specs = self.state.halt();
+        self.version = self.version.wrapping_add(1);
+        specs
+    }
+
     /// Installs a version selector, replacing the one built from
     /// `cfg.selector` — the injection point for
     /// [`VersionSelector`](veltair_compiler::selector::VersionSelector)
@@ -209,6 +233,11 @@ impl<'a> Driver<'a> {
         let (t, ev) = self.state.events.pop()?;
         let material = match ev {
             Event::Arrival(q) => {
+                if self.state.queries[q].removed {
+                    // Withdrawn before its arrival fired (defensive: the
+                    // withdrawal paths drain or pre-date these events).
+                    return Some(t);
+                }
                 self.state.advance_to(t);
                 self.state.admit_arrival(q);
                 true
@@ -320,11 +349,12 @@ impl<'a> Driver<'a> {
         f64::from(self.busy_cores()) / f64::from(self.total_cores().max(1))
     }
 
-    /// Queries admitted but not yet completed (in flight or waiting) — the
+    /// Queries admitted but not yet completed (in flight or waiting),
+    /// excluding queries withdrawn by a fleet drain/kill — the
     /// "outstanding requests" signal of least-loaded request routing.
     #[must_use]
     pub fn outstanding(&self) -> usize {
-        self.state.queries.len() - self.state.completed.len()
+        self.state.queries.len() - self.state.completed.len() - self.state.removed
     }
 
     /// The co-runner pressure a newly arriving tenant would face, as

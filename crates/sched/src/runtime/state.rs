@@ -56,6 +56,10 @@ pub struct QueryState {
     pub next_unit: usize,
     /// Completion time, once finished.
     pub finish: Option<SimTime>,
+    /// Whether the query was withdrawn from this node before completion
+    /// ([`SimState::extract_waiting`]/[`SimState::halt`]): it no longer
+    /// counts as outstanding and contributes nothing to the report.
+    pub removed: bool,
 }
 
 /// One in-flight scheduling unit (a layer block on a core allocation).
@@ -132,6 +136,10 @@ pub struct SimState<'a> {
     /// Completion log: query indices in the order they finished. Sessions
     /// poll this incrementally; the runtime only appends.
     pub completed: Vec<usize>,
+    /// Count of queries withdrawn before completion (see
+    /// [`SimState::extract_waiting`]/[`SimState::halt`]); subtracted from
+    /// the outstanding-query signal.
+    pub removed: usize,
     /// The interference monitor (oracle or trained counter proxy).
     pub monitor: Box<dyn Monitor>,
     /// The runtime version-selection policy, built from
@@ -211,6 +219,7 @@ impl<'a> SimState<'a> {
             report: ServingReport::default(),
             alloc_trace: Vec::new(),
             completed: Vec::new(),
+            removed: 0,
             monitor,
             selector,
             refresh_changed: Vec::new(),
@@ -281,6 +290,7 @@ impl<'a> SimState<'a> {
             arrival,
             next_unit: 0,
             finish: None,
+            removed: false,
         });
         self.events.push(event_time, Event::Arrival(id));
         Ok(id)
@@ -702,5 +712,79 @@ impl<'a> SimState<'a> {
             r.avg_cores = r.core_seconds / elapsed;
         }
         r
+    }
+
+    // --- Withdrawal (fleet drain/kill support) ------------------------------
+
+    /// Withdraws every query that has not yet *started* executing — the
+    /// never-dispatched entries of the fresh-arrival and best-effort
+    /// queues (`next_unit == 0`) — and returns their specs with original
+    /// arrival times, so a fleet coordinator can re-route them to another
+    /// node while this one drains. Mid-query work (in-flight units,
+    /// continuations, partially executed best-effort queries) is left to
+    /// finish here: started queries carry node-local progress that cannot
+    /// migrate.
+    ///
+    /// Withdrawn queries are marked [`QueryState::removed`]: they leave
+    /// the outstanding count and never touch the report.
+    pub fn extract_waiting(&mut self) -> Vec<QuerySpec> {
+        let mut specs = Vec::new();
+        let queries = &mut self.queries;
+        let models = self.models;
+        let removed = &mut self.removed;
+        let mut take = |queue: &mut VecDeque<Pending>| {
+            let mut kept = VecDeque::with_capacity(queue.len());
+            while let Some(p) = queue.pop_front() {
+                let st = &mut queries[p.query];
+                if st.next_unit == 0 && st.finish.is_none() && !st.removed {
+                    st.removed = true;
+                    *removed += 1;
+                    specs.push(QuerySpec {
+                        model: models[st.model].name.clone(),
+                        arrival: st.arrival,
+                    });
+                } else {
+                    kept.push_back(p);
+                }
+            }
+            *queue = kept;
+        };
+        take(&mut self.arrivals);
+        take(&mut self.best_effort);
+        specs
+    }
+
+    /// Crash-stops the node: every incomplete query — waiting *or*
+    /// in-flight — is withdrawn and returned (with original arrival
+    /// times) for the coordinator to re-submit elsewhere, modeling
+    /// client-side retry after a node loss. Partial execution progress is
+    /// lost; completed queries stay in the report. Afterwards the event
+    /// queue and all admission queues are empty, no unit holds cores, and
+    /// the node is idle.
+    pub fn halt(&mut self) -> Vec<QuerySpec> {
+        while self.events.pop().is_some() {}
+        self.continuations.clear();
+        self.arrivals.clear();
+        self.best_effort.clear();
+        for slot in 0..self.running.len() {
+            if self.running[slot].active {
+                self.release_slot(slot);
+            }
+        }
+        let models = self.models;
+        let mut specs = Vec::new();
+        let mut newly_removed = 0;
+        for st in &mut self.queries {
+            if st.finish.is_none() && !st.removed {
+                st.removed = true;
+                newly_removed += 1;
+                specs.push(QuerySpec {
+                    model: models[st.model].name.clone(),
+                    arrival: st.arrival,
+                });
+            }
+        }
+        self.removed += newly_removed;
+        specs
     }
 }

@@ -15,7 +15,7 @@ pub struct QuerySpec {
 }
 
 /// Arrival process shape.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalProcess {
     /// Exponential inter-arrival times (MLPerf server default; Alg. 3's
     /// dispatcher "sends tasks following Poisson distribution").
@@ -37,6 +37,25 @@ pub enum ArrivalProcess {
         on_s: f64,
         /// Mean OFF-period duration, seconds.
         off_s: f64,
+    },
+    /// Trace-driven arrivals: a piecewise-constant rate schedule. Each
+    /// segment `(dt_s, rate_mul)` runs the stream as a Poisson process at
+    /// `rate_mul ×` its nominal rate for `dt_s` seconds; the schedule
+    /// cycles once exhausted. A zero multiplier is exact silence. Segment
+    /// boundaries are handled like the [`ArrivalProcess::Bursty`] phase
+    /// boundaries — memorylessness of the exponential makes the re-draw
+    /// at each boundary exact — so a trace is a *deterministic-envelope*
+    /// MMPP: the rate schedule is data, only the arrival jitter inside
+    /// each segment is random. This is the scenario library's substrate
+    /// (diurnal cycles, flash crowds, rolling windows).
+    ///
+    /// Unlike `Bursty`, the nominal stream rate is *not* re-normalized:
+    /// the long-run average rate is the nominal rate times the
+    /// duration-weighted mean multiplier, because a trace describes the
+    /// rate envelope itself, not a duty cycle over a fixed average.
+    Trace {
+        /// `(duration_s, rate_multiplier)` segments, cycled in order.
+        segments: Vec<(f64, f64)>,
     },
 }
 
@@ -63,6 +82,19 @@ pub enum WorkloadError {
         /// The rejected mean duration, seconds.
         seconds: f64,
     },
+    /// A trace schedule is empty or every segment's multiplier is zero —
+    /// either way it can never produce an arrival.
+    EmptyTrace,
+    /// A trace segment has a non-positive or non-finite duration, or a
+    /// negative or non-finite rate multiplier (zero is valid: silence).
+    InvalidTraceSegment {
+        /// Index of the offending segment.
+        index: usize,
+        /// The segment's duration, seconds.
+        dt_s: f64,
+        /// The segment's rate multiplier.
+        rate_mul: f64,
+    },
 }
 
 impl std::fmt::Display for WorkloadError {
@@ -80,6 +112,23 @@ impl std::fmt::Display for WorkloadError {
                 write!(
                     f,
                     "bursty {phase}-period durations must be positive and finite, got {seconds} s"
+                )
+            }
+            WorkloadError::EmptyTrace => {
+                write!(
+                    f,
+                    "a trace schedule needs at least one segment with a positive rate multiplier"
+                )
+            }
+            WorkloadError::InvalidTraceSegment {
+                index,
+                dt_s,
+                rate_mul,
+            } => {
+                write!(
+                    f,
+                    "trace segment {index} is invalid: duration {dt_s} s must be positive and \
+                     finite, multiplier {rate_mul} must be non-negative and finite"
                 )
             }
         }
@@ -204,6 +253,64 @@ impl WorkloadSpec {
         }
         Ok(Self {
             process: ArrivalProcess::Bursty { on_s, off_s },
+            ..Self::try_mix(streams, total_queries)?
+        })
+    }
+
+    /// A trace-driven single-tenant stream: Poisson arrivals shaped by a
+    /// piecewise-constant rate schedule (see [`ArrivalProcess::Trace`]).
+    /// Validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] under the same conditions as
+    /// [`WorkloadSpec::try_single`], plus [`WorkloadError::EmptyTrace`]
+    /// if the schedule is empty or all-silent and
+    /// [`WorkloadError::InvalidTraceSegment`] if any segment has a
+    /// non-positive/non-finite duration or a negative/non-finite
+    /// multiplier.
+    pub fn try_trace(
+        model: &str,
+        qps: f64,
+        total_queries: usize,
+        segments: &[(f64, f64)],
+    ) -> Result<Self, WorkloadError> {
+        Self::try_trace_mix(&[(model, qps)], total_queries, segments)
+    }
+
+    /// A trace-driven multi-tenant mix: every stream is shaped by the
+    /// *same* rate schedule (a fleet-wide envelope — diurnal cycle, flash
+    /// crowd — modulating all tenants together), each at its own nominal
+    /// rate. Validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] under the same conditions as
+    /// [`WorkloadSpec::try_trace`].
+    pub fn try_trace_mix(
+        streams: &[(&str, f64)],
+        total_queries: usize,
+        segments: &[(f64, f64)],
+    ) -> Result<Self, WorkloadError> {
+        if segments.is_empty() {
+            return Err(WorkloadError::EmptyTrace);
+        }
+        for (index, &(dt_s, rate_mul)) in segments.iter().enumerate() {
+            if !(dt_s.is_finite() && dt_s > 0.0 && rate_mul.is_finite() && rate_mul >= 0.0) {
+                return Err(WorkloadError::InvalidTraceSegment {
+                    index,
+                    dt_s,
+                    rate_mul,
+                });
+            }
+        }
+        if segments.iter().all(|&(_, m)| m == 0.0) {
+            return Err(WorkloadError::EmptyTrace);
+        }
+        Ok(Self {
+            process: ArrivalProcess::Trace {
+                segments: segments.to_vec(),
+            },
             ..Self::try_mix(streams, total_queries)?
         })
     }
@@ -343,14 +450,20 @@ impl WorkloadSpec {
             // Bursty phase state: every stream starts in an ON period and
             // draws arrivals at the duty-cycle-inflated rate, so the
             // long-run average matches the nominal stream rate.
-            let (mut phase_end, burst_rate) = match self.process {
+            let (mut phase_end, burst_rate) = match &self.process {
                 ArrivalProcess::Bursty { on_s, off_s } => {
-                    (exp_sample(&mut rng, on_s), rate * (on_s + off_s) / on_s)
+                    (exp_sample(&mut rng, *on_s), rate * (on_s + off_s) / on_s)
                 }
                 _ => (f64::INFINITY, *rate),
             };
+            // Trace cursor: index of the active segment and the instant it
+            // ends. The schedule restarts from segment 0 for every stream.
+            let (mut seg_idx, mut seg_end) = match &self.process {
+                ArrivalProcess::Trace { segments } => (0usize, segments[0].0),
+                _ => (0usize, f64::INFINITY),
+            };
             for _ in 0..count {
-                match self.process {
+                match &self.process {
                     ArrivalProcess::Poisson => {
                         t += exp_sample(&mut rng, 1.0 / rate);
                     }
@@ -365,8 +478,27 @@ impl WorkloadSpec {
                         // for an OFF gap, then restart the clock at the
                         // head of the next ON period. (Memorylessness of
                         // the exponential makes the re-draw exact.)
-                        t = phase_end + exp_sample(&mut rng, off_s);
-                        phase_end = t + exp_sample(&mut rng, on_s);
+                        t = phase_end + exp_sample(&mut rng, *off_s);
+                        phase_end = t + exp_sample(&mut rng, *on_s);
+                    },
+                    ArrivalProcess::Trace { segments } => loop {
+                        let mul = segments[seg_idx].1;
+                        if mul > 0.0 {
+                            let dt = exp_sample(&mut rng, 1.0 / (rate * mul));
+                            if t + dt <= seg_end {
+                                t += dt;
+                                break;
+                            }
+                        }
+                        // Silent segment, or the candidate fell past the
+                        // segment end: clamp the clock to the boundary and
+                        // redraw at the next segment's rate (exact, by
+                        // memorylessness). Construction guarantees at
+                        // least one positive multiplier, so the cycle
+                        // always reaches a segment that can arrive.
+                        t = seg_end;
+                        seg_idx = (seg_idx + 1) % segments.len();
+                        seg_end += segments[seg_idx].0;
                     },
                 }
                 queries.push(QuerySpec {
@@ -591,6 +723,98 @@ mod tests {
         ));
         assert!(matches!(
             WorkloadSpec::try_bursty_mix(&[], 5, 1.0, 1.0),
+            Err(WorkloadError::NoStreams)
+        ));
+    }
+
+    #[test]
+    fn trace_generation_is_deterministic_and_sorted() {
+        let w = WorkloadSpec::try_trace_mix(
+            &[("a", 40.0), ("b", 10.0)],
+            600,
+            &[(2.0, 1.0), (1.0, 3.0)],
+        )
+        .expect("valid");
+        let q = w.generate(11);
+        assert_eq!(q, w.generate(11));
+        assert_eq!(q.len(), 600);
+        assert!(q.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+
+    #[test]
+    fn trace_silent_segments_produce_gaps() {
+        // 1 s of traffic, 1 s of silence, cycling: no arrival may land in
+        // the second half of any 2 s cycle (boundary inclusive — an
+        // arrival exactly at the segment end is clamped there).
+        let w =
+            WorkloadSpec::try_trace("m", 200.0, 2000, &[(1.0, 1.0), (1.0, 0.0)]).expect("valid");
+        for q in w.generate(5) {
+            let pos = q.arrival.0 % 2.0;
+            assert!(
+                pos <= 1.0,
+                "arrival at {} falls in a silent window",
+                q.arrival.0
+            );
+        }
+    }
+
+    #[test]
+    fn trace_shapes_the_rate_envelope() {
+        // 4× rate in even seconds, 0.25× in odd seconds: the even windows
+        // must collect far more arrivals than the odd ones.
+        let w =
+            WorkloadSpec::try_trace("m", 100.0, 5000, &[(1.0, 4.0), (1.0, 0.25)]).expect("valid");
+        let q = w.generate(3);
+        let high = q.iter().filter(|x| x.arrival.0 % 2.0 < 1.0).count();
+        let low = q.len() - high;
+        assert!(
+            high as f64 > 8.0 * low as f64,
+            "high-phase {high} vs low-phase {low}"
+        );
+    }
+
+    #[test]
+    fn trace_does_not_renormalize_the_nominal_rate() {
+        // A constant 2× multiplier doubles the long-run rate — a trace is
+        // the envelope itself, not a duty cycle over a fixed average.
+        let w = WorkloadSpec::try_trace("m", 100.0, 10_000, &[(1.0, 2.0)]).expect("valid");
+        let q = w.generate(9);
+        let rate = q.len() as f64 / q.last().unwrap().arrival.0;
+        assert!((rate - 200.0).abs() / 200.0 < 0.1, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn try_trace_rejects_bad_schedules() {
+        assert_eq!(
+            WorkloadSpec::try_trace("m", 10.0, 5, &[]),
+            Err(WorkloadError::EmptyTrace)
+        );
+        assert_eq!(
+            WorkloadSpec::try_trace("m", 10.0, 5, &[(1.0, 0.0), (2.0, 0.0)]),
+            Err(WorkloadError::EmptyTrace)
+        );
+        for bad in [
+            (0.0, 1.0),
+            (-1.0, 1.0),
+            (f64::NAN, 1.0),
+            (1.0, -0.5),
+            (1.0, f64::NAN),
+        ] {
+            assert!(
+                matches!(
+                    WorkloadSpec::try_trace("m", 10.0, 5, &[(1.0, 1.0), bad]),
+                    Err(WorkloadError::InvalidTraceSegment { index: 1, .. })
+                ),
+                "segment {bad:?} was not rejected"
+            );
+        }
+        // Stream validation still applies underneath.
+        assert!(matches!(
+            WorkloadSpec::try_trace("m", 0.0, 5, &[(1.0, 1.0)]),
+            Err(WorkloadError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            WorkloadSpec::try_trace_mix(&[], 5, &[(1.0, 1.0)]),
             Err(WorkloadError::NoStreams)
         ));
     }

@@ -64,9 +64,10 @@ pub use veltair_tensor as tensor;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use veltair_cluster::{
-        AdmissionKind, ClusterError, CoordinatorStats, Fleet, FleetReport, FleetSnapshot,
-        IndexSupport, LoadIndex, NodeLoad, NodeSpec, Router, RouterKind, RoutingMode,
-        SloAdmissionConfig, StepMode,
+        AdmissionKind, Autoscaler, AutoscalerConfig, AutoscalerKind, ClusterError,
+        CoordinatorStats, FailureEvent, FailureKind, FailurePlan, Fleet, FleetReport,
+        FleetSnapshot, IndexSupport, LoadIndex, NodeLoad, NodeSpec, NodeState, Router, RouterKind,
+        RoutingMode, ScaleDecision, ScalePolicy, SloAdmissionConfig, StepMode,
     };
     pub use veltair_compiler::{
         compile_model, CompiledModel, CompilerError, CompilerOptions, CompilerService,
@@ -74,9 +75,10 @@ pub mod prelude {
         SelectionContext, SelectorKind, StaticLevel, VersionSelector,
     };
     pub use veltair_core::{
-        max_qps_at_qos, train_proxy, ClusterBuilder, ClusterEngine, ClusterSession, Completion,
-        EngineBuilder, EngineError, Policy, QpsResult, QpsSearchConfig, ReportSnapshot,
-        ServingEngine, ServingReport, ServingSession, SimError, WorkloadError, WorkloadSpec,
+        all_scenarios, max_qps_at_qos, train_proxy, ClusterBuilder, ClusterEngine, ClusterSession,
+        Completion, EngineBuilder, EngineError, Policy, QpsResult, QpsSearchConfig, ReportSnapshot,
+        Scenario, ServingEngine, ServingReport, ServingSession, SimError, SloExpectation,
+        WorkloadError, WorkloadSpec,
     };
     pub use veltair_models::{all_models, by_name, ModelSpec, WorkloadClass};
     pub use veltair_sched::runtime::{Dispatcher, Driver};

@@ -186,6 +186,94 @@ fn always_defer_hits_the_hard_cap_exactly_then_sheds() {
     );
 }
 
+/// Conservation under elastic churn: randomized fleets with a randomized
+/// mid-run churn script (a join, a graceful drain, a crash) must still
+/// reconcile every counter. Under `AdmitAll` the identities are exact:
+/// every submission completes (`total_queries == submitted`), and the
+/// routing ledger balances — each query is routed once per placement, so
+/// `sum(routed_per_node) == submitted + rerouted`. Under the SLO-aware
+/// controller the weaker identity `completed + shed == submitted` must
+/// hold instead.
+#[test]
+fn churn_conserves_queries_and_balances_the_routing_ledger() {
+    let models = compiled_models();
+    let mut rng = StdRng::seed_from_u64(0xad31_5512);
+    for case in 0..12 {
+        // At least two seed nodes so the scripted departure can never
+        // empty the fleet.
+        let mut nodes = fleet_nodes(&mut rng);
+        while nodes.len() < 2 {
+            nodes.push(NodeSpec::new(
+                &format!("pad-{}", nodes.len()),
+                MachineConfig::desktop_8core(),
+                Policy::VeltairFull,
+            ));
+        }
+        let queries = rng.gen_range(20usize..70);
+        let qps = rng.gen_range(60.0f64..400.0);
+        let workload = WorkloadSpec::mix(&[("mobilenet_v2", qps), ("tiny_yolo_v2", qps)], queries);
+        let workload_seed = rng.gen_range(0u64..10_000);
+        let t_join = rng.gen_range(0.01f64..0.08);
+        let t_drain = t_join + rng.gen_range(0.01f64..0.08);
+        let t_kill = t_drain + rng.gen_range(0.01f64..0.08);
+        let victim = rng.gen_range(0usize..nodes.len());
+        for admit_all in [true, false] {
+            let admission = if admit_all {
+                AdmissionKind::AdmitAll
+            } else {
+                AdmissionKind::SloAware(SloAdmissionConfig::default())
+            };
+            let mut fleet = Fleet::new(
+                &models,
+                &nodes,
+                RouterKind::LeastOutstanding.build(),
+                admission.build(),
+            )
+            .expect("valid fleet");
+            fleet
+                .submit_stream(&workload, workload_seed)
+                .expect("registered");
+            fleet.run_until(t_join);
+            let joiner = fleet.add_node(&NodeSpec::new(
+                "joiner",
+                MachineConfig::desktop_8core(),
+                Policy::VeltairFull,
+            ));
+            fleet.run_until(t_drain);
+            fleet.drain_node(victim).expect("two survivors remain");
+            fleet.run_until(t_kill);
+            fleet.kill_node(joiner).expect("a survivor remains");
+            let report = fleet.finish();
+
+            assert_eq!(
+                report.merged.total_queries() as u64 + report.shed,
+                report.submitted,
+                "case {case} admit_all={admit_all}: queries leaked under churn"
+            );
+            assert_eq!(
+                report.submitted, queries as u64,
+                "case {case}: submission count"
+            );
+            if admit_all {
+                assert_eq!(report.shed, 0, "case {case}: AdmitAll shed something");
+                assert_eq!(
+                    report.routed_per_node.iter().sum::<u64>(),
+                    report.submitted + report.rerouted,
+                    "case {case}: the routing ledger does not balance \
+                     (routed {:?}, rerouted {})",
+                    report.routed_per_node,
+                    report.rerouted
+                );
+            }
+            assert_eq!(
+                report.shed_per_model.values().sum::<u64>(),
+                report.shed,
+                "case {case} admit_all={admit_all}: per-model shed counts do not reconcile"
+            );
+        }
+    }
+}
+
 /// `inject_held` is the primitive deferral stands on: a query held above
 /// the driver keeps its original arrival as the latency baseline, so the
 /// measured latency (a) includes at least the full hold and (b) grows

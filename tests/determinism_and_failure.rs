@@ -80,6 +80,165 @@ fn burst_arrivals_are_absorbed() {
     assert!(report.makespan_s > 0.0);
 }
 
+// --- Fleet-level failure injection --------------------------------------
+
+use veltair::cluster::ClusterError;
+
+/// A small homogeneous cluster builder for the fleet-level legs.
+fn cluster(n: usize) -> ClusterBuilder {
+    let mut b = ClusterEngine::builder()
+        .model(compiled("mobilenet_v2"))
+        .router(RouterKind::LeastOutstanding)
+        .admission(AdmissionKind::AdmitAll);
+    for i in 0..n {
+        b = b.node(NodeSpec::new(
+            &format!("n{i}"),
+            MachineConfig::desktop_8core(),
+            Policy::VeltairFull,
+        ));
+    }
+    b
+}
+
+fn fleet_workload(queries: usize) -> WorkloadSpec {
+    WorkloadSpec::single("mobilenet_v2", 150.0, queries)
+}
+
+/// Seeded failure plans are reproducible: the same seed yields the same
+/// run bit for bit, and a different seed perturbs it.
+#[test]
+fn seeded_failure_plans_reproduce_bit_for_bit() {
+    let run = |plan_seed: u64| {
+        let plan =
+            FailurePlan::try_seeded(plan_seed, 3, 2.0, 0.6, 0.5, 0.15).expect("valid parameters");
+        cluster(3)
+            .failure_plan(plan)
+            .build()
+            .expect("valid cluster")
+            .run(&fleet_workload(180), 77)
+    };
+    let a = run(9);
+    assert_eq!(a, run(9), "same failure seed must reproduce exactly");
+    assert_eq!(
+        a.merged.total_queries() as u64 + a.shed,
+        a.submitted,
+        "queries leaked under seeded failures"
+    );
+    let b = run(10);
+    assert_ne!(a, b, "a different failure seed should perturb the run");
+}
+
+/// A stalled node is unroutable for exactly the stall window, then
+/// recovers to `Live` — nothing is killed, nothing is lost.
+#[test]
+fn stalled_nodes_recover_on_schedule() {
+    let plan = FailurePlan::new()
+        .try_stall(0.05, 1, 0.1)
+        .expect("valid instant");
+    let engine = cluster(2).failure_plan(plan).build().expect("valid");
+    let mut session = engine.session().expect("valid");
+    session
+        .submit_stream(&fleet_workload(90), 5)
+        .expect("registered");
+    session.run_until(0.08); // mid-stall
+    assert_eq!(session.node_states()[1], NodeState::Stalled);
+    assert_eq!(session.live_nodes(), 1);
+    session.run_until(0.3); // past recovery at 0.15
+    assert_eq!(session.node_states()[1], NodeState::Live);
+    assert_eq!(session.live_nodes(), 2);
+    let report = session.finish();
+    assert_eq!(report.node_states, vec![NodeState::Live, NodeState::Live]);
+    assert_eq!(report.coordinator.nodes_killed, 0);
+    assert_eq!(report.coordinator.nodes_drained, 0);
+    assert_eq!(report.merged.total_queries(), 90);
+}
+
+/// Manual lifecycle operations land in both the coordinator counters and
+/// the per-slot terminal states, under the documented counting contract:
+/// one increment per accepted operation, no-ops count nothing.
+#[test]
+fn lifecycle_counters_reconcile_with_terminal_states() {
+    let engine = cluster(3).build().expect("valid");
+    let mut session = engine.session().expect("valid");
+    session
+        .submit_stream(&fleet_workload(120), 13)
+        .expect("registered");
+    session.run_until(0.02);
+    let joiner = session.add_node(&NodeSpec::new(
+        "joiner",
+        MachineConfig::desktop_8core(),
+        Policy::VeltairFull,
+    ));
+    assert_eq!(joiner, 3, "the joiner takes the next roster slot");
+    session.run_until(0.05);
+    session.drain_node(0).expect("survivors remain");
+    session.kill_node(1).expect("survivors remain");
+    // Repeating either operation on a departed node is a counted no-op.
+    session.drain_node(0).expect("no-op");
+    session.kill_node(1).expect("no-op");
+    let report = session.finish();
+    assert_eq!(report.coordinator.nodes_added, 1);
+    assert_eq!(report.coordinator.nodes_drained, 1);
+    assert_eq!(report.coordinator.nodes_killed, 1);
+    // After finish() every drained node has emptied and gone Dead.
+    assert_eq!(
+        report.node_states,
+        vec![
+            NodeState::Dead,
+            NodeState::Dead,
+            NodeState::Live,
+            NodeState::Live
+        ]
+    );
+    assert_eq!(report.live_nodes(), 2);
+    assert_eq!(report.dead_nodes(), 2);
+    assert_eq!(
+        report.merged.total_queries() as u64 + report.shed,
+        report.submitted,
+        "the drain/kill re-routes lost queries"
+    );
+}
+
+/// The typed error surface: unknown roster indices, operations that
+/// would empty the fleet, and out-of-range scale parameters each map to
+/// their own variant (through `EngineError` at the session surface).
+#[test]
+fn lifecycle_and_policy_errors_are_typed() {
+    let engine = cluster(1).build().expect("valid");
+    let mut session = engine.session().expect("valid");
+    assert!(matches!(
+        session.drain_node(99),
+        Err(EngineError::UnknownNode { node: 99 })
+    ));
+    assert!(matches!(
+        session.drain_node(0),
+        Err(EngineError::FleetEmpty)
+    ));
+    assert!(matches!(session.kill_node(0), Err(EngineError::FleetEmpty)));
+
+    let template = NodeSpec::new("t", MachineConfig::desktop_8core(), Policy::VeltairFull);
+    let kind = AutoscalerKind::Hysteresis(AutoscalerConfig::default());
+    assert!(matches!(
+        ScalePolicy::try_new(kind.clone(), template.clone(), 4, 2, 0.25, 0.5),
+        Err(ClusterError::InvalidScalePolicy {
+            field: "max_nodes",
+            ..
+        })
+    ));
+    assert!(matches!(
+        ScalePolicy::try_new(kind, template, 0, 2, 0.25, 0.5),
+        Err(ClusterError::InvalidScalePolicy {
+            field: "min_nodes",
+            ..
+        })
+    ));
+    // An inverted hysteresis band is rejected at config construction.
+    assert!(matches!(
+        AutoscalerConfig::try_new(0.5, 2.0, 2, 1),
+        Err(ClusterError::InvalidScalePolicy { .. })
+    ));
+}
+
 #[test]
 fn single_query_stream_works() {
     let machine = MachineConfig::threadripper_3990x();

@@ -304,6 +304,135 @@ fn batching_epsilon_is_bit_identical_and_saves_round_trips() {
     }
 }
 
+/// An elastic churn engine: the four-node fleet plus a failure plan (a
+/// stall and a crash) and a fast-ticking autoscaler, so the index sees
+/// every lifecycle transition the runtime supports.
+fn churn_engine(router: RouterKind, step: StepMode, routing: RoutingMode) -> ClusterEngine {
+    let plan = FailurePlan::new()
+        .try_stall(0.06, 0, 0.05)
+        .and_then(|p| p.try_crash(0.18, 3))
+        .expect("valid plan");
+    // The floor sits above the seed roster so the autoscaler provisions
+    // but never scales in — scale-in drains would race the scripted
+    // crash/kill instants and blur the exact lifecycle counts below.
+    let policy = ScalePolicy::try_new(
+        AutoscalerKind::Hysteresis(AutoscalerConfig::default()),
+        NodeSpec::new(
+            "elastic",
+            MachineConfig::desktop_8core(),
+            Policy::VeltairFull,
+        ),
+        6,
+        8,
+        0.05,
+        0.02,
+    )
+    .expect("valid policy");
+    let mut builder = ClusterEngine::builder()
+        .router(router)
+        .admission(ADMISSIONS[1])
+        .step_mode(step)
+        .routing_mode(routing)
+        .failure_plan(plan)
+        .autoscale(policy);
+    for m in compiled_mix() {
+        builder = builder.model(m.clone());
+    }
+    for n in nodes() {
+        builder = builder.node(n);
+    }
+    builder.build().expect("valid cluster")
+}
+
+/// The shared churn script: every run submits the same stream, then
+/// performs the same manual add/drain/kill at the same virtual instants,
+/// on top of the engine's failure plan and autoscaler. Identical scripts
+/// must produce identical reports regardless of routing or step mode.
+fn churn_run(engine: &ClusterEngine, seed: u64) -> FleetReport {
+    let mut session = engine.session().expect("valid");
+    session
+        .submit_stream(&bursty_workload(80), seed)
+        .expect("registered");
+    session.run_until(0.05);
+    let joiner = session.add_node(&NodeSpec::new(
+        "joiner-0",
+        MachineConfig::desktop_8core(),
+        Policy::VeltairFull,
+    ));
+    session.run_until(0.12);
+    session.drain_node(1).expect("drainable");
+    session.run_until(0.2);
+    session.kill_node(joiner).expect("known node");
+    session.finish()
+}
+
+/// The elastic leg of the matrix: a scripted churn run — a stall, a
+/// crash, a graceful drain, a manual join + kill, and an autoscaler all
+/// mid-stream — is bit-identical across both routing modes and every
+/// step-mode thread count. Same routing compares whole reports (the
+/// coordinator counters included); cross-routing strips the counters
+/// like the rest of this suite.
+#[test]
+fn elastic_churn_is_bit_identical_across_routing_and_step_modes() {
+    for router in [RouterKind::LeastOutstanding, RouterKind::InterferenceAware] {
+        for seed in [13, 59] {
+            let reference = churn_run(
+                &churn_engine(router, StepMode::Sequential, RoutingMode::Indexed),
+                seed,
+            );
+            // The script must actually exercise the lifecycle: exactly
+            // the manual drain (the floor blocks autoscaler scale-in),
+            // exactly the crash plus the manual kill, and at least the
+            // manual join on the add side.
+            assert_eq!(reference.coordinator.nodes_drained, 1);
+            assert_eq!(reference.coordinator.nodes_killed, 2);
+            assert!(reference.coordinator.nodes_added >= 1);
+            assert_eq!(
+                reference.merged.total_queries() as u64 + reference.shed,
+                reference.submitted,
+                "router={}: queries leaked under churn",
+                router.name()
+            );
+            for &t in &thread_counts() {
+                let parallel = churn_run(
+                    &churn_engine(
+                        router,
+                        StepMode::Parallel { threads: t },
+                        RoutingMode::Indexed,
+                    ),
+                    seed,
+                );
+                assert_eq!(
+                    parallel,
+                    reference,
+                    "router={} seed={seed} threads={t}: parallel churn diverged",
+                    router.name()
+                );
+            }
+            let scan = churn_run(
+                &churn_engine(router, StepMode::Sequential, RoutingMode::Scan),
+                seed,
+            );
+            assert_eq!(
+                outcome(scan),
+                outcome(reference.clone()),
+                "router={} seed={seed}: scan churn diverged",
+                router.name()
+            );
+            let crossed = churn_run(
+                &churn_engine(router, StepMode::Parallel { threads: 2 }, RoutingMode::Scan),
+                seed,
+            );
+            assert_eq!(
+                outcome(crossed),
+                outcome(reference),
+                "router={} seed={seed}: scan+parallel churn diverged",
+                router.name()
+            );
+        }
+    }
+}
+
 /// A seeded randomized churn run: after every routed query the fleet's
 /// incremental index must agree with a from-scratch scan of the live
 /// loads. Checked indirectly and strongly — the scan-mode twin run *is* a

@@ -1,0 +1,165 @@
+//! The pinned scenario library as a regression artifact.
+//!
+//! Three guarantees per scenario (`veltair_core::scenarios`):
+//!
+//! 1. **SLO pins** — each scenario meets its own [`SloExpectation`]
+//!    (satisfaction floor, completion floor, nothing unresolved).
+//! 2. **Bit-determinism under churn** — the full [`FleetReport`]
+//!    (including lifecycle counters and node states) is identical across
+//!    repeated runs and across [`StepMode`]s, even though the scenarios
+//!    crash, drain, provision, and re-route mid-run.
+//! 3. **The failover demonstration** — the autoscaled failover scenario
+//!    beats its fixed-fleet twin (same topology, crash, workload, and
+//!    seed) by a real satisfaction margin, while both resolve every
+//!    query.
+//!
+//! Thread counts for the parallel legs come from `VELTAIR_STEP_THREADS`
+//! (comma-separated), defaulting to {1, 2, 8}, so the CI worker-count
+//! matrix covers the scenario suite too.
+
+use veltair::core::scenarios::{all_scenarios, failover};
+use veltair::prelude::*;
+
+/// Worker-thread counts under test: `VELTAIR_STEP_THREADS` (comma
+/// separated) or the {1, 2, 8} default.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("VELTAIR_STEP_THREADS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("VELTAIR_STEP_THREADS: bad thread count {s:?}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+#[test]
+fn every_pinned_scenario_meets_its_slo_expectations() {
+    for scenario in all_scenarios() {
+        let report = scenario.run(StepMode::Sequential);
+        let violations = scenario.check(&report);
+        assert!(
+            violations.is_empty(),
+            "{}: {}",
+            scenario.name,
+            violations.join("; ")
+        );
+        // The expectation floors above are the contract; pin the
+        // resolution arithmetic explicitly too so a counter regression
+        // names the scenario that tripped it.
+        assert_eq!(
+            report.merged.total_queries() as u64 + report.shed,
+            report.submitted,
+            "{}: queries leaked",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn scenarios_are_bit_deterministic_across_step_modes() {
+    for scenario in all_scenarios() {
+        let reference = scenario.run(StepMode::Sequential);
+        assert_eq!(
+            scenario.run(StepMode::Sequential),
+            reference,
+            "{}: two sequential runs diverged",
+            scenario.name
+        );
+        for t in thread_counts() {
+            let parallel = scenario.run(StepMode::Parallel { threads: t });
+            assert_eq!(
+                parallel, reference,
+                "{}: parallel ({t} threads) diverged from sequential",
+                scenario.name
+            );
+        }
+    }
+}
+
+#[test]
+fn elastic_scenarios_actually_flex_the_fleet() {
+    // The elastic scenarios must end with more roster slots than they
+    // started with (the autoscaler provisioned) and their lifecycle
+    // counters must reconcile with the terminal node states.
+    for scenario in all_scenarios() {
+        let report = scenario.run(StepMode::Sequential);
+        let initial = scenario
+            .builder
+            .clone()
+            .build()
+            .expect("valid")
+            .nodes()
+            .len();
+        if scenario.scale.is_some() {
+            assert!(
+                report.node_states.len() > initial,
+                "{}: the autoscaler never provisioned (roster {} from {initial})",
+                scenario.name,
+                report.node_states.len()
+            );
+            assert_eq!(
+                report.coordinator.nodes_added as usize,
+                report.node_states.len() - initial,
+                "{}: nodes_added does not match the roster growth",
+                scenario.name
+            );
+        }
+        let dead = report.dead_nodes() + report.draining_nodes();
+        assert!(
+            report.coordinator.nodes_killed + report.coordinator.nodes_drained >= dead as u64,
+            "{}: lifecycle counters lost departures",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn failover_autoscaler_beats_the_fixed_fleet_baseline() {
+    let scenario = failover();
+    let autoscaled = scenario.run(StepMode::Sequential);
+    let baseline = scenario.run_with(None, StepMode::Sequential);
+
+    // Both postures resolve everything — the crash loses no queries.
+    for (label, report) in [("autoscaled", &autoscaled), ("baseline", &baseline)] {
+        assert_eq!(
+            report.merged.total_queries() as u64 + report.shed,
+            report.submitted,
+            "{label}: queries leaked across the crash"
+        );
+        assert_eq!(report.dead_nodes(), 1, "{label}: the crash did not land");
+    }
+
+    // The recovery demonstration: replacements beat a lone survivor by a
+    // real margin.
+    let with = autoscaled.merged.overall_satisfaction();
+    let without = baseline.merged.overall_satisfaction();
+    assert!(
+        with >= without + 0.05,
+        "autoscaled failover ({with:.3}) did not beat the fixed fleet ({without:.3})"
+    );
+    assert!(
+        autoscaled.node_states.len() > baseline.node_states.len(),
+        "the autoscaler provisioned no replacements"
+    );
+}
+
+#[test]
+fn scenario_library_names_are_stable() {
+    // The names are public API (tables, CI logs, docs); renaming one is
+    // a breaking change that should be deliberate.
+    let names: Vec<&str> = all_scenarios().iter().map(|s| s.name).collect();
+    assert_eq!(
+        names,
+        [
+            "steady",
+            "diurnal",
+            "flash-crowd",
+            "failover",
+            "rolling-upgrade"
+        ]
+    );
+}
