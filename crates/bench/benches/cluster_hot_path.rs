@@ -13,6 +13,7 @@ use veltair_compiler::{
 use veltair_sched::runtime::Driver;
 use veltair_sched::{Policy, QuerySpec, SimConfig, WorkloadSpec};
 use veltair_sim::{Interference, MachineConfig, SimTime};
+use veltair_telemetry::{NullSink, RecorderSink, TraceConfig, TraceSink};
 
 fn compiled_mobilenet() -> Vec<CompiledModel> {
     let machine = MachineConfig::threadripper_3990x();
@@ -235,6 +236,87 @@ fn bench_fleet_churn(c: &mut Criterion) {
     }
 }
 
+/// The flight recorder's zero-overhead contract, measured. Three rows of
+/// the same 50-query driver step loop: no sink attached, a [`NullSink`]
+/// (telemetry compiled in, switched off — every emission site collapses
+/// to one cached branch), and a full [`RecorderSink`]; plus one fleet
+/// row with the collector attached end to end. A coarse `Instant`-based
+/// guard asserts the NullSink path stays within noise of the no-sink
+/// baseline (a generous 3x, so a truly broken contract — constructing
+/// events while disabled — fails even on a noisy CI host).
+fn bench_trace_overhead(c: &mut Criterion) {
+    let models = compiled_mobilenet();
+    let machine = MachineConfig::threadripper_3990x();
+    let queries = WorkloadSpec::single("mobilenet_v2", 400.0, 50).generate(7);
+    let run = |sink: Option<Box<dyn TraceSink>>| {
+        let cfg = SimConfig::new(machine.clone(), Policy::VeltairFull);
+        let mut driver = Driver::new(&models, &queries, cfg).expect("valid workload");
+        if let Some(sink) = sink {
+            driver.set_trace_sink(sink);
+        }
+        let mut events = 0u64;
+        while driver.step().is_some() {
+            events += 1;
+        }
+        events
+    };
+    c.bench_function("driver_step_trace/no_sink", |b| b.iter(|| run(None)));
+    c.bench_function("driver_step_trace/null_sink", |b| {
+        b.iter(|| run(Some(Box::new(NullSink))))
+    });
+    c.bench_function("driver_step_trace/recorder_sink", |b| {
+        b.iter(|| run(Some(Box::new(RecorderSink::new()))))
+    });
+
+    let timed = |null: bool| {
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            let sink: Option<Box<dyn TraceSink>> = null.then(|| Box::new(NullSink) as Box<_>);
+            std::hint::black_box(run(sink));
+        }
+        start.elapsed().as_secs_f64()
+    };
+    timed(false); // warm caches before either measured pass
+    let base_s = timed(false);
+    let null_s = timed(true);
+    println!(
+        "trace_overhead guard: no_sink {base_s:.4}s, null_sink {null_s:.4}s \
+         ({:.2}x)",
+        null_s / base_s
+    );
+    assert!(
+        null_s <= base_s * 3.0,
+        "NullSink path ({null_s:.4}s) is not within noise of the no-sink \
+         baseline ({base_s:.4}s): the disabled-telemetry branch is doing work"
+    );
+
+    // The honest end-to-end cost of recording everything: the
+    // `bench_fleet_run` configuration with the collector attached.
+    let big = MachineConfig::threadripper_3990x();
+    let edge = MachineConfig::desktop_8core();
+    let nodes = vec![
+        NodeSpec::new("big-0", big.clone(), Policy::VeltairFull),
+        NodeSpec::new("big-1", big, Policy::VeltairFull),
+        NodeSpec::new("edge-0", edge.clone(), Policy::Prema),
+        NodeSpec::new("edge-1", edge, Policy::Planaria),
+    ];
+    let workload = WorkloadSpec::single("mobilenet_v2", 300.0, 60);
+    c.bench_function("fleet_serve_60_queries_4_nodes/traced", |b| {
+        b.iter(|| {
+            let mut fleet = Fleet::new(
+                &models,
+                &nodes,
+                RouterKind::InterferenceAware.build(),
+                AdmissionKind::AdmitAll.build(),
+            )
+            .expect("valid fleet")
+            .with_telemetry(TraceConfig::unbounded());
+            fleet.submit_stream(&workload, 5).expect("registered");
+            fleet.finish()
+        })
+    });
+}
+
 /// The per-planning-decision version-selection cost: every adaptive
 /// block plan walks the selector, so its `select` call sits directly on
 /// the dispatch hot path. Levels sweep a sawtooth so the hysteresis
@@ -271,6 +353,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_driver_step, bench_router_decisions, bench_fleet_run,
         bench_fleet_stepper_scaling, bench_scan_vs_indexed_routing,
-        bench_fleet_churn, bench_selector_hot_path
+        bench_fleet_churn, bench_trace_overhead, bench_selector_hot_path
 }
 criterion_main!(cluster_hot_path);

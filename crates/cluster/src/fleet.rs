@@ -51,6 +51,7 @@ use veltair_compiler::CompiledModel;
 use veltair_sched::runtime::Driver;
 use veltair_sched::{QuerySpec, WorkloadSpec};
 use veltair_sim::SimTime;
+use veltair_telemetry::{Collector, TelemetrySnapshot, TraceConfig, TraceEventKind, TraceLog};
 
 use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::failure::{FailureEvent, FailureKind, FailurePlan};
@@ -180,6 +181,11 @@ struct PendingQuery {
     model: usize,
     /// Deferral count so far.
     attempts: u32,
+    /// The query's fleet-wide trace identity: the submission sequence
+    /// number of its *original* front-door entry, preserved through
+    /// deferrals and drain/kill re-routes (which re-ticket `seq` but
+    /// keep the trace id, so one lifecycle chain stays one span).
+    trace: u64,
 }
 
 impl Ord for PendingQuery {
@@ -236,6 +242,11 @@ pub struct FleetSnapshot {
     pub report: veltair_sched::ServingReport,
     /// Coordinator work counters so far (see [`CoordinatorStats`]).
     pub coordinator: CoordinatorStats,
+    /// The metrics registry as of this snapshot, when telemetry is
+    /// enabled ([`Fleet::enable_telemetry`]). Node-side figures
+    /// (histograms, the violation table) are fresh as of the last
+    /// coordinator pull point; coordinator counters are exact.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl FleetSnapshot {
@@ -368,6 +379,21 @@ pub struct Fleet<'a> {
     pending_joins: VecDeque<(SimTime, NodeSpec)>,
     /// The autoscaling attachment, if any.
     scale: Option<ScaleState>,
+    /// The flight recorder, when enabled: merges coordinator lifecycle
+    /// events with per-node sink pulls and keeps the metrics registry.
+    /// `None` (the default) keeps the hot path telemetry-free — every
+    /// emission site is behind one `Option` branch.
+    telemetry: Option<Collector>,
+    /// Collector track id per roster slot, parallel to `drivers`.
+    node_track: Vec<u32>,
+    /// Per-node `driver-local query index -> fleet trace id` tables,
+    /// parallel to `drivers`: grown at each admission, consulted when a
+    /// node's sink is absorbed (its events carry local indices) and when
+    /// a drain/kill orphan re-enters the front door.
+    trace_maps: Vec<Vec<u64>>,
+    /// Scratch buffer for node sink pulls, reused so the pull points
+    /// allocate nothing in steady state.
+    trace_scratch: Vec<(f64, TraceEventKind)>,
 }
 
 impl std::fmt::Debug for Fleet<'_> {
@@ -490,6 +516,10 @@ impl<'a> Fleet<'a> {
             stalls: BinaryHeap::new(),
             pending_joins: VecDeque::new(),
             scale: None,
+            telemetry: None,
+            node_track: Vec::new(),
+            trace_maps: Vec::new(),
+            trace_scratch: Vec::new(),
         })
     }
 
@@ -631,6 +661,108 @@ impl<'a> Fleet<'a> {
         self
     }
 
+    // --- Telemetry --------------------------------------------------------
+
+    /// Turns on the flight recorder: query-lifecycle events
+    /// (`Submitted → Routed → Admitted/Deferred/Shed → Dispatched →
+    /// Completed/Violated`, plus `Requeued` detours) and node-lifecycle
+    /// events flow into a [`Collector`] that merges coordinator and
+    /// per-node streams deterministically.
+    ///
+    /// Determinism contract: enabling telemetry never perturbs the
+    /// simulation — reports stay bit-identical to an untraced run — and
+    /// the merged trace itself is bit-identical across
+    /// [`StepMode`] and [`RoutingMode`], because every
+    /// coordinator event fires on the routing thread at a virtual-time
+    /// instant and node sinks are pulled in roster order at fixed points
+    /// (the end of every [`Fleet::run_until`] /
+    /// [`Fleet::run_to_completion`]).
+    ///
+    /// Call before submitting work: events for queries admitted earlier
+    /// cannot be retroactively attributed. Each existing roster node is
+    /// registered as a track and announced with a `NodeJoined` event at
+    /// the current instant.
+    pub fn enable_telemetry(&mut self, config: TraceConfig) {
+        let models = self.models.iter().map(|m| m.name.clone()).collect();
+        let mut tm = Collector::new(config, models);
+        self.node_track.clear();
+        self.trace_maps = vec![Vec::new(); self.drivers.len()];
+        for (i, d) in self.drivers.iter_mut().enumerate() {
+            let class = format!("{}c/{}", d.total_cores(), d.policy().name());
+            self.node_track
+                .push(tm.register_track(&self.names[i], &class));
+            d.set_trace_sink(Box::new(tm.make_sink()));
+            tm.coordinator(self.now.0, TraceEventKind::NodeJoined { node: i as u32 });
+        }
+        self.telemetry = Some(tm);
+    }
+
+    /// Enables the flight recorder at construction time:
+    /// `Fleet::new(..)?.with_telemetry(TraceConfig::unbounded())`.
+    #[must_use]
+    pub fn with_telemetry(mut self, config: TraceConfig) -> Self {
+        self.enable_telemetry(config);
+        self
+    }
+
+    /// Whether the flight recorder is on.
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// A point-in-time copy of the metrics registry, when telemetry is
+    /// enabled. Pulls every node's buffered events first, so histograms
+    /// and the violation table are current to the fleet clock.
+    pub fn telemetry_snapshot(&mut self) -> Option<TelemetrySnapshot> {
+        self.pull_traces();
+        self.telemetry.as_ref().map(Collector::snapshot)
+    }
+
+    /// Materializes the merged trace so far: every event, sorted by
+    /// `(virtual time, track)` with the coordinator first within an
+    /// instant. Pulls node sinks first. `None` when telemetry is off.
+    pub fn trace_log(&mut self) -> Option<TraceLog> {
+        self.pull_traces();
+        self.telemetry.as_ref().map(Collector::log)
+    }
+
+    /// Drains every node's trace sink into the collector, in roster
+    /// order, rewriting driver-local query indices into fleet trace ids.
+    /// Extra pulls are harmless to the final merged log: the sort key is
+    /// `(time, track)` and a node's events drain FIFO, so pull timing
+    /// can never reorder the materialized trace.
+    fn pull_traces(&mut self) {
+        let Some(tm) = self.telemetry.as_mut() else {
+            return;
+        };
+        let mut buf = std::mem::take(&mut self.trace_scratch);
+        for (i, d) in self.drivers.iter_mut().enumerate() {
+            buf.clear();
+            d.drain_trace(&mut buf);
+            let dropped = d.trace_dropped();
+            if buf.is_empty() && dropped == 0 {
+                continue;
+            }
+            tm.absorb_events(
+                self.node_track[i],
+                &mut buf,
+                Some(&self.trace_maps[i]),
+                dropped,
+            );
+        }
+        self.trace_scratch = buf;
+    }
+
+    /// Records one coordinator lifecycle event when telemetry is on —
+    /// the single `Option` branch every emission site pays.
+    #[inline]
+    fn emit(&mut self, at_s: f64, kind: TraceEventKind) {
+        if let Some(tm) = self.telemetry.as_mut() {
+            tm.coordinator(at_s, kind);
+        }
+    }
+
     // --- Observation ------------------------------------------------------
 
     /// Fleet clock, seconds.
@@ -721,6 +853,7 @@ impl<'a> Fleet<'a> {
             nodes,
             report,
             coordinator: self.stats,
+            telemetry: self.telemetry.as_ref().map(Collector::snapshot),
         }
     }
 
@@ -756,12 +889,20 @@ impl<'a> Fleet<'a> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.submitted += 1;
+        self.emit(
+            arrival.0,
+            TraceEventKind::Submitted {
+                query: seq,
+                model: model as u32,
+            },
+        );
         self.pending.push(PendingQuery {
             due: arrival,
             arrival,
             seq,
             model,
             attempts: 0,
+            trace: seq,
         });
         Ok(seq)
     }
@@ -811,6 +952,13 @@ impl<'a> Fleet<'a> {
         let node = self.drivers.len();
         let mut driver = Driver::open(self.models, spec.sim_config());
         driver.run_until(self.now);
+        if let Some(tm) = self.telemetry.as_mut() {
+            let class = format!("{}c/{}", driver.total_cores(), driver.policy().name());
+            self.node_track.push(tm.register_track(&spec.name, &class));
+            driver.set_trace_sink(Box::new(tm.make_sink()));
+            self.trace_maps.push(Vec::new());
+            tm.coordinator(self.now.0, TraceEventKind::NodeJoined { node: node as u32 });
+        }
         self.index.push(u64::from(driver.total_cores()).max(1));
         self.drivers.push(driver);
         self.names.push(spec.name.clone());
@@ -883,12 +1031,20 @@ impl<'a> Fleet<'a> {
         self.node_state[node] = NodeState::Draining;
         self.draining_count += 1;
         self.index.set_routable(node, false);
+        self.emit(
+            self.now.0,
+            TraceEventKind::NodeDraining { node: node as u32 },
+        );
         let orphans = self.drivers[node].extract_waiting();
-        self.reroute(orphans);
+        self.reroute(node, orphans);
         self.stats.nodes_drained += 1;
         if self.drivers[node].is_idle() {
             self.node_state[node] = NodeState::Dead;
             self.draining_count -= 1;
+            self.emit(
+                self.now.0,
+                TraceEventKind::NodeRetired { node: node as u32 },
+            );
         }
     }
 
@@ -898,8 +1054,9 @@ impl<'a> Fleet<'a> {
         }
         self.node_state[node] = NodeState::Dead;
         self.index.set_routable(node, false);
+        self.emit(self.now.0, TraceEventKind::NodeKilled { node: node as u32 });
         let orphans = self.drivers[node].halt();
-        self.reroute(orphans);
+        self.reroute(node, orphans);
         self.stats.nodes_killed += 1;
     }
 
@@ -910,6 +1067,7 @@ impl<'a> Fleet<'a> {
     fn stall_node_inner(&mut self, node: usize, duration_s: f64, at: SimTime) {
         self.node_state[node] = NodeState::Stalled;
         self.index.set_routable(node, false);
+        self.emit(at.0, TraceEventKind::NodeStalled { node: node as u32 });
         self.stalls.push(Reverse((at.after(duration_s), node)));
     }
 
@@ -920,18 +1078,25 @@ impl<'a> Fleet<'a> {
         if self.node_state[node] == NodeState::Stalled {
             self.node_state[node] = NodeState::Live;
             self.index.set_routable(node, true);
+            self.emit(
+                self.now.0,
+                TraceEventKind::NodeRecovered { node: node as u32 },
+            );
             // Force a re-key at the next decision: the node's masked key
             // went stale while routing could not observe it.
             self.node_version[node] = u64::MAX;
         }
     }
 
-    /// Re-enters orphaned queries (from a drain or kill) at the front
-    /// door: fresh submission tickets, due immediately, original arrival
-    /// times (so the detour counts against their SLOs), deferral budget
-    /// reset.
-    fn reroute(&mut self, orphans: Vec<QuerySpec>) {
-        for spec in orphans {
+    /// Re-enters orphaned queries (from a drain or kill of `from_node`)
+    /// at the front door: fresh submission tickets, due immediately,
+    /// original arrival times (so the detour counts against their SLOs),
+    /// deferral budget reset. Each orphan keeps its fleet trace id —
+    /// looked up through the node's local-index table — so its lifecycle
+    /// chain records the detour as a `Requeued` event rather than
+    /// splitting into two spans.
+    fn reroute(&mut self, from_node: usize, orphans: Vec<(usize, QuerySpec)>) {
+        for (local, spec) in orphans {
             let model = self
                 .models
                 .iter()
@@ -940,12 +1105,26 @@ impl<'a> Fleet<'a> {
             let seq = self.next_seq;
             self.next_seq += 1;
             self.rerouted += 1;
+            let trace = self
+                .trace_maps
+                .get(from_node)
+                .and_then(|m| m.get(local))
+                .copied()
+                .unwrap_or(seq);
+            self.emit(
+                self.now.0,
+                TraceEventKind::Requeued {
+                    query: trace,
+                    from_node: from_node as u32,
+                },
+            );
             self.pending.push(PendingQuery {
                 due: self.now,
                 arrival: spec.arrival,
                 seq,
                 model,
                 attempts: 0,
+                trace,
             });
         }
     }
@@ -962,6 +1141,9 @@ impl<'a> Fleet<'a> {
             if self.node_state[i] == NodeState::Draining && d.is_idle() {
                 self.node_state[i] = NodeState::Dead;
                 self.draining_count -= 1;
+                if let Some(tm) = self.telemetry.as_mut() {
+                    tm.coordinator(self.now.0, TraceEventKind::NodeRetired { node: i as u32 });
+                }
             }
         }
     }
@@ -1076,7 +1258,18 @@ impl<'a> Fleet<'a> {
                     + self.pending_joins.len();
                 let room = scale.policy.max_nodes.saturating_sub(present);
                 let join_at = ct.after(scale.policy.provision_delay_s);
-                for _ in 0..nodes.min(room) {
+                let added = nodes.min(room);
+                if added > 0 {
+                    if let Some(tm) = self.telemetry.as_mut() {
+                        tm.coordinator(
+                            ct.0,
+                            TraceEventKind::ScaleOut {
+                                added: added as u32,
+                            },
+                        );
+                    }
+                }
+                for _ in 0..added {
                     let mut spec = scale.policy.template.clone();
                     spec.name = format!("{}-{}", scale.policy.template.name, scale.spawned);
                     scale.spawned += 1;
@@ -1101,6 +1294,7 @@ impl<'a> Fleet<'a> {
                     .map(|(i, _)| i)
                     .collect();
                 for node in targets {
+                    self.emit(ct.0, TraceEventKind::ScaleIn { node: node as u32 });
                     self.drain_node_inner(node);
                 }
             }
@@ -1264,6 +1458,17 @@ impl<'a> Fleet<'a> {
                     (node, load)
                 }
             };
+            // One `Routed` event per routing decision — the pinned
+            // equality `counts.routed == stats.routing_decisions` — then
+            // exactly one of `Admitted`/`Deferred`/`Shed` for the offer.
+            self.emit(
+                p.due.0,
+                TraceEventKind::Routed {
+                    query: p.trace,
+                    node: node as u32,
+                    attempts: p.attempts,
+                },
+            );
             let decision = if p.attempts >= DEFER_HARD_CAP {
                 AdmissionDecision::Shed
             } else {
@@ -1271,26 +1476,59 @@ impl<'a> Fleet<'a> {
             };
             match decision {
                 AdmissionDecision::Admit => {
-                    self.drivers[node]
+                    let local = self.drivers[node]
                         .inject_held(&query)
                         .expect("model validated at submission");
                     self.routed[node] += 1;
+                    if let Some(tm) = self.telemetry.as_mut() {
+                        tm.coordinator(
+                            p.due.0,
+                            TraceEventKind::Admitted {
+                                query: p.trace,
+                                node: node as u32,
+                                attempts: p.attempts,
+                            },
+                        );
+                        let map = &mut self.trace_maps[node];
+                        if map.len() <= local {
+                            map.resize(local + 1, u64::MAX);
+                        }
+                        map[local] = p.trace;
+                    }
                 }
                 AdmissionDecision::Defer { delay_s } => {
                     self.deferrals += 1;
+                    // Clamp so a zero-delay controller still makes
+                    // progress through its `attempts` counter.
+                    let due = p.due.after(delay_s.max(1e-9));
+                    self.emit(
+                        p.due.0,
+                        TraceEventKind::Deferred {
+                            query: p.trace,
+                            attempts: p.attempts + 1,
+                            until_s: due.0,
+                        },
+                    );
                     self.pending.push(PendingQuery {
-                        // Clamp so a zero-delay controller still makes
-                        // progress through its `attempts` counter.
-                        due: p.due.after(delay_s.max(1e-9)),
+                        due,
                         arrival: p.arrival,
                         seq: p.seq,
                         model: p.model,
                         attempts: p.attempts + 1,
+                        trace: p.trace,
                     });
                 }
                 AdmissionDecision::Shed => {
                     self.shed += 1;
                     *self.shed_per_model.entry(model.name.clone()).or_default() += 1;
+                    self.emit(
+                        p.due.0,
+                        TraceEventKind::Shed {
+                            query: p.trace,
+                            model: p.model as u32,
+                            attempts: p.attempts,
+                        },
+                    );
                 }
             }
         }
@@ -1320,6 +1558,9 @@ impl<'a> Fleet<'a> {
             self.advance_nodes_to(t);
         }
         self.sweep_draining();
+        // The deterministic pull point: node sinks drain in roster order
+        // at the end of every public advance, in both step modes.
+        self.pull_traces();
     }
 
     /// Runs the fleet for another `dt_s` seconds.
@@ -1375,6 +1616,7 @@ impl<'a> Fleet<'a> {
             self.recover_node(node);
         }
         self.sweep_draining();
+        self.pull_traces();
     }
 
     /// Finishes the fleet: drains everything and returns the final
@@ -1382,6 +1624,7 @@ impl<'a> Fleet<'a> {
     #[must_use]
     pub fn finish(mut self) -> FleetReport {
         self.run_to_completion();
+        let telemetry = self.telemetry.as_ref().map(Collector::snapshot);
         let per_node: Vec<veltair_sched::ServingReport> =
             self.drivers.into_iter().map(|d| d.finish().0).collect();
         FleetReport {
@@ -1396,6 +1639,7 @@ impl<'a> Fleet<'a> {
             shed_per_model: self.shed_per_model,
             deferrals: self.deferrals,
             coordinator: self.stats,
+            telemetry,
         }
     }
 }

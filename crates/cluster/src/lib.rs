@@ -104,3 +104,9 @@ pub use router::{
 pub use scaling::{
     Autoscaler, AutoscalerConfig, AutoscalerKind, HysteresisAutoscaler, ScaleDecision, ScalePolicy,
 };
+// The flight-recorder vocabulary (`Fleet::enable_telemetry`), re-exported
+// so fleet callers need not name the telemetry crate directly.
+pub use veltair_telemetry::{
+    Collector, EventCounts, LatencyHistogram, SloAttribution, TelemetrySnapshot, TraceConfig,
+    TraceEvent, TraceEventKind, TraceLog, ViolationCell,
+};

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use veltair_sched::ServingReport;
+use veltair_telemetry::TelemetrySnapshot;
 
 use crate::node::NodeState;
 
@@ -88,6 +89,29 @@ pub fn merge_reports(reports: &[ServingReport]) -> ServingReport {
 ///   not). A node drained and later killed counts once in each. All
 ///   churn happens on the coordinator thread at deterministic control
 ///   instants, so these too are step-mode-agnostic.
+///
+/// **Telemetry relations.** When the flight recorder is enabled
+/// (`Fleet::enable_telemetry`), these counters and the recorder's event
+/// counts (`veltair_telemetry::EventCounts`) describe the same run from
+/// two sides, and the following equalities hold exactly — they are
+/// pinned by the `cluster_fleet` integration tests:
+///
+/// * `routing_decisions == counts.routed` — every routing decision
+///   (including deferral re-offers) emits exactly one `Routed` event
+///   before its admission outcome.
+/// * `nodes_added + seed roster size == counts.node_joined` — every
+///   roster slot is announced exactly once (seed nodes at
+///   enable time, later joins at their join instant).
+/// * `nodes_drained == counts.node_draining` and
+///   `nodes_killed == counts.node_killed` — one lifecycle event per
+///   applied transition, none for skipped plan events.
+/// * `FleetReport::deferrals == counts.deferred`,
+///   `FleetReport::shed == counts.shed`, and
+///   `FleetReport::rerouted == counts.requeued`.
+///
+/// The event counts live on the telemetry side precisely because they
+/// are mode-independent: unlike `nodes_examined`, they compare equal
+/// across `StepMode` *and* `RoutingMode`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CoordinatorStats {
     /// Routing decisions made (one per offer, including deferral re-offers).
@@ -159,6 +183,10 @@ pub struct FleetReport {
     pub deferrals: u64,
     /// Coordinator work counters (see [`CoordinatorStats`]).
     pub coordinator: CoordinatorStats,
+    /// The final metrics registry — latency histograms and the
+    /// per-(node-class, model) violation-frequency table — when the
+    /// flight recorder was enabled for the run.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl FleetReport {
@@ -282,6 +310,7 @@ mod tests {
             shed_per_model: BTreeMap::new(),
             deferrals: 1,
             coordinator: CoordinatorStats::default(),
+            telemetry: None,
         };
         assert_eq!(fr.offered(), 8);
         // 2 satisfied of 8 offered -> 75 % violation.
@@ -323,6 +352,7 @@ mod tests {
             shed_per_model: BTreeMap::new(),
             deferrals: 0,
             coordinator: CoordinatorStats::default(),
+            telemetry: None,
         };
         assert_eq!(fr.offered(), 0);
         assert_eq!(fr.slo_violation_rate(), 0.0);

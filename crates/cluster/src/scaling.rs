@@ -346,6 +346,7 @@ mod tests {
             }],
             report: veltair_sched::ServingReport::default(),
             coordinator: CoordinatorStats::default(),
+            telemetry: None,
         }
     }
 

@@ -19,7 +19,8 @@
 
 use veltair_cluster::{
     AdmissionKind, ClusterError, FailurePlan, Fleet, FleetReport, FleetSnapshot, NodeSpec,
-    NodeState, RouterKind, RoutingMode, ScalePolicy, StepMode,
+    NodeState, RouterKind, RoutingMode, ScalePolicy, StepMode, TelemetrySnapshot, TraceConfig,
+    TraceLog,
 };
 use veltair_compiler::{machine_key, CompiledModel, CompilerOptions, CompilerService};
 use veltair_models::ModelSpec;
@@ -85,6 +86,7 @@ pub struct ClusterBuilder {
     slo_overrides: Vec<(String, f64)>,
     scale_policy: Option<ScalePolicy>,
     failure_plan: Option<FailurePlan>,
+    telemetry: Option<TraceConfig>,
 }
 
 impl Default for ClusterBuilder {
@@ -102,6 +104,7 @@ impl Default for ClusterBuilder {
             slo_overrides: Vec::new(),
             scale_policy: None,
             failure_plan: None,
+            telemetry: None,
         }
     }
 }
@@ -226,6 +229,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Turns on the flight recorder for every session: query-lifecycle
+    /// and node-lifecycle events are captured into a deterministic merged
+    /// trace and the metrics registry is surfaced on snapshots and the
+    /// final [`FleetReport`]. Tracing never perturbs the simulation (see
+    /// [`Fleet::enable_telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, config: TraceConfig) -> Self {
+        self.telemetry = Some(config);
+        self
+    }
+
     /// Finalizes the cluster engine, compiling every spec registered via
     /// [`compile`](ClusterBuilder::compile) once per distinct node
     /// machine.
@@ -251,6 +265,7 @@ impl ClusterBuilder {
             slo_overrides,
             scale_policy,
             failure_plan,
+            telemetry,
         } = self;
         if models.is_empty() && specs.is_empty() {
             return Err(EngineError::NoModels);
@@ -304,6 +319,7 @@ impl ClusterBuilder {
             batch_eps_s,
             scale_policy,
             failure_plan,
+            telemetry,
         })
     }
 }
@@ -333,6 +349,7 @@ pub struct ClusterEngine {
     batch_eps_s: f64,
     scale_policy: Option<ScalePolicy>,
     failure_plan: Option<FailurePlan>,
+    telemetry: Option<TraceConfig>,
 }
 
 impl ClusterEngine {
@@ -425,6 +442,13 @@ impl ClusterEngine {
         self.failure_plan.as_ref()
     }
 
+    /// The flight-recorder configuration sessions start with, if
+    /// telemetry was enabled on the builder.
+    #[must_use]
+    pub fn telemetry_config(&self) -> Option<TraceConfig> {
+        self.telemetry
+    }
+
     /// Opens a resumable cluster session: a fleet over this engine's
     /// registry and nodes, accepting arrivals and snapshot reads while
     /// the lockstep clock runs. The session borrows the engine's models;
@@ -456,6 +480,9 @@ impl ClusterEngine {
         }
         if let Some(plan) = &self.failure_plan {
             fleet.set_failure_plan(plan.clone());
+        }
+        if let Some(config) = self.telemetry {
+            fleet.enable_telemetry(config);
         }
         Ok(ClusterSession { fleet })
     }
@@ -648,6 +675,34 @@ impl ClusterSession<'_> {
     #[must_use]
     pub fn snapshot(&self) -> FleetSnapshot {
         self.fleet.snapshot()
+    }
+
+    /// Turns on the flight recorder mid-session (usually configured up
+    /// front via [`ClusterBuilder::telemetry`]). Call before submitting
+    /// work: earlier queries cannot be retroactively attributed.
+    pub fn enable_telemetry(&mut self, config: TraceConfig) {
+        self.fleet.enable_telemetry(config);
+    }
+
+    /// Whether the flight recorder is on for this session.
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.fleet.telemetry_enabled()
+    }
+
+    /// A point-in-time copy of the metrics registry — event counts,
+    /// latency histograms, the violation-frequency table — when telemetry
+    /// is enabled. Pulls node buffers first, so figures are current to
+    /// the fleet clock.
+    pub fn telemetry_snapshot(&mut self) -> Option<TelemetrySnapshot> {
+        self.fleet.telemetry_snapshot()
+    }
+
+    /// The merged lifecycle trace so far: deterministic `(virtual time,
+    /// track)` order, exportable via
+    /// [`TraceLog::to_chrome_json`]. `None` when telemetry is off.
+    pub fn trace_log(&mut self) -> Option<TraceLog> {
+        self.fleet.trace_log()
     }
 
     /// Finishes the session: routes every remaining arrival, drains all

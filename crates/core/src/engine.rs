@@ -20,6 +20,7 @@ use veltair_proxy::InterferenceProxy;
 use veltair_sched::runtime::{self, Driver};
 use veltair_sched::{Policy, QuerySpec, ServingReport, SimConfig, SimError, WorkloadSpec};
 use veltair_sim::{MachineConfig, SimTime};
+use veltair_telemetry::{Collector, TelemetrySnapshot, TraceConfig, TraceEventKind, TraceLog};
 
 /// Why an engine could not be built or a serving call could not run.
 #[derive(Debug, Clone, PartialEq)]
@@ -442,6 +443,8 @@ impl ServingEngine {
         Ok(ServingSession {
             driver: Driver::open(&self.models, self.sim_config()),
             poll_cursor: 0,
+            telemetry: None,
+            trace_scratch: Vec::new(),
         })
     }
 }
@@ -489,6 +492,11 @@ pub struct ReportSnapshot {
 pub struct ServingSession<'e> {
     driver: Driver<'e>,
     poll_cursor: usize,
+    /// The flight recorder, when enabled: one node track (the machine)
+    /// plus coordinator-side `Submitted` events. Driver-local query ids
+    /// are the session's public query ids, so no remap table is needed.
+    telemetry: Option<Collector>,
+    trace_scratch: Vec<(f64, TraceEventKind)>,
 }
 
 impl ServingSession<'_> {
@@ -524,6 +532,16 @@ impl ServingSession<'_> {
             model: model.to_string(),
             arrival: SimTime(at_s),
         })?;
+        if let Some(tm) = self.telemetry.as_mut() {
+            let st = &self.driver.state().queries[id];
+            tm.coordinator(
+                st.arrival.0,
+                TraceEventKind::Submitted {
+                    query: id as u64,
+                    model: st.model as u32,
+                },
+            );
+        }
         Ok(id)
     }
 
@@ -631,6 +649,69 @@ impl ServingSession<'_> {
     pub fn drain(&mut self) -> Vec<Completion> {
         self.driver.run_to_completion();
         self.poll()
+    }
+
+    /// Turns on the flight recorder: `Submitted` events fire at
+    /// submission and the driver's `Dispatched` / `Completed` /
+    /// `Violated` lifecycle events are captured into a deterministic
+    /// trace with a live metrics registry. Never perturbs the run.
+    /// Call before submitting work: earlier queries cannot be
+    /// retroactively attributed.
+    pub fn enable_telemetry(&mut self, config: TraceConfig) {
+        let models = self
+            .driver
+            .state()
+            .models
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        let mut tm = Collector::new(config, models);
+        let class = format!(
+            "{}c/{}",
+            self.driver.total_cores(),
+            self.driver.policy().name()
+        );
+        tm.register_track("node-0", &class);
+        self.driver.set_trace_sink(Box::new(tm.make_sink()));
+        self.telemetry = Some(tm);
+    }
+
+    /// Whether the flight recorder is on.
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Drains the driver's buffered events into the collector. Session
+    /// query ids *are* the driver-local ids, so no remap is applied.
+    fn pull_traces(&mut self) {
+        let Some(tm) = self.telemetry.as_mut() else {
+            return;
+        };
+        self.trace_scratch.clear();
+        self.driver.drain_trace(&mut self.trace_scratch);
+        let dropped = self.driver.trace_dropped();
+        if !self.trace_scratch.is_empty() || dropped > 0 {
+            tm.absorb_events(1, &mut self.trace_scratch, None, dropped);
+        }
+    }
+
+    /// A point-in-time copy of the metrics registry — event counts,
+    /// latency histograms, per-model violation cells — when telemetry is
+    /// enabled. Pulls the driver's buffer first, so figures are current
+    /// to the session clock.
+    pub fn telemetry_snapshot(&mut self) -> Option<TelemetrySnapshot> {
+        self.pull_traces();
+        self.telemetry.as_ref().map(Collector::snapshot)
+    }
+
+    /// The merged lifecycle trace so far, in deterministic
+    /// `(virtual time, track)` order — exportable via
+    /// [`TraceLog::to_chrome_json`] and queryable via
+    /// [`TraceLog::explain`]. `None` when telemetry is off.
+    pub fn trace_log(&mut self) -> Option<TraceLog> {
+        self.pull_traces();
+        self.telemetry.as_ref().map(Collector::log)
     }
 
     /// Incremental per-model QoS/latency statistics over the queries

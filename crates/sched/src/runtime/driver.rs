@@ -183,11 +183,13 @@ impl<'a> Driver<'a> {
     }
 
     /// Withdraws every query that has not yet started executing on this
-    /// node and returns its spec (original arrival time preserved) for
-    /// re-routing elsewhere — the fleet *drain* path: in-flight and
-    /// partially executed work stays here to finish. Bumps the load
-    /// [`version`](Driver::version) when anything was withdrawn.
-    pub fn extract_waiting(&mut self) -> Vec<QuerySpec> {
+    /// node and returns `(driver-local index, spec)` pairs (original
+    /// arrival times preserved) for re-routing elsewhere — the fleet
+    /// *drain* path: in-flight and partially executed work stays here to
+    /// finish. The local index lets a coordinator carry each query's
+    /// fleet-wide identity (its trace id) through the reroute. Bumps the
+    /// load [`version`](Driver::version) when anything was withdrawn.
+    pub fn extract_waiting(&mut self) -> Vec<(usize, QuerySpec)> {
         let specs = self.state.extract_waiting();
         if !specs.is_empty() {
             self.version = self.version.wrapping_add(1);
@@ -196,14 +198,44 @@ impl<'a> Driver<'a> {
     }
 
     /// Crash-stops the node: every incomplete query (waiting or
-    /// in-flight) is withdrawn and returned for re-submission elsewhere,
+    /// in-flight) is withdrawn and returned as
+    /// `(driver-local index, spec)` pairs for re-submission elsewhere,
     /// partial progress is lost, all cores are freed, and the event queue
     /// empties — the fleet *kill* path. Completed queries stay in the
     /// report. Always bumps the load [`version`](Driver::version).
-    pub fn halt(&mut self) -> Vec<QuerySpec> {
+    pub fn halt(&mut self) -> Vec<(usize, QuerySpec)> {
         let specs = self.state.halt();
         self.version = self.version.wrapping_add(1);
         specs
+    }
+
+    // --- Tracing ----------------------------------------------------------
+
+    /// Attaches a lifecycle-event sink to this driver's state machine.
+    /// `Dispatched`, `Completed`, and `Violated` events flow into it
+    /// with *driver-local* query indices; see
+    /// [`SimState::set_trace_sink`] for the overhead contract.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn veltair_telemetry::TraceSink>) {
+        self.state.set_trace_sink(sink);
+    }
+
+    /// Whether a recording (enabled) sink is attached.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.state.trace_enabled()
+    }
+
+    /// Moves every buffered trace event into `out` (oldest first). A
+    /// fleet coordinator calls this at deterministic pull points and
+    /// rewrites the driver-local query indices into fleet-wide ids.
+    pub fn drain_trace(&mut self, out: &mut Vec<(f64, veltair_telemetry::TraceEventKind)>) {
+        self.state.drain_trace(out);
+    }
+
+    /// Events lost to a bounded (flight-recorder) sink so far.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.state.trace_dropped()
     }
 
     /// Installs a version selector, replacing the one built from

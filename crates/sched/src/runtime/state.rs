@@ -17,6 +17,7 @@ use veltair_sim::{
     execute, EventQueue, Execution, Interference, PerfCounters, PressureDemand, SimTime,
     UnitProgress,
 };
+use veltair_telemetry::{TraceEventKind, TraceSink};
 
 use super::driver::SimError;
 use super::monitor::{self, Monitor};
@@ -154,6 +155,20 @@ pub struct SimState<'a> {
     /// Scratch for the Jacobi-sweep update list of
     /// [`SimState::refresh_conditions`], reused across calls.
     refresh_updates: Vec<(usize, Execution, f64)>,
+    /// Where lifecycle events go, when tracing is attached
+    /// ([`SimState::set_trace_sink`]). `None` by default: the hot path
+    /// pays one branch on `trace_enabled` and nothing else.
+    trace: Option<Box<dyn TraceSink>>,
+    /// Cached `trace.is_enabled()` — emission sites check this flag, so
+    /// an attached-but-disabled sink (`NullSink`) costs the same single
+    /// predictable branch as no sink at all.
+    trace_enabled: bool,
+    /// The scalar interference level the last [`SimState::plan_versions`]
+    /// call planned under, recorded into `Dispatched` trace events as
+    /// `pressure_at_plan`. Every dispatcher family plans immediately
+    /// before starting a block, so this is fresh at every
+    /// [`SimState::start_block`].
+    last_plan_level: f64,
 }
 
 impl std::fmt::Debug for SimState<'_> {
@@ -224,6 +239,9 @@ impl<'a> SimState<'a> {
             selector,
             refresh_changed: Vec::new(),
             refresh_updates: Vec::new(),
+            trace: None,
+            trace_enabled: false,
+            last_plan_level: 0.0,
         };
         for q in queries {
             state.admit_query(q)?;
@@ -345,6 +363,47 @@ impl<'a> SimState<'a> {
         }
     }
 
+    // --- Tracing ------------------------------------------------------------
+
+    /// Attaches a lifecycle-event sink. Emission sites cache the sink's
+    /// [`TraceSink::is_enabled`] answer, so attaching a
+    /// [`NullSink`](veltair_telemetry::NullSink) leaves the hot path
+    /// indistinguishable from running untraced. Instrumentation never
+    /// perturbs the simulation: emission only reads state, and the solo
+    /// ratings recorded for attribution come from pure functions.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_enabled = sink.is_enabled();
+        self.trace = Some(sink);
+    }
+
+    /// Whether events are currently being recorded.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Moves every buffered trace event into `out` (oldest first).
+    /// Query ids in the drained events are *driver-local* indices; a
+    /// fleet collector rewrites them into fleet-wide trace ids.
+    pub fn drain_trace(&mut self, out: &mut Vec<(f64, TraceEventKind)>) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.drain(out);
+        }
+    }
+
+    /// Events lost to a bounded (flight-recorder) sink so far.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map_or(0, |s| s.dropped())
+    }
+
+    fn trace_record(&mut self, kind: TraceEventKind) {
+        let at_s = self.now.0;
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(at_s, kind);
+        }
+    }
+
     // --- Monitoring ---------------------------------------------------------
 
     /// Co-runner pressure from the perspective of a new or planning tenant:
@@ -396,6 +455,7 @@ impl<'a> SimState<'a> {
     ) -> Vec<usize> {
         let models = self.models;
         let model = &models[model_index];
+        self.last_plan_level = level;
         if self.cfg.policy.adaptive_compilation() {
             let ctx = SelectionContext {
                 model_index,
@@ -457,6 +517,42 @@ impl<'a> SimState<'a> {
             interference,
             machine,
         );
+        // Solo ratings for SLO attribution, recorded only while traced:
+        // the same pure rating function under zero interference, for the
+        // chosen version and for the best version of this layer — the
+        // interference-excess and version-choice terms of
+        // `TraceLog::explain` fall out of the difference.
+        let trace_solo = if self.trace_enabled {
+            let layer = &model.layers[start];
+            let solo_s = execute(
+                &layer.versions[version].profile,
+                granted,
+                Interference::NONE,
+                machine,
+            )
+            .latency_s;
+            let solo_best_s = layer
+                .versions
+                .iter()
+                .map(|v| execute(&v.profile, granted, Interference::NONE, machine).latency_s)
+                .fold(f64::INFINITY, f64::min);
+            Some((solo_s, solo_best_s))
+        } else {
+            None
+        };
+        if let Some((solo_s, solo_best_s)) = trace_solo {
+            self.trace_record(TraceEventKind::Dispatched {
+                query: query as u64,
+                unit: start as u32,
+                version: version as u32,
+                pressure_at_plan: self.last_plan_level,
+                expected_s: exec.latency_s,
+                solo_s,
+                solo_best_s,
+            });
+        }
+        // Re-borrow after the trace emission (which takes `&mut self`).
+        let machine = &self.cfg.machine;
         let r = &mut self.running[slot];
         r.query = query;
         r.end = end;
@@ -600,7 +696,9 @@ impl<'a> SimState<'a> {
         let st = &mut self.queries[query];
         st.finish = Some(self.now);
         let latency = self.now.since(st.arrival);
-        let model = &self.models[st.model];
+        let model_index = st.model;
+        let model = &self.models[model_index];
+        let qos_s = model.qos_s;
         let stats = self.report.per_model.entry(model.name.clone()).or_default();
         stats.queries += 1;
         if latency <= model.qos_s {
@@ -611,6 +709,22 @@ impl<'a> SimState<'a> {
         stats.latencies_s.push(latency);
         self.report.makespan_s = self.report.makespan_s.max(self.now.0);
         self.completed.push(query);
+        if self.trace_enabled {
+            self.trace_record(TraceEventKind::Completed {
+                query: query as u64,
+                model: model_index as u32,
+                latency_s: latency,
+                qos_s,
+            });
+            if latency > qos_s {
+                self.trace_record(TraceEventKind::Violated {
+                    query: query as u64,
+                    model: model_index as u32,
+                    latency_s: latency,
+                    qos_s,
+                });
+            }
+        }
     }
 
     /// Re-rates all in-flight units under the new co-location and re-arms
@@ -727,7 +841,11 @@ impl<'a> SimState<'a> {
     ///
     /// Withdrawn queries are marked [`QueryState::removed`]: they leave
     /// the outstanding count and never touch the report.
-    pub fn extract_waiting(&mut self) -> Vec<QuerySpec> {
+    ///
+    /// Each returned entry carries the query's *driver-local* index
+    /// alongside its spec, so a fleet coordinator can follow the
+    /// query's identity (its trace id) through the reroute.
+    pub fn extract_waiting(&mut self) -> Vec<(usize, QuerySpec)> {
         let mut specs = Vec::new();
         let queries = &mut self.queries;
         let models = self.models;
@@ -739,10 +857,13 @@ impl<'a> SimState<'a> {
                 if st.next_unit == 0 && st.finish.is_none() && !st.removed {
                     st.removed = true;
                     *removed += 1;
-                    specs.push(QuerySpec {
-                        model: models[st.model].name.clone(),
-                        arrival: st.arrival,
-                    });
+                    specs.push((
+                        p.query,
+                        QuerySpec {
+                            model: models[st.model].name.clone(),
+                            arrival: st.arrival,
+                        },
+                    ));
                 } else {
                     kept.push_back(p);
                 }
@@ -761,7 +882,11 @@ impl<'a> SimState<'a> {
     /// lost; completed queries stay in the report. Afterwards the event
     /// queue and all admission queues are empty, no unit holds cores, and
     /// the node is idle.
-    pub fn halt(&mut self) -> Vec<QuerySpec> {
+    ///
+    /// As with [`SimState::extract_waiting`], each returned entry pairs
+    /// the query's driver-local index with its spec so identity survives
+    /// the reroute.
+    pub fn halt(&mut self) -> Vec<(usize, QuerySpec)> {
         while self.events.pop().is_some() {}
         self.continuations.clear();
         self.arrivals.clear();
@@ -774,14 +899,17 @@ impl<'a> SimState<'a> {
         let models = self.models;
         let mut specs = Vec::new();
         let mut newly_removed = 0;
-        for st in &mut self.queries {
+        for (idx, st) in self.queries.iter_mut().enumerate() {
             if st.finish.is_none() && !st.removed {
                 st.removed = true;
                 newly_removed += 1;
-                specs.push(QuerySpec {
-                    model: models[st.model].name.clone(),
-                    arrival: st.arrival,
-                });
+                specs.push((
+                    idx,
+                    QuerySpec {
+                        model: models[st.model].name.clone(),
+                        arrival: st.arrival,
+                    },
+                ));
             }
         }
         self.removed += newly_removed;

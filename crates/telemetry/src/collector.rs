@@ -1,0 +1,290 @@
+//! The coordinator-side collector: merges per-node sink buffers into one
+//! deterministic stream and keeps the metrics registry incrementally.
+
+use crate::event::{TraceEvent, TraceEventKind};
+use crate::registry::{TelemetrySnapshot, FRONT_DOOR_CLASS};
+use crate::sink::{RecorderSink, TraceSink};
+use crate::trace::TraceLog;
+
+/// Configuration of the flight recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Per-node sink bound: keep only the most recent `n` events per
+    /// node between coordinator pulls (the bounded flight-recorder
+    /// mode). `None` records everything.
+    pub node_buffer: Option<usize>,
+}
+
+impl TraceConfig {
+    /// Record everything (the default).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self { node_buffer: None }
+    }
+
+    /// Bounded flight-recorder mode: each node keeps only its most
+    /// recent `capacity` events between coordinator pulls; older events
+    /// are dropped and counted in
+    /// [`TelemetrySnapshot::events_dropped`].
+    #[must_use]
+    pub fn flight_recorder(capacity: usize) -> Self {
+        Self {
+            node_buffer: Some(capacity),
+        }
+    }
+}
+
+/// Merges coordinator and per-node event streams deterministically and
+/// maintains the [`TelemetrySnapshot`] registry as events arrive.
+///
+/// Owned by the fleet coordinator (or a single-machine session). Node
+/// sinks are absorbed at deterministic virtual-time points in node-index
+/// order; the merged log is materialized by [`Collector::log`], sorted
+/// by `(virtual time, track)` with a stable tie-break on absorb order —
+/// the ordering that makes traces bit-identical across fleet step and
+/// routing modes.
+#[derive(Debug)]
+pub struct Collector {
+    config: TraceConfig,
+    models: Vec<String>,
+    tracks: Vec<String>,
+    classes: Vec<String>,
+    events: Vec<TraceEvent>,
+    dropped_per_track: Vec<u64>,
+    snapshot: TelemetrySnapshot,
+    scratch: Vec<(f64, TraceEventKind)>,
+}
+
+impl Collector {
+    /// A collector over the given model-name table. Track 0 (the
+    /// coordinator) is pre-registered; node tracks follow via
+    /// [`Collector::register_track`].
+    #[must_use]
+    pub fn new(config: TraceConfig, models: Vec<String>) -> Self {
+        Self {
+            config,
+            models,
+            tracks: vec!["coordinator".to_string()],
+            classes: vec!["coordinator".to_string()],
+            events: Vec::new(),
+            dropped_per_track: vec![0],
+            snapshot: TelemetrySnapshot::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    /// Builds a node sink honoring the configured flight-recorder bound.
+    #[must_use]
+    pub fn make_sink(&self) -> RecorderSink {
+        match self.config.node_buffer {
+            Some(cap) => RecorderSink::bounded(cap),
+            None => RecorderSink::new(),
+        }
+    }
+
+    /// Registers a node track (name + node-class label, e.g.
+    /// `"64c/veltair-full"`) and returns its track id.
+    pub fn register_track(&mut self, name: &str, class: &str) -> u32 {
+        self.tracks.push(name.to_string());
+        self.classes.push(class.to_string());
+        self.dropped_per_track.push(0);
+        (self.tracks.len() - 1) as u32
+    }
+
+    /// Records one coordinator event (track 0) at virtual time `at_s`.
+    pub fn coordinator(&mut self, at_s: f64, kind: TraceEventKind) {
+        self.account(0, &kind);
+        self.events.push(TraceEvent {
+            at_s,
+            track: 0,
+            kind,
+        });
+    }
+
+    /// Drains a node sink into the merged stream under `track`,
+    /// rewriting driver-local query indices into fleet-wide trace ids
+    /// through `map` (`map[local] == trace_id`; `None` means the local
+    /// index *is* the trace id, the single-machine case).
+    ///
+    /// Call order is the determinism seam: the fleet pulls every node in
+    /// roster order at fixed virtual-time points.
+    pub fn absorb_sink(&mut self, track: u32, sink: &mut dyn TraceSink, map: Option<&[u64]>) {
+        self.scratch.clear();
+        sink.drain(&mut self.scratch);
+        let mut drained = std::mem::take(&mut self.scratch);
+        self.absorb_events(track, &mut drained, map, sink.dropped());
+        self.scratch = drained;
+    }
+
+    /// Absorbs already-drained `(time, kind)` pairs under `track` — the
+    /// entry point for owners that keep their sink internal (a driver
+    /// hands out drained events, not the sink itself). `events` is
+    /// consumed (left empty, capacity retained); `dropped` is the sink's
+    /// *cumulative* drop count, which replaces — not adds to — the
+    /// track's previous figure.
+    pub fn absorb_events(
+        &mut self,
+        track: u32,
+        events: &mut Vec<(f64, TraceEventKind)>,
+        map: Option<&[u64]>,
+        dropped: u64,
+    ) {
+        for (at_s, mut kind) in events.drain(..) {
+            if let Some(map) = map {
+                kind.remap_query(|q| map.get(q as usize).copied().unwrap_or(q));
+            }
+            self.account(track, &kind);
+            self.events.push(TraceEvent { at_s, track, kind });
+        }
+        if let Some(slot) = self.dropped_per_track.get_mut(track as usize) {
+            *slot = dropped;
+        }
+    }
+
+    fn model_name(&self, model: u32) -> &str {
+        self.models
+            .get(model as usize)
+            .map_or("<unknown>", String::as_str)
+    }
+
+    fn account(&mut self, track: u32, kind: &TraceEventKind) {
+        self.snapshot.events_recorded += 1;
+        let c = &mut self.snapshot.counts;
+        match kind {
+            TraceEventKind::Submitted { .. } => c.submitted += 1,
+            TraceEventKind::Routed { .. } => c.routed += 1,
+            TraceEventKind::Admitted { .. } => c.admitted += 1,
+            TraceEventKind::Deferred { .. } => c.deferred += 1,
+            TraceEventKind::Requeued { .. } => c.requeued += 1,
+            TraceEventKind::Dispatched { .. } => c.dispatched += 1,
+            TraceEventKind::NodeJoined { .. } => c.node_joined += 1,
+            TraceEventKind::NodeStalled { .. } => c.node_stalled += 1,
+            TraceEventKind::NodeRecovered { .. } => c.node_recovered += 1,
+            TraceEventKind::NodeDraining { .. } => c.node_draining += 1,
+            TraceEventKind::NodeKilled { .. } => c.node_killed += 1,
+            TraceEventKind::NodeRetired { .. } => c.node_retired += 1,
+            TraceEventKind::ScaleOut { .. } => c.scale_out += 1,
+            TraceEventKind::ScaleIn { .. } => c.scale_in += 1,
+            TraceEventKind::Shed { model, .. } => {
+                c.shed += 1;
+                let model = self.model_name(*model).to_string();
+                self.snapshot
+                    .violations
+                    .entry(FRONT_DOOR_CLASS.to_string())
+                    .or_default()
+                    .entry(model)
+                    .or_default()
+                    .shed += 1;
+            }
+            TraceEventKind::Completed {
+                model, latency_s, ..
+            } => {
+                c.completed += 1;
+                let model = self.model_name(*model).to_string();
+                self.snapshot.latency.record(*latency_s);
+                self.snapshot
+                    .per_model_latency
+                    .entry(model.clone())
+                    .or_default()
+                    .record(*latency_s);
+                let class = self
+                    .classes
+                    .get(track as usize)
+                    .cloned()
+                    .unwrap_or_else(|| "<unknown>".to_string());
+                self.snapshot
+                    .violations
+                    .entry(class)
+                    .or_default()
+                    .entry(model)
+                    .or_default()
+                    .completed += 1;
+            }
+            TraceEventKind::Violated { model, .. } => {
+                c.violated += 1;
+                let model = self.model_name(*model).to_string();
+                let class = self
+                    .classes
+                    .get(track as usize)
+                    .cloned()
+                    .unwrap_or_else(|| "<unknown>".to_string());
+                self.snapshot
+                    .violations
+                    .entry(class)
+                    .or_default()
+                    .entry(model)
+                    .or_default()
+                    .violated += 1;
+            }
+        }
+    }
+
+    /// A point-in-time copy of the metrics registry.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut s = self.snapshot.clone();
+        s.events_dropped = self.dropped_per_track.iter().sum();
+        s
+    }
+
+    /// Materializes the merged trace: every absorbed event, stably
+    /// sorted by `(virtual time, track)` — coordinator first within an
+    /// instant — plus the name tables the log renders with.
+    #[must_use]
+    pub fn log(&self) -> TraceLog {
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| {
+            a.at_s
+                .total_cmp(&b.at_s)
+                .then_with(|| a.track.cmp(&b.track))
+        });
+        TraceLog {
+            events,
+            tracks: self.tracks.clone(),
+            classes: self.classes.clone(),
+            models: self.models.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_time_then_track_and_accounts() {
+        let mut c = Collector::new(TraceConfig::unbounded(), vec!["m".to_string()]);
+        let n0 = c.register_track("node-0", "8c/test");
+        let mut sink = c.make_sink();
+        sink.record(
+            2.0,
+            TraceEventKind::Completed {
+                query: 0,
+                model: 0,
+                latency_s: 0.5,
+                qos_s: 1.0,
+            },
+        );
+        c.coordinator(2.0, TraceEventKind::Submitted { query: 1, model: 0 });
+        c.coordinator(1.0, TraceEventKind::Submitted { query: 0, model: 0 });
+        c.absorb_sink(n0, &mut sink, Some(&[7]));
+        let log = c.log();
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.events[0].at_s, 1.0);
+        // Same instant: coordinator (track 0) precedes node tracks.
+        assert_eq!(log.events[1].track, 0);
+        assert_eq!(log.events[2].track, n0);
+        assert_eq!(log.events[2].kind.query(), Some(7));
+        let snap = c.snapshot();
+        assert_eq!(snap.counts.submitted, 2);
+        assert_eq!(snap.counts.completed, 1);
+        assert_eq!(snap.latency.count(), 1);
+        assert_eq!(snap.violations["8c/test"]["m"].completed, 1);
+    }
+}

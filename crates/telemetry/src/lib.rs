@@ -1,0 +1,45 @@
+//! Deterministic flight recorder for the VELTAIR serving stack:
+//! query-lifecycle tracing, a metrics registry, and SLO-violation
+//! attribution across the per-node driver and the fleet coordinator.
+//!
+//! The crate sits *below* the scheduler and the fleet in the dependency
+//! graph — both emit through the [`TraceSink`] trait defined here — and
+//! knows nothing about either: events carry integer model/node ids, and
+//! the [`Collector`] that merges them owns the name tables.
+//!
+//! # Determinism contract
+//!
+//! Every event carries a *virtual-time* timestamp, and the merged stream
+//! produced by [`Collector::log`] is ordered by
+//! `(timestamp, track index)` with a stable tie-break on emission order.
+//! Per-node sinks are drained at coordinator-chosen points in node-index
+//! order, so the merged trace — and everything derived from it: the
+//! [`TelemetrySnapshot`], the Chrome-JSON export, the
+//! [`explain`](TraceLog::explain) attribution — is **bit-identical**
+//! across sequential and work-stealing-parallel fleet stepping and
+//! across the scan and indexed routing paths. Instrumentation never
+//! perturbs simulation results: emission only *reads* scheduler state,
+//! and the extra solo ratings recorded for attribution are computed from
+//! pure functions.
+//!
+//! # Zero overhead when off
+//!
+//! Drivers hold an `Option<Box<dyn TraceSink>>` that defaults to `None`;
+//! the hot path pays a single branch. [`NullSink`] reports
+//! [`is_enabled`](TraceSink::is_enabled)` == false`, so attaching it
+//! disables event construction entirely — the benchmark-able "sink
+//! attached but recording nothing" configuration.
+
+mod collector;
+mod event;
+mod histogram;
+mod registry;
+mod sink;
+mod trace;
+
+pub use collector::{Collector, TraceConfig};
+pub use event::{TraceEvent, TraceEventKind};
+pub use histogram::LatencyHistogram;
+pub use registry::{EventCounts, TelemetrySnapshot, ViolationCell, FRONT_DOOR_CLASS};
+pub use sink::{NullSink, RecorderSink, TraceSink};
+pub use trace::{QueryTerminal, SloAttribution, TraceLog};

@@ -1,0 +1,145 @@
+//! The emission seam: [`TraceSink`] and its two stock implementations.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEventKind;
+
+/// Where a driver or coordinator writes lifecycle events.
+///
+/// Implementations must be `Send` — the fleet's work-stealing parallel
+/// stepper moves node drivers (and therefore their sinks) across worker
+/// threads. They need not be `Sync`: each sink is owned by exactly one
+/// emitter.
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Whether emitters should construct events at all. Emission sites
+    /// cache this at attach time, so a sink that returns `false`
+    /// ([`NullSink`]) costs one predictable branch on the hot path —
+    /// indistinguishable from having no sink attached.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event at virtual time `at_s`.
+    fn record(&mut self, at_s: f64, kind: TraceEventKind);
+
+    /// Moves every buffered event into `out` (oldest first), leaving the
+    /// sink empty. Collectors call this at deterministic pull points.
+    fn drain(&mut self, out: &mut Vec<(f64, TraceEventKind)>);
+
+    /// Events discarded so far by a bounded (flight-recorder) buffer.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// A sink that records nothing and reports itself disabled — the
+/// "telemetry compiled in, switched off" configuration the overhead
+/// benchmark pins against the no-sink baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _at_s: f64, _kind: TraceEventKind) {}
+
+    fn drain(&mut self, _out: &mut Vec<(f64, TraceEventKind)>) {}
+}
+
+/// The standard buffering sink: an append-only buffer, optionally
+/// bounded into a flight-recorder ring that keeps the most recent
+/// `capacity` events and counts what it dropped.
+#[derive(Debug, Default)]
+pub struct RecorderSink {
+    buf: VecDeque<(f64, TraceEventKind)>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl RecorderSink {
+    /// An unbounded recorder: keeps everything until drained.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bounded flight recorder keeping the most recent `capacity`
+    /// events between drains; older events are dropped oldest-first and
+    /// counted in [`TraceSink::dropped`]. A zero capacity keeps nothing.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RecorderSink {
+    fn record(&mut self, at_s: f64, kind: TraceEventKind) {
+        if let Some(cap) = self.capacity {
+            while self.buf.len() >= cap.max(1) {
+                self.buf.pop_front();
+                self.dropped += 1;
+            }
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.buf.push_back((at_s, kind));
+    }
+
+    fn drain(&mut self, out: &mut Vec<(f64, TraceEventKind)>) {
+        out.extend(self.buf.drain(..));
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_ring_keeps_newest_and_counts_drops() {
+        let mut sink = RecorderSink::bounded(2);
+        for i in 0..5u64 {
+            sink.record(i as f64, TraceEventKind::NodeJoined { node: i as u32 });
+        }
+        assert_eq!(sink.dropped(), 3);
+        let mut out = Vec::new();
+        sink.drain(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 3.0);
+        assert_eq!(out[1].0, 4.0);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_silent() {
+        let mut sink = NullSink;
+        assert!(!sink.is_enabled());
+        sink.record(0.0, TraceEventKind::ScaleOut { added: 1 });
+        let mut out = Vec::new();
+        sink.drain(&mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -13,8 +13,17 @@
 //! signals (outstanding queries, monitored co-runner pressure) and place
 //! queries where they will actually meet their SLO.
 //!
+//! A flight-recorder pass follows the head-to-head: the same fleet and
+//! workload replayed with the deterministic trace collector attached,
+//! live registry metrics (event counts, latency percentiles, the
+//! per-(node-class, model) violation table) printed at periodic
+//! snapshots, the worst SLO miss attributed span by span, and — when
+//! `VELTAIR_TRACE_OUT` is set — the merged trace exported as Chrome
+//! trace-event JSON for Perfetto / `chrome://tracing`.
+//!
 //! ```text
 //! cargo run --release --example cluster_serving
+//! VELTAIR_TRACE_OUT=cluster.trace.json cargo run --release --example cluster_serving
 //! ```
 
 use veltair::prelude::*;
@@ -111,11 +120,97 @@ fn main() {
         );
     }
 
+    flight_recorder_demo(&compiled, &nodes, &workload);
+
     per_node_compilation_demo(&compiled, &nodes, &workload, report);
 
     scale_demo(&compiled);
 
     index_scale_demo(&compiled);
+}
+
+/// The flight-recorder pass: interference-aware routing over the same
+/// fleet with the deterministic trace collector attached from the first
+/// arrival, registry metrics printed at periodic snapshots, the worst
+/// SLO miss attributed, and the merged trace exported as Chrome
+/// trace-event JSON when `VELTAIR_TRACE_OUT` is set.
+fn flight_recorder_demo(compiled: &[CompiledModel], nodes: &[NodeSpec], workload: &WorkloadSpec) {
+    let mut builder = ClusterEngine::builder()
+        .router(RouterKind::InterferenceAware)
+        .admission(AdmissionKind::SloAware(SloAdmissionConfig::default()))
+        .telemetry(TraceConfig::unbounded());
+    for m in compiled {
+        builder = builder.model(m.clone());
+    }
+    for n in nodes {
+        builder = builder.node(n.clone());
+    }
+    let engine = builder.build().expect("valid cluster");
+    let mut session = engine.session().expect("valid session");
+    session
+        .submit_stream(workload, 42)
+        .expect("registered models");
+
+    println!("\nflight recorder (interference-aware, same fleet and workload):");
+    for t_ms in [250.0, 500.0, 1000.0] {
+        session.run_until(t_ms / 1e3);
+        let tm = session.telemetry_snapshot().expect("telemetry enabled");
+        println!(
+            "  t={t_ms:>5.0}ms  {:>5} events  routed {:>4}  deferred {:>3}  shed {:>3}  \
+             completed {:>4}  violated {:>3}  p99 {:>6.2}ms",
+            tm.events_recorded,
+            tm.counts.routed,
+            tm.counts.deferred,
+            tm.counts.shed,
+            tm.counts.completed,
+            tm.counts.violated,
+            tm.latency.percentile_s(99.0) * 1e3,
+        );
+    }
+    // Drain the stragglers so the trace holds every terminal event.
+    let mut t_s = 1.0;
+    while !session.is_idle() && t_s < 60.0 {
+        t_s += 0.5;
+        session.run_until(t_s);
+    }
+
+    let tm = session.telemetry_snapshot().expect("telemetry enabled");
+    println!("  final violation-frequency table (node class x model):");
+    for (class, model, cell) in tm.violation_rows() {
+        println!(
+            "    {class:<18} {model:<14} {:>4} done  {:>3} violated  {:>3} shed  ({:>5.1}% rate)",
+            cell.completed,
+            cell.violated,
+            cell.shed,
+            cell.violation_rate() * 100.0,
+        );
+    }
+
+    let log = session.trace_log().expect("telemetry enabled");
+    if let Some(worst) = log
+        .query_ids()
+        .into_iter()
+        .filter_map(|q| log.explain(q))
+        .filter(|a| a.violated)
+        .max_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+    {
+        println!("\n  worst SLO miss, attributed:");
+        for line in format!("{worst}").lines() {
+            println!("  {line}");
+        }
+    }
+    if let Ok(path) = std::env::var("VELTAIR_TRACE_OUT") {
+        std::fs::write(&path, log.to_chrome_json()).expect("write trace file");
+        println!(
+            "\n  wrote {} trace events to {path} (load in Perfetto / chrome://tracing)",
+            log.events.len()
+        );
+    }
+    let report = session.finish();
+    assert!(
+        report.telemetry.is_some(),
+        "the final report should carry the registry snapshot"
+    );
 }
 
 /// Per-node compilation head to head: the same heterogeneous fleet and

@@ -1,13 +1,37 @@
 //! Online serving through the resumable session API: bursty open-loop
 //! arrivals, a mid-run policy hot-swap, and periodic incremental
 //! snapshots — the scenario the batch `run(workload, seed)` path cannot
-//! express.
+//! express. The session's flight recorder runs throughout: live registry
+//! metrics print with each snapshot, and setting `VELTAIR_TRACE_OUT`
+//! writes the merged lifecycle trace as Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`).
 //!
 //! ```text
 //! cargo run --release --example online_serving
+//! VELTAIR_TRACE_OUT=online.trace.json cargo run --release --example online_serving
 //! ```
 
 use veltair::prelude::*;
+
+fn print_telemetry(tm: &TelemetrySnapshot) {
+    println!(
+        "    registry: {} events  dispatched {}  completed {}  violated {}  p95 {:>6.2}ms  p99 {:>6.2}ms",
+        tm.events_recorded,
+        tm.counts.dispatched,
+        tm.counts.completed,
+        tm.counts.violated,
+        tm.latency.percentile_s(95.0) * 1e3,
+        tm.latency.percentile_s(99.0) * 1e3,
+    );
+    for (class, model, cell) in tm.violation_rows() {
+        println!(
+            "      {class:<18} {model:<14} {:>4} done  {:>3} violated  ({:>5.1}% rate)",
+            cell.completed,
+            cell.violated,
+            cell.violation_rate() * 100.0,
+        );
+    }
+}
 
 fn print_snapshot(label: &str, snap: &ReportSnapshot) {
     println!(
@@ -50,6 +74,7 @@ fn main() -> Result<(), EngineError> {
     let engine = builder.build()?;
 
     let mut session = engine.session()?;
+    session.enable_telemetry(TraceConfig::unbounded());
     println!("session open under {}\n", session.policy().name());
 
     // Phase 1: a steady trickle plus a sharp mobilenet burst at t=0.
@@ -61,6 +86,9 @@ fn main() -> Result<(), EngineError> {
         session.run_until(t_ms / 1e3);
         print_snapshot(&session.policy().name(), &session.snapshot());
         println!("    poll: +{} completions", session.poll().len());
+        if let Some(tm) = session.telemetry_snapshot() {
+            print_telemetry(&tm);
+        }
     }
 
     // Phase 2: hot-swap the scheduler mid-stream (policy A/B) and throw a
@@ -78,6 +106,9 @@ fn main() -> Result<(), EngineError> {
         session.run_until(t_ms / 1e3);
         print_snapshot(&session.policy().name(), &session.snapshot());
         println!("    poll: +{} completions", session.poll().len());
+        if let Some(tm) = session.telemetry_snapshot() {
+            print_telemetry(&tm);
+        }
     }
 
     // Drain: collect the straggler completions one by one.
@@ -98,6 +129,27 @@ fn main() -> Result<(), EngineError> {
                 "QoS miss"
             },
         );
+    }
+
+    // Flight-recorder wrap-up: attribute the worst SLO miss, then export the
+    // merged trace as Chrome trace-event JSON when `VELTAIR_TRACE_OUT` is set.
+    if let Some(log) = session.trace_log() {
+        if let Some(worst) = log
+            .query_ids()
+            .into_iter()
+            .filter_map(|q| log.explain(q))
+            .filter(|a| a.violated)
+            .max_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+        {
+            println!("\nworst SLO miss, attributed:\n{worst}");
+        }
+        if let Ok(path) = std::env::var("VELTAIR_TRACE_OUT") {
+            std::fs::write(&path, log.to_chrome_json()).expect("write trace file");
+            println!(
+                "\nwrote {} trace events to {path} (load in Perfetto / chrome://tracing)",
+                log.events.len()
+            );
+        }
     }
 
     let report = session.finish();

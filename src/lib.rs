@@ -23,6 +23,10 @@
 //!   drivers behind pluggable SLO-aware routing (round-robin,
 //!   least-outstanding, power-of-two-choices, interference-aware) and
 //!   admission control;
+//! * [`telemetry`] — the deterministic flight recorder: query-lifecycle
+//!   tracing, the metrics registry (latency histograms, the
+//!   violation-frequency table), Chrome-trace export, and per-query SLO
+//!   attribution;
 //! * [`core`] — the serving engine, evaluation metrics, and the experiment
 //!   harness that regenerates every figure and table of the paper.
 //!
@@ -59,6 +63,7 @@ pub use veltair_models as models;
 pub use veltair_proxy as proxy;
 pub use veltair_sched as sched;
 pub use veltair_sim as sim;
+pub use veltair_telemetry as telemetry;
 pub use veltair_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.
@@ -84,4 +89,8 @@ pub mod prelude {
     pub use veltair_sched::runtime::{Dispatcher, Driver};
     pub use veltair_sched::{QuerySpec, SimConfig};
     pub use veltair_sim::{Interference, MachineConfig, SimTime};
+    pub use veltair_telemetry::{
+        Collector, EventCounts, LatencyHistogram, NullSink, SloAttribution, TelemetrySnapshot,
+        TraceConfig, TraceEvent, TraceEventKind, TraceLog, TraceSink, ViolationCell,
+    };
 }

@@ -416,3 +416,60 @@ fn coordinator_counters_are_populated_on_snapshots_and_reports() {
     assert!(scan.coordinator.nodes_examined > c.nodes_examined);
     assert_eq!(scan.coordinator.index_updates, c.index_updates);
 }
+
+#[test]
+fn telemetry_counts_pin_the_coordinator_counting_contract() {
+    // The rustdoc'd relations on `CoordinatorStats` between the op
+    // counters and the flight recorder's event counts, pinned exactly:
+    // a `Routed` event per routing decision, a node-lifecycle event per
+    // roster transition, and the per-offer identity (each decision ends
+    // in exactly one of Admitted / Deferred / Shed).
+    let models = compiled_mix();
+    let specs = heterogeneous_nodes();
+    let seed_roster = specs.len() as u64;
+    let mut fleet = Fleet::new(
+        &models,
+        &specs,
+        RouterKind::InterferenceAware.build(),
+        AdmissionKind::SloAware(SloAdmissionConfig::default()).build(),
+    )
+    .expect("valid fleet")
+    .with_telemetry(TraceConfig::unbounded());
+    fleet
+        .submit_stream(&bursty_mix_workload(120, 300.0), 42)
+        .expect("registered");
+    fleet.run_until(0.03);
+    fleet.kill_node(0).expect("live node");
+    fleet.run_until(0.08);
+    fleet.drain_node(2).expect("live node");
+    fleet.add_node(&NodeSpec::new(
+        "late-0",
+        MachineConfig::desktop_8core(),
+        Policy::VeltairFull,
+    ));
+    fleet.run_to_completion();
+    let report = fleet.finish();
+    let tm = report.telemetry.as_ref().expect("telemetry enabled");
+    let (c, n) = (report.coordinator, tm.counts);
+
+    assert_eq!(
+        c.routing_decisions, n.routed,
+        "one Routed event per decision"
+    );
+    assert_eq!(c.nodes_added + seed_roster, n.node_joined);
+    assert_eq!(c.nodes_drained, n.node_draining);
+    assert_eq!(c.nodes_killed, n.node_killed);
+    assert_eq!(report.deferrals, n.deferred);
+    assert_eq!(report.shed, n.shed);
+    assert_eq!(report.rerouted, n.requeued);
+    assert_eq!(report.submitted, n.submitted);
+    // Every routing decision resolves to exactly one admission outcome.
+    assert_eq!(n.routed, n.admitted + n.deferred + n.shed);
+    // Every placement (original or reroute) that is not shed is admitted
+    // exactly once.
+    assert_eq!(n.admitted, n.submitted - n.shed + n.requeued);
+    // The churn script really exercised every relation.
+    assert!(n.deferred > 0 && n.shed > 0 && n.requeued > 0);
+    assert_eq!(n.node_killed, 1);
+    assert_eq!(n.node_draining, 1);
+}
