@@ -335,13 +335,13 @@ fn bench_selector_hot_path(c: &mut Criterion) {
             b.iter(|| {
                 let level = f64::from(tick % 10) / 10.0;
                 tick += 1;
-                let ctx = SelectionContext {
-                    model_index: 0,
-                    pressure: Interference::level(level),
+                let ctx = SelectionContext::instantaneous(
+                    0,
+                    Interference::level(level),
                     level,
-                    now_s: f64::from(tick) * 1e-4,
-                    expected_cores: model.model_core_requirement(level).max(1),
-                };
+                    f64::from(tick) * 1e-4,
+                    model.model_core_requirement(level).max(1),
+                );
                 selector.select(std::hint::black_box(model), &ctx, &machine)
             })
         });

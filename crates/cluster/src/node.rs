@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use veltair_compiler::SelectorKind;
 use veltair_proxy::InterferenceProxy;
-use veltair_sched::{Policy, SimConfig};
+use veltair_sched::{Policy, ProjectionConfig, SimConfig};
 use veltair_sim::MachineConfig;
 
 /// Configuration of one fleet member: a machine, the scheduling policy it
@@ -24,10 +24,15 @@ pub struct NodeSpec {
     /// is the oracle).
     pub proxy: Option<InterferenceProxy>,
     /// The node's runtime version-selection policy (default: the
-    /// bit-identical [`SelectorKind::PressureLadder`]). Per-node, so a
-    /// fleet can run calibration candidates side by side with the
-    /// incumbent — only consulted when `policy` has adaptive compilation.
+    /// calibrated hysteresis ladder; [`SelectorKind::PressureLadder`]
+    /// replays pre-redesign runs bit for bit). Per-node, so a fleet can
+    /// run calibration candidates side by side with the incumbent — only
+    /// consulted when `policy` has adaptive compilation.
     pub selector: SelectorKind,
+    /// The node's predictive pressure projection
+    /// ([`ProjectionConfig::disabled`] reproduces the instantaneous
+    /// monitor). Per-node for the same reason as `selector`.
+    pub projection: ProjectionConfig,
 }
 
 impl NodeSpec {
@@ -39,7 +44,8 @@ impl NodeSpec {
             machine,
             policy,
             proxy: None,
-            selector: SelectorKind::PressureLadder,
+            selector: SelectorKind::default(),
+            projection: ProjectionConfig::default(),
         }
     }
 
@@ -57,11 +63,19 @@ impl NodeSpec {
         self
     }
 
+    /// Overrides the node's predictive pressure projection.
+    #[must_use]
+    pub fn with_projection(mut self, projection: ProjectionConfig) -> Self {
+        self.projection = projection;
+        self
+    }
+
     /// The node's driver configuration.
     #[must_use]
     pub fn sim_config(&self) -> SimConfig {
-        let mut cfg =
-            SimConfig::new(self.machine.clone(), self.policy).with_selector(self.selector);
+        let mut cfg = SimConfig::new(self.machine.clone(), self.policy)
+            .with_selector(self.selector)
+            .with_projection(self.projection);
         if let Some(p) = &self.proxy {
             cfg = cfg.with_proxy(p.clone());
         }
@@ -133,11 +147,12 @@ pub struct NodeLoad {
     pub total_cores: u32,
     /// `busy_cores / total_cores`, in `[0, 1]`.
     pub occupancy: f64,
-    /// The co-runner pressure a new tenant would face on this node, as
-    /// estimated by the node's own monitor (oracle or counter proxy).
-    /// Temporal nodes (PREMA, AI-MT) report their occupancy instead: a
-    /// new tenant there faces whole-machine exclusion, not spatial
-    /// co-location (see `Driver::pressure`).
+    /// The pressure a new tenant would face on this node: the node's own
+    /// monitored co-runner estimate (oracle or counter proxy) projected
+    /// over its queued backlog. Temporal nodes (PREMA, AI-MT) report
+    /// their serialization pressure `q / (q + 1)` over outstanding
+    /// queries instead: a new tenant there faces whole-machine
+    /// exclusion, not spatial co-location (see `Driver::pressure`).
     pub pressure: f64,
 }
 

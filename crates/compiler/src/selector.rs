@@ -18,13 +18,14 @@
 //!   static-compilation baseline);
 //! * [`PressureLadder`] — re-ranks the retained versions under the raw
 //!   monitored pressure pair at every decision. This is the historical
-//!   behaviour and the default: a [`SelectorKind::PressureLadder`]
-//!   configuration reproduces pre-redesign runs bit for bit;
-//! * [`HysteresisLadder`] — EWMA-smoothed pressure plus switch
-//!   hysteresis, aimed at the Veltair-AC calibration gap: the raw
-//!   monitored level whipsaws under overload, and chasing every spike
-//!   flaps versions at exactly the moments a stable choice would serve
-//!   better;
+//!   behaviour, kept as an opt-in bit-compatible replay path: a
+//!   [`SelectorKind::PressureLadder`] configuration reproduces
+//!   pre-redesign runs bit for bit;
+//! * [`HysteresisLadder`] — the calibrated Veltair-AC selector and the
+//!   default: EWMA-smoothed *projected* pressure (the runtime's
+//!   predictive monitor closes the planning-instant lag, so the ladder
+//!   runs at unit anticipatory gain) plus switch hysteresis against
+//!   version flapping;
 //! * [`EwmaSmoother`] — the shared smoothing primitive (also used by the
 //!   fleet's interference-aware router).
 
@@ -109,11 +110,45 @@ pub struct SelectionContext {
     pub pressure: Interference,
     /// The raw scalar pressure level (the mean of the pair).
     pub level: f64,
+    /// The *projected* near-future pressure pair: the raw snapshot lifted
+    /// toward saturation by the runtime's predictive monitor when queued
+    /// work outruns the imminent drain. Equals [`pressure`](Self::pressure)
+    /// on an unbacklogged machine or when projection is disabled.
+    pub projected: Interference,
+    /// The projected scalar level. Predictive selectors (the default
+    /// [`HysteresisLadder`]) consult this; replay selectors
+    /// ([`PressureLadder`]) keep consuming the raw
+    /// [`level`](Self::level) for bit compatibility.
+    pub projected_level: f64,
     /// Simulation clock, seconds, for time-aware smoothing.
     pub now_s: f64,
     /// The core allocation the planned block is expected to receive,
     /// judged at the raw level.
     pub expected_cores: u32,
+}
+
+impl SelectionContext {
+    /// A context whose projection equals the instantaneous reading — the
+    /// common case for callers outside the serving runtime (tests,
+    /// offline what-if evaluation) that have no backlog to project from.
+    #[must_use]
+    pub fn instantaneous(
+        model_index: usize,
+        pressure: Interference,
+        level: f64,
+        now_s: f64,
+        expected_cores: u32,
+    ) -> Self {
+        Self {
+            model_index,
+            pressure,
+            level,
+            projected: pressure,
+            projected_level: level,
+            now_s,
+            expected_cores,
+        }
+    }
 }
 
 /// A runtime version-selection policy: given a compiled model and the
@@ -145,13 +180,15 @@ pub struct HysteresisConfig {
     /// `1.0` disables smoothing (the ladder sees the raw signal).
     pub alpha: f64,
     /// Anticipatory gain applied to the smoothed level before the table
-    /// lookup (clamped to `[0, 1]` after boosting). The runtime monitor
-    /// reports the pressure of the co-runners *currently* in flight, but
-    /// under sustained overload the contention a layer actually meets is
-    /// far higher than the planning-instant snapshot — on the four-model
-    /// overload mix the monitored level averages ≈ 0.32 while versions
-    /// ranked for 0.55–0.7 serve best (see `tests/policy_ordering.rs`).
-    /// `1.0` disables anticipation.
+    /// lookup (clamped to `[0, 1]` after boosting). `1.0` — the default —
+    /// disables anticipation: the ladder consults the *projected* level,
+    /// and the runtime's predictive monitor already closes the
+    /// planning-instant lag (under sustained overload the raw snapshot
+    /// reads ≈ 0.32 while versions ranked for 0.55–0.7 serve best; the
+    /// projection lifts the lookup level into that band — see
+    /// `tests/policy_ordering.rs`). The historical 2.5× setting papered
+    /// over that lag before the monitor could project; it remains
+    /// available for replaying old configurations.
     pub gain: f64,
     /// Minimum movement of the boosted, smoothed level (absolute, in
     /// pressure units) before a model's committed version plan is
@@ -191,15 +228,16 @@ impl HysteresisConfig {
 impl Default for HysteresisConfig {
     /// The AC tuning pass's operating point on the four-model overload
     /// mix (measured sweep in `tests/policy_ordering.rs`): moderate
-    /// smoothing, 2.5× anticipatory gain, and a one-bin switching
-    /// margin. Lifts Veltair-AC's seed-averaged satisfaction from 0.681
-    /// (raw [`PressureLadder`]) to 0.807 — between adaptive scheduling
-    /// (0.821) and the layer-wise static baseline (0.626), where the
-    /// paper's Fig. 12 puts it.
+    /// smoothing, *unit* anticipatory gain — the predictive monitor's
+    /// projection supplies the anticipation the retired 2.5× boost used
+    /// to fake — and a one-bin switching margin. Holds Veltair-AC's
+    /// seed-averaged satisfaction at ≥ 0.807 — between adaptive
+    /// scheduling (≈ 0.821) and the layer-wise static baseline (≈ 0.626),
+    /// where the paper's Fig. 12 puts it.
     fn default() -> Self {
         Self {
             alpha: 0.25,
-            gain: 2.5,
+            gain: 1.0,
             hysteresis: 0.1,
         }
     }
@@ -208,7 +246,7 @@ impl Default for HysteresisConfig {
 /// Declarative selector choice, used by `SimConfig` and the engine/node
 /// builders. Building a kind yields a fresh selector with no accumulated
 /// state, which keeps sessions re-buildable and bit-deterministic.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SelectorKind {
     /// Pin every layer to its best version for one assumed level.
     StaticLevel {
@@ -216,12 +254,21 @@ pub enum SelectorKind {
         level: f64,
     },
     /// Re-rank versions under the raw monitored pressure pair at every
-    /// decision (the historical behaviour; the default).
-    #[default]
+    /// decision — the historical behaviour, kept as an opt-in
+    /// bit-compatible replay path for pre-redesign runs.
     PressureLadder,
-    /// EWMA-smoothed, anticipation-boosted pressure with switch
-    /// hysteresis — the calibrated Veltair-AC selector.
+    /// EWMA-smoothed projected pressure with switch hysteresis — the
+    /// calibrated Veltair-AC selector, and the default.
     Hysteresis(HysteresisConfig),
+}
+
+impl Default for SelectorKind {
+    /// The calibrated [`HysteresisLadder`] at its tuned operating point.
+    /// Configurations that must reproduce pre-redesign runs bit for bit
+    /// opt back into [`SelectorKind::PressureLadder`] explicitly.
+    fn default() -> Self {
+        SelectorKind::Hysteresis(HysteresisConfig::default())
+    }
 }
 
 impl SelectorKind {
@@ -409,13 +456,18 @@ struct CommittedPlan {
 ///    finish, and every spike re-ranks versions against conditions that
 ///    are gone by the time the block runs. The ladder smooths the level
 ///    through an [`EwmaSmoother`].
-/// 2. **Lag.** The monitor reports the pressure of co-runners currently
-///    in flight — it cannot see the queued work that will be running
-///    alongside the planned block moments later. Under sustained
-///    overload the planning-instant level averages ≈ 0.32 while the
-///    versions that actually serve best are the ones compiled for
-///    levels 0.55–0.7. The ladder multiplies the smoothed level by an
-///    anticipatory `gain` before the lookup.
+/// 2. **Lag.** The monitor's raw snapshot reports the pressure of
+///    co-runners currently in flight — it cannot see the queued work
+///    that will be running alongside the planned block moments later.
+///    Under sustained overload the planning-instant level averages
+///    ≈ 0.32 while the versions that actually serve best are the ones
+///    compiled for levels 0.55–0.7. The ladder consults the *projected*
+///    level ([`SelectionContext::projected_level`]): the runtime's
+///    predictive monitor lifts the snapshot toward saturation by the
+///    backlog that free cores plus the imminent drain cannot absorb, so
+///    the default anticipatory `gain` is 1.0 (the historical 2.5× boost
+///    approximated the same correction before the monitor could
+///    project).
 /// 3. **Flapping.** Near a version crossover, selection alternates
 ///    between two versions on successive decisions, so neither
 ///    version's locality assumptions ever hold. The ladder keeps a
@@ -483,7 +535,7 @@ impl VersionSelector for HysteresisLadder {
         ctx: &SelectionContext,
         _machine: &MachineConfig,
     ) -> Vec<usize> {
-        let smoothed = self.smoother.observe(ctx.level);
+        let smoothed = self.smoother.observe(ctx.projected_level);
         let level = (self.cfg.gain * smoothed).clamp(0.0, 1.0);
 
         if self.committed.len() <= ctx.model_index {
@@ -525,13 +577,7 @@ mod tests {
     }
 
     fn ctx(level: f64, expected_cores: u32) -> SelectionContext {
-        SelectionContext {
-            model_index: 0,
-            pressure: Interference::level(level),
-            level,
-            now_s: 0.0,
-            expected_cores,
-        }
+        SelectionContext::instantaneous(0, Interference::level(level), level, 0.0, expected_cores)
     }
 
     #[test]
@@ -641,6 +687,29 @@ mod tests {
             SelectorKind::try_static_level(2.0),
             Err(CompilerError::InvalidStaticLevel { .. })
         ));
-        assert_eq!(SelectorKind::default(), SelectorKind::PressureLadder);
+        assert_eq!(
+            SelectorKind::default(),
+            SelectorKind::Hysteresis(HysteresisConfig::default()),
+            "the calibrated ladder is the default selector"
+        );
+        assert_eq!(
+            HysteresisConfig::default().gain,
+            1.0,
+            "the predictive monitor retired the anticipatory-gain hack"
+        );
+    }
+
+    #[test]
+    fn hysteresis_ladder_consults_the_projected_level() {
+        let (m, machine) = compiled();
+        // No smoothing, unit gain, no hysteresis: selection is a pure
+        // table walk at the context's projected level, not the raw one.
+        let mut sel = HysteresisLadder::try_new(1.0, 1.0, 0.0).expect("valid params");
+        let mut c = ctx(0.2, 8);
+        c.projected = Interference::level(0.7);
+        c.projected_level = 0.7;
+        let got = sel.select(&m, &c, &machine);
+        let expected: Vec<usize> = m.layers.iter().map(|l| l.version_for_level(0.7)).collect();
+        assert_eq!(got, expected);
     }
 }

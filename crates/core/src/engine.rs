@@ -18,7 +18,9 @@
 use veltair_compiler::{CompiledModel, SelectorKind};
 use veltair_proxy::InterferenceProxy;
 use veltair_sched::runtime::{self, Driver};
-use veltair_sched::{Policy, QuerySpec, ServingReport, SimConfig, SimError, WorkloadSpec};
+use veltair_sched::{
+    Policy, ProjectionConfig, QuerySpec, ServingReport, SimConfig, SimError, WorkloadSpec,
+};
 use veltair_sim::{MachineConfig, SimTime};
 use veltair_telemetry::{Collector, TelemetrySnapshot, TraceConfig, TraceEventKind, TraceLog};
 
@@ -200,6 +202,7 @@ pub struct EngineBuilder {
     models: Vec<CompiledModel>,
     proxy: Option<InterferenceProxy>,
     selector: SelectorKind,
+    projection: ProjectionConfig,
     slo_overrides: Vec<(String, f64)>,
 }
 
@@ -210,7 +213,8 @@ impl Default for EngineBuilder {
             policy: Policy::VeltairFull,
             models: Vec::new(),
             proxy: None,
-            selector: SelectorKind::PressureLadder,
+            selector: SelectorKind::default(),
+            projection: ProjectionConfig::default(),
             slo_overrides: Vec::new(),
         }
     }
@@ -250,11 +254,22 @@ impl EngineBuilder {
     }
 
     /// Sets the runtime version-selection policy consulted by
-    /// adaptive-compilation policies (default: the bit-identical
-    /// [`SelectorKind::PressureLadder`]).
+    /// adaptive-compilation policies (default: the calibrated hysteresis
+    /// ladder; [`SelectorKind::PressureLadder`] replays pre-redesign runs
+    /// bit for bit).
     #[must_use]
     pub fn selector(mut self, selector: SelectorKind) -> Self {
         self.selector = selector;
+        self
+    }
+
+    /// Overrides the predictive pressure projection applied at every
+    /// planning decision (default: the calibrated
+    /// [`ProjectionConfig::default`]; `ProjectionConfig::disabled()`
+    /// restores the purely instantaneous monitor).
+    #[must_use]
+    pub fn projection(mut self, projection: ProjectionConfig) -> Self {
+        self.projection = projection;
         self
     }
 
@@ -284,6 +299,7 @@ impl EngineBuilder {
             mut models,
             proxy,
             selector,
+            projection,
             slo_overrides,
         } = self;
         if models.is_empty() {
@@ -296,6 +312,7 @@ impl EngineBuilder {
             models,
             proxy,
             selector,
+            projection,
         })
     }
 }
@@ -309,6 +326,7 @@ pub struct ServingEngine {
     models: Vec<CompiledModel>,
     proxy: Option<InterferenceProxy>,
     selector: SelectorKind,
+    projection: ProjectionConfig,
 }
 
 impl ServingEngine {
@@ -320,7 +338,8 @@ impl ServingEngine {
             policy,
             models: Vec::new(),
             proxy: None,
-            selector: SelectorKind::PressureLadder,
+            selector: SelectorKind::default(),
+            projection: ProjectionConfig::default(),
         }
     }
 
@@ -358,6 +377,18 @@ impl ServingEngine {
         self.selector = selector;
     }
 
+    /// Changes the predictive pressure projection. Affects subsequent
+    /// runs and sessions.
+    pub fn set_projection(&mut self, projection: ProjectionConfig) {
+        self.projection = projection;
+    }
+
+    /// The engine's predictive pressure projection.
+    #[must_use]
+    pub fn projection(&self) -> ProjectionConfig {
+        self.projection
+    }
+
     /// The engine's version-selection policy.
     #[must_use]
     pub fn selector(&self) -> SelectorKind {
@@ -383,8 +414,9 @@ impl ServingEngine {
     }
 
     fn sim_config(&self) -> SimConfig {
-        let mut cfg =
-            SimConfig::new(self.machine.clone(), self.policy).with_selector(self.selector);
+        let mut cfg = SimConfig::new(self.machine.clone(), self.policy)
+            .with_selector(self.selector)
+            .with_projection(self.projection);
         if let Some(p) = &self.proxy {
             cfg = cfg.with_proxy(p.clone());
         }

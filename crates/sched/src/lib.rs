@@ -86,7 +86,9 @@ pub mod workload;
 pub use layer_block::{block_core_requirement, find_first_pivot, form_blocks, BlockPlan};
 pub use policy::{Granularity, Policy};
 pub use report::{ModelStats, ServingReport};
-pub use runtime::{Dispatcher, Driver, Monitor, SimError};
+pub use runtime::{
+    Dispatcher, Driver, Monitor, PressureView, ProjectionConfig, ProjectionError, SimError,
+};
 // Version choice is owned by the compilation layer; re-exported here
 // because `SimConfig::selector` is part of this crate's configuration
 // surface.

@@ -389,27 +389,37 @@ impl<'a> Driver<'a> {
         self.state.queries.len() - self.state.completed.len() - self.state.removed
     }
 
-    /// The co-runner pressure a newly arriving tenant would face, as
-    /// estimated by this driver's configured monitor (oracle or counter
-    /// proxy) under the soon-to-finish rule. This is the per-node signal
-    /// interference-aware fleet routing consumes: it already reflects
-    /// *which* models run here, not just how many cores they hold.
+    /// The pressure a newly arriving tenant would face: the monitored
+    /// co-runner estimate (oracle or counter proxy, under the
+    /// soon-to-finish rule) *projected* over the queued backlog — see
+    /// [`SimState::projected`](super::SimState::projected). This is the
+    /// per-node signal interference-aware fleet routing consumes: it
+    /// reflects *which* models run here and how deep the queue behind
+    /// them is, not just how many cores they hold.
     ///
     /// For temporal policies (PREMA, AI-MT) the spatial co-runner
     /// estimate is structurally near zero — one tenant runs at a time —
     /// yet a new tenant faces whole-machine *exclusion* while anything
     /// runs. Reporting the monitor's estimate verbatim made
     /// time-multiplexed nodes look like the quietest members of a fleet
-    /// exactly when they were serializing a backlog, so pressure-aware
-    /// routers over-routed them. A temporal node therefore reports its
-    /// occupancy: the fraction of the machine a new arrival is excluded
-    /// from.
+    /// exactly when they were serializing a backlog. The earlier
+    /// occupancy substitute was binary (the whole machine is granted or
+    /// idle), which hid queue depth the same way: a node one query deep
+    /// and a node forty deep both reported 1.0. A temporal node
+    /// therefore reports its *serialization pressure* `q / (q + 1)` over
+    /// the in-system query count `q` (queued or in flight — see
+    /// [`SimState::in_system`](super::SimState::in_system); not
+    /// [`Driver::outstanding`], which also counts trace queries that
+    /// have not arrived yet): 0 when idle, ½ with a lone
+    /// tenant, asymptotically 1 as the serialized backlog deepens —
+    /// monotone in the wait a new arrival actually faces.
     #[must_use]
     pub fn pressure(&self) -> f64 {
         if self.state.cfg.policy.is_temporal() {
-            self.occupancy()
+            let q = self.state.in_system() as f64;
+            q / (q + 1.0)
         } else {
-            self.state.monitored().1
+            self.state.projected().projected_level
         }
     }
 

@@ -39,7 +39,10 @@ pub mod temporal;
 
 pub use dispatcher::{for_policy, Dispatcher};
 pub use driver::{Driver, SimError};
-pub use monitor::{CounterProxyMonitor, Monitor, OracleMonitor};
+pub use monitor::{
+    project, CounterProxyMonitor, Monitor, OracleMonitor, PressureView, ProjectionConfig,
+    ProjectionError, ProjectionInputs,
+};
 pub use partitioned::PartitionedDispatcher;
 pub use spatial::SpatialDispatcher;
 pub use state::{Event, Pending, QueryState, Running, SimState};

@@ -96,8 +96,7 @@ impl Dispatcher for PartitionedDispatcher {
             let request = parts[m].max(1);
             if used[m] + request <= parts[m] && request <= state.free_cores {
                 let n_units = state.models[m].layers.len();
-                let versions =
-                    state.plan_versions(m, veltair_sim::Interference::NONE, 0.0, request);
+                let versions = state.plan_versions(m, crate::runtime::PressureView::ZERO, request);
                 let begin = state.queries[query].next_unit;
                 state.free_cores -= request;
                 used[m] += request;

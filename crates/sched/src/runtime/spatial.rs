@@ -124,13 +124,19 @@ pub(super) fn plan_block(state: &mut SimState<'_>, query: usize) -> (usize, Vec<
     let adaptive = policy.adaptive_compilation();
     // Interference-oblivious baselines plan as if alone.
     let aware = adaptive || matches!(policy, Policy::VeltairAs | Policy::VeltairFull);
-    let (pressure, level) = if aware {
-        state.monitored()
+    let view = if aware {
+        state.projected()
     } else {
-        (veltair_sim::Interference::NONE, 0.0)
+        crate::runtime::PressureView::ZERO
     };
+    // Version *selection* sees both readings of the view (the default
+    // selector plans on the projection); every scheduling-side quantity
+    // below — core requirements, granularity pivots, dynamic thresholds —
+    // stays on the raw snapshot, so enabling the projection leaves
+    // core-allocation decisions bit-identical to a replay run.
+    let (pressure, level) = (view.pair, view.level);
     let expected = model.model_core_requirement(level).max(1);
-    let versions = state.plan_versions(model_index, pressure, level, expected);
+    let versions = state.plan_versions(model_index, view, expected);
     let machine = &state.cfg.machine;
     let n = model.layers.len();
 

@@ -20,7 +20,7 @@ use veltair_sim::{
 use veltair_telemetry::{TraceEventKind, TraceSink};
 
 use super::driver::SimError;
-use super::monitor::{self, Monitor};
+use super::monitor::{self, Monitor, PressureView, ProjectionInputs};
 use super::Dispatcher;
 use crate::report::ServingReport;
 use crate::simulator::SimConfig;
@@ -121,6 +121,11 @@ pub struct SimState<'a> {
     /// Current simulation time.
     pub now: SimTime,
     last_advance: SimTime,
+    /// Start of the current constant-allocation stretch; `core_seconds`
+    /// accrues one multiply per stretch (see [`SimState::advance_to`]).
+    busy_anchor: SimTime,
+    /// Busy-core level over `[busy_anchor, now]` as of the last advance.
+    anchor_busy: u32,
     /// Cores not currently granted to any unit.
     pub free_cores: u32,
     /// Mid-query blocks waiting for cores; they precede fresh arrivals in
@@ -163,9 +168,11 @@ pub struct SimState<'a> {
     /// an attached-but-disabled sink (`NullSink`) costs the same single
     /// predictable branch as no sink at all.
     trace_enabled: bool,
-    /// The scalar interference level the last [`SimState::plan_versions`]
-    /// call planned under, recorded into `Dispatched` trace events as
-    /// `pressure_at_plan`. Every dispatcher family plans immediately
+    /// The *projected* scalar interference level the last
+    /// [`SimState::plan_versions`] call planned under, recorded into
+    /// `Dispatched` trace events as `pressure_at_plan` (attribution
+    /// should explain the level planning actually consulted, not the
+    /// lagging snapshot). Every dispatcher family plans immediately
     /// before starting a block, so this is fresh at every
     /// [`SimState::start_block`].
     last_plan_level: f64,
@@ -227,6 +234,8 @@ impl<'a> SimState<'a> {
             events: EventQueue::new(),
             now: SimTime::ZERO,
             last_advance: SimTime::ZERO,
+            busy_anchor: SimTime::ZERO,
+            anchor_busy: 0,
             free_cores,
             continuations: VecDeque::new(),
             arrivals: VecDeque::new(),
@@ -318,11 +327,21 @@ impl<'a> SimState<'a> {
 
     /// Advances the clock to `t`, accruing core-seconds and unit progress
     /// at the current ratings.
+    ///
+    /// Core-seconds are settled once per *constant-allocation stretch*,
+    /// not once per clock advance: allocation only changes while the
+    /// clock is parked at `now`, so a busy count that differs from the
+    /// stretch anchor means the previous stretch ended exactly there.
+    /// Folding each stretch in with a single multiply keeps the float
+    /// sum independent of how observers (checkpointed sessions, fleet
+    /// routing instants) slice the clock between allocation changes.
     pub fn advance_to(&mut self, t: SimTime) {
+        let busy = self.cfg.machine.cores - self.free_cores;
+        if busy != self.anchor_busy {
+            self.settle_busy_stretch();
+        }
         let dt = t.since(self.last_advance);
         if dt > 0.0 {
-            let busy = self.cfg.machine.cores - self.free_cores;
-            self.report.core_seconds += f64::from(busy) * dt;
             for r in &mut self.running {
                 if r.active {
                     r.progress.advance(dt, r.exec.latency_s);
@@ -331,6 +350,17 @@ impl<'a> SimState<'a> {
             self.last_advance = t;
         }
         self.now = t;
+    }
+
+    /// Folds the finished `[busy_anchor, now]` stretch into
+    /// `core_seconds` and re-anchors at the current instant/allocation.
+    fn settle_busy_stretch(&mut self) {
+        let dt = self.now.since(self.busy_anchor);
+        if dt > 0.0 && self.anchor_busy > 0 {
+            self.report.core_seconds += f64::from(self.anchor_busy) * dt;
+        }
+        self.busy_anchor = self.now;
+        self.anchor_busy = self.cfg.machine.cores - self.free_cores;
     }
 
     // --- Admission ----------------------------------------------------------
@@ -406,6 +436,21 @@ impl<'a> SimState<'a> {
 
     // --- Monitoring ---------------------------------------------------------
 
+    /// Queries physically *in the system* right now: waiting in an
+    /// admission queue or with a block in flight. Unlike the
+    /// outstanding-query count this excludes trace queries whose arrival
+    /// lies in the future, so it is the right queue-depth base for the
+    /// temporal serialization-pressure signal. Blocks of one query run
+    /// strictly in order, so a query holds at most one active slot or one
+    /// queue entry at a time and the sum counts each query once.
+    #[must_use]
+    pub fn in_system(&self) -> usize {
+        self.continuations.len()
+            + self.arrivals.len()
+            + self.best_effort.len()
+            + self.running.iter().filter(|r| r.active).count()
+    }
+
     /// Co-runner pressure from the perspective of a new or planning tenant:
     /// all active units except soon-to-finish ones (the paper's
     /// soon-to-finish rule, §4.3), as estimated by the configured monitor.
@@ -418,6 +463,112 @@ impl<'a> SimState<'a> {
             .map(|r| &r.exec)
             .collect();
         self.monitor.observe(&corunners, &self.cfg.machine)
+    }
+
+    /// The predictive pressure reading for a planning decision: the
+    /// [`SimState::monitored`] snapshot plus its projection over the
+    /// queued latency-critical backlog (see [`monitor::project`]).
+    ///
+    /// The backlog is judged in *cores*: each queued continuation or
+    /// arrival demands its model's flat core requirement at the
+    /// instantaneous level (an O(1) table lookup per entry — the same
+    /// per-queue-entry cost the dynamic-threshold scan already pays at
+    /// every plan). Best-effort queues are excluded: they yield to
+    /// latency-critical work and never sustain pressure against it. The
+    /// occupancy term counts the cores granted to exactly the co-runners
+    /// the snapshot observes; the other half of the near future —
+    /// in-flight units about to leave — is excluded from both the
+    /// snapshot and the occupancy by [`SimState::monitored`]'s
+    /// soon-to-finish rule, so an emptying machine projects no lift.
+    ///
+    /// The *mix ceiling* the lift targets is computed here by phantom
+    /// observation: the machine is hypothetically packed to capacity
+    /// with the tenant mix currently in the system — each queued unit
+    /// (then, cycling, the in-system mix) joins at its preferred width
+    /// with the execution its model's best version would rate at the
+    /// instantaneous level — and the *installed monitor* observes the
+    /// packed set. Heavy mixes pack to near-saturation; a queue of
+    /// narrow light streams packs to the mild contention it can
+    /// actually produce, so the selector never compiles for pressure
+    /// the tenants cannot generate (see [`monitor::project`]).
+    #[must_use]
+    pub fn projected(&self) -> PressureView {
+        let (pair, level) = self.monitored();
+        let machine = &self.cfg.machine;
+        let total_cores = machine.cores;
+        let monitored =
+            |r: &&Running| r.active && r.progress.remaining_frac >= self.cfg.soon_finish_frac;
+        let occupied_cores: u32 = self
+            .running
+            .iter()
+            .filter(monitored)
+            .map(|r| r.granted)
+            .sum();
+        let mut backlog_cores: u64 = 0;
+        // The phantom blueprint: queued units first (the real joiners),
+        // then the already-resident mix for cycling once the queue is
+        // exhausted before the machine is full.
+        let mut blueprint: Vec<(usize, usize)> = Vec::new();
+        for p in self.continuations.iter().chain(self.arrivals.iter()) {
+            let q = &self.queries[p.query];
+            let model = &self.models[q.model];
+            backlog_cores += u64::from(model.model_core_requirement(level).max(1));
+            blueprint.push((q.model, q.next_unit));
+        }
+        if backlog_cores == 0 && occupied_cores == 0 || self.cfg.projection.saturation_weight <= 0.0
+        {
+            return PressureView::instantaneous(pair, level);
+        }
+        for r in self.running.iter().filter(monitored) {
+            blueprint.push((self.queries[r.query].model, r.unit));
+        }
+        let mut phantoms: Vec<Execution> = Vec::new();
+        let mut packed = occupied_cores;
+        let mut next = 0usize;
+        while !blueprint.is_empty() && packed < total_cores {
+            let (model_index, unit) = blueprint[next % blueprint.len()];
+            let model = &self.models[model_index];
+            let req = model
+                .model_core_requirement(level)
+                .clamp(1, total_cores.max(1));
+            if packed + req > total_cores {
+                break;
+            }
+            let layer = &model.layers[unit.min(model.layers.len() - 1)];
+            let version = layer.version_for(level, req);
+            phantoms.push(execute(
+                &layer.versions[version].profile,
+                req,
+                Interference::level(level),
+                machine,
+            ));
+            packed += req;
+            next += 1;
+        }
+        let (ceiling, ceiling_level) = if phantoms.is_empty() {
+            (pair, level)
+        } else {
+            let mut packed_set: Vec<&Execution> = self
+                .running
+                .iter()
+                .filter(monitored)
+                .map(|r| &r.exec)
+                .collect();
+            packed_set.extend(phantoms.iter());
+            self.monitor.observe(&packed_set, machine)
+        };
+        monitor::project(
+            pair,
+            level,
+            ceiling,
+            ceiling_level,
+            ProjectionInputs {
+                backlog_cores,
+                occupied_cores,
+                total_cores,
+            },
+            &self.cfg.projection,
+        )
     }
 
     /// Interference one unit experiences from all other active units.
@@ -441,6 +592,12 @@ impl<'a> SimState<'a> {
     /// [`VersionSelector`] under the observed conditions, every other
     /// policy runs the solo-optimal (static compilation) versions.
     ///
+    /// `view` carries both the raw monitored snapshot and its predictive
+    /// projection (usually from [`SimState::projected`]); which reading a
+    /// selector consumes is its own affair — the default
+    /// `HysteresisLadder` plans on the projection, the bit-compatible
+    /// `PressureLadder` replay on the raw snapshot.
+    ///
     /// This is the single seam through which compiled-code choice enters
     /// the runtime — every dispatcher family plans through it, so
     /// swapping `cfg.selector` swaps the adaptive-compilation behaviour
@@ -449,18 +606,19 @@ impl<'a> SimState<'a> {
     pub fn plan_versions(
         &mut self,
         model_index: usize,
-        pressure: Interference,
-        level: f64,
+        view: PressureView,
         expected_cores: u32,
     ) -> Vec<usize> {
         let models = self.models;
         let model = &models[model_index];
-        self.last_plan_level = level;
+        self.last_plan_level = view.projected_level;
         if self.cfg.policy.adaptive_compilation() {
             let ctx = SelectionContext {
                 model_index,
-                pressure,
-                level,
+                pressure: view.pair,
+                level: view.level,
+                projected: view.projected_pair,
+                projected_level: view.projected_level,
                 now_s: self.now.0,
                 expected_cores,
             };
@@ -802,6 +960,7 @@ impl<'a> SimState<'a> {
     /// Finalizes and returns the serving report.
     #[must_use]
     pub fn finish_report(mut self) -> ServingReport {
+        self.settle_busy_stretch();
         if self.report.makespan_s > 0.0 {
             self.report.avg_cores = self.report.core_seconds / self.report.makespan_s;
         }
@@ -821,6 +980,10 @@ impl<'a> SimState<'a> {
     #[must_use]
     pub fn snapshot_report(&self) -> ServingReport {
         let mut r = self.report.clone();
+        let live = self.now.since(self.busy_anchor);
+        if live > 0.0 && self.anchor_busy > 0 {
+            r.core_seconds += f64::from(self.anchor_busy) * live;
+        }
         let elapsed = self.now.0.max(r.makespan_s);
         if elapsed > 0.0 {
             r.avg_cores = r.core_seconds / elapsed;

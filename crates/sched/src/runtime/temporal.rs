@@ -122,8 +122,7 @@ impl Dispatcher for TemporalDispatcher {
         // `Driver::with_dispatcher` pairing with an adaptive-compilation
         // policy consults the configured selector at zero observed
         // pressure instead, the uniform behaviour of the redesigned API.
-        let versions =
-            state.plan_versions(model_index, veltair_sim::Interference::NONE, 0.0, cores);
+        let versions = state.plan_versions(model_index, crate::runtime::PressureView::ZERO, cores);
         let end = if layer_granular { begin + 1 } else { n };
         state.free_cores = 0;
         state.start_block(query, end, versions[begin..end].to_vec(), cores, cores);

@@ -16,7 +16,7 @@ use veltair_sim::MachineConfig;
 
 use crate::policy::Policy;
 use crate::report::ServingReport;
-use crate::runtime::{self, Dispatcher, SimError};
+use crate::runtime::{self, Dispatcher, ProjectionConfig, SimError};
 use crate::workload::QuerySpec;
 
 /// Simulation configuration.
@@ -40,11 +40,20 @@ pub struct SimConfig {
     pub best_effort_models: Vec<String>,
     /// The runtime version-selection policy consulted by
     /// adaptive-compilation policies (`VeltairAc` / `VeltairFull`). The
-    /// default, [`SelectorKind::PressureLadder`], re-ranks versions under
-    /// the raw monitored pressure at every decision — the historical
-    /// behaviour, bit for bit. Non-adaptive policies always run
-    /// solo-optimal code and ignore this field.
+    /// default is the calibrated hysteresis ladder planning on the
+    /// *projected* pressure ([`SelectorKind::default`]); configurations
+    /// that must reproduce pre-redesign runs bit for bit opt back into
+    /// [`SelectorKind::PressureLadder`], which re-ranks versions under
+    /// the raw monitored snapshot at every decision. Non-adaptive
+    /// policies always run solo-optimal code and ignore this field.
     pub selector: SelectorKind,
+    /// The predictive pressure projection applied at every planning
+    /// decision (see [`ProjectionConfig`]): queued backlog beyond what
+    /// free cores plus the imminent drain can absorb lifts the planning
+    /// level toward saturation. Affects only selectors that consult the
+    /// projected reading; [`ProjectionConfig::disabled`] restores the
+    /// purely instantaneous monitor.
+    pub projection: ProjectionConfig,
 }
 
 impl SimConfig {
@@ -58,7 +67,8 @@ impl SimConfig {
             soon_finish_frac: 0.1,
             record_alloc_trace: false,
             best_effort_models: Vec::new(),
-            selector: SelectorKind::PressureLadder,
+            selector: SelectorKind::default(),
+            projection: ProjectionConfig::default(),
         }
     }
 
@@ -70,11 +80,21 @@ impl SimConfig {
     }
 
     /// Installs a runtime version-selection policy (default: the
-    /// bit-identical [`SelectorKind::PressureLadder`]). Only consulted by
+    /// calibrated hysteresis ladder; [`SelectorKind::PressureLadder`]
+    /// replays pre-redesign runs bit for bit). Only consulted by
     /// adaptive-compilation policies.
     #[must_use]
     pub fn with_selector(mut self, selector: SelectorKind) -> Self {
         self.selector = selector;
+        self
+    }
+
+    /// Overrides the predictive pressure projection (default:
+    /// [`ProjectionConfig::default`]; [`ProjectionConfig::disabled`]
+    /// restores the purely instantaneous monitor).
+    #[must_use]
+    pub fn with_projection(mut self, projection: ProjectionConfig) -> Self {
+        self.projection = projection;
         self
     }
 

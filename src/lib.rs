@@ -87,7 +87,7 @@ pub mod prelude {
     };
     pub use veltair_models::{all_models, by_name, ModelSpec, WorkloadClass};
     pub use veltair_sched::runtime::{Dispatcher, Driver};
-    pub use veltair_sched::{QuerySpec, SimConfig};
+    pub use veltair_sched::{PressureView, ProjectionConfig, QuerySpec, SimConfig};
     pub use veltair_sim::{Interference, MachineConfig, SimTime};
     pub use veltair_telemetry::{
         Collector, EventCounts, LatencyHistogram, NullSink, SloAttribution, TelemetrySnapshot,

@@ -440,7 +440,7 @@ fn telemetry_counts_pin_the_coordinator_counting_contract() {
         .expect("registered");
     fleet.run_until(0.03);
     fleet.kill_node(0).expect("live node");
-    fleet.run_until(0.08);
+    fleet.run_until(0.05);
     fleet.drain_node(2).expect("live node");
     fleet.add_node(&NodeSpec::new(
         "late-0",
@@ -469,7 +469,13 @@ fn telemetry_counts_pin_the_coordinator_counting_contract() {
     // exactly once.
     assert_eq!(n.admitted, n.submitted - n.shed + n.requeued);
     // The churn script really exercised every relation.
-    assert!(n.deferred > 0 && n.shed > 0 && n.requeued > 0);
+    assert!(
+        n.deferred > 0 && n.shed > 0 && n.requeued > 0,
+        "deferred {} shed {} requeued {}",
+        n.deferred,
+        n.shed,
+        n.requeued
+    );
     assert_eq!(n.node_killed, 1);
     assert_eq!(n.node_draining, 1);
 }

@@ -1,13 +1,16 @@
-//! The redesign's bit-identity pin: with the default
-//! `SelectorKind::PressureLadder`, the selector-based runtime reproduces
-//! the pre-redesign `simulate()` output bit for bit across all nine
-//! policies.
+//! The redesign's bit-identity pin: with the opt-in
+//! `SelectorKind::PressureLadder` (the default until the calibrated
+//! `HysteresisLadder` was promoted), the selector-based runtime
+//! reproduces the pre-redesign `simulate()` output bit for bit across
+//! all nine policies.
 //!
 //! The reference is a `VersionSelector` that replays the *pre-redesign
 //! inline logic verbatim* — the deprecated `layer_block` free functions
 //! that used to be hardwired into `plan_block` — injected through
-//! `Driver::set_selector`. If the redesign changed a single float
-//! operation on the default path, these reports diverge.
+//! `Driver::set_selector`. If the replay path changed a single float
+//! operation (including anything the predictive projection touches: the
+//! ladder reads the raw snapshot, never the projected one), these
+//! reports diverge.
 
 use veltair::prelude::*;
 
@@ -63,7 +66,7 @@ fn compiled_mix() -> Vec<CompiledModel> {
 }
 
 #[test]
-fn default_selector_reproduces_pre_redesign_output_across_all_policies() {
+fn pressure_ladder_reproduces_pre_redesign_output_across_all_policies() {
     let models = compiled_mix();
     // Past the knee, so adaptive compilation actually switches versions
     // (light load would make the pin vacuous: every selector picks the
@@ -72,8 +75,9 @@ fn default_selector_reproduces_pre_redesign_output_across_all_policies() {
         .scaled_to(250.0)
         .generate(42);
     for policy in POLICIES {
-        let cfg = SimConfig::new(MachineConfig::threadripper_3990x(), policy);
-        let default_report = veltair::sched::simulate(&models, &queries, &cfg);
+        let cfg = SimConfig::new(MachineConfig::threadripper_3990x(), policy)
+            .with_selector(SelectorKind::PressureLadder);
+        let ladder_report = veltair::sched::simulate(&models, &queries, &cfg);
 
         let mut driver = Driver::new(&models, &queries, cfg.clone()).expect("valid workload");
         driver.set_selector(Box::new(LegacyInline));
@@ -81,16 +85,23 @@ fn default_selector_reproduces_pre_redesign_output_across_all_policies() {
         let (legacy_report, _) = driver.finish();
 
         assert_eq!(
-            default_report,
+            ladder_report,
             legacy_report,
-            "{}: the default PressureLadder diverged from the pre-redesign inline logic",
+            "{}: the opt-in PressureLadder diverged from the pre-redesign inline logic",
             policy.name()
         );
     }
 }
 
 #[test]
-fn explicit_pressure_ladder_is_the_default() {
+fn calibrated_hysteresis_ladder_is_the_default() {
+    // The promotion pin: an engine or sim config that names no selector
+    // runs the calibrated `HysteresisLadder` (1.0x gain, planning on the
+    // projected pressure) — bit-identical to asking for it explicitly.
+    assert_eq!(
+        SelectorKind::default(),
+        SelectorKind::Hysteresis(HysteresisConfig::default())
+    );
     let models = compiled_mix();
     let queries = WorkloadSpec::single("mobilenet_v2", 200.0, 60).generate(7);
     let machine = MachineConfig::threadripper_3990x();
@@ -100,7 +111,8 @@ fn explicit_pressure_ladder_is_the_default() {
         let explicit = veltair::sched::simulate(
             &models,
             &queries,
-            &SimConfig::new(machine.clone(), policy).with_selector(SelectorKind::PressureLadder),
+            &SimConfig::new(machine.clone(), policy)
+                .with_selector(SelectorKind::Hysteresis(HysteresisConfig::default())),
         );
         assert_eq!(implicit, explicit, "{}", policy.name());
     }
@@ -161,10 +173,11 @@ fn hysteresis_ladder_changes_adaptive_runs_but_not_static_ones() {
         .scaled_to(350.0)
         .generate(17);
     let hysteresis = SelectorKind::Hysteresis(HysteresisConfig::default());
-    let ac_default = veltair::sched::simulate(
+    let ac_replay = veltair::sched::simulate(
         &models,
         &queries,
-        &SimConfig::new(machine.clone(), Policy::VeltairAc),
+        &SimConfig::new(machine.clone(), Policy::VeltairAc)
+            .with_selector(SelectorKind::PressureLadder),
     );
     let ac_smoothed = veltair::sched::simulate(
         &models,
@@ -172,7 +185,7 @@ fn hysteresis_ladder_changes_adaptive_runs_but_not_static_ones() {
         &SimConfig::new(machine.clone(), Policy::VeltairAc).with_selector(hysteresis),
     );
     assert_ne!(
-        ac_default, ac_smoothed,
+        ac_replay, ac_smoothed,
         "hysteresis ladder was a no-op on an overloaded adaptive run"
     );
     // ...while a non-adaptive policy must ignore the selector entirely.
