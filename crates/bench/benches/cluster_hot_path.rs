@@ -8,12 +8,14 @@ use veltair_cluster::{
     AdmissionKind, Fleet, NodeLoad, NodeSpec, RouterKind, RoutingMode, StepMode,
 };
 use veltair_compiler::{
-    compile_model, CompiledModel, CompilerOptions, HysteresisConfig, SelectionContext, SelectorKind,
+    compile_model, search_with_stats, CompiledModel, CompilerOptions, HysteresisConfig, SearchMode,
+    SelectionContext, SelectorKind,
 };
 use veltair_sched::runtime::Driver;
 use veltair_sched::{Policy, QuerySpec, SimConfig, WorkloadSpec};
 use veltair_sim::{Interference, MachineConfig, SimTime};
 use veltair_telemetry::{NullSink, RecorderSink, TraceConfig, TraceSink};
+use veltair_tensor::{FeatureMap, FusedUnit, GemmView, Layer};
 
 fn compiled_mobilenet() -> Vec<CompiledModel> {
     let machine = MachineConfig::threadripper_3990x();
@@ -348,11 +350,49 @@ fn bench_selector_hot_path(c: &mut Criterion) {
     }
 }
 
+/// The per-layer schedule search head to head: full enumeration (lower
+/// and measure every generated candidate) vs the learned cost-model
+/// search (measure a training slice, rank the rest with the fitted
+/// model), on a small and a large convolution. The printed stats line
+/// per variant shows the lowered-candidate gap — the cost a real
+/// compiler backend pays per lowering — which matters more than the
+/// wall clock of this simulator's cheap stand-in for lowering.
+fn bench_schedule_search(c: &mut Criterion) {
+    let machine = MachineConfig::threadripper_3990x();
+    let shapes = [
+        ("conv3x3_256c_14x14", FeatureMap::nchw(1, 256, 14, 14), 256),
+        ("conv3x3_64c_56x56", FeatureMap::nchw(1, 64, 56, 56), 64),
+    ];
+    for (name, fmap, cout) in shapes {
+        let layer = Layer::conv2d(name, fmap, cout, (3, 3), (1, 1), (1, 1));
+        let gemm = GemmView::of(&layer).expect("conv has a GEMM view");
+        let unit = FusedUnit::solo(layer);
+        for (mode, opts) in [
+            ("full", CompilerOptions::fast()),
+            (
+                "learned",
+                CompilerOptions::fast().with_search_mode(SearchMode::learned()),
+            ),
+        ] {
+            let (_, stats) = search_with_stats(&unit, &gemm, &machine, &opts, 7);
+            println!(
+                "schedule_search/{name}/{mode}: {} generated, {} lowered, \
+                 {} pruned",
+                stats.generated, stats.lowered, stats.pruned
+            );
+            c.bench_function(&format!("schedule_search/{name}/{mode}"), |b| {
+                b.iter(|| search_with_stats(std::hint::black_box(&unit), &gemm, &machine, &opts, 7))
+            });
+        }
+    }
+}
+
 criterion_group! {
     name = cluster_hot_path;
     config = Criterion::default().sample_size(10);
     targets = bench_driver_step, bench_router_decisions, bench_fleet_run,
         bench_fleet_stepper_scaling, bench_scan_vs_indexed_routing,
-        bench_fleet_churn, bench_trace_overhead, bench_selector_hot_path
+        bench_fleet_churn, bench_trace_overhead, bench_selector_hot_path,
+        bench_schedule_search
 }
 criterion_main!(cluster_hot_path);

@@ -21,6 +21,7 @@ use veltair_sim::MachineConfig;
 
 use crate::compiled::{compile_model, CompiledModel};
 use crate::options::CompilerOptions;
+use crate::search::SearchStats;
 
 /// A fingerprint of a [`MachineConfig`], used as the machine half of the
 /// service's cache key. Two configs share a fingerprint iff every field
@@ -42,6 +43,18 @@ fn spec_fingerprint(spec: &ModelSpec) -> u64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     format!("{spec:?}").hash(&mut hasher);
     hasher.finish()
+}
+
+/// A fingerprint of the [`CompilerOptions`] fields that change the
+/// compiled artifact, used as the options half of the service's cache
+/// key. Two services (or one service reconfigured via
+/// [`CompilerService::set_options`]) can only share cached artifacts when
+/// every artifact-affecting knob — search effort and mode, version
+/// budget, pruning, reference cores, seed, and the adaptive-fusion flag —
+/// matches.
+#[must_use]
+pub fn options_key(options: &CompilerOptions) -> String {
+    format!("{options:?}")
 }
 
 /// A compiled model set for one machine: what a fleet node actually
@@ -138,6 +151,7 @@ impl CompilerServiceBuilder {
             cache: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            search_stats: SearchStats::default(),
         }
     }
 }
@@ -163,12 +177,16 @@ impl CompilerServiceBuilder {
 #[derive(Debug, Clone)]
 pub struct CompilerService {
     options: CompilerOptions,
-    /// `(machine fingerprint, model name, spec content fingerprint) →
-    /// artifact`. A `BTreeMap` keeps iteration (and `Debug` output)
-    /// deterministic.
-    cache: BTreeMap<(String, String, u64), CompiledModel>,
+    /// `(machine fingerprint, model name, spec content fingerprint,
+    /// options fingerprint) → artifact`. A `BTreeMap` keeps iteration
+    /// (and `Debug` output) deterministic. The options fingerprint covers
+    /// the search mode and the adaptive-fusion flag, so reconfiguring the
+    /// service can never serve an artifact compiled under different
+    /// options.
+    cache: BTreeMap<(String, String, u64, String), CompiledModel>,
     hits: u64,
     misses: u64,
+    search_stats: SearchStats,
 }
 
 impl CompilerService {
@@ -190,6 +208,15 @@ impl CompilerService {
         &self.options
     }
 
+    /// Reconfigures the options used for *future* compilations. Cached
+    /// artifacts stay keyed by the options they were compiled under, so
+    /// switching (say) from full to learned search recompiles instead of
+    /// aliasing onto a stale artifact — and switching back hits the
+    /// original cache entries again.
+    pub fn set_options(&mut self, options: CompilerOptions) {
+        self.options = options;
+    }
+
     /// Compiles `spec` for `machine`, or returns the cached artifact if
     /// this exact (spec content, machine) pair was compiled before.
     /// Either way the result is bit-identical: compilation is
@@ -201,6 +228,7 @@ impl CompilerService {
             machine_key(machine),
             spec.graph.name.clone(),
             spec_fingerprint(spec),
+            options_key(&self.options),
         );
         if let Some(cached) = self.cache.get(&key) {
             self.hits += 1;
@@ -208,6 +236,7 @@ impl CompilerService {
         }
         let compiled = compile_model(spec, machine, &self.options);
         self.misses += 1;
+        self.search_stats.accumulate(&compiled.search_stats);
         self.cache.insert(key, compiled.clone());
         compiled
     }
@@ -230,6 +259,13 @@ impl CompilerService {
     #[must_use]
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Aggregate auto-scheduler counters across every *real* compilation
+    /// this service performed (cache hits add nothing: no search ran).
+    #[must_use]
+    pub fn search_stats(&self) -> SearchStats {
+        self.search_stats
     }
 }
 

@@ -15,7 +15,8 @@
 //!   [`snapshot`](ServingSession::snapshot) reads per-model QoS/latency
 //!   statistics without stopping the run.
 
-use veltair_compiler::{CompiledModel, SelectorKind};
+use veltair_compiler::{compile_model, CompiledModel, CompilerOptions, SelectorKind};
+use veltair_models::ModelSpec;
 use veltair_proxy::InterferenceProxy;
 use veltair_sched::runtime::{self, Driver};
 use veltair_sched::{
@@ -200,6 +201,8 @@ pub struct EngineBuilder {
     machine: MachineConfig,
     policy: Policy,
     models: Vec<CompiledModel>,
+    specs: Vec<ModelSpec>,
+    compiler: CompilerOptions,
     proxy: Option<InterferenceProxy>,
     selector: SelectorKind,
     projection: ProjectionConfig,
@@ -212,6 +215,8 @@ impl Default for EngineBuilder {
             machine: MachineConfig::threadripper_3990x(),
             policy: Policy::VeltairFull,
             models: Vec::new(),
+            specs: Vec::new(),
+            compiler: CompilerOptions::thorough(),
             proxy: None,
             selector: SelectorKind::default(),
             projection: ProjectionConfig::default(),
@@ -241,7 +246,32 @@ impl EngineBuilder {
     #[must_use]
     pub fn model(mut self, model: CompiledModel) -> Self {
         self.models.retain(|m| m.name != model.name);
+        self.specs.retain(|s| s.graph.name != model.name);
         self.models.push(model);
+        self
+    }
+
+    /// Registers a model *spec* to be compiled at
+    /// [`build`](EngineBuilder::build) time against the builder's machine
+    /// with its [`compiler_options`](EngineBuilder::compiler_options) —
+    /// the engine-level mirror of `ClusterBuilder::compile`. Replaces any
+    /// previous model or spec of the same name. Compilation is deferred so
+    /// the machine and options may be set in any order.
+    #[must_use]
+    pub fn compile(mut self, spec: ModelSpec) -> Self {
+        self.models.retain(|m| m.name != spec.graph.name);
+        self.specs.retain(|s| s.graph.name != spec.graph.name);
+        self.specs.push(spec);
+        self
+    }
+
+    /// Sets the compiler options used for specs registered via
+    /// [`compile`](EngineBuilder::compile) (default:
+    /// [`CompilerOptions::thorough`]) — the place to opt into
+    /// `SearchMode::learned()` or adaptive fusion for a whole engine.
+    #[must_use]
+    pub fn compiler_options(mut self, options: CompilerOptions) -> Self {
+        self.compiler = options;
         self
     }
 
@@ -297,11 +327,16 @@ impl EngineBuilder {
             machine,
             policy,
             mut models,
+            specs,
+            compiler,
             proxy,
             selector,
             projection,
             slo_overrides,
         } = self;
+        for spec in &specs {
+            models.push(compile_model(spec, &machine, &compiler));
+        }
         if models.is_empty() {
             return Err(EngineError::NoModels);
         }
@@ -792,6 +827,34 @@ mod tests {
         let r = e.run(&WorkloadSpec::single("tiny_yolo_v2", 30.0, 40), 1);
         assert_eq!(r.total_queries(), 40);
         assert!(r.qos_satisfaction("tiny_yolo_v2") > 0.8);
+    }
+
+    #[test]
+    fn builder_compiles_specs_with_its_options() {
+        // The deferred-compile path equals compiling by hand with the same
+        // options, regardless of the order machine/options/spec were set.
+        let machine = MachineConfig::threadripper_3990x();
+        let opts =
+            CompilerOptions::fast().with_search_mode(veltair_compiler::SearchMode::learned());
+        let e = ServingEngine::builder()
+            .compile(veltair_models::tiny_yolo_v2())
+            .compiler_options(opts.clone())
+            .machine(machine.clone())
+            .build()
+            .expect("valid engine");
+        let direct = compile_model(&veltair_models::tiny_yolo_v2(), &machine, &opts);
+        assert_eq!(e.models().len(), 1);
+        assert_eq!(e.models()[0], direct);
+        assert!(e.models()[0].search_stats.pruned > 0);
+
+        // compile() replaces a same-name model() registration and vice versa.
+        let replaced = ServingEngine::builder()
+            .model(direct.clone())
+            .compile(veltair_models::tiny_yolo_v2())
+            .compiler_options(opts)
+            .build()
+            .expect("valid engine");
+        assert_eq!(replaced.models().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Deterministic feature extraction for schedule candidates.
+//!
+//! Every feature is a closed-form function of the schedule, the GEMM view,
+//! and the machine — no lowering, no measurement. That is the point: the
+//! cost model ranks candidates the search has *not* paid to lower, so its
+//! inputs must be free.
+
+use serde::{Deserialize, Serialize};
+use veltair_sim::MachineConfig;
+use veltair_tensor::{GemmView, Schedule};
+
+/// Fixed-order feature vector of one schedule candidate.
+///
+/// The column order is part of the model contract: a [`crate::CostModel`]
+/// trained on these vectors indexes coefficients positionally, so
+/// [`ScheduleFeatures::NAMES`] doubles as the schema version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleFeatures {
+    /// Feature values, in [`ScheduleFeatures::NAMES`] order.
+    pub values: Vec<f64>,
+}
+
+impl ScheduleFeatures {
+    /// Column names, in the exact order of `values`.
+    pub const NAMES: [&'static str; 13] = [
+        "log2_tm",
+        "log2_tn",
+        "log2_tk",
+        "log2_unroll",
+        "log2_chunks",
+        "log2_parallelism",
+        "log2_locality_bytes",
+        "locality_vs_l3",
+        "footprint_vs_l3",
+        "log2_tile_intensity",
+        "log2_min_traffic",
+        "log2_spill_traffic",
+        "compute_efficiency",
+    ];
+
+    /// Extracts the feature vector of one candidate.
+    ///
+    /// Tile dims and derived products enter in log2 (the ladder is
+    /// geometric); cache-pressure terms are ratios against the machine's
+    /// L3; traffic terms reuse the lowering's resident/spilled accounting
+    /// in closed form. Deterministic: equal inputs give bit-equal vectors.
+    #[must_use]
+    pub fn of(s: &Schedule, g: &GemmView, machine: &MachineConfig) -> Self {
+        let lg = |v: f64| v.max(1.0).log2();
+        let chunks = f64::from(s.parallel_chunks(g));
+        let locality = s.locality_bytes(g);
+        let tiles_m = g.m.div_ceil(s.tm) as f64;
+        let tiles_n = g.n.div_ceil(s.tn) as f64;
+        let tiles_k = g.k.div_ceil(s.tk) as f64;
+        // Shared B panel of the live k-tile plus every worker's tile set.
+        let footprint = (s.tk * g.n * g.elem_bytes) as f64 + f64::from(machine.cores) * locality;
+        let tile_flops = 2.0 * (s.tm * s.tn * s.tk) as f64;
+        let min_traffic = g.a_bytes() + g.b_bytes() + g.c_bytes();
+        let spill_traffic = g.a_bytes() * tiles_n
+            + g.b_bytes() * tiles_m
+            + g.c_bytes() * 2.0f64.mul_add(tiles_k, -1.0);
+        let values = vec![
+            lg(s.tm as f64),
+            lg(s.tn as f64),
+            lg(s.tk as f64),
+            lg(s.unroll as f64),
+            lg(chunks),
+            lg(s.parallelism(g)),
+            lg(locality),
+            locality / machine.l3_bytes,
+            footprint / machine.l3_bytes,
+            lg(tile_flops / locality.max(1.0)),
+            lg(min_traffic),
+            lg(spill_traffic.max(min_traffic)),
+            s.compute_efficiency(g),
+        ];
+        debug_assert_eq!(values.len(), Self::NAMES.len());
+        Self { values }
+    }
+
+    /// `(name, value)` pairs in schema order.
+    pub fn named(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        Self::NAMES.iter().copied().zip(self.values.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veltair_tensor::{tile_ladder, FeatureMap, Layer};
+
+    fn gemm() -> GemmView {
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 256, 14, 14),
+            256,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
+        GemmView::of(&l).unwrap()
+    }
+
+    #[test]
+    fn features_are_deterministic_and_finite() {
+        let g = gemm();
+        let machine = MachineConfig::threadripper_3990x();
+        for &tm in &tile_ladder(g.m) {
+            for &u in &[1usize, 4, 16] {
+                let s = Schedule::new(&g, tm, 64, 256, u);
+                let a = ScheduleFeatures::of(&s, &g, &machine);
+                let b = ScheduleFeatures::of(&s, &g, &machine);
+                assert_eq!(a, b);
+                assert_eq!(a.values.len(), ScheduleFeatures::NAMES.len());
+                assert!(a.values.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn named_columns_follow_schema_order() {
+        let g = gemm();
+        let machine = MachineConfig::threadripper_3990x();
+        let s = Schedule::new(&g, 14, 64, 256, 8);
+        let f = ScheduleFeatures::of(&s, &g, &machine);
+        let names: Vec<&str> = f.named().map(|(n, _)| n).collect();
+        assert_eq!(names, ScheduleFeatures::NAMES.to_vec());
+        let (n0, v0) = f.named().next().unwrap();
+        assert_eq!(n0, "log2_tm");
+        assert!((v0 - (14.0f64).log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn features_separate_locality_from_parallelism() {
+        let g = gemm();
+        let machine = MachineConfig::threadripper_3990x();
+        let fine = ScheduleFeatures::of(&Schedule::new(&g, 7, 16, 128, 4), &g, &machine);
+        let coarse = ScheduleFeatures::of(&Schedule::new(&g, 98, 128, 2304, 4), &g, &machine);
+        let col = |n: &str| {
+            ScheduleFeatures::NAMES
+                .iter()
+                .position(|&x| x == n)
+                .unwrap()
+        };
+        assert!(fine.values[col("log2_chunks")] > coarse.values[col("log2_chunks")]);
+        assert!(
+            fine.values[col("log2_locality_bytes")] < coarse.values[col("log2_locality_bytes")]
+        );
+        assert!(fine.values[col("log2_spill_traffic")] > coarse.values[col("log2_spill_traffic")]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Learned cost-model search support for the VELTAIR compiler.
+//!
+//! The paper's multi-version compiler fully lowers and "measures" every
+//! schedule candidate on the analytic machine model. That is affordable in
+//! a reproduction but is exactly what production auto-schedulers avoid:
+//! Ansor-family searches train a *cost model* on the candidates they did
+//! measure and let it rank the ones they did not (Steiner et al., *Value
+//! Function Based Performance Optimization of Deep Learning Workloads*).
+//!
+//! This crate supplies the two halves the compiler's
+//! `SearchMode::Learned` path composes:
+//!
+//! * [`ScheduleFeatures`] — deterministic, closed-form features of a
+//!   schedule candidate (tile dims, unroll, parallelism, locality vs L3,
+//!   footprint ratios, arithmetic intensity, traffic terms) in a fixed,
+//!   named column order;
+//! * [`CostModel`] — standardize → PCA-project → ridge-regress on
+//!   log-latency, built entirely from `veltair-proxy`'s machinery
+//!   (`Standardizer`, `Pca`, `RidgeModel`, `select_lambda` CV), trained
+//!   online on the search's uniform-sampling phase and used to rank the
+//!   evolutionary phase's candidates.
+//!
+//! [`rank_correlation`] (Spearman) is the shared quality yardstick used by
+//! the property tests and the calibration example.
+//!
+//! # Example
+//!
+//! ```
+//! use veltair_costmodel::{CostModel, ScheduleFeatures};
+//! use veltair_sim::MachineConfig;
+//! use veltair_tensor::{tile_ladder, FeatureMap, GemmView, Layer, Schedule};
+//!
+//! let l = Layer::conv2d("c", FeatureMap::nchw(1, 256, 14, 14), 256, (3, 3), (1, 1), (1, 1));
+//! let g = GemmView::of(&l).unwrap();
+//! let machine = MachineConfig::threadripper_3990x();
+//! let (mut feats, mut lats) = (Vec::new(), Vec::new());
+//! for &tm in &tile_ladder(g.m) {
+//!     let s = Schedule::new(&g, tm, 64, 256, 8);
+//!     feats.push(ScheduleFeatures::of(&s, &g, &machine));
+//!     lats.push(1e-4 * (1.0 + tm as f64));
+//! }
+//! let model = CostModel::fit(&feats, &lats);
+//! assert!(model.predict_latency_s(&feats[0]) > 0.0);
+//! ```
+
+pub mod features;
+pub mod model;
+
+pub use features::ScheduleFeatures;
+pub use model::{rank_correlation, CostModel};

@@ -1,0 +1,252 @@
+//! The online-trained schedule cost model.
+//!
+//! Standardize → PCA-project → ridge-regress, all from `veltair-proxy`'s
+//! deterministic machinery. The model is trained *inside* one layer's
+//! schedule search on the uniform-sampling phase's measured latencies, then
+//! ranks the evolutionary phase's candidates so only the top fraction are
+//! lowered and measured (Steiner et al.'s value-function idea, scaled to
+//! this repo's analytic measurement).
+
+use serde::{Deserialize, Serialize};
+use veltair_proxy::{select_lambda, Pca, RidgeModel, Standardizer};
+
+use crate::features::ScheduleFeatures;
+
+/// Regularization ladder searched by cross-validation.
+const LAMBDA_LADDER: [f64; 6] = [1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// Fallback regularization when the training set is too small to fold.
+const SMALL_SET_LAMBDA: f64 = 1e-2;
+
+/// Cumulative explained-variance ratio the PCA projection must keep.
+const PCA_KEEP_RATIO: f64 = 0.999;
+
+/// A fitted schedule cost model predicting solo latency from
+/// [`ScheduleFeatures`].
+///
+/// The pipeline is standardization (zero-variance columns are inert), PCA
+/// projection onto the components holding ≥ 99.9 % of the training
+/// variance (the feature set is deliberately redundant; PCA collapses the
+/// collinear columns ridge would otherwise split weight across), and ridge
+/// regression on log-latency with `lambda` chosen by k-fold CV when the
+/// training set affords folds. Everything downstream of the same training
+/// set is bit-deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    standardizer: Standardizer,
+    pca: Pca,
+    components: usize,
+    ridge: RidgeModel,
+    /// The regularization strength the CV picked (or the small-set default).
+    pub lambda: f64,
+    /// Pooled cross-validation R² of the chosen lambda (`0.0` when the
+    /// training set was too small to fold).
+    pub cv_r2: f64,
+    /// Training-set size.
+    pub train_rows: usize,
+}
+
+impl CostModel {
+    /// Fits the model on measured `(features, solo latency)` pairs.
+    ///
+    /// The regression target is `ln(latency)`: latencies span orders of
+    /// magnitude across the tile ladder, and ranking — not absolute error —
+    /// is what the search consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices are empty, their lengths differ, or a
+    /// latency is not positive and finite.
+    #[must_use]
+    pub fn fit(features: &[ScheduleFeatures], latencies_s: &[f64]) -> Self {
+        assert!(
+            !features.is_empty(),
+            "cannot fit a cost model on no samples"
+        );
+        assert_eq!(
+            features.len(),
+            latencies_s.len(),
+            "feature/latency length mismatch"
+        );
+        assert!(
+            latencies_s.iter().all(|l| l.is_finite() && *l > 0.0),
+            "latencies must be positive and finite"
+        );
+
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.values.clone()).collect();
+        let standardizer = Standardizer::fit(&rows);
+        let standardized: Vec<Vec<f64>> = rows.iter().map(|r| standardizer.transform(r)).collect();
+        let pca = Pca::fit(&standardized);
+        let components = pca.components_for_ratio(PCA_KEEP_RATIO);
+        let projected: Vec<Vec<f64>> = standardized
+            .iter()
+            .map(|r| pca.project(r, components))
+            .collect();
+        let targets: Vec<f64> = latencies_s.iter().map(|l| l.ln()).collect();
+
+        let (lambda, cv_r2) = if projected.len() >= 8 {
+            select_lambda(&projected, &targets, &LAMBDA_LADDER, 4)
+        } else {
+            (SMALL_SET_LAMBDA, 0.0)
+        };
+        let ridge = RidgeModel::fit(&projected, &targets, lambda);
+
+        Self {
+            standardizer,
+            pca,
+            components,
+            ridge,
+            lambda,
+            cv_r2,
+            train_rows: features.len(),
+        }
+    }
+
+    /// Predicted solo latency, seconds. Always finite and positive: the
+    /// ridge prediction of `ln(latency)` is clamped before exponentiation
+    /// so even far-out-of-distribution candidates rank, not crash.
+    #[must_use]
+    pub fn predict_latency_s(&self, f: &ScheduleFeatures) -> f64 {
+        let z = self.standardizer.transform(&f.values);
+        let p = self.pca.project(&z, self.components);
+        let log_lat = self.ridge.predict(&p);
+        log_lat.clamp(-80.0, 80.0).exp()
+    }
+
+    /// Number of PCA components the projection keeps.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+/// Spearman rank correlation between two equally long samples, with
+/// average ranks for ties (so constant inputs correlate with nothing).
+/// Returns 0 for degenerate inputs.
+#[must_use]
+pub fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rank correlation needs equal lengths");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ranks = |v: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]).then(i.cmp(&j)));
+        let mut r = vec![0.0; v.len()];
+        let mut start = 0;
+        while start < idx.len() {
+            let mut end = start;
+            while end + 1 < idx.len() && v[idx[end + 1]] == v[idx[start]] {
+                end += 1;
+            }
+            let avg = (start + end) as f64 / 2.0;
+            for &i in &idx[start..=end] {
+                r[i] = avg;
+            }
+            start = end + 1;
+        }
+        r
+    };
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if da <= 0.0 || db <= 0.0 {
+        return 0.0;
+    }
+    num / (da * db).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veltair_sim::MachineConfig;
+    use veltair_tensor::{tile_ladder, FeatureMap, GemmView, Layer, Schedule};
+
+    fn training_set() -> (Vec<ScheduleFeatures>, Vec<f64>) {
+        let l = Layer::conv2d(
+            "c",
+            FeatureMap::nchw(1, 256, 14, 14),
+            256,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        );
+        let g = GemmView::of(&l).unwrap();
+        let machine = MachineConfig::threadripper_3990x();
+        let mut feats = Vec::new();
+        let mut lats = Vec::new();
+        for &tm in &tile_ladder(g.m) {
+            for &tn in &[16usize, 64, 256] {
+                for &u in &[1usize, 8] {
+                    let s = Schedule::new(&g, tm, tn, 256, u);
+                    feats.push(ScheduleFeatures::of(&s, &g, &machine));
+                    // Synthetic but structured target: efficiency-scaled
+                    // work plus a spill term, spanning decades.
+                    let f = &feats[feats.len() - 1].values;
+                    lats.push((f[11].exp2() / 1e11) / f[12].max(0.05) + 1e-6);
+                }
+            }
+        }
+        (feats, lats)
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (feats, lats) = training_set();
+        let a = CostModel::fit(&feats, &lats);
+        let b = CostModel::fit(&feats, &lats);
+        assert_eq!(a, b);
+        for f in &feats {
+            assert_eq!(
+                a.predict_latency_s(f).to_bits(),
+                b.predict_latency_s(f).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_rank_the_training_set() {
+        let (feats, lats) = training_set();
+        let m = CostModel::fit(&feats, &lats);
+        let preds: Vec<f64> = feats.iter().map(|f| m.predict_latency_s(f)).collect();
+        assert!(preds.iter().all(|p| p.is_finite() && *p > 0.0));
+        let rho = rank_correlation(&preds, &lats);
+        assert!(rho > 0.8, "in-sample rank correlation only {rho}");
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_finite() {
+        // Single sample: no folds, constant columns everywhere.
+        let (feats, lats) = training_set();
+        let one = CostModel::fit(&feats[..1], &lats[..1]);
+        assert!(one.predict_latency_s(&feats[5]).is_finite());
+        assert_eq!(one.lambda, SMALL_SET_LAMBDA);
+        // Identical rows: zero variance in every column.
+        let same: Vec<ScheduleFeatures> = vec![feats[0].clone(); 10];
+        let m = CostModel::fit(&same, &[1e-3; 10]);
+        let p = m.predict_latency_s(&feats[7]);
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn rank_correlation_bounds() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((rank_correlation(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((rank_correlation(&a, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(rank_correlation(&a, &[7.0; 4]), 0.0);
+        assert_eq!(rank_correlation(&[], &[]), 0.0);
+    }
+}

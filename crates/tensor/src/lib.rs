@@ -23,11 +23,13 @@ pub mod graph;
 pub mod layer;
 pub mod loopnest;
 pub mod ops;
+pub mod schedule;
 pub mod shape;
 
-pub use fusion::{fuse_layers, FusedUnit};
+pub use fusion::{fuse_layers, fuse_layers_at_level, fusion_cap_for_level, FusedUnit};
 pub use graph::ModelGraph;
 pub use layer::Layer;
 pub use loopnest::{loop_nest, GemmView, LoopDim, LoopKind, LoopNest};
 pub use ops::{ActKind, OpKind, PoolKind};
+pub use schedule::{tile_ladder, Schedule};
 pub use shape::{DType, FeatureMap};

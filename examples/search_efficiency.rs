@@ -1,0 +1,79 @@
+//! Search efficiency: full enumeration vs the learned cost-model search.
+//!
+//! Compiles zoo models both ways and compares how many schedules each
+//! mode lowered to the simulator, the compile wall clock, and what the
+//! pruning cost in envelope quality — the min-latency-over-versions curve
+//! that multi-versioning exists to protect.
+//!
+//! ```text
+//! cargo run --release --example search_efficiency
+//! ```
+
+use std::time::Instant;
+
+use veltair::prelude::*;
+
+fn envelope_s(model: &CompiledModel, level: f64, machine: &MachineConfig) -> f64 {
+    model
+        .layers
+        .iter()
+        .map(|l| {
+            let v = l.version_for_level(level);
+            l.latency_s(v, 16, Interference::level(level), machine)
+        })
+        .sum()
+}
+
+fn main() {
+    let machine = MachineConfig::threadripper_3990x();
+    let full_opts = CompilerOptions::fast();
+    let learned_opts = CompilerOptions::fast().with_search_mode(SearchMode::learned());
+
+    println!(
+        "{:<14} {:>8} {:>10} {:>8} {:>8} {:>9} {:>10}",
+        "model", "mode", "generated", "lowered", "pruned", "low-%", "compile"
+    );
+    let mut rows = Vec::new();
+    for name in ["mobilenet_v2", "resnet50", "googlenet"] {
+        let spec = by_name(name).expect("zoo model");
+        let mut pair = Vec::new();
+        for (mode, opts) in [("full", &full_opts), ("learned", &learned_opts)] {
+            let t = Instant::now();
+            let model = compile_model(&spec, &machine, opts);
+            let wall = t.elapsed();
+            let s = model.search_stats;
+            println!(
+                "{:<14} {:>8} {:>10} {:>8} {:>8} {:>8.1}% {:>8.0}ms",
+                name,
+                mode,
+                s.generated,
+                s.lowered,
+                s.pruned,
+                100.0 * s.lowered as f64 / s.generated.max(1) as f64,
+                wall.as_secs_f64() * 1e3
+            );
+            pair.push(model);
+        }
+        rows.push((name, pair));
+    }
+
+    // What did the pruning cost? Compare the latency envelopes: the sum
+    // over layers of the best version's latency at each interference bin.
+    println!("\nenvelope ratio, learned / full (1.00 = no quality loss):");
+    print!("{:<14}", "model");
+    let levels = [0.0, 0.25, 0.5, 0.75, 1.0];
+    for level in levels {
+        print!(" {:>8}", format!("p={level:.2}"));
+    }
+    println!(" {:>10}", "versions");
+    for (name, pair) in &rows {
+        let (full, learned) = (&pair[0], &pair[1]);
+        print!("{:<14}", name);
+        for level in levels {
+            let ratio = envelope_s(learned, level, &machine) / envelope_s(full, level, &machine);
+            print!(" {:>8.3}", ratio);
+        }
+        let count = |m: &CompiledModel| m.layers.iter().map(|l| l.versions.len()).sum::<usize>();
+        println!(" {:>4} vs {:>3}", count(learned), count(full));
+    }
+}

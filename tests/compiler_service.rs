@@ -41,6 +41,51 @@ fn cache_hits_are_bit_identical_to_recompiles() {
 }
 
 #[test]
+fn cache_is_keyed_by_search_mode_and_fusion_flag() {
+    let machine = MachineConfig::threadripper_3990x();
+    let spec = by_name("mobilenet_v2").expect("zoo model");
+    let mut svc = service();
+    let full = svc.compile(&spec, &machine);
+    assert_eq!(svc.cache_stats(), (0, 1));
+
+    // Switching to learned search must recompile — the options are part of
+    // the cache fingerprint, so the stale full-mode artifact cannot alias.
+    svc.set_options(CompilerOptions::fast().with_search_mode(SearchMode::learned()));
+    let learned = svc.compile(&spec, &machine);
+    assert_eq!(
+        svc.cache_stats(),
+        (0, 2),
+        "a changed search mode must miss the cache"
+    );
+    assert!(learned.search_stats.pruned > 0, "learned mode never pruned");
+    assert!(
+        learned.search_stats.lowered < full.search_stats.lowered,
+        "learned mode lowered as much as full mode"
+    );
+
+    // Toggling adaptive fusion is a third distinct artifact...
+    svc.set_options(CompilerOptions::fast().with_adaptive_fusion(true));
+    let fused = svc.compile(&spec, &machine);
+    assert_eq!(svc.cache_stats(), (0, 3));
+    assert_ne!(full, fused);
+
+    // ...and returning to the original options hits the original entry.
+    svc.set_options(CompilerOptions::fast());
+    let again = svc.compile(&spec, &machine);
+    assert_eq!(svc.cache_stats(), (1, 3));
+    assert_eq!(full, again);
+
+    // The service's aggregate counters cover exactly the three real
+    // compilations.
+    let total = svc.search_stats();
+    assert_eq!(
+        total.generated,
+        full.search_stats.generated + learned.search_stats.generated + fused.search_stats.generated
+    );
+    assert_eq!(total.lowered + total.pruned, total.generated);
+}
+
+#[test]
 fn registries_are_deterministic_and_keyed_by_machine() {
     let big = MachineConfig::threadripper_3990x();
     let edge = MachineConfig::desktop_8core();

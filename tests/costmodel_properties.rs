@@ -1,0 +1,114 @@
+//! Property pins for `veltair-costmodel`: the proxy stack underneath the
+//! learned search must be deterministic, finite on degenerate inputs, and
+//! actually predictive (rank correlation on held-out schedules).
+
+use veltair::prelude::*;
+use veltair::tensor::{FeatureMap, FusedUnit, GemmView, Layer};
+
+fn conv_unit() -> (FusedUnit, GemmView) {
+    let l = Layer::conv2d(
+        "c",
+        FeatureMap::nchw(1, 256, 14, 14),
+        256,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
+    let g = GemmView::of(&l).unwrap();
+    (FusedUnit::solo(l), g)
+}
+
+/// Full-mode search samples for the conv layer: (features, latencies).
+fn population() -> (Vec<ScheduleFeatures>, Vec<f64>) {
+    let (u, g) = conv_unit();
+    let machine = MachineConfig::threadripper_3990x();
+    let opts = veltair::compiler::CompilerOptions::fast();
+    let samples = veltair::compiler::search(&u, &g, &machine, &opts, 7);
+    let feats = samples
+        .iter()
+        .map(|s| ScheduleFeatures::of(&s.schedule, &g, &machine))
+        .collect();
+    let lats = samples.iter().map(|s| s.solo_latency_s).collect();
+    (feats, lats)
+}
+
+#[test]
+fn repeated_fits_are_bit_identical() {
+    let (feats, lats) = population();
+    let a = CostModel::fit(&feats, &lats);
+    let b = CostModel::fit(&feats, &lats);
+    assert_eq!(a.components(), b.components());
+    for f in &feats {
+        let pa = a.predict_latency_s(f);
+        let pb = b.predict_latency_s(f);
+        assert!(
+            pa.to_bits() == pb.to_bits(),
+            "fit is nondeterministic: {pa} vs {pb}"
+        );
+    }
+}
+
+#[test]
+fn predictions_stay_finite_on_degenerate_inputs() {
+    let (feats, lats) = population();
+
+    // Constant targets: the model must degrade to a finite constant.
+    let flat = vec![1e-3; lats.len()];
+    let constant = CostModel::fit(&feats, &flat);
+    for f in &feats {
+        let p = constant.predict_latency_s(f);
+        assert!(p.is_finite() && p > 0.0, "constant-target fit produced {p}");
+    }
+
+    // Tiny training sets, down to a single sample.
+    for n in [1usize, 2, 3] {
+        let m = CostModel::fit(&feats[..n], &lats[..n]);
+        for f in &feats {
+            let p = m.predict_latency_s(f);
+            assert!(p.is_finite() && p > 0.0, "n={n} fit produced {p}");
+        }
+    }
+
+    // Duplicated rows (zero variance in every feature column).
+    let dup_feats = vec![feats[0].clone(); 8];
+    let dup_lats = vec![lats[0]; 8];
+    let dup = CostModel::fit(&dup_feats, &dup_lats);
+    for f in &feats {
+        let p = dup.predict_latency_s(f);
+        assert!(p.is_finite() && p > 0.0, "duplicate-row fit produced {p}");
+    }
+}
+
+#[test]
+fn held_out_rank_correlation_clears_the_floor() {
+    let (feats, lats) = population();
+    assert!(feats.len() >= 64, "population too small to split");
+
+    // Train on even indices, evaluate ranking on the held-out odd half —
+    // the exact job the learned search mode needs the model for.
+    let train_f: Vec<ScheduleFeatures> = feats.iter().step_by(2).cloned().collect();
+    let train_l: Vec<f64> = lats.iter().step_by(2).cloned().collect();
+    let model = CostModel::fit(&train_f, &train_l);
+
+    let held_f: Vec<ScheduleFeatures> = feats.iter().skip(1).step_by(2).cloned().collect();
+    let held_l: Vec<f64> = lats.iter().skip(1).step_by(2).cloned().collect();
+    let predicted: Vec<f64> = held_f.iter().map(|f| model.predict_latency_s(f)).collect();
+
+    let rho = rank_correlation(&predicted, &held_l);
+    assert!(
+        rho >= 0.6,
+        "held-out Spearman correlation {rho:.3} below the 0.6 floor"
+    );
+}
+
+#[test]
+fn rank_correlation_matches_known_cases() {
+    // Perfectly concordant, perfectly discordant, and constant inputs.
+    let a = [1.0, 2.0, 3.0, 4.0];
+    assert!((rank_correlation(&a, &[10.0, 20.0, 30.0, 40.0]) - 1.0).abs() < 1e-12);
+    assert!((rank_correlation(&a, &[9.0, 7.0, 5.0, 3.0]) + 1.0).abs() < 1e-12);
+    // Ties everywhere: average ranks make the correlation undefined; the
+    // implementation must return 0, not NaN.
+    let r = rank_correlation(&a, &[5.0, 5.0, 5.0, 5.0]);
+    assert!(r.abs() < 1e-12, "constant series gave {r}");
+}

@@ -1,0 +1,190 @@
+//! Headline pins for the learned cost-model search (`SearchMode::Learned`):
+//! it must lower at most 40 % of what full mode measures, keep the
+//! multi-version latency envelope within tolerance at every interference
+//! bin, stay bit-deterministic, and leave the paper's Fig. 12 policy
+//! ordering green when every model in the mix is compiled with it.
+
+use std::sync::OnceLock;
+
+use veltair::prelude::*;
+
+fn machine() -> MachineConfig {
+    MachineConfig::threadripper_3990x()
+}
+
+fn full_opts() -> CompilerOptions {
+    CompilerOptions::fast()
+}
+
+fn learned_opts() -> CompilerOptions {
+    CompilerOptions::fast().with_search_mode(SearchMode::learned())
+}
+
+static FULL: OnceLock<CompiledModel> = OnceLock::new();
+static LEARNED: OnceLock<CompiledModel> = OnceLock::new();
+
+fn full_model() -> &'static CompiledModel {
+    FULL.get_or_init(|| {
+        compile_model(
+            &by_name("resnet50").expect("zoo model"),
+            &machine(),
+            &full_opts(),
+        )
+    })
+}
+
+fn learned_model() -> &'static CompiledModel {
+    LEARNED.get_or_init(|| {
+        compile_model(
+            &by_name("resnet50").expect("zoo model"),
+            &machine(),
+            &learned_opts(),
+        )
+    })
+}
+
+#[test]
+fn learned_mode_lowers_at_most_forty_percent_of_full() {
+    let full = full_model().search_stats;
+    let learned = learned_model().search_stats;
+
+    // Full mode measures everything it generates.
+    assert_eq!(full.lowered, full.generated);
+    assert_eq!(full.pruned, 0);
+
+    // Learned mode explores the same candidate volume but lowers a
+    // bounded slice of it — the 40 % headline pin (the default fraction
+    // is 25 %; exhaustively enumerated tiny layers keep a small floor).
+    assert_eq!(learned.generated, learned.lowered + learned.pruned);
+    assert!(
+        learned.predicted > 0,
+        "the cost model never ranked anything"
+    );
+    assert!(
+        learned.lowered * 5 <= full.lowered * 2,
+        "learned mode lowered {} of full's {} (> 40 %)",
+        learned.lowered,
+        full.lowered
+    );
+}
+
+#[test]
+fn learned_mode_retains_the_latency_envelope_per_bin() {
+    // The whole point of multi-versioning is the min-latency envelope
+    // across interference levels (Fig. 9). Pruning 75 % of the lowering
+    // budget must not cost the envelope more than the compiler's own
+    // pruning tolerance at any bin: per layer, the learned-mode envelope
+    // stays within `prune_tolerance` of full mode's on average, and the
+    // model-level envelope (sum over layers) stays within it outright.
+    let m = machine();
+    let full = full_model();
+    let learned = learned_model();
+    let tolerance = full_opts().prune_tolerance; // 1.10
+    assert_eq!(full.layers.len(), learned.layers.len());
+
+    for level in [0.0, 0.2, 0.5, 0.8, 1.0] {
+        let envelope = |model: &CompiledModel| -> f64 {
+            model
+                .layers
+                .iter()
+                .map(|l| {
+                    let v = l.version_for_level(level);
+                    l.latency_s(v, 16, Interference::level(level), &m)
+                })
+                .sum()
+        };
+        let f = envelope(full);
+        let l = envelope(learned);
+        assert!(
+            l <= f * tolerance,
+            "level {level}: learned envelope {:.3} ms vs full {:.3} ms",
+            l * 1e3,
+            f * 1e3
+        );
+    }
+}
+
+#[test]
+fn learned_mode_keeps_tradeoff_spanning_versions() {
+    // The selection downstream of the learned search must still see a
+    // usable Pareto frontier: multi-versioning fires on a comparable
+    // share of layers, and the retained versions still span locality to
+    // parallelism.
+    let full = full_model();
+    let learned = learned_model();
+    let multi = |m: &CompiledModel| m.layers.iter().filter(|l| l.versions.len() >= 2).count();
+    let multi_full = multi(full);
+    let multi_learned = multi(learned);
+    assert!(
+        2 * multi_learned >= multi_full,
+        "multi-versioning collapsed: {multi_learned} layers vs full's {multi_full}"
+    );
+    for l in &learned.layers {
+        for w in l.versions.windows(2) {
+            assert!(w[0].locality_bytes >= w[1].locality_bytes);
+        }
+    }
+}
+
+#[test]
+fn learned_compilation_is_deterministic() {
+    let again = compile_model(
+        &by_name("resnet50").expect("zoo model"),
+        &machine(),
+        &learned_opts(),
+    );
+    assert_eq!(learned_model(), &again, "learned compilation diverged");
+}
+
+#[test]
+fn fig12_ordering_stays_green_under_learned_compilation() {
+    // The paper's Fig. 12 separation at overload — Planaria < AC < AS <
+    // FULL — is pinned by tests/policy_ordering.rs for full-mode
+    // compilation. The learned search must not reorder it: same
+    // inverse-QoS four-model mix, every model compiled with
+    // `SearchMode::learned()`.
+    let names = ["mobilenet_v2", "tiny_yolo_v2", "resnet50", "googlenet"];
+    let m = machine();
+    let models: Vec<CompiledModel> = names
+        .iter()
+        .map(|n| compile_model(&by_name(n).expect("zoo model"), &m, &learned_opts()))
+        .collect();
+    let specs: Vec<ModelSpec> = names.iter().map(|n| by_name(n).unwrap()).collect();
+    let streams: Vec<(&str, f64)> = specs
+        .iter()
+        .map(|s| (s.graph.name.as_str(), 1.0 / s.qos_ms))
+        .collect();
+    // 260 QPS: past the onset of overload, where the four policies are
+    // cleanly separated (at 200 the FULL/AS gap is only ~0.02).
+    let workload = WorkloadSpec::mix(&streams, 300).scaled_to(260.0);
+
+    let sat = |policy: Policy| -> f64 {
+        let mut e = ServingEngine::new(m.clone(), policy);
+        for model in &models {
+            e.register(model.clone());
+        }
+        [3u64, 17, 42]
+            .iter()
+            .map(|&s| e.run(&workload, s).overall_satisfaction())
+            .sum::<f64>()
+            / 3.0
+    };
+
+    let full = sat(Policy::VeltairFull);
+    let adaptive_sched = sat(Policy::VeltairAs);
+    let ac = sat(Policy::VeltairAc);
+    let planaria = sat(Policy::Planaria);
+
+    assert!(
+        full > adaptive_sched,
+        "FULL {full:.3} did not beat AS {adaptive_sched:.3}"
+    );
+    assert!(
+        adaptive_sched > ac,
+        "AS {adaptive_sched:.3} did not beat AC {ac:.3}"
+    );
+    assert!(
+        ac > planaria,
+        "AC {ac:.3} did not beat Planaria {planaria:.3}"
+    );
+}
